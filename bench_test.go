@@ -1,0 +1,285 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6). One benchmark family per artifact:
+//
+//	BenchmarkFigure3Analysis / BenchmarkFigure4Analysis — the motivating
+//	    traces through the full pipeline (Figures 3 and 4);
+//	BenchmarkFigure5Validation — the operational-semantics replay;
+//	BenchmarkFigure6n7HappensBefore — happens-before construction;
+//	BenchmarkFigure8Lifecycle — the lifecycle state machine;
+//	BenchmarkTable2TraceGen/<app> — trace generation for each Table 2 row
+//	    (the representative test's event sequence, replayed);
+//	BenchmarkTable3Detection/<app> — race detection + classification on
+//	    each representative trace (Table 3);
+//	BenchmarkNodeMerging/{merged,unmerged} — the §6 graph-size optimization;
+//	BenchmarkTraceGenOverhead/{recording,no-recording} — the §6 "up to 5x
+//	    slowdown" instrumentation-overhead experiment;
+//	BenchmarkAblation/* — the §4.1 specializations and the naive
+//	    combination (DESIGN.md ablations);
+//	BenchmarkBaseline/* — the §7 comparison detectors.
+package droidracer_test
+
+import (
+	"sync"
+	"testing"
+
+	"droidracer"
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/baseline"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/paper"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// benchApps are the Table 2/3 rows benchmarked individually. The full
+// 15-app set runs through cmd/benchtables; the benchmarks cover a spread
+// of trace sizes (smallest, the motivating app's scale, mid, largest).
+var benchApps = []string{
+	"Aard Dictionary",
+	"Music Player",
+	"K-9 Mail",
+	"Flipkart",
+}
+
+// repCache holds each app's representative test, computed once.
+var (
+	repMu    sync.Mutex
+	repCache = map[string]*explorer.Test{}
+)
+
+func representative(b *testing.B, name string) *explorer.Test {
+	b.Helper()
+	repMu.Lock()
+	defer repMu.Unlock()
+	if t, ok := repCache[name]; ok {
+		return t
+	}
+	app, err := apps.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := apps.RepresentativeTest(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repCache[name] = t
+	return t
+}
+
+func analyzeInfo(b *testing.B, tr *trace.Trace) *trace.Info {
+	b.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return info
+}
+
+func BenchmarkFigure3Analysis(b *testing.B) {
+	tr := paper.Figure3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := droidracer.Analyze(tr, droidracer.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Races) != 0 {
+			b.Fatalf("Figure 3 should be race free, got %v", res.Races)
+		}
+	}
+}
+
+func BenchmarkFigure4Analysis(b *testing.B) {
+	tr := paper.Figure4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := droidracer.Analyze(tr, droidracer.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Races) != 2 {
+			b.Fatalf("Figure 4 should have 2 races, got %v", res.Races)
+		}
+	}
+}
+
+func BenchmarkFigure5Validation(b *testing.B) {
+	tr := representative(b, "Music Player").Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx, err := semantics.ValidateInferred(tr); err != nil {
+			b.Fatalf("op %d: %v", idx, err)
+		}
+	}
+}
+
+func BenchmarkFigure6n7HappensBefore(b *testing.B) {
+	info := analyzeInfo(b, representative(b, "Music Player").Trace)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hb.Build(info, hb.DefaultConfig())
+	}
+}
+
+func BenchmarkFigure8Lifecycle(b *testing.B) {
+	opts := droidracer.DefaultEnvOptions()
+	for i := 0; i < b.N; i++ {
+		env := droidracer.NewEnv(opts)
+		env.RegisterActivity("A", func() droidracer.Activity { return &benchActivity{} })
+		if err := env.Launch("A"); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Fire(droidracer.UIEvent{Kind: droidracer.EvBack}); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchActivity struct {
+	droidracer.BaseActivity
+}
+
+func (a *benchActivity) OnCreate(c *droidracer.Ctx) { c.Write("A.state") }
+
+func BenchmarkTable2TraceGen(b *testing.B) {
+	for _, name := range benchApps {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			rep := representative(b, name)
+			app, err := apps.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			factory := apps.Factory(app)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, err := explorer.Replay(factory, 0, rep.Sequence)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(tr.Len()), "trace-ops")
+			}
+		})
+	}
+}
+
+func BenchmarkTable3Detection(b *testing.B) {
+	for _, name := range benchApps {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			tr := representative(b, name).Trace
+			info := analyzeInfo(b, tr)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := hb.Build(info, hb.DefaultConfig())
+				races := race.NewDetector(g).DetectDeduped()
+				b.ReportMetric(float64(len(races)), "races")
+				b.ReportMetric(float64(g.NodeCount()), "graph-nodes")
+			}
+		})
+	}
+}
+
+func BenchmarkNodeMerging(b *testing.B) {
+	info := analyzeInfo(b, representative(b, "Music Player").Trace)
+	b.Run("merged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := hb.Build(info, hb.DefaultConfig())
+			b.ReportMetric(float64(g.NodeCount()), "nodes")
+		}
+	})
+	b.Run("unmerged", func(b *testing.B) {
+		cfg := hb.DefaultConfig()
+		cfg.MergeAccesses = false
+		for i := 0; i < b.N; i++ {
+			g := hb.Build(info, cfg)
+			b.ReportMetric(float64(g.NodeCount()), "nodes")
+		}
+	})
+}
+
+func BenchmarkTraceGenOverhead(b *testing.B) {
+	app, err := apps.New("Aard Dictionary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, record bool) {
+		for i := 0; i < b.N; i++ {
+			opts := app.Options()
+			opts.Record = record
+			env := android.NewEnv(opts)
+			app.Register(env)
+			if err := env.Launch(app.MainActivity()); err != nil {
+				b.Fatal(err)
+			}
+			if err := env.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if err := env.Shutdown(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("recording", func(b *testing.B) { run(b, true) })
+	b.Run("no-recording", func(b *testing.B) { run(b, false) })
+}
+
+func BenchmarkAblation(b *testing.B) {
+	// The ablation workload is race free under the full rules except for
+	// one real race; each disabled rule surfaces its specific false
+	// positives (see internal/apps/ablation.go).
+	info := analyzeInfo(b, representative(b, "Ablation Workload").Trace)
+	cases := []struct {
+		name string
+		mut  func(*hb.Config)
+	}{
+		{"full", func(*hb.Config) {}},
+		{"no-enable", func(c *hb.Config) { c.EnableEdges = false }},
+		{"no-fifo", func(c *hb.Config) { c.FIFO = false }},
+		{"no-nopre", func(c *hb.Config) { c.NoPre = false }},
+		{"naive-combination", func(c *hb.Config) { c.Naive = true }},
+		{"event-only", func(c *hb.Config) { c.STOnly = true }},
+		{"whole-thread-po", func(c *hb.Config) { c.WholeThreadPO = true }},
+	}
+	for _, cse := range cases {
+		cse := cse
+		b.Run(cse.name, func(b *testing.B) {
+			cfg := hb.DefaultConfig()
+			cse.mut(&cfg)
+			for i := 0; i < b.N; i++ {
+				g := hb.Build(info, cfg)
+				// Undeduplicated pairs discriminate the rule sets better
+				// than per-location reports.
+				races := race.NewDetector(g).Detect()
+				b.ReportMetric(float64(len(races)), "racing-pairs")
+			}
+		})
+	}
+}
+
+func BenchmarkBaseline(b *testing.B) {
+	tr := representative(b, "Music Player").Trace
+	for _, d := range baseline.All() {
+		d := d
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fs := d.Detect(tr)
+				b.ReportMetric(float64(len(fs)), "racy-locs")
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Command benchtables regenerates the evaluation tables of the DroidRacer
+// paper from the application models: Table 2 (trace statistics), Table 3
+// (data races by category with true positives), the §6 performance
+// figures (node-merging ratio, analysis time, trace-generation overhead),
+// and the baseline-detector comparison backing the §7 discussion.
+//
+// Usage:
+//
+//	benchtables [-table 2|3|perf|overhead|baselines|triage|all] [-apps name,name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"droidracer/internal/apps"
+	"droidracer/internal/baseline"
+	"droidracer/internal/eval"
+	"droidracer/internal/paper"
+	"droidracer/internal/report"
+)
+
+func main() {
+	tableFlag := flag.String("table", "all", "which table to regenerate: 2, 3, perf, overhead, baselines, triage, all")
+	appsFlag := flag.String("apps", "", "comma-separated app names (default: all Table 2 apps)")
+	flag.Parse()
+
+	list := apps.All()
+	if *appsFlag != "" {
+		list = nil
+		for _, name := range strings.Split(*appsFlag, ",") {
+			app, err := apps.New(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			list = append(list, app)
+		}
+	}
+
+	want := func(name string) bool { return *tableFlag == "all" || *tableFlag == name }
+
+	var results []*eval.AppResult
+	need := want("2") || want("3") || want("perf") || want("baselines")
+	if need {
+		var err error
+		results, err = eval.RunAll(list)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if want("2") {
+		fmt.Println(report.Table2(results))
+	}
+	if want("3") {
+		fmt.Println(report.Table3(results))
+	}
+	if want("perf") {
+		fmt.Println(report.Perf(results))
+	}
+	if want("overhead") {
+		fmt.Printf("Trace-generation overhead (published: up to %.0fx slowdown)\n", paper.TraceGenSlowdownMax)
+		for _, app := range list {
+			with, without, err := eval.Overhead(app, 3)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-16s  with trace %10v   without %10v   slowdown %.2fx\n",
+				app.Name(), with.Round(100_000), without.Round(100_000),
+				float64(with)/float64(without))
+		}
+		fmt.Println()
+	}
+	if want("baselines") {
+		fmt.Println(report.Baselines(results, baseline.All()))
+	}
+	// Triage replays every report many times and is expensive on the large
+	// apps, so it only runs when requested explicitly (combine with -apps).
+	if *tableFlag == "triage" {
+		for _, app := range list {
+			res, err := eval.Triage(app, 40)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d/%d reports confirmed by reorder-replay\n",
+				app.Name(), res.Confirmed, len(res.Races))
+			for _, tr := range res.Races {
+				verdict := "unconfirmed"
+				if tr.Confirmed {
+					verdict = fmt.Sprintf("CONFIRMED (seed %d)", tr.Seed)
+				}
+				fmt.Printf("  %-13s %-40s %s\n", tr.Race.Category, tr.Race.Loc, verdict)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command racedet is the offline Race Detector component of DroidRacer
+// (§5): it reads an execution trace in the textual core-language format,
+// computes the happens-before relation, and reports classified data races.
+//
+// Usage:
+//
+//	racedet [-all] [-stats] [-naive] [-no-enable] [-no-fifo] [trace.txt]
+//
+// With no file argument the trace is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"droidracer"
+)
+
+func main() {
+	all := flag.Bool("all", false, "report every racing pair instead of one per location and category")
+	stats := flag.Bool("stats", false, "print trace statistics and graph size")
+	naive := flag.Bool("naive", false, "use the naive combination of multithreaded and event rules (ablation)")
+	noEnable := flag.Bool("no-enable", false, "ignore enable operations (ablation)")
+	noFIFO := flag.Bool("no-fifo", false, "drop the FIFO rule (ablation)")
+	noValidate := flag.Bool("no-validate", false, "skip the Figure 5 semantic validation")
+	explainFlag := flag.Bool("explain", false, "print a debugging explanation per race (chains, hints, near misses)")
+	dotFile := flag.String("dot", "", "write the happens-before graph (transitive reduction) as Graphviz DOT to this file")
+	minimizeFlag := flag.Bool("minimize", false, "print a minimized witness trace for the first reported race")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := droidracer.ParseTrace(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := droidracer.DefaultOptions()
+	opts.Dedup = !*all
+	opts.Validate = !*noValidate
+	opts.HB.Naive = *naive
+	opts.HB.EnableEdges = !*noEnable
+	opts.HB.FIFO = !*noFIFO
+
+	res, err := droidracer.Analyze(tr, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("trace: %d ops, %d fields, %d threads w/o queues, %d with, %d async tasks\n",
+			s.Length, s.Fields, s.ThreadsNoQ, s.ThreadsQ, s.AsyncTasks)
+		fmt.Printf("graph: %d nodes (%.1f%% of trace length)\n",
+			res.Graph.NodeCount(), 100*float64(res.Graph.NodeCount())/float64(s.Length))
+	}
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Graph.WriteDOT(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	for _, r := range res.Races {
+		if *explainFlag {
+			fmt.Print(droidracer.Explain(res.Graph, r))
+			continue
+		}
+		first, second := tr.Op(r.First), tr.Op(r.Second)
+		fmt.Printf("%s: %v @%d vs %v @%d\n", r.Category, first, r.First, second, r.Second)
+	}
+	if len(res.Races) == 0 {
+		fmt.Println("no data races detected")
+		return
+	}
+	fmt.Printf("%d race report(s)\n", len(res.Races))
+	if *minimizeFlag {
+		min, err := droidracer.Minimize(res.Trace, res.Races[0], opts.HB)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nminimized witness for the first race (%d -> %d ops):\n",
+			res.Trace.Len(), min.Trace.Len())
+		if err := droidracer.FormatTrace(os.Stdout, min.Trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "racedet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command tracegen is the Trace Generator component of DroidRacer (§5)
+// for the bundled application models: it runs an application under the
+// simulated Android runtime, optionally firing an event sequence, and
+// writes the execution trace in the textual core-language format.
+//
+// Usage:
+//
+//	tracegen -app "Music Player" [-events "click(x);BACK"] [-seed 7] [-o trace.txt]
+//	tracegen -list
+//
+// Events are given as a semicolon-separated sequence of
+// click(widget), longclick(widget), text(widget=value), BACK, HOME,
+// return, rotate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"droidracer"
+	"droidracer/internal/apps"
+)
+
+func main() {
+	appName := flag.String("app", "", "application model to run (see -list)")
+	events := flag.String("events", "", "semicolon-separated event sequence, e.g. \"click(play);BACK\"")
+	seed := flag.Int64("seed", 0, "scheduling seed (0 = deterministic round-robin)")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available application models")
+	flag.Parse()
+
+	if *list {
+		for _, name := range apps.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *appName == "" {
+		fatal(fmt.Errorf("missing -app (use -list to see models)"))
+	}
+	app, err := apps.New(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := parseEvents(*events)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := droidracer.Replay(apps.Factory(app), *seed, seq)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := droidracer.FormatTrace(w, tr); err != nil {
+		fatal(err)
+	}
+}
+
+// parseEvents parses the -events syntax.
+func parseEvents(s string) ([]droidracer.UIEvent, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []droidracer.UIEvent
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "BACK":
+			out = append(out, droidracer.UIEvent{Kind: droidracer.EvBack})
+		case part == "HOME":
+			out = append(out, droidracer.UIEvent{Kind: droidracer.EvHome})
+		case part == "return":
+			out = append(out, droidracer.UIEvent{Kind: droidracer.EvReturn})
+		case part == "rotate":
+			out = append(out, droidracer.UIEvent{Kind: droidracer.EvRotate})
+		case strings.HasPrefix(part, "click(") && strings.HasSuffix(part, ")"):
+			out = append(out, droidracer.UIEvent{Kind: droidracer.EvClick, Widget: part[6 : len(part)-1]})
+		case strings.HasPrefix(part, "longclick(") && strings.HasSuffix(part, ")"):
+			out = append(out, droidracer.UIEvent{Kind: droidracer.EvLongClick, Widget: part[10 : len(part)-1]})
+		case strings.HasPrefix(part, "text(") && strings.HasSuffix(part, ")"):
+			body := part[5 : len(part)-1]
+			eq := strings.IndexByte(body, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bad text event %q (want text(widget=value))", part)
+			}
+			out = append(out, droidracer.UIEvent{
+				Kind:   droidracer.EvText,
+				Widget: body[:eq],
+				Text:   body[eq+1:],
+			})
+		default:
+			return nil, fmt.Errorf("bad event %q", part)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

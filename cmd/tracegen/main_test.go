@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"droidracer"
+)
+
+func TestParseEvents(t *testing.T) {
+	seq, err := parseEvents("click(play); BACK ;text(email=a@b.c);longclick(row);HOME;return;rotate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []droidracer.UIEvent{
+		{Kind: droidracer.EvClick, Widget: "play"},
+		{Kind: droidracer.EvBack},
+		{Kind: droidracer.EvText, Widget: "email", Text: "a@b.c"},
+		{Kind: droidracer.EvLongClick, Widget: "row"},
+		{Kind: droidracer.EvHome},
+		{Kind: droidracer.EvReturn},
+		{Kind: droidracer.EvRotate},
+	}
+	if len(seq) != len(want) {
+		t.Fatalf("seq = %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, seq[i], want[i])
+		}
+	}
+}
+
+func TestParseEventsEmpty(t *testing.T) {
+	seq, err := parseEvents("   ")
+	if err != nil || seq != nil {
+		t.Fatalf("seq=%v err=%v", seq, err)
+	}
+}
+
+func TestParseEventsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"tap(play)",
+		"click(play",
+		"text(email)",
+		"click(play);;BACK",
+	} {
+		if _, err := parseEvents(bad); err == nil {
+			t.Errorf("parseEvents(%q): no error", bad)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package droidracer is a Go reproduction of "Race Detection for Android
+// Applications" (Maiya, Kanade, Majumdar — PLDI 2014): a formal
+// concurrency semantics for Android's mixed multithreading/event-dispatch
+// model, the happens-before relation that generalizes the multithreaded
+// and single-threaded-event-driven relations, and the DroidRacer dynamic
+// race detector with systematic UI testing.
+//
+// The package is organized in three layers:
+//
+//   - Traces and analysis: execution traces in the paper's core language
+//     (Table 1), the Figure 5 operational semantics, the Figures 6–7
+//     happens-before engine, and the §4.3 race detector/classifier.
+//     Entry point: Analyze.
+//   - Simulated runtime: a deterministic scheduler plus a model of the
+//     Android framework (loopers, handlers, AsyncTask, lifecycles, UI
+//     input, services, receivers) that replaces the paper's instrumented
+//     Dalvik VM and executes application models into traces. Entry point:
+//     NewEnv.
+//   - Systematic testing: the UI Explorer (DFS over event sequences with
+//     replay) and the reorder-replay race verifier. Entry points: Explore,
+//     VerifyRace.
+//
+// A minimal end-to-end use:
+//
+//	env := droidracer.NewEnv(droidracer.DefaultEnvOptions())
+//	env.RegisterActivity("Main", func() droidracer.Activity { return &myActivity{} })
+//	_ = env.Launch("Main")
+//	_ = env.Run()
+//	_ = env.Shutdown()
+//	result, _ := droidracer.Analyze(env.Trace(), droidracer.DefaultOptions())
+//	for _, r := range result.Races {
+//	    fmt.Println(r)
+//	}
+package droidracer
+
+import (
+	"io"
+
+	"droidracer/internal/android"
+	"droidracer/internal/core"
+	"droidracer/internal/explain"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/minimize"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// Trace and core-language types.
+type (
+	// Trace is an execution trace in the paper's core language.
+	Trace = trace.Trace
+	// Op is one trace operation.
+	Op = trace.Op
+	// ThreadID identifies a thread.
+	ThreadID = trace.ThreadID
+	// TaskID identifies an asynchronous task.
+	TaskID = trace.TaskID
+	// Loc identifies a memory location.
+	Loc = trace.Loc
+	// LockID identifies a lock.
+	LockID = trace.LockID
+	// Stats are per-trace statistics (Table 2 columns).
+	Stats = trace.Stats
+)
+
+// Analysis types.
+type (
+	// Options configure Analyze.
+	Options = core.Options
+	// Result is a completed analysis.
+	Result = core.Result
+	// HBConfig selects happens-before rule subsets and optimizations.
+	HBConfig = hb.Config
+	// Race is one detected data race.
+	Race = race.Race
+	// Category classifies a race (§4.3).
+	Category = race.Category
+)
+
+// Race categories.
+const (
+	Multithreaded = race.Multithreaded
+	CoEnabled     = race.CoEnabled
+	Delayed       = race.Delayed
+	CrossPosted   = race.CrossPosted
+	Unknown       = race.Unknown
+)
+
+// Runtime types.
+type (
+	// Env is a simulated Android process.
+	Env = android.Env
+	// EnvOptions configure the environment.
+	EnvOptions = android.Options
+	// Ctx is the execution context passed to application callbacks.
+	Ctx = android.Ctx
+	// Activity is the activity lifecycle interface.
+	Activity = android.Activity
+	// BaseActivity provides no-op lifecycle callbacks for embedding.
+	BaseActivity = android.BaseActivity
+	// Service is the started-service interface.
+	Service = android.Service
+	// BaseService provides no-op service callbacks for embedding.
+	BaseService = android.BaseService
+	// AsyncTask mirrors android.os.AsyncTask.
+	AsyncTask = android.AsyncTask
+	// Handler posts tasks to a thread's queue.
+	Handler = android.Handler
+	// UIEvent is an explorer-fireable event.
+	UIEvent = android.UIEvent
+	// EventKind classifies UI events.
+	EventKind = android.EventKind
+)
+
+// UI event kinds.
+const (
+	EvClick     = android.EvClick
+	EvLongClick = android.EvLongClick
+	EvText      = android.EvText
+	EvBack      = android.EvBack
+	EvHome      = android.EvHome
+	EvReturn    = android.EvReturn
+	EvRotate    = android.EvRotate
+)
+
+// Explorer types.
+type (
+	// AppFactory builds a fresh environment for one exploration run.
+	AppFactory = explorer.AppFactory
+	// ExploreOptions bound an exploration.
+	ExploreOptions = explorer.Options
+	// ExploreResult is the outcome of an exploration.
+	ExploreResult = explorer.Result
+	// Test is one explored event sequence with its trace.
+	Test = explorer.Test
+	// Verification is the outcome of a reorder-replay attempt.
+	Verification = explorer.Verification
+)
+
+// DefaultOptions returns the analysis configuration DroidRacer uses: the
+// full happens-before relation, semantic validation, cancellation
+// pruning, and per-(location, category) deduplication.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultHBConfig returns the paper's full happens-before rule set.
+func DefaultHBConfig() HBConfig { return hb.DefaultConfig() }
+
+// Analyze runs the DroidRacer analysis pipeline on a trace: semantic
+// validation, happens-before computation, race detection, and
+// classification.
+func Analyze(tr *Trace, opts Options) (*Result, error) { return core.Analyze(tr, opts) }
+
+// DefaultEnvOptions returns the default simulated-runtime configuration:
+// deterministic scheduling, trace recording, one binder thread, and BACK
+// events enabled.
+func DefaultEnvOptions() EnvOptions { return android.DefaultOptions() }
+
+// NewEnv creates a simulated Android process.
+func NewEnv(opts EnvOptions) *Env { return android.NewEnv(opts) }
+
+// Explore systematically tests an application: depth-first generation of
+// UI event sequences up to opts.MaxEvents with deterministic replay.
+func Explore(factory AppFactory, opts ExploreOptions) (*ExploreResult, error) {
+	return explorer.Explore(factory, opts)
+}
+
+// RandomExploreOptions bound a random (Dynodroid/Monkey-style)
+// exploration.
+type RandomExploreOptions = explorer.RandomOptions
+
+// RandomExplore fires uniformly random enabled events instead of
+// enumerating sequences (the §7 comparison point).
+func RandomExplore(factory AppFactory, opts RandomExploreOptions) (*ExploreResult, error) {
+	return explorer.RandomExplore(factory, opts)
+}
+
+// Replay re-executes a stored event sequence under the given scheduling
+// seed and returns the trace.
+func Replay(factory AppFactory, seed int64, sequence []UIEvent) (*Trace, error) {
+	return explorer.Replay(factory, seed, sequence)
+}
+
+// VerifyRace attempts to confirm a reported race by producing an execution
+// with the opposite access order (the paper's true-positive criterion).
+func VerifyRace(factory AppFactory, sequence []UIEvent, info *trace.Info, r Race, maxAttempts int) (Verification, error) {
+	return explorer.VerifyRace(factory, sequence, info, r, maxAttempts)
+}
+
+// ParseTrace reads a trace in the textual format (one operation per line,
+// e.g. "post(t0,LAUNCH_ACTIVITY,t1)").
+func ParseTrace(r io.Reader) (*Trace, error) { return trace.Parse(r) }
+
+// FormatTrace writes a trace in the textual format.
+func FormatTrace(w io.Writer, tr *Trace) error { return trace.Format(w, tr) }
+
+// ValidateTrace replays a trace under the Figure 5 operational semantics,
+// returning the index of the first invalid operation and an error, or
+// (-1, nil) for valid executions. Framework threads without explicit
+// threadinit operations are inferred.
+func ValidateTrace(tr *Trace) (int, error) { return semantics.ValidateInferred(tr) }
+
+// Explanation is the debugging story of one race: post chains, hints, and
+// near misses (rules that almost ordered the pair).
+type Explanation = explain.Explanation
+
+// Explain builds a debugging explanation for a detected race over the
+// analysis result's graph.
+func Explain(g *HBGraph, r Race) Explanation { return explain.Explain(g, r) }
+
+// HBGraph is the computed happens-before graph of an analysis.
+type HBGraph = hb.Graph
+
+// MinimizedRace is the result of trace minimization: the smallest trace
+// the greedy reduction found that still exhibits the race.
+type MinimizedRace = minimize.Result
+
+// Minimize shrinks tr while preserving r: unrelated accesses, tasks, and
+// whole threads are removed as long as the trace stays a valid execution
+// and the race is still reported. The result is a small witness for
+// debugging.
+func Minimize(tr *Trace, r Race, cfg HBConfig) (*MinimizedRace, error) {
+	return minimize.Minimize(tr, r, cfg)
+}

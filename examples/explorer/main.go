@@ -1,0 +1,90 @@
+// Systematic UI testing: the DroidRacer UI Explorer enumerates event
+// sequences depth-first over a two-screen application, analyzes every
+// explored test, and aggregates the races it exposed — including a
+// co-enabled race that only appears when two buttons on the same screen
+// fire in a particular combination.
+//
+//	go run ./examples/explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droidracer"
+)
+
+// listActivity shows a list and offers refresh and sort actions. Both
+// handlers touch the shared cursor without ordering: a co-enabled race.
+// The "open" button starts a detail activity.
+type listActivity struct {
+	droidracer.BaseActivity
+}
+
+func (a *listActivity) OnCreate(c *droidracer.Ctx) {
+	c.Write("List.cursor")
+	c.AddButton("refresh", true, func(c *droidracer.Ctx) {
+		c.Write("List.cursor")
+	})
+	c.AddButton("sort", true, func(c *droidracer.Ctx) {
+		c.Read("List.cursor")
+	})
+	c.AddButton("open", true, func(c *droidracer.Ctx) {
+		c.StartActivity("Detail")
+	})
+}
+
+type detailActivity struct {
+	droidracer.BaseActivity
+}
+
+func (a *detailActivity) OnCreate(c *droidracer.Ctx) {
+	c.Read("List.cursor")
+	c.Write("Detail.item")
+}
+
+func factory(seed int64) (*droidracer.Env, error) {
+	opts := droidracer.DefaultEnvOptions()
+	opts.Seed = seed
+	env := droidracer.NewEnv(opts)
+	env.RegisterActivity("List", func() droidracer.Activity { return &listActivity{} })
+	env.RegisterActivity("Detail", func() droidracer.Activity { return &detailActivity{} })
+	if err := env.Launch("List"); err != nil {
+		env.Close()
+		return nil, err
+	}
+	return env, nil
+}
+
+func main() {
+	res, err := droidracer.Explore(factory, droidracer.ExploreOptions{MaxEvents: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d tests (%d sequences, %d events fired)\n",
+		len(res.Tests), res.SequencesExplored, res.EventsFired)
+
+	type key struct {
+		loc string
+		cat droidracer.Category
+	}
+	seen := map[key][]string{}
+	for _, test := range res.Tests {
+		result, err := droidracer.Analyze(test.Trace, droidracer.DefaultOptions())
+		if err != nil {
+			log.Fatalf("test %s: %v", test.Name(), err)
+		}
+		for _, r := range result.Races {
+			k := key{string(r.Loc), r.Category}
+			seen[k] = append(seen[k], test.Name())
+		}
+	}
+	if len(seen) == 0 {
+		fmt.Println("no races exposed")
+		return
+	}
+	for k, tests := range seen {
+		fmt.Printf("%-13s race on %-14s exposed by %d/%d tests (e.g. %s)\n",
+			k.cat, k.loc, len(tests), len(res.Tests), tests[0])
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: define a small Android application model, run it under the
+// simulated runtime, and analyze the execution trace for data races.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droidracer"
+)
+
+// settingsActivity saves a preference from a button handler on a
+// background thread while the UI re-reads it — a classic unsynchronized
+// hand-off.
+type settingsActivity struct {
+	droidracer.BaseActivity
+}
+
+func (a *settingsActivity) OnCreate(c *droidracer.Ctx) {
+	c.Write("Settings.theme") // initialize the preference
+	c.AddButton("save", true, func(c *droidracer.Ctx) {
+		// Persist in the background; no synchronization with readers.
+		c.Fork("disk-writer", func(b *droidracer.Ctx) {
+			b.Write("Settings.theme")
+		})
+	})
+	c.AddButton("apply", true, func(c *droidracer.Ctx) {
+		c.Read("Settings.theme") // races with the disk writer
+	})
+}
+
+func main() {
+	// 1. Build the environment and register the application.
+	env := droidracer.NewEnv(droidracer.DefaultEnvOptions())
+	env.RegisterActivity("Settings", func() droidracer.Activity { return &settingsActivity{} })
+	if err := env.Launch("Settings"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Drive it: let the launch settle, then click save and apply.
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range []droidracer.UIEvent{
+		{Kind: droidracer.EvClick, Widget: "save"},
+		{Kind: droidracer.EvClick, Widget: "apply"},
+	} {
+		if err := env.Fire(ev); err != nil {
+			log.Fatal(err)
+		}
+		if err := env.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := env.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Analyze the recorded trace.
+	result, err := droidracer.Analyze(env.Trace(), droidracer.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d operations, %d fields, %d async tasks\n",
+		result.Stats.Length, result.Stats.Fields, result.Stats.AsyncTasks)
+	for _, r := range result.Races {
+		fmt.Printf("%-13s race on %s: op %d (%v) vs op %d (%v)\n",
+			r.Category, r.Loc,
+			r.First, result.Trace.Op(r.First),
+			r.Second, result.Trace.Op(r.Second))
+	}
+	if len(result.Races) == 0 {
+		fmt.Println("no races detected")
+	}
+}

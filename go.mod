@@ -1,0 +1,3 @@
+module droidracer
+
+go 1.22

@@ -1,0 +1,519 @@
+package android
+
+import (
+	"fmt"
+
+	"droidracer/internal/lifecycle"
+	"droidracer/internal/sched"
+	"droidracer/internal/trace"
+)
+
+// Activity is the application-visible lifecycle interface. Embed
+// BaseActivity to implement only the callbacks a component cares about.
+type Activity interface {
+	OnCreate(c *Ctx)
+	OnStart(c *Ctx)
+	OnResume(c *Ctx)
+	OnPause(c *Ctx)
+	OnStop(c *Ctx)
+	OnRestart(c *Ctx)
+	OnDestroy(c *Ctx)
+}
+
+// BaseActivity provides no-op lifecycle callbacks.
+type BaseActivity struct{}
+
+// OnCreate implements Activity.
+func (BaseActivity) OnCreate(*Ctx) {}
+
+// OnStart implements Activity.
+func (BaseActivity) OnStart(*Ctx) {}
+
+// OnResume implements Activity.
+func (BaseActivity) OnResume(*Ctx) {}
+
+// OnPause implements Activity.
+func (BaseActivity) OnPause(*Ctx) {}
+
+// OnStop implements Activity.
+func (BaseActivity) OnStop(*Ctx) {}
+
+// OnRestart implements Activity.
+func (BaseActivity) OnRestart(*Ctx) {}
+
+// OnDestroy implements Activity.
+func (BaseActivity) OnDestroy(*Ctx) {}
+
+// Ctx is the execution context passed to every application callback: the
+// simulated thread running the code, the environment, and the activity the
+// callback belongs to (nil for services, receivers, and plain background
+// work).
+type Ctx struct {
+	T   *sched.Thread
+	Env *Env
+	rec *activityRecord
+}
+
+func (e *Env) ctx(t *sched.Thread, rec *activityRecord) *Ctx {
+	return &Ctx{T: t, Env: e, rec: rec}
+}
+
+// Read logs a read of m on the current thread.
+func (c *Ctx) Read(m trace.Loc) { c.T.Read(m) }
+
+// Write logs a write of m on the current thread.
+func (c *Ctx) Write(m trace.Loc) { c.T.Write(m) }
+
+// Acquire takes lock l.
+func (c *Ctx) Acquire(l trace.LockID) { c.T.Acquire(l) }
+
+// Release releases lock l.
+func (c *Ctx) Release(l trace.LockID) { c.T.Release(l) }
+
+// Fork spawns a plain background thread running fn with a derived context.
+func (c *Ctx) Fork(name string, fn func(*Ctx)) *sched.Thread {
+	rec := c.rec
+	env := c.Env
+	return c.T.Fork(name, func(t *sched.Thread) {
+		fn(env.ctx(t, rec))
+	})
+}
+
+// Join waits for a forked thread.
+func (c *Ctx) Join(t *sched.Thread) { c.T.Join(t) }
+
+// SetFlag raises an ad-hoc synchronization flag (invisible to the trace;
+// see sched.Thread.SetFlag).
+func (c *Ctx) SetFlag(name string) { c.T.SetFlag(name) }
+
+// WaitFlag blocks on an ad-hoc synchronization flag.
+func (c *Ctx) WaitFlag(name string) { c.T.WaitFlag(name) }
+
+// ActivityName returns the name of the activity this context belongs to,
+// or "".
+func (c *Ctx) ActivityName() string {
+	if c.rec == nil {
+		return ""
+	}
+	return c.rec.name
+}
+
+// widget is one interactive UI element of an activity.
+type widget struct {
+	name        string
+	kind        EventKind
+	enabled     bool
+	armed       trace.TaskID
+	clickFn     func(*Ctx)
+	textFn      func(*Ctx, string)
+	inputs      []string
+	longClickFn func(*Ctx)
+}
+
+// activityRecord is the runtime's bookkeeping for one activity instance.
+type activityRecord struct {
+	env      *Env
+	name     string
+	instance Activity
+	machine  *lifecycle.Activity
+	widgets  []*widget
+
+	destroyArmed trace.TaskID
+	stopArmed    trace.TaskID
+	returnArmed  trace.TaskID
+	rotateArmed  trace.TaskID
+
+	stopped  bool
+	finished bool
+}
+
+func (r *activityRecord) findWidget(name string) *widget {
+	for _, w := range r.widgets {
+		if w.name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// applyCb runs one lifecycle callback on the activity instance, validating
+// the transition against the Figure 8 machine.
+func (r *activityRecord) applyCb(c *Ctx, cb lifecycle.Callback) {
+	if err := r.machine.Apply(cb); err != nil {
+		panic(fmt.Sprintf("android: %s: %v", r.name, err))
+	}
+	switch cb {
+	case lifecycle.OnCreate:
+		r.instance.OnCreate(c)
+	case lifecycle.OnStart:
+		r.instance.OnStart(c)
+	case lifecycle.OnResume:
+		r.instance.OnResume(c)
+	case lifecycle.OnPause:
+		r.instance.OnPause(c)
+	case lifecycle.OnStop:
+		r.instance.OnStop(c)
+	case lifecycle.OnRestart:
+		r.instance.OnRestart(c)
+	case lifecycle.OnDestroy:
+		r.instance.OnDestroy(c)
+	}
+}
+
+// Launch schedules the launch of the registered activity name as the
+// (next) foreground activity, via the binder on behalf of the
+// ActivityManagerService. Drive with Run afterwards.
+func (e *Env) Launch(name string) error {
+	factory, ok := e.factories[name]
+	if !ok {
+		return fmt.Errorf("android: activity %q not registered", name)
+	}
+	rec := &activityRecord{
+		env:      e,
+		name:     name,
+		instance: factory(),
+		machine:  lifecycle.NewActivity(),
+	}
+	e.stack = append(e.stack, rec)
+	launchID := e.sim.FreshTask(name + ".LAUNCH_ACTIVITY")
+	e.amsExec(func(b *sched.Thread) {
+		b.Enable(launchID)
+		b.PostTask(e.main, launchID, func(t *sched.Thread) {
+			e.runLaunch(t, rec)
+		})
+	})
+	return nil
+}
+
+// runLaunch executes the LAUNCH_ACTIVITY task body on the main thread:
+// the synchronous onCreate/onStart/onResume callbacks followed by the
+// lifecycle enables (the Figure 3 trace shape, operations 6–10).
+func (e *Env) runLaunch(t *sched.Thread, rec *activityRecord) {
+	c := e.ctx(t, rec)
+	seq, err := rec.machine.Sequence(lifecycle.Launch)
+	if err != nil {
+		panic(err)
+	}
+	for _, cb := range seq {
+		rec.applyCb(c, cb)
+	}
+	e.armLifecycle(c, rec)
+}
+
+// armLifecycle emits the enable operations for the environment events that
+// may now affect rec: destruction (always, Figure 3 operation 9), leaving
+// the foreground, and rotation, as configured.
+func (e *Env) armLifecycle(c *Ctx, rec *activityRecord) {
+	rec.destroyArmed = e.sim.FreshTask(rec.name + ".onDestroy")
+	c.T.Enable(rec.destroyArmed)
+	if e.opts.EnableHome {
+		rec.stopArmed = e.sim.FreshTask(rec.name + ".onStop")
+		c.T.Enable(rec.stopArmed)
+	}
+	if e.opts.EnableRotate {
+		rec.rotateArmed = e.sim.FreshTask(rec.name + ".relaunch")
+		c.T.Enable(rec.rotateArmed)
+	}
+}
+
+// StartActivity starts another registered activity from application code
+// running on the main thread: the current activity's onPause is enabled
+// and scheduled through the binder (Figure 3 operations 21 and 23), the
+// new activity launches, and the old one stops afterwards.
+func (c *Ctx) StartActivity(name string) {
+	e := c.Env
+	cur := e.foreground()
+	factory, ok := e.factories[name]
+	if !ok {
+		panic(fmt.Sprintf("android: activity %q not registered", name))
+	}
+	next := &activityRecord{
+		env:      e,
+		name:     name,
+		instance: factory(),
+		machine:  lifecycle.NewActivity(),
+	}
+	pauseID := e.sim.FreshTask(cur.name + ".onPause")
+	c.T.Enable(pauseID)
+	e.stack = append(e.stack, next)
+	e.amsExec(func(b *sched.Thread) {
+		b.PostTask(e.main, pauseID, func(t *sched.Thread) {
+			pc := e.ctx(t, cur)
+			cur.applyCb(pc, lifecycle.OnPause)
+			// The new activity launches between the old activity's
+			// onPause and onStop, as in Android.
+			launchID := e.sim.FreshTask(name + ".LAUNCH_ACTIVITY")
+			t.Enable(launchID)
+			e.amsExec(func(b *sched.Thread) {
+				b.PostTask(e.main, launchID, func(t *sched.Thread) {
+					e.runLaunch(t, next)
+					stopID := e.sim.FreshTask(cur.name + ".onStop")
+					t.Enable(stopID)
+					e.amsExec(func(b *sched.Thread) {
+						b.PostTask(e.main, stopID, func(t *sched.Thread) {
+							e.runStop(t, cur)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// runStop executes an onStop task for rec and arms the return transition.
+func (e *Env) runStop(t *sched.Thread, rec *activityRecord) {
+	c := e.ctx(t, rec)
+	seq, err := rec.machine.Sequence(lifecycle.LeaveForeground)
+	if err != nil {
+		panic(err)
+	}
+	for _, cb := range seq {
+		rec.applyCb(c, cb)
+	}
+	rec.stopped = true
+	rec.returnArmed = e.sim.FreshTask(rec.name + ".onRestart")
+	t.Enable(rec.returnArmed)
+}
+
+// Finish finishes the current activity from application code, scheduling
+// its destruction through the binder.
+func (c *Ctx) Finish() {
+	c.Env.scheduleDestroy(c.rec)
+}
+
+// scheduleDestroy posts the armed destruction task for rec.
+func (e *Env) scheduleDestroy(rec *activityRecord) {
+	if rec.finished || rec.destroyArmed == "" {
+		return
+	}
+	id := rec.destroyArmed
+	rec.destroyArmed = ""
+	e.amsExec(func(b *sched.Thread) {
+		b.PostTask(e.main, id, func(t *sched.Thread) {
+			e.runDestroy(t, rec)
+		})
+	})
+}
+
+// runDestroy executes the destruction task: the remaining lifecycle
+// callbacks down to onDestroy in one task, matching the Figure 4
+// abstraction (operations 20–22). If a covered activity becomes the new
+// foreground, its return transition is scheduled.
+func (e *Env) runDestroy(t *sched.Thread, rec *activityRecord) {
+	c := e.ctx(t, rec)
+	seq, err := rec.machine.Sequence(lifecycle.Finish)
+	if err != nil {
+		panic(err)
+	}
+	for _, cb := range seq {
+		rec.applyCb(c, cb)
+	}
+	rec.finished = true
+	// Pop rec from the back stack.
+	for i := len(e.stack) - 1; i >= 0; i-- {
+		if e.stack[i] == rec {
+			e.stack = append(e.stack[:i], e.stack[i+1:]...)
+			break
+		}
+	}
+	if below := e.foreground(); below != nil {
+		if below.stopped {
+			id := below.returnArmed
+			e.amsExec(func(b *sched.Thread) {
+				b.PostTask(e.main, id, func(t *sched.Thread) {
+					e.runReturn(t, below)
+				})
+			})
+		}
+	} else {
+		e.exited = true
+	}
+}
+
+// runReturn brings a stopped activity back to the foreground.
+func (e *Env) runReturn(t *sched.Thread, rec *activityRecord) {
+	c := e.ctx(t, rec)
+	seq, err := rec.machine.Sequence(lifecycle.Return)
+	if err != nil {
+		panic(err)
+	}
+	for _, cb := range seq {
+		rec.applyCb(c, cb)
+	}
+	rec.stopped = false
+	if e.opts.EnableHome {
+		rec.stopArmed = e.sim.FreshTask(rec.name + ".onStop")
+		t.Enable(rec.stopArmed)
+	}
+}
+
+// runRotate destroys and relaunches the foreground activity (a
+// configuration change).
+func (e *Env) runRotate(t *sched.Thread, rec *activityRecord) {
+	c := e.ctx(t, rec)
+	// Destroy the old instance.
+	for _, cb := range []lifecycle.Callback{lifecycle.OnPause, lifecycle.OnStop, lifecycle.OnDestroy} {
+		rec.applyCb(c, cb)
+	}
+	rec.finished = true
+	// Replace it with a fresh instance at the same stack position.
+	next := &activityRecord{
+		env:      e,
+		name:     rec.name,
+		instance: e.factories[rec.name](),
+		machine:  lifecycle.NewActivity(),
+	}
+	for i := range e.stack {
+		if e.stack[i] == rec {
+			e.stack[i] = next
+		}
+	}
+	launchID := e.sim.FreshTask(rec.name + ".LAUNCH_ACTIVITY")
+	t.Enable(launchID)
+	e.amsExec(func(b *sched.Thread) {
+		b.PostTask(e.main, launchID, func(t *sched.Thread) {
+			e.runLaunch(t, next)
+		})
+	})
+}
+
+// AddButton registers a clickable widget on the current activity. Enabled
+// widgets are armed: their next click handler task is enabled immediately.
+func (c *Ctx) AddButton(name string, enabled bool, fn func(*Ctx)) {
+	w := &widget{name: name, kind: EvClick, clickFn: fn}
+	c.rec.widgets = append(c.rec.widgets, w)
+	if enabled {
+		c.armWidget(w)
+	}
+}
+
+// AddLongClick registers a long-clickable widget.
+func (c *Ctx) AddLongClick(name string, enabled bool, fn func(*Ctx)) {
+	w := &widget{name: name, kind: EvLongClick, longClickFn: fn}
+	c.rec.widgets = append(c.rec.widgets, w)
+	if enabled {
+		c.armWidget(w)
+	}
+}
+
+// AddTextField registers a text input widget with the candidate inputs the
+// explorer may type (the paper's manually constructed input data set).
+func (c *Ctx) AddTextField(name string, enabled bool, inputs []string, fn func(*Ctx, string)) {
+	w := &widget{name: name, kind: EvText, textFn: fn, inputs: inputs}
+	c.rec.widgets = append(c.rec.widgets, w)
+	if enabled {
+		c.armWidget(w)
+	}
+}
+
+// SetEnabled enables or disables a widget of the current activity,
+// arming it when it becomes enabled (Figure 3 operation 17:
+// btn.setEnabled(true) emits enable(onPlayClick)).
+func (c *Ctx) SetEnabled(name string, on bool) {
+	w := c.rec.findWidget(name)
+	if w == nil {
+		panic(fmt.Sprintf("android: widget %q not found on %s", name, c.rec.name))
+	}
+	if on && !w.enabled {
+		c.armWidget(w)
+		return
+	}
+	w.enabled = on
+}
+
+// armWidget allocates the widget's next handler task and enables it.
+func (c *Ctx) armWidget(w *widget) {
+	w.enabled = true
+	w.armed = c.Env.sim.FreshTask(fmt.Sprintf("%s.%s.on%s", c.rec.name, w.name, handlerSuffix(w.kind)))
+	c.T.Enable(w.armed)
+}
+
+func handlerSuffix(k EventKind) string {
+	switch k {
+	case EvLongClick:
+		return "LongClick"
+	case EvText:
+		return "TextChanged"
+	default:
+		return "Click"
+	}
+}
+
+// Fire injects one UI event; call at quiescence, then Run. It returns an
+// error for events that are not currently enabled.
+func (e *Env) Fire(ev UIEvent) error {
+	fg := e.foreground()
+	if fg == nil || e.exited {
+		return fmt.Errorf("android: no foreground activity")
+	}
+	switch ev.Kind {
+	case EvClick, EvLongClick, EvText:
+		if fg.stopped {
+			return fmt.Errorf("android: widget event on stopped activity")
+		}
+		w := fg.findWidget(ev.Widget)
+		if w == nil || !w.enabled || w.armed == "" || w.kind != ev.Kind {
+			return fmt.Errorf("android: widget event %v not enabled", ev)
+		}
+		id := w.armed
+		w.armed = "" // consumed; the handler wrapper re-arms on completion
+		text := ev.Text
+		e.sim.Inject(e.main, id, func(t *sched.Thread) {
+			c := e.ctx(t, fg)
+			switch w.kind {
+			case EvClick:
+				w.clickFn(c)
+			case EvLongClick:
+				w.longClickFn(c)
+			case EvText:
+				w.textFn(c, text)
+			}
+			if w.enabled && !fg.finished {
+				c.armWidget(w)
+			}
+		})
+		return nil
+	case EvBack:
+		if !e.opts.EnableBack || fg.destroyArmed == "" {
+			return fmt.Errorf("android: BACK not enabled")
+		}
+		e.scheduleDestroy(fg)
+		return nil
+	case EvHome:
+		if !e.opts.EnableHome || fg.stopped || fg.stopArmed == "" {
+			return fmt.Errorf("android: HOME not enabled")
+		}
+		id := fg.stopArmed
+		fg.stopArmed = ""
+		e.amsExec(func(b *sched.Thread) {
+			b.PostTask(e.main, id, func(t *sched.Thread) { e.runStop(t, fg) })
+		})
+		return nil
+	case EvReturn:
+		if !fg.stopped || fg.returnArmed == "" {
+			return fmt.Errorf("android: return on foreground activity")
+		}
+		id := fg.returnArmed
+		fg.returnArmed = ""
+		e.amsExec(func(b *sched.Thread) {
+			b.PostTask(e.main, id, func(t *sched.Thread) { e.runReturn(t, fg) })
+		})
+		return nil
+	case EvBroadcast:
+		if !e.opts.EnableBroadcasts {
+			return fmt.Errorf("android: broadcast injection not enabled")
+		}
+		return e.FireBroadcast(ev.Widget)
+	case EvRotate:
+		if !e.opts.EnableRotate || fg.stopped || fg.rotateArmed == "" {
+			return fmt.Errorf("android: rotate not enabled")
+		}
+		id := fg.rotateArmed
+		fg.rotateArmed = ""
+		e.amsExec(func(b *sched.Thread) {
+			b.PostTask(e.main, id, func(t *sched.Thread) { e.runRotate(t, fg) })
+		})
+		return nil
+	}
+	return fmt.Errorf("android: unknown event %v", ev)
+}

@@ -1,0 +1,762 @@
+package android
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// testActivity is a configurable activity for framework tests.
+type testActivity struct {
+	BaseActivity
+	onCreate  func(c *Ctx)
+	onResume  func(c *Ctx)
+	onPause   func(c *Ctx)
+	onStop    func(c *Ctx)
+	onRestart func(c *Ctx)
+	onDestroy func(c *Ctx)
+	log       *[]string
+}
+
+func (a *testActivity) note(s string) {
+	if a.log != nil {
+		*a.log = append(*a.log, s)
+	}
+}
+
+func (a *testActivity) OnCreate(c *Ctx) {
+	a.note("create")
+	if a.onCreate != nil {
+		a.onCreate(c)
+	}
+}
+func (a *testActivity) OnStart(c *Ctx) { a.note("start") }
+func (a *testActivity) OnResume(c *Ctx) {
+	a.note("resume")
+	if a.onResume != nil {
+		a.onResume(c)
+	}
+}
+func (a *testActivity) OnPause(c *Ctx) {
+	a.note("pause")
+	if a.onPause != nil {
+		a.onPause(c)
+	}
+}
+func (a *testActivity) OnStop(c *Ctx) {
+	a.note("stop")
+	if a.onStop != nil {
+		a.onStop(c)
+	}
+}
+func (a *testActivity) OnRestart(c *Ctx) {
+	a.note("restart")
+	if a.onRestart != nil {
+		a.onRestart(c)
+	}
+}
+func (a *testActivity) OnDestroy(c *Ctx) {
+	a.note("destroy")
+	if a.onDestroy != nil {
+		a.onDestroy(c)
+	}
+}
+
+// mustRun drives the env to quiescence.
+func mustRun(t *testing.T, e *Env) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// finish shuts the env down and validates the trace against the Figure 5
+// semantics.
+func finish(t *testing.T, e *Env) *trace.Trace {
+	t.Helper()
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Trace()
+	if i, err := semantics.ValidateInferred(tr); err != nil {
+		t.Fatalf("trace invalid at op %d: %v", i, err)
+	}
+	return tr
+}
+
+func TestLaunchRunsLifecycleCallbacks(t *testing.T) {
+	var log []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("Main", func() Activity { return &testActivity{log: &log} })
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	if got := strings.Join(log, ","); got != "create,start,resume" {
+		t.Fatalf("callbacks = %q", got)
+	}
+	// The launch task exists and enable(onDestroy) follows within it.
+	var sawLaunchBegin, sawDestroyEnable bool
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpBegin && strings.Contains(string(op.Task), "LAUNCH_ACTIVITY") {
+			sawLaunchBegin = true
+		}
+		if op.Kind == trace.OpEnable && strings.Contains(string(op.Task), "onDestroy") {
+			sawDestroyEnable = true
+		}
+	}
+	if !sawLaunchBegin || !sawDestroyEnable {
+		t.Fatalf("launch shape wrong: begin=%v destroyEnable=%v", sawLaunchBegin, sawDestroyEnable)
+	}
+}
+
+func TestLaunchUnregisteredFails(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	defer e.Close()
+	if err := e.Launch("Nope"); err == nil {
+		t.Fatal("launch of unregistered activity accepted")
+	}
+}
+
+func TestButtonClickAndRearm(t *testing.T) {
+	clicks := 0
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("Main", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddButton("go", true, func(c *Ctx) { clicks++ })
+		}}
+	})
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	evs := e.EnabledEvents()
+	var click UIEvent
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == EvClick && ev.Widget == "go" {
+			click = ev
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("click(go) not among enabled events: %v", evs)
+	}
+	for i := 0; i < 2; i++ {
+		if err := e.Fire(click); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, e)
+	}
+	tr := finish(t, e)
+	if clicks != 2 {
+		t.Fatalf("clicks = %d, want 2", clicks)
+	}
+	// Each firing is a distinct task with its own enable before its post.
+	enableIdx := map[trace.TaskID]int{}
+	for i, op := range tr.Ops() {
+		switch op.Kind {
+		case trace.OpEnable:
+			if _, dup := enableIdx[op.Task]; !dup {
+				enableIdx[op.Task] = i
+			}
+		case trace.OpPost:
+			if strings.Contains(string(op.Task), "go.onClick") {
+				ei, ok := enableIdx[op.Task]
+				if !ok || ei > i {
+					t.Fatalf("post of %s not preceded by its enable", op.Task)
+				}
+			}
+		}
+	}
+}
+
+func TestDisabledWidgetNotFireable(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("Main", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddButton("play", false, func(c *Ctx) {})
+		}}
+	})
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	for _, ev := range e.EnabledEvents() {
+		if ev.Kind == EvClick && ev.Widget == "play" {
+			t.Fatal("disabled widget listed as enabled")
+		}
+	}
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "play"}); err == nil {
+		t.Fatal("fire on disabled widget accepted")
+	}
+	e.Close()
+}
+
+func TestSetEnabledEmitsEnable(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("Main", func() Activity {
+		return &testActivity{
+			onCreate: func(c *Ctx) { c.AddButton("play", false, func(c *Ctx) {}) },
+			onResume: func(c *Ctx) { c.SetEnabled("play", true) },
+		}
+	})
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	found := false
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpEnable && strings.Contains(string(op.Task), "play.onClick") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("setEnabled(true) did not emit enable")
+	}
+}
+
+func TestTextEvents(t *testing.T) {
+	var got []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("Main", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddTextField("email", true, []string{"a@b.c", "x@y.z"}, func(c *Ctx, v string) {
+				got = append(got, v)
+			})
+		}}
+	})
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	var textEvents []UIEvent
+	for _, ev := range e.EnabledEvents() {
+		if ev.Kind == EvText {
+			textEvents = append(textEvents, ev)
+		}
+	}
+	if len(textEvents) != 2 {
+		t.Fatalf("text events = %v, want 2 candidate inputs", textEvents)
+	}
+	if err := e.Fire(textEvents[1]); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if len(got) != 1 || got[0] != "x@y.z" {
+		t.Fatalf("inputs delivered = %v", got)
+	}
+}
+
+func TestStartActivityLifecycle(t *testing.T) {
+	var log []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{log: &log, onCreate: func(c *Ctx) {
+			c.AddButton("next", true, func(c *Ctx) { c.StartActivity("B") })
+		}}
+	})
+	e.RegisterActivity("B", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) { log = append(log, "B.create") }}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "next"}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	got := strings.Join(log, ",")
+	// A pauses, B launches, then A stops.
+	want := "create,start,resume,pause,B.create,stop"
+	if got != want {
+		t.Fatalf("lifecycle order = %q, want %q", got, want)
+	}
+}
+
+func TestBackDestroysAndReturnsToPrevious(t *testing.T) {
+	var log []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{log: &log, onCreate: func(c *Ctx) {
+			c.AddButton("next", true, func(c *Ctx) { c.StartActivity("B") })
+		}}
+	})
+	e.RegisterActivity("B", func() Activity { return &testActivity{} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "next"}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	log = nil
+	if err := e.Fire(UIEvent{Kind: EvBack}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	// A restarts after B is destroyed.
+	if got := strings.Join(log, ","); got != "restart,start,resume" {
+		t.Fatalf("A after BACK on B = %q", got)
+	}
+	if e.Exited() {
+		t.Fatal("app exited with A still on the stack")
+	}
+}
+
+func TestBackOnRootExitsApp(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity { return &testActivity{} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvBack}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if !e.Exited() {
+		t.Fatal("app did not exit")
+	}
+	if evs := e.EnabledEvents(); len(evs) != 0 {
+		t.Fatalf("events after exit: %v", evs)
+	}
+}
+
+func TestHomeAndReturn(t *testing.T) {
+	var log []string
+	opts := DefaultOptions()
+	opts.EnableHome = true
+	e := NewEnv(opts)
+	e.RegisterActivity("A", func() Activity { return &testActivity{log: &log} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvHome}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	evs := e.EnabledEvents()
+	if len(evs) != 1 || evs[0].Kind != EvReturn {
+		t.Fatalf("events while stopped = %v, want only return", evs)
+	}
+	if err := e.Fire(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if got := strings.Join(log, ","); got != "create,start,resume,pause,stop,restart,start,resume" {
+		t.Fatalf("lifecycle = %q", got)
+	}
+}
+
+func TestRotateRelaunchesFreshInstance(t *testing.T) {
+	instances := 0
+	var log []string
+	opts := DefaultOptions()
+	opts.EnableRotate = true
+	e := NewEnv(opts)
+	e.RegisterActivity("A", func() Activity {
+		instances++
+		return &testActivity{log: &log}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvRotate}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if instances != 2 {
+		t.Fatalf("factory ran %d times, want 2", instances)
+	}
+	if got := strings.Join(log, ","); got != "create,start,resume,pause,stop,destroy,create,start,resume" {
+		t.Fatalf("lifecycle = %q", got)
+	}
+}
+
+func TestAsyncTaskPhases(t *testing.T) {
+	var log []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.Execute(&AsyncTask{
+				Name:         "dl",
+				OnPreExecute: func(c *Ctx) { log = append(log, "pre") },
+				DoInBackground: func(c *Ctx, publish func()) {
+					log = append(log, "bg")
+					publish()
+					publish()
+				},
+				OnProgressUpdate: func(c *Ctx) { log = append(log, "progress") },
+				OnPostExecute:    func(c *Ctx) { log = append(log, "post") },
+			})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	if got := strings.Join(log, ","); got != "pre,bg,progress,progress,post" {
+		t.Fatalf("phases = %q", got)
+	}
+	// The background phase runs on a forked thread: the trace has a fork.
+	sawFork := false
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpFork {
+			sawFork = true
+		}
+	}
+	if !sawFork {
+		t.Fatal("AsyncTask did not fork a background thread")
+	}
+}
+
+func TestHandlerPostDelayedFrontRemove(t *testing.T) {
+	var log []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			h := c.Env.MainHandler()
+			h.Post(c, "t1", func(c *Ctx) { log = append(log, "t1") })
+			h.PostDelayed(c, "t2", func(c *Ctx) { log = append(log, "t2") }, 100)
+			h.PostAtFront(c, "t0", func(c *Ctx) { log = append(log, "t0") })
+			id := h.Post(c, "victim", func(c *Ctx) { log = append(log, "victim") })
+			h.RemoveCallbacks(c, id)
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if got := strings.Join(log, ","); got != "t0,t1,t2" {
+		t.Fatalf("order = %q, want t0,t1,t2", got)
+	}
+}
+
+func TestHandlerThread(t *testing.T) {
+	var workerID trace.ThreadID
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			h := c.NewHandlerThread("io")
+			h.Post(c, "work", func(c *Ctx) {
+				workerID = c.T.ID()
+				c.Write("result")
+			})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	if workerID == e.Main().ID() || workerID == 0 {
+		t.Fatalf("work ran on thread %d, want the handler thread", workerID)
+	}
+	// The handler thread has its own queue in the trace.
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasQueue(workerID) {
+		t.Fatal("handler thread has no queue in the trace")
+	}
+}
+
+func TestServiceLifecycleCallbacks(t *testing.T) {
+	var log []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterService("Sync", func() Service {
+		return &funcService{
+			onCreate:  func(c *Ctx) { log = append(log, "svc.create") },
+			onStart:   func(c *Ctx) { log = append(log, "svc.start") },
+			onDestroy: func(c *Ctx) { log = append(log, "svc.destroy") },
+		}
+	})
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.StartService("Sync")
+			c.StartService("Sync")
+			c.StopService("Sync")
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if got := strings.Join(log, ","); got != "svc.create,svc.start,svc.start,svc.destroy" {
+		t.Fatalf("service callbacks = %q", got)
+	}
+}
+
+type funcService struct {
+	BaseService
+	onCreate, onStart, onDestroy func(c *Ctx)
+}
+
+func (s *funcService) OnCreate(c *Ctx) {
+	if s.onCreate != nil {
+		s.onCreate(c)
+	}
+}
+func (s *funcService) OnStartCommand(c *Ctx) {
+	if s.onStart != nil {
+		s.onStart(c)
+	}
+}
+func (s *funcService) OnDestroy(c *Ctx) {
+	if s.onDestroy != nil {
+		s.onDestroy(c)
+	}
+}
+
+func TestBroadcastReceiver(t *testing.T) {
+	var got []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			h := c.RegisterReceiver("net.change", func(c *Ctx, action string) {
+				got = append(got, action)
+			})
+			c.SendBroadcast("net.change")
+			c.SendBroadcast("other.action") // no receiver; dropped
+			_ = h
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if len(got) != 1 || got[0] != "net.change" {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestUnregisteredReceiverNotDelivered(t *testing.T) {
+	delivered := false
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			h := c.RegisterReceiver("evt", func(c *Ctx, string2 string) { delivered = true })
+			c.UnregisterReceiver(h)
+			c.SendBroadcast("evt")
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if delivered {
+		t.Fatal("unregistered receiver got the broadcast")
+	}
+}
+
+func TestTimerScheduleAndCancel(t *testing.T) {
+	var fired []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.ScheduleTimer("tick", 100, func(c *Ctx) { fired = append(fired, "tick") })
+			id := c.ScheduleTimer("cancelled", 200, func(c *Ctx) { fired = append(fired, "cancelled") })
+			c.CancelTimer(id)
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if got := strings.Join(fired, ","); got != "tick" {
+		t.Fatalf("fired = %q, want tick only", got)
+	}
+}
+
+func TestEnabledEventsOrderDeterministic(t *testing.T) {
+	mk := func() *Env {
+		e := NewEnv(DefaultOptions())
+		e.RegisterActivity("A", func() Activity {
+			return &testActivity{onCreate: func(c *Ctx) {
+				c.AddButton("one", true, func(c *Ctx) {})
+				c.AddButton("two", true, func(c *Ctx) {})
+			}}
+		})
+		if err := e.Launch("A"); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	ea, eb := a.EnabledEvents(), b.EnabledEvents()
+	if len(ea) != len(eb) || len(ea) != 3 { // two clicks + BACK
+		t.Fatalf("events = %v vs %v", ea, eb)
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("order differs: %v vs %v", ea, eb)
+		}
+	}
+}
+
+// busyApp exercises most framework features for the validity property.
+func busyApp(e *Env) {
+	e.RegisterService("S", func() Service {
+		return &funcService{onStart: func(c *Ctx) {
+			c.NewHandlerThread("svc-worker").Post(c, "svcwork", func(c *Ctx) { c.Write("svc") })
+		}}
+	})
+	e.RegisterActivity("Main", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddButton("go", true, func(c *Ctx) {
+				c.Execute(&AsyncTask{
+					Name:           "job",
+					DoInBackground: func(c *Ctx, publish func()) { c.Write("data"); publish() },
+					OnProgressUpdate: func(c *Ctx) {
+						c.Read("data")
+					},
+					OnPostExecute: func(c *Ctx) { c.Read("data") },
+				})
+			})
+			c.AddButton("svc", true, func(c *Ctx) { c.StartService("S") })
+		}, onResume: func(c *Ctx) {
+			c.ScheduleTimer("refresh", 50, func(c *Ctx) { c.Write("refreshed") })
+			c.Acquire("mu")
+			c.Write("state")
+			c.Release("mu")
+		}}
+	})
+}
+
+// TestQuickEnvTracesValidate runs the busy app under random seeds and
+// event choices; every produced trace must be a valid Figure 5 execution.
+func TestQuickEnvTracesValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		opts := DefaultOptions()
+		opts.Seed = seed
+		e := NewEnv(opts)
+		busyApp(e)
+		if err := e.Launch("Main"); err != nil {
+			t.Log(err)
+			return false
+		}
+		for k := 0; k < 4; k++ {
+			if err := e.Run(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			evs := e.EnabledEvents()
+			if len(evs) == 0 {
+				break
+			}
+			ev := evs[int((uint64(seed)+uint64(k)*7)%uint64(len(evs)))]
+			if err := e.Fire(ev); err != nil {
+				t.Logf("seed %d: fire %v: %v", seed, ev, err)
+				return false
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := e.Shutdown(); err != nil {
+			t.Logf("seed %d: shutdown: %v", seed, err)
+			return false
+		}
+		if i, err := semantics.ValidateInferred(e.Trace()); err != nil {
+			t.Logf("seed %d: op %d: %v", seed, i, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvDeterministicTraces(t *testing.T) {
+	run := func() *trace.Trace {
+		opts := DefaultOptions()
+		opts.Seed = 99
+		e := NewEnv(opts)
+		busyApp(e)
+		if err := e.Launch("Main"); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, e)
+		if err := e.Fire(UIEvent{Kind: EvClick, Widget: "go"}); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, e)
+		return finish(t, e)
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Ops() {
+		if a.Op(i) != b.Op(i) {
+			t.Fatalf("op %d differs: %v vs %v", i, a.Op(i), b.Op(i))
+		}
+	}
+}
+
+func TestIsSystemThread(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	defer e.Close()
+	for _, b := range e.binders {
+		if !e.IsSystemThread(b.ID()) {
+			t.Fatal("binder not marked system")
+		}
+	}
+	if e.IsSystemThread(e.Main().ID()) {
+		t.Fatal("main marked system")
+	}
+}
+
+func TestBinderPoolRotation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BinderThreads = 2
+	e := NewEnv(opts)
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) { c.StartActivity("B") }}
+	})
+	e.RegisterActivity("B", func() Activity { return &testActivity{} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	posters := map[trace.ThreadID]bool{}
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpPost && e.IsSystemThread(op.Thread) {
+			posters[op.Thread] = true
+		}
+	}
+	if len(posters) < 2 {
+		t.Fatalf("binder pool not rotating: posts from %v", posters)
+	}
+}

@@ -1,0 +1,103 @@
+package android
+
+import (
+	"fmt"
+
+	"droidracer/internal/sched"
+	"droidracer/internal/trace"
+)
+
+// CustomQueue models an application-implemented task queue: a list of
+// Runnables protected by a lock, drained by a plain worker thread — the
+// construct §6 of the paper observes in Messenger and FBReader. To the
+// instrumentation the worker is an ordinary thread: no attachQ, post,
+// begin, or end operations are emitted; only the lock operations and the
+// list-field accesses are visible. The analysis therefore applies the
+// NO-Q-PO rule to the worker and derives spurious happens-before
+// relations between runnables, which hides real races — the
+// false-negative mode the paper describes. (It also cannot connect an
+// enqueue to its runnable's execution beyond the lock edges, the
+// corresponding false-positive mode.)
+//
+// Construct the queue with Mapped: true to apply the paper's proposed
+// remedy — "a mapping of the high-level constructs (e.g., adding and
+// removing from the list) to the operations in our core language": the
+// queue then emits real attachQ/post/begin/end operations and the
+// analysis sees it as what it is.
+type CustomQueue struct {
+	env    *Env
+	name   string
+	mapped bool
+
+	// Unmapped implementation.
+	worker *sched.Thread
+	mu     trace.LockID
+	list   trace.Loc
+	items  []queuedRunnable
+
+	// Mapped implementation reuses a real handler thread.
+	handler *Handler
+}
+
+type queuedRunnable struct {
+	name string
+	fn   func(*Ctx)
+}
+
+// NewCustomQueue creates a custom task queue. With mapped=false the
+// worker is an ordinary thread and the queue is invisible to the
+// analysis; with mapped=true the queue is expressed in the core language.
+func (c *Ctx) NewCustomQueue(name string, mapped bool) *CustomQueue {
+	q := &CustomQueue{env: c.Env, name: name, mapped: mapped}
+	if mapped {
+		q.handler = c.NewHandlerThread(name)
+		return q
+	}
+	q.mu = trace.LockID(name + ".listLock")
+	q.list = trace.Loc(name + ".runnables")
+	rec := c.rec
+	q.worker = c.T.Fork(name+"-worker", func(t *sched.Thread) {
+		t.SetDaemon(true)
+		q.drainLoop(t, rec)
+	})
+	return q
+}
+
+// drainLoop is the unmapped worker: lock, pop, unlock, run, park.
+func (q *CustomQueue) drainLoop(t *sched.Thread, rec *activityRecord) {
+	sig := q.name + ".signal"
+	for {
+		t.Acquire(q.mu)
+		t.Read(q.list)
+		var item *queuedRunnable
+		if len(q.items) > 0 {
+			item = &q.items[0]
+			q.items = q.items[1:]
+			t.Write(q.list)
+		}
+		t.Release(q.mu)
+		if item != nil {
+			item.fn(q.env.ctx(t, rec))
+			continue
+		}
+		t.ClearFlag(sig)
+		if !t.WaitFlagOrQuit(sig) {
+			return
+		}
+	}
+}
+
+// Enqueue adds a runnable. Unmapped queues emit only the lock and
+// list-field operations of a real list-based queue; mapped queues emit a
+// proper post.
+func (q *CustomQueue) Enqueue(c *Ctx, name string, fn func(*Ctx)) {
+	if q.mapped {
+		q.handler.Post(c, fmt.Sprintf("%s.%s", q.name, name), fn)
+		return
+	}
+	c.T.Acquire(q.mu)
+	c.T.Write(q.list)
+	q.items = append(q.items, queuedRunnable{name: name, fn: fn})
+	c.T.Release(q.mu)
+	c.T.SetFlag(q.name + ".signal")
+}

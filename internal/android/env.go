@@ -1,0 +1,323 @@
+// Package android models the Android runtime environment on top of the
+// deterministic scheduler: the main (UI) looper thread, a binder thread
+// acting for the ActivityManagerService, component lifecycles driven in
+// the orders of internal/lifecycle, UI widgets with input dispatch through
+// the looper, Handlers, HandlerThreads, AsyncTasks, Services, Broadcast
+// Receivers, and timers.
+//
+// It is the stand-in for the instrumented Android 4.0 framework of §5 of
+// the DroidRacer paper: application models written against this package
+// execute under the simulated runtime and produce traces in the core
+// language, with enable operations emitted at the instrumentation sites
+// the paper describes (lifecycle transitions, UI widget arming, receiver
+// registration, timer scheduling).
+package android
+
+import (
+	"fmt"
+	"sort"
+
+	"droidracer/internal/sched"
+	"droidracer/internal/trace"
+)
+
+// Options configure an environment.
+type Options struct {
+	// Seed selects the scheduling interleaving (0 uses round-robin).
+	Seed int64
+	// Record controls trace emission (see sched.Options.Record).
+	Record bool
+	// BinderThreads is the size of the binder thread pool (≥ 1). IPCs
+	// rotate over the pool, as in Android.
+	BinderThreads int
+	// EnableRotate exposes screen rotation to the UI explorer.
+	EnableRotate bool
+	// EnableHome exposes HOME press / return to the UI explorer.
+	EnableHome bool
+	// EnableBack exposes the BACK button to the UI explorer.
+	EnableBack bool
+	// EnableBroadcasts exposes registered broadcast actions as explorer
+	// events (system-sent intents) — the intent injection the paper lists
+	// as future work for DroidRacer's testing phase.
+	EnableBroadcasts bool
+}
+
+// DefaultOptions enables recording, one binder thread, and BACK events.
+func DefaultOptions() Options {
+	return Options{Record: true, BinderThreads: 1, EnableBack: true}
+}
+
+// Env is one simulated Android process plus the slice of the system
+// process (binder + ActivityManagerService model) the paper's traces
+// capture through enable operations.
+type Env struct {
+	opts    Options
+	sim     *sched.Sim
+	main    *sched.Thread
+	binders []*sched.Thread
+	nextIPC int // rotates over the binder pool
+
+	system map[trace.ThreadID]bool // threads excluded from Table 2 counts
+
+	factories map[string]func() Activity
+	stack     []*activityRecord // back stack; top is foreground
+	exited    bool
+
+	services  map[string]*serviceRecord
+	receivers map[string][]*receiverRecord // by action
+
+	timer *sched.Thread // lazily created timer HandlerThread
+
+	idle []idleEntry // pending MessageQueue idle handlers
+}
+
+// NewEnv builds the environment: a binder pool servicing AMS commands and
+// the main thread with its task queue and looper.
+func NewEnv(opts Options) *Env {
+	if opts.BinderThreads < 1 {
+		opts.BinderThreads = 1
+	}
+	// Seeded runs use the noise policy (random scheduling with starvation
+	// bursts) so that alternate seeds genuinely reorder asynchronous work;
+	// seed 0 is deterministic round-robin.
+	var policy sched.Policy = sched.RoundRobin{}
+	if opts.Seed != 0 {
+		policy = sched.NewNoisePolicy(opts.Seed)
+	}
+	e := &Env{
+		opts:      opts,
+		sim:       sched.New(sched.Options{Policy: policy, Record: opts.Record}),
+		system:    make(map[trace.ThreadID]bool),
+		factories: make(map[string]func() Activity),
+		services:  make(map[string]*serviceRecord),
+		receivers: make(map[string][]*receiverRecord),
+	}
+	for i := 0; i < opts.BinderThreads; i++ {
+		b := e.sim.Spawn(fmt.Sprintf("binder%d", i), func(t *sched.Thread) { t.CommandLoop() })
+		e.binders = append(e.binders, b)
+		e.system[b.ID()] = true
+	}
+	e.main = e.sim.Spawn("main", func(t *sched.Thread) {
+		t.AttachQueue()
+		t.SetIdleHook(e.dispatchIdleHandlers)
+		t.Loop()
+	})
+	return e
+}
+
+// Sim exposes the underlying scheduler (driver-side use only).
+func (e *Env) Sim() *sched.Sim { return e.sim }
+
+// Main returns the main (UI) thread.
+func (e *Env) Main() *sched.Thread { return e.main }
+
+// Trace returns the trace recorded so far.
+func (e *Env) Trace() *trace.Trace { return e.sim.Trace() }
+
+// IsSystemThread reports whether id belongs to the binder pool or another
+// runtime-internal thread, which Table 2 excludes from thread counts.
+func (e *Env) IsSystemThread(id trace.ThreadID) bool { return e.system[id] }
+
+// SystemThreads returns the IDs of all runtime-internal threads.
+func (e *Env) SystemThreads() []trace.ThreadID {
+	var out []trace.ThreadID
+	for id := range e.system {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// binder returns the binder thread servicing the next IPC, rotating over
+// the pool deterministically.
+func (e *Env) binder() *sched.Thread {
+	b := e.binders[e.nextIPC%len(e.binders)]
+	e.nextIPC++
+	return b
+}
+
+// amsExec runs fn on a binder thread on behalf of the
+// ActivityManagerService. Callable from the driver or from inside any
+// simulated thread. Binder commands target the main looper, so they wait
+// for its queue first — in Android the main looper exists before any IPC
+// reaches the application.
+func (e *Env) amsExec(fn func(t *sched.Thread)) {
+	e.sim.Exec(e.binder(), func(t *sched.Thread) {
+		t.WaitQueue(e.main)
+		fn(t)
+	})
+}
+
+// RegisterActivity registers an activity class under name. The factory
+// runs for every (re)launch, mirroring Android re-instantiating activities
+// on configuration changes.
+func (e *Env) RegisterActivity(name string, factory func() Activity) {
+	e.factories[name] = factory
+}
+
+// Run drives the simulation until quiescence, surfacing scheduler errors.
+func (e *Env) Run() error {
+	_, err := e.sim.RunUntilQuiescent()
+	if err != nil {
+		e.sim.Close()
+	}
+	return err
+}
+
+// RunSteps drives at most n scheduling steps (see sched.Sim.RunSteps).
+func (e *Env) RunSteps(n int) (sched.Status, error) {
+	st, err := e.sim.RunSteps(n)
+	if err != nil {
+		e.sim.Close()
+	}
+	return st, err
+}
+
+// Shutdown stops all loopers and runs to completion.
+func (e *Env) Shutdown() error { return e.sim.Shutdown() }
+
+// Close force-releases all simulation goroutines.
+func (e *Env) Close() { e.sim.Close() }
+
+// Foreground returns the foreground activity record, or nil.
+func (e *Env) foreground() *activityRecord {
+	if len(e.stack) == 0 {
+		return nil
+	}
+	return e.stack[len(e.stack)-1]
+}
+
+// Exited reports whether the user backed out of the root activity.
+func (e *Env) Exited() bool { return e.exited }
+
+// EventKind classifies UI-explorer-visible events.
+type EventKind int
+
+// Event kinds the explorer can fire.
+const (
+	EvClick EventKind = iota
+	EvLongClick
+	EvText
+	EvBack
+	EvHome
+	EvReturn
+	EvRotate
+	EvBroadcast
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvClick:
+		return "click"
+	case EvLongClick:
+		return "long-click"
+	case EvText:
+		return "text"
+	case EvBack:
+		return "BACK"
+	case EvHome:
+		return "HOME"
+	case EvReturn:
+		return "return"
+	case EvRotate:
+		return "rotate"
+	case EvBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// UIEvent is one fireable event on the current screen.
+type UIEvent struct {
+	Kind   EventKind
+	Widget string // widget name for Click/LongClick/Text
+	Text   string // input value for Text events
+}
+
+// String renders the event for sequence logs, e.g. "click(play)".
+func (ev UIEvent) String() string {
+	switch ev.Kind {
+	case EvClick, EvLongClick, EvBroadcast:
+		return fmt.Sprintf("%s(%s)", ev.Kind, ev.Widget)
+	case EvText:
+		return fmt.Sprintf("text(%s=%q)", ev.Widget, ev.Text)
+	default:
+		return ev.Kind.String()
+	}
+}
+
+// EnabledEvents returns the events the explorer may fire now, in a
+// deterministic order: widget events in registration order, then
+// lifecycle events. Must be called at quiescence.
+func (e *Env) EnabledEvents() []UIEvent {
+	if e.exited {
+		return nil
+	}
+	fg := e.foreground()
+	if fg == nil {
+		return nil
+	}
+	if fg.stopped {
+		// Background activity: only returning to the app is meaningful.
+		if e.opts.EnableHome {
+			return []UIEvent{{Kind: EvReturn}}
+		}
+		return nil
+	}
+	var out []UIEvent
+	for _, w := range fg.widgets {
+		if !w.enabled || w.armed == "" {
+			continue
+		}
+		switch w.kind {
+		case EvClick, EvLongClick:
+			out = append(out, UIEvent{Kind: w.kind, Widget: w.name})
+		case EvText:
+			for _, v := range w.inputs {
+				out = append(out, UIEvent{Kind: EvText, Widget: w.name, Text: v})
+			}
+		}
+	}
+	if e.opts.EnableBack && fg.destroyArmed != "" {
+		out = append(out, UIEvent{Kind: EvBack})
+	}
+	if e.opts.EnableHome && fg.stopArmed != "" {
+		out = append(out, UIEvent{Kind: EvHome})
+	}
+	if e.opts.EnableRotate && fg.rotateArmed != "" {
+		out = append(out, UIEvent{Kind: EvRotate})
+	}
+	if e.opts.EnableBroadcasts {
+		for _, action := range e.registeredActions() {
+			out = append(out, UIEvent{Kind: EvBroadcast, Widget: action})
+		}
+	}
+	return out
+}
+
+// registeredActions returns the currently registered broadcast actions,
+// sorted for deterministic exploration.
+func (e *Env) registeredActions() []string {
+	var out []string
+	for action, recs := range e.receivers {
+		for _, r := range recs {
+			if r.registered && r.armed != "" {
+				out = append(out, action)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedServiceNames returns service names deterministically.
+func (e *Env) sortedServiceNames() []string {
+	names := make([]string, 0, len(e.services))
+	for n := range e.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,285 @@
+package android
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// detectRaces runs the analysis pipeline on the env's trace.
+func detectRaces(t *testing.T, e *Env) []race.Race {
+	t.Helper()
+	tr := finish(t, e)
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return race.NewDetector(hb.Build(info, hb.DefaultConfig())).DetectDeduped()
+}
+
+// customQueueApp enqueues a conflicting writer and reader from two
+// independent threads. The dispatch order of the two runnables is a real
+// race (it depends on which enqueuer wins).
+func customQueueApp(mapped bool) func() Activity {
+	return func() Activity {
+		return &customQueueAct{mapped: mapped}
+	}
+}
+
+type customQueueAct struct {
+	BaseActivity
+	mapped bool
+}
+
+func (a *customQueueAct) OnResume(c *Ctx) {
+	q := c.NewCustomQueue("dbq", a.mapped)
+	c.Fork("writer-src", func(b *Ctx) {
+		q.Enqueue(b, "update", func(w *Ctx) { w.Write("db.row") })
+	})
+	c.Fork("reader-src", func(b *Ctx) {
+		q.Enqueue(b, "query", func(w *Ctx) { w.Read("db.row") })
+	})
+}
+
+func TestCustomQueueHidesRealRace(t *testing.T) {
+	// Unmapped: the worker is a plain thread; NO-Q-PO spuriously orders
+	// the two runnables and the real dispatch race on db.row is MISSED —
+	// the §6 false-negative mode.
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity { return &customQueueAct{mapped: false} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	for _, r := range detectRaces(t, e) {
+		if r.Loc == "db.row" {
+			t.Fatalf("unmapped custom queue should hide the db.row race (false negative); got %v", r)
+		}
+	}
+}
+
+func TestMappedCustomQueueRecoversRace(t *testing.T) {
+	// Mapped to the core language (the paper's proposed remedy), the same
+	// construct exposes the race: the two posts are unordered.
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity { return &customQueueAct{mapped: true} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	found := false
+	for _, r := range detectRaces(t, e) {
+		if r.Loc == "db.row" && r.Category == race.CrossPosted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mapped custom queue did not expose the cross-posted race")
+	}
+}
+
+func TestCustomQueueRunsAllItems(t *testing.T) {
+	var ran []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			q := c.NewCustomQueue("jobs", false)
+			for _, n := range []string{"a", "b", "c"} {
+				n := n
+				q.Enqueue(c, n, func(*Ctx) { ran = append(ran, n) })
+			}
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(ran, ""); got != "abc" {
+		t.Fatalf("ran = %q (same-source enqueues must stay ordered)", got)
+	}
+}
+
+func TestIdleHandlerRunsWhenIdle(t *testing.T) {
+	var order []string
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.AddIdleHandler("warmCache", func(c *Ctx) {
+				order = append(order, "idle")
+				c.Write("cache.warm")
+			})
+			c.Env.MainHandler().Post(c, "regular", func(*Ctx) {
+				order = append(order, "regular")
+			})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	// The regular task runs first; the idle handler only when the queue
+	// drained.
+	if got := strings.Join(order, ","); got != "regular,idle" {
+		t.Fatalf("order = %q", got)
+	}
+	// The idle handler's task is enabled at registration and posted by the
+	// looper itself.
+	enabled, posted := -1, -1
+	for i, op := range tr.Ops() {
+		if op.Task == "warmCache" {
+			switch op.Kind {
+			case trace.OpEnable:
+				enabled = i
+			case trace.OpPost:
+				posted = i
+				if op.Thread != e.Main().ID() {
+					t.Fatalf("idle post by t%d, want main", op.Thread)
+				}
+			}
+		}
+	}
+	if enabled < 0 || posted < 0 || enabled > posted {
+		t.Fatalf("enable/post shape wrong: enable@%d post@%d", enabled, posted)
+	}
+}
+
+func TestIntentService(t *testing.T) {
+	var handled int
+	var workerID trace.ThreadID
+	e := NewEnv(DefaultOptions())
+	e.RegisterService("Upload", func() Service {
+		return &IntentService{Name: "Upload", OnHandleIntent: func(c *Ctx) {
+			handled++
+			workerID = c.T.ID()
+			c.Write("upload.progress")
+		}}
+	})
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.StartService("Upload")
+			c.StartService("Upload")
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if handled != 2 {
+		t.Fatalf("handled = %d, want 2", handled)
+	}
+	if workerID == e.Main().ID() {
+		t.Fatal("intent handling ran on the main thread")
+	}
+}
+
+func TestSchedulePeriodic(t *testing.T) {
+	var ticks int
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.SchedulePeriodic("poll", 50, 3, func(c *Ctx) {
+				ticks++
+				c.Write("poll.state")
+			})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	// Each tick is enabled before its post: the §5 TimerTask connection.
+	enables := 0
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpEnable && strings.HasPrefix(string(op.Task), "poll.tick") {
+			enables++
+		}
+	}
+	if enables != 3 {
+		t.Fatalf("tick enables = %d, want 3", enables)
+	}
+	// Consecutive ticks are happens-before ordered (no self-races).
+	races := detectRacesOnTrace(t, tr)
+	for _, r := range races {
+		if r.Loc == "poll.state" {
+			t.Fatalf("periodic ticks race: %v", r)
+		}
+	}
+}
+
+func detectRacesOnTrace(t *testing.T, tr *trace.Trace) []race.Race {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return race.NewDetector(hb.Build(info, hb.DefaultConfig())).DetectDeduped()
+}
+
+func TestBroadcastInjection(t *testing.T) {
+	var got []string
+	opts := DefaultOptions()
+	opts.EnableBroadcasts = true
+	e := NewEnv(opts)
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.RegisterReceiver("net.change", func(c *Ctx, action string) {
+				got = append(got, action)
+			})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	evs := e.EnabledEvents()
+	var bcast *UIEvent
+	for i := range evs {
+		if evs[i].Kind == EvBroadcast {
+			bcast = &evs[i]
+		}
+	}
+	if bcast == nil || bcast.Widget != "net.change" {
+		t.Fatalf("broadcast event not offered: %v", evs)
+	}
+	if bcast.String() != "broadcast(net.change)" {
+		t.Fatalf("event rendering = %q", bcast.String())
+	}
+	// Fire it twice: the receiver re-arms after each delivery.
+	for i := 0; i < 2; i++ {
+		if err := e.Fire(*bcast); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, e)
+	}
+	finish(t, e)
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestBroadcastInjectionRequiresReceiver(t *testing.T) {
+	opts := DefaultOptions()
+	opts.EnableBroadcasts = true
+	e := NewEnv(opts)
+	e.RegisterActivity("A", func() Activity { return &testActivity{} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvBroadcast, Widget: "nope"}); err == nil {
+		t.Fatal("broadcast with no receiver accepted")
+	}
+	e.Close()
+}

@@ -1,0 +1,222 @@
+package android
+
+import (
+	"fmt"
+
+	"droidracer/internal/lifecycle"
+	"droidracer/internal/sched"
+	"droidracer/internal/trace"
+)
+
+// Service is the application-visible interface for started services. The
+// callbacks run on the main thread, as in Android; services performing
+// background work fork threads or HandlerThreads from their callbacks.
+type Service interface {
+	OnCreate(c *Ctx)
+	OnStartCommand(c *Ctx)
+	OnDestroy(c *Ctx)
+}
+
+// BaseService provides no-op service callbacks.
+type BaseService struct{}
+
+// OnCreate implements Service.
+func (BaseService) OnCreate(*Ctx) {}
+
+// OnStartCommand implements Service.
+func (BaseService) OnStartCommand(*Ctx) {}
+
+// OnDestroy implements Service.
+func (BaseService) OnDestroy(*Ctx) {}
+
+type serviceRecord struct {
+	name     string
+	instance Service
+	machine  *lifecycle.Service
+}
+
+// RegisterService registers a service class under name.
+func (e *Env) RegisterService(name string, factory func() Service) {
+	e.services[name] = &serviceRecord{name: name, instance: factory(), machine: lifecycle.NewService()}
+}
+
+// StartService starts a registered service: the lifecycle callbacks
+// (onCreate on first start, then onStartCommand) are enabled by the caller
+// and posted to the main thread through the binder.
+func (c *Ctx) StartService(name string) {
+	e := c.Env
+	rec, ok := e.services[name]
+	if !ok {
+		panic(fmt.Sprintf("android: service %q not registered", name))
+	}
+	seq, err := rec.machine.StartSequence()
+	if err != nil {
+		panic(fmt.Sprintf("android: %s: %v", name, err))
+	}
+	// The machine transitions at request time: the scheduled callbacks are
+	// now committed, and a later StartService/StopService must see the
+	// state they will produce. Execution order on the main thread matches
+	// request order by FIFO dispatch.
+	for _, cb := range seq {
+		if err := rec.machine.Apply(cb); err != nil {
+			panic(err)
+		}
+	}
+	id := e.sim.FreshTask(name + ".start")
+	c.T.Enable(id)
+	e.amsExec(func(b *sched.Thread) {
+		b.PostTask(e.main, id, func(t *sched.Thread) {
+			sc := e.ctx(t, nil)
+			for _, cb := range seq {
+				switch cb {
+				case lifecycle.SvcOnCreate:
+					rec.instance.OnCreate(sc)
+				case lifecycle.SvcOnStartCommand:
+					rec.instance.OnStartCommand(sc)
+				}
+			}
+		})
+	})
+}
+
+// StopService stops a running service; onDestroy is posted to the main
+// thread.
+func (c *Ctx) StopService(name string) {
+	e := c.Env
+	rec, ok := e.services[name]
+	if !ok {
+		panic(fmt.Sprintf("android: service %q not registered", name))
+	}
+	if _, err := rec.machine.StopSequence(); err != nil {
+		panic(fmt.Sprintf("android: %s: %v", name, err))
+	}
+	if err := rec.machine.Apply(lifecycle.SvcOnDestroy); err != nil {
+		panic(err)
+	}
+	id := e.sim.FreshTask(name + ".onDestroy")
+	c.T.Enable(id)
+	e.amsExec(func(b *sched.Thread) {
+		b.PostTask(e.main, id, func(t *sched.Thread) {
+			rec.instance.OnDestroy(e.ctx(t, nil))
+		})
+	})
+}
+
+// ReceiverFunc handles a delivered broadcast.
+type ReceiverFunc func(c *Ctx, action string)
+
+// ReceiverHandle identifies a registration for unregistering.
+type ReceiverHandle struct {
+	rec *receiverRecord
+}
+
+type receiverRecord struct {
+	action     string
+	fn         ReceiverFunc
+	machine    *lifecycle.Receiver
+	armed      trace.TaskID
+	registered bool
+}
+
+// RegisterReceiver dynamically registers a broadcast receiver for action.
+// Registration enables the next onReceive delivery, connecting the
+// registration to the callback as §5 describes for BroadcastReceiver.
+func (c *Ctx) RegisterReceiver(action string, fn ReceiverFunc) *ReceiverHandle {
+	e := c.Env
+	rec := &receiverRecord{action: action, fn: fn, machine: lifecycle.NewReceiver()}
+	if err := rec.machine.Register(); err != nil {
+		panic(err)
+	}
+	rec.registered = true
+	rec.armed = e.sim.FreshTask("onReceive." + action)
+	c.T.Enable(rec.armed)
+	e.receivers[action] = append(e.receivers[action], rec)
+	return &ReceiverHandle{rec: rec}
+}
+
+// UnregisterReceiver stops delivery to the handle's receiver.
+func (c *Ctx) UnregisterReceiver(h *ReceiverHandle) {
+	if err := h.rec.machine.Unregister(); err != nil {
+		panic(err)
+	}
+	h.rec.registered = false
+	recs := c.Env.receivers[h.rec.action]
+	for i, r := range recs {
+		if r == h.rec {
+			c.Env.receivers[h.rec.action] = append(recs[:i], recs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SendBroadcast delivers action to every registered receiver: the system
+// posts each armed onReceive task to the main thread, and the receiver
+// re-arms after delivery while it stays registered.
+func (c *Ctx) SendBroadcast(action string) {
+	c.Env.deliverBroadcast(action)
+}
+
+// FireBroadcast injects a system-sent intent from the driver (the
+// explorer's EvBroadcast event): registered receivers for the action get
+// their armed onReceive tasks posted through the binder. Intent injection
+// in the testing phase is the paper's stated future work.
+func (e *Env) FireBroadcast(action string) error {
+	delivered := e.deliverBroadcast(action)
+	if delivered == 0 {
+		return fmt.Errorf("android: no registered receiver for %q", action)
+	}
+	return nil
+}
+
+// deliverBroadcast posts the armed onReceive task of every registered
+// receiver for action and returns how many deliveries were scheduled.
+func (e *Env) deliverBroadcast(action string) int {
+	delivered := 0
+	for _, rec := range e.receivers[action] {
+		if !rec.machine.CanReceive() || rec.armed == "" {
+			continue
+		}
+		rec := rec
+		id := rec.armed
+		rec.armed = "" // consumed; re-armed after delivery
+		delivered++
+		e.amsExec(func(b *sched.Thread) {
+			b.PostTask(e.main, id, func(t *sched.Thread) {
+				rc := e.ctx(t, nil)
+				rec.fn(rc, action)
+				if rec.registered {
+					rec.armed = e.sim.FreshTask("onReceive." + action)
+					t.Enable(rec.armed)
+				}
+			})
+		})
+	}
+	return delivered
+}
+
+// IntentService mirrors android.app.IntentService: start requests are
+// handled sequentially on a dedicated worker HandlerThread.
+type IntentService struct {
+	BaseService
+	// Name names the worker thread and the handler tasks.
+	Name string
+	// OnHandleIntent processes one start request on the worker thread.
+	OnHandleIntent func(c *Ctx)
+
+	h *Handler
+}
+
+// OnCreate implements Service: it spawns the worker thread.
+func (s *IntentService) OnCreate(c *Ctx) {
+	s.h = c.NewHandlerThread(s.Name + "-worker")
+}
+
+// OnStartCommand implements Service: each start is queued to the worker.
+func (s *IntentService) OnStartCommand(c *Ctx) {
+	fn := s.OnHandleIntent
+	s.h.Post(c, s.Name+".handleIntent", func(wc *Ctx) {
+		if fn != nil {
+			fn(wc)
+		}
+	})
+}

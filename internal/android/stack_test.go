@@ -1,0 +1,227 @@
+package android
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/trace"
+)
+
+// TestThreeDeepBackStack drives A → B → C, then BACK twice, checking the
+// stack unwinds with the right lifecycle callbacks.
+func TestThreeDeepBackStack(t *testing.T) {
+	var log []string
+	mkAct := func(name, next string) func() Activity {
+		return func() Activity {
+			return &testActivity{
+				log: &log,
+				onCreate: func(c *Ctx) {
+					log = append(log, name+".created")
+					if next != "" {
+						c.AddButton("go", true, func(c *Ctx) { c.StartActivity(next) })
+					}
+				},
+			}
+		}
+	}
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", mkAct("A", "B"))
+	e.RegisterActivity("B", mkAct("B", "C"))
+	e.RegisterActivity("C", mkAct("C", ""))
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	for i := 0; i < 2; i++ {
+		if err := e.Fire(UIEvent{Kind: EvClick, Widget: "go"}); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, e)
+	}
+	if got := e.foreground().name; got != "C" {
+		t.Fatalf("foreground = %s, want C", got)
+	}
+	// BACK from C returns to B; BACK from B returns to A.
+	for _, want := range []string{"B", "A"} {
+		if err := e.Fire(UIEvent{Kind: EvBack}); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, e)
+		if got := e.foreground().name; got != want {
+			t.Fatalf("foreground = %s, want %s", got, want)
+		}
+		if e.Exited() {
+			t.Fatal("app exited with activities on the stack")
+		}
+	}
+	finish(t, e)
+	joined := strings.Join(log, ",")
+	for _, want := range []string{"A.created", "B.created", "C.created"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("log = %q missing %s", joined, want)
+		}
+	}
+}
+
+// TestFinishFromCode: an activity finishing itself behaves like BACK.
+func TestFinishFromCode(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddButton("done", true, func(c *Ctx) { c.Finish() })
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if !e.Exited() {
+		t.Fatal("finish() did not exit the root activity")
+	}
+}
+
+// TestDoubleFinishIsIdempotent: finishing twice (e.g. finish() in a
+// handler plus a BACK press racing in) must not double-destroy.
+func TestDoubleFinishIsIdempotent(t *testing.T) {
+	destroys := 0
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{
+			onCreate: func(c *Ctx) {
+				c.AddButton("done", true, func(c *Ctx) {
+					c.Finish()
+					c.Finish()
+				})
+			},
+			onDestroy: func(c *Ctx) { destroys++ },
+		}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if destroys != 1 {
+		t.Fatalf("onDestroy ran %d times", destroys)
+	}
+}
+
+// TestBackNotFireableTwice: the BACK event consumes its armed task; a
+// second BACK without re-arming is rejected rather than double-posting.
+func TestBackNotFireableTwice(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity { return &testActivity{} })
+	e.RegisterActivity("B", func() Activity { return &testActivity{} })
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvBack}); err != nil {
+		t.Fatal(err)
+	}
+	// Without running, the same armed id is consumed.
+	if err := e.Fire(UIEvent{Kind: EvBack}); err == nil {
+		t.Fatal("second BACK accepted before the first was processed")
+	}
+	mustRun(t, e)
+	finish(t, e)
+}
+
+// TestWidgetOnSecondActivity: widgets belong to their activity; the
+// explorer sees only the foreground screen's events.
+func TestWidgetOnSecondActivity(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddButton("open", true, func(c *Ctx) { c.StartActivity("B") })
+		}}
+	})
+	e.RegisterActivity("B", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			c.AddButton("save", true, func(c *Ctx) { c.Write("B.saved") })
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "open"}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	var names []string
+	for _, ev := range e.EnabledEvents() {
+		if ev.Kind == EvClick {
+			names = append(names, ev.Widget)
+		}
+	}
+	if len(names) != 1 || names[0] != "save" {
+		t.Fatalf("foreground widgets = %v, want only B's save", names)
+	}
+	// A's widget is not fireable while covered.
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "open"}); err == nil {
+		t.Fatal("covered activity's widget fired")
+	}
+	finish(t, e)
+}
+
+// TestAsyncTaskNilCallbacks: all callbacks optional.
+func TestAsyncTaskNilCallbacks(t *testing.T) {
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onResume: func(c *Ctx) {
+			c.Execute(&AsyncTask{Name: "noop"})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	tr := finish(t, e)
+	forks := 0
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpFork {
+			forks++
+		}
+	}
+	if forks != 1 {
+		t.Fatalf("forks = %d, want the background thread", forks)
+	}
+}
+
+// TestRemoveCallbacksAfterDispatchIsNoop: cancelling a task that already
+// ran must not corrupt the trace.
+func TestRemoveCallbacksAfterDispatchIsNoop(t *testing.T) {
+	ran := false
+	e := NewEnv(DefaultOptions())
+	e.RegisterActivity("A", func() Activity {
+		return &testActivity{onCreate: func(c *Ctx) {
+			h := c.Env.MainHandler()
+			id := h.Post(c, "job", func(c *Ctx) { ran = true })
+			c.AddButton("cancel", true, func(c *Ctx) {
+				h.RemoveCallbacks(c, id) // job already ran by now
+			})
+		}}
+	})
+	if err := e.Launch("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	if err := e.Fire(UIEvent{Kind: EvClick, Widget: "cancel"}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, e)
+	finish(t, e)
+	if !ran {
+		t.Fatal("job did not run")
+	}
+}

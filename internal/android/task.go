@@ -1,0 +1,202 @@
+package android
+
+import (
+	"fmt"
+
+	"droidracer/internal/sched"
+	"droidracer/internal/trace"
+)
+
+// Handler posts asynchronous tasks to one destination thread, like
+// android.os.Handler.
+type Handler struct {
+	env  *Env
+	dest *sched.Thread
+}
+
+// MainHandler returns a handler bound to the main (UI) thread.
+func (e *Env) MainHandler() *Handler { return &Handler{env: e, dest: e.main} }
+
+// Dest returns the thread the handler posts to.
+func (h *Handler) Dest() *sched.Thread { return h.dest }
+
+// Post posts fn as an asynchronous task named base.
+func (h *Handler) Post(c *Ctx, base string, fn func(*Ctx)) trace.TaskID {
+	rec := c.rec
+	return c.T.Post(h.dest, base, func(t *sched.Thread) {
+		fn(h.env.ctx(t, rec))
+	})
+}
+
+// PostDelayed posts fn with a timeout in virtual milliseconds.
+func (h *Handler) PostDelayed(c *Ctx, base string, fn func(*Ctx), delay int64) trace.TaskID {
+	rec := c.rec
+	return c.T.PostDelayed(h.dest, base, func(t *sched.Thread) {
+		fn(h.env.ctx(t, rec))
+	}, delay)
+}
+
+// PostAtFront posts fn to the front of the destination queue
+// (Handler.postAtFrontOfQueue; the paper's future-work extension).
+func (h *Handler) PostAtFront(c *Ctx, base string, fn func(*Ctx)) trace.TaskID {
+	rec := c.rec
+	return c.T.PostFront(h.dest, base, func(t *sched.Thread) {
+		fn(h.env.ctx(t, rec))
+	})
+}
+
+// RemoveCallbacks cancels a pending posted task (Handler.removeCallbacks).
+func (h *Handler) RemoveCallbacks(c *Ctx, id trace.TaskID) {
+	c.T.Cancel(h.dest, id)
+}
+
+// NewHandlerThread forks a named thread with its own task queue and looper
+// (android.os.HandlerThread) and returns a handler bound to it.
+func (c *Ctx) NewHandlerThread(name string) *Handler {
+	dest := c.T.Fork(name, func(t *sched.Thread) {
+		t.AttachQueue()
+		t.Loop()
+	})
+	// Callers may post immediately; the post happens-after attachQ by the
+	// ATTACH-Q-MT rule, and the scheduler guarantees the queue exists by
+	// construction order only under round-robin, so wait explicitly.
+	c.T.WaitQueue(dest)
+	return &Handler{env: c.Env, dest: dest}
+}
+
+// AsyncTask mirrors android.os.AsyncTask (Figure 1 of the paper):
+// OnPreExecute runs synchronously on the caller (main) thread, a fresh
+// background thread runs DoInBackground (Figure 2, step 7), progress is
+// published back to the main thread, and OnPostExecute is posted to the
+// main thread when the background work finishes.
+type AsyncTask struct {
+	Name             string
+	OnPreExecute     func(c *Ctx)
+	DoInBackground   func(c *Ctx, publish func())
+	OnProgressUpdate func(c *Ctx)
+	OnPostExecute    func(c *Ctx)
+}
+
+// Execute starts the task from the current (main-thread) context and
+// returns the background thread.
+func (c *Ctx) Execute(a *AsyncTask) *sched.Thread {
+	e := c.Env
+	rec := c.rec
+	if a.OnPreExecute != nil {
+		a.OnPreExecute(c)
+	}
+	return c.T.Fork(a.Name+"-bg", func(t *sched.Thread) {
+		bc := e.ctx(t, rec)
+		publish := func() {
+			if a.OnProgressUpdate == nil {
+				return
+			}
+			t.Post(e.main, a.Name+".onProgressUpdate", func(mt *sched.Thread) {
+				a.OnProgressUpdate(e.ctx(mt, rec))
+			})
+		}
+		if a.DoInBackground != nil {
+			a.DoInBackground(bc, publish)
+		}
+		if a.OnPostExecute != nil {
+			t.Post(e.main, a.Name+".onPostExecute", func(mt *sched.Thread) {
+				a.OnPostExecute(e.ctx(mt, rec))
+			})
+		}
+	})
+}
+
+// ScheduleTimer schedules fn to run once after delay virtual milliseconds
+// on the process-wide timer thread (java.util.Timer). The task is enabled
+// at scheduling time, connecting the schedule to the execution as §5
+// describes for TimerTask. The returned ID can cancel it via CancelTimer.
+func (c *Ctx) ScheduleTimer(name string, delay int64, fn func(*Ctx)) trace.TaskID {
+	e := c.Env
+	rec := c.rec
+	id := e.sim.FreshTask(name)
+	c.T.Enable(id)
+	c.T.PostTaskDelayed(e.timerThread(c), id, func(t *sched.Thread) {
+		fn(e.ctx(t, rec))
+	}, delay)
+	return id
+}
+
+// CancelTimer cancels a scheduled timer task.
+func (c *Ctx) CancelTimer(id trace.TaskID) {
+	if c.Env.timer == nil {
+		return
+	}
+	c.T.Cancel(c.Env.timer, id)
+}
+
+// SchedulePeriodic schedules fn to run `count` times at the given virtual
+// interval on the timer thread (Timer.scheduleAtFixedRate). Each firing
+// enables and schedules the next, so the executions form a happens-before
+// chain — the periodic TimerTask connection §5 describes.
+func (c *Ctx) SchedulePeriodic(name string, interval int64, count int, fn func(*Ctx)) {
+	if count <= 0 {
+		return
+	}
+	e := c.Env
+	rec := c.rec
+	var arm func(c *Ctx, k int)
+	arm = func(cc *Ctx, k int) {
+		id := e.sim.FreshTask(fmt.Sprintf("%s.tick%d", name, k+1))
+		cc.T.Enable(id)
+		cc.T.PostTaskDelayed(e.timerThread(cc), id, func(t *sched.Thread) {
+			tc := e.ctx(t, rec)
+			fn(tc)
+			if k+1 < count {
+				arm(tc, k+1)
+			}
+		}, interval)
+	}
+	arm(c, 0)
+}
+
+// timerThread lazily creates the process-wide timer thread.
+func (e *Env) timerThread(c *Ctx) *sched.Thread {
+	if e.timer == nil {
+		e.timer = c.T.Fork("timer", func(t *sched.Thread) {
+			t.AttachQueue()
+			t.Loop()
+		})
+		c.T.WaitQueue(e.timer)
+	}
+	return e.timer
+}
+
+// idleEntry is one registered MessageQueue idle handler.
+type idleEntry struct {
+	id  trace.TaskID
+	fn  func(*Ctx)
+	rec *activityRecord
+}
+
+// AddIdleHandler registers fn to run once when the main looper next
+// becomes idle (MessageQueue.addIdleHandler). Registration enables the
+// execution, connecting the two as §5 describes for IdleHandler.
+func (c *Ctx) AddIdleHandler(name string, fn func(*Ctx)) {
+	e := c.Env
+	id := e.sim.FreshTask(name)
+	c.T.Enable(id)
+	e.idle = append(e.idle, idleEntry{id: id, fn: fn, rec: c.rec})
+}
+
+// dispatchIdleHandlers is the main looper's idle hook: it turns each
+// pending idle handler into a self-posted task and reports whether it
+// scheduled work.
+func (e *Env) dispatchIdleHandlers(t *sched.Thread) bool {
+	if len(e.idle) == 0 {
+		return false
+	}
+	pending := e.idle
+	e.idle = nil
+	for _, entry := range pending {
+		entry := entry
+		t.PostTask(e.main, entry.id, func(mt *sched.Thread) {
+			entry.fn(e.ctx(mt, entry.rec))
+		})
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"droidracer/internal/android"
+	"droidracer/internal/explorer"
+	"droidracer/internal/race"
+)
+
+// AblationWorkload is a synthetic application that is race free under the
+// full happens-before relation, with each conflicting pair ordered by
+// exactly one mechanism. Disabling a rule therefore surfaces a specific
+// set of false positives (and the naive combination hides one real race):
+//
+//   - fifo.data: two tasks posted in order from one thread — ordered by
+//     the FIFO rule only;
+//   - nopre.data: a task posts a successor to its own thread and keeps
+//     writing — ordered by NOPRE (run to completion) only;
+//   - enable.data: written at launch, written again in the destruction
+//     callback — ordered through enable ≼ post, the Figure 4 (7,21) pair;
+//   - lock.data and post.data: cross-thread pairs ordered by a lock and by
+//     an asynchronous post — invisible to the event-only (st-only)
+//     specialization;
+//   - samequeue-lock.data: a REAL single-threaded race between two tasks
+//     that share a lock — the naive combination spuriously orders it
+//     (a false negative).
+//
+// It is registered as "Ablation Workload" and drives the DESIGN.md
+// ablation experiments and BenchmarkAblation.
+type AblationWorkload struct{}
+
+// NewAblationWorkload returns the ablation app.
+func NewAblationWorkload() *AblationWorkload { return &AblationWorkload{} }
+
+func init() {
+	register("Ablation Workload", func() App { return NewAblationWorkload() })
+}
+
+// Name implements App.
+func (*AblationWorkload) Name() string { return "Ablation Workload" }
+
+// LOC implements App.
+func (*AblationWorkload) LOC() int { return 0 }
+
+// Proprietary implements App.
+func (*AblationWorkload) Proprietary() bool { return false }
+
+// MainActivity implements App.
+func (*AblationWorkload) MainActivity() string { return "Ablation" }
+
+// Options implements App. Two binder threads make the launch and
+// destruction IPCs arrive on different binder-pool threads, so the
+// enable-based ordering is the only one available (as in a real pool).
+func (*AblationWorkload) Options() android.Options {
+	opts := android.DefaultOptions()
+	opts.BinderThreads = 2
+	return opts
+}
+
+// Explore implements App.
+func (*AblationWorkload) Explore() explorer.Options {
+	return explorer.Options{MaxEvents: 1, MaxTests: 4}
+}
+
+// GroundTruth implements App: the only real race is the same-queue locked
+// pair (cross-posted: the tasks come from two different threads).
+func (*AblationWorkload) GroundTruth() []SeededRace {
+	return []SeededRace{{
+		Loc:      "samequeue-lock.data",
+		Category: race.CrossPosted,
+		Note:     "locks do not order tasks on one thread (§1)",
+	}}
+}
+
+// Register implements App.
+func (*AblationWorkload) Register(e *android.Env) {
+	e.RegisterActivity("Ablation", func() android.Activity { return &ablationActivity{} })
+}
+
+type ablationActivity struct {
+	android.BaseActivity
+}
+
+func (a *ablationActivity) OnCreate(c *android.Ctx) {
+	// enable.data: the Figure 4 shape — written at launch and again in
+	// onDestroy; the ordering needs the launch-time enable of destruction.
+	c.Write("enable.data")
+}
+
+func (a *ablationActivity) OnDestroy(c *android.Ctx) {
+	c.Write("enable.data")
+}
+
+func (a *ablationActivity) OnResume(c *android.Ctx) {
+	h := c.Env.MainHandler()
+
+	// fifo.data: ordered by FIFO dispatch of same-source posts.
+	c.Fork("fifo-src", func(b *android.Ctx) {
+		h.Post(b, "fifo.first", func(m *android.Ctx) { m.Write("fifo.data") })
+		h.Post(b, "fifo.second", func(m *android.Ctx) { m.Write("fifo.data") })
+	})
+
+	// nopre.data: a DELAYED parent task forks a worker that posts the
+	// child; the parent keeps writing after the fork. The FIFO rule is
+	// gated off (the parent's post is delayed, §4.2 case (a) reversed), so
+	// only NOPRE — run to completion through the fork ≼ post chain —
+	// orders the parent's trailing write before the child.
+	h.PostDelayed(c, "nopre.parent", func(m *android.Ctx) {
+		m.Fork("nopre-relay", func(b *android.Ctx) {
+			h.Post(b, "nopre.child", func(mm *android.Ctx) { mm.Write("nopre.data") })
+		})
+		m.Write("nopre.data")
+	}, 5)
+
+	// lock.data: classic cross-thread mutual exclusion.
+	c.Fork("locker", func(b *android.Ctx) {
+		b.Acquire("ablation.mu")
+		b.Write("lock.data")
+		b.Release("ablation.mu")
+	})
+	c.Acquire("ablation.mu")
+	c.Write("lock.data")
+	c.Release("ablation.mu")
+
+	// post.data: a hand-off synchronized purely by an asynchronous post.
+	c.Fork("producer", func(b *android.Ctx) {
+		b.Write("post.data")
+		h.Post(b, "consume", func(m *android.Ctx) { m.Write("post.data") })
+	})
+
+	// samequeue-lock.data: two tasks posted from independent threads,
+	// both protected by a lock — which cannot order tasks on one thread.
+	// A REAL race that the naive combination masks (§1).
+	for _, name := range []string{"sq.first", "sq.second"} {
+		name := name
+		c.Fork(name+"-poster", func(b *android.Ctx) {
+			h.Post(b, name, func(m *android.Ctx) {
+				m.Acquire("sq.mu")
+				m.Write("samequeue-lock.data")
+				m.Release("sq.mu")
+			})
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package apps
+
+import (
+	"testing"
+
+	"droidracer/internal/android"
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// ablationTrace runs the ablation workload's BACK test once.
+func ablationTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	return runSequence(t, NewAblationWorkload(), []android.UIEvent{{Kind: android.EvBack}})
+}
+
+// racyLocs analyzes tr under cfg and returns the racy location set.
+func racyLocs(t *testing.T, tr *trace.Trace, cfg hb.Config) map[trace.Loc]race.Category {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[trace.Loc]race.Category{}
+	for _, r := range race.NewDetector(hb.Build(info, cfg)).DetectDeduped() {
+		out[r.Loc] = r.Category
+	}
+	return out
+}
+
+func TestAblationWorkloadFullRules(t *testing.T) {
+	tr := ablationTrace(t)
+	locs := racyLocs(t, tr, hb.DefaultConfig())
+	// Exactly one real race: the same-queue locked pair.
+	if len(locs) != 1 {
+		t.Fatalf("racy locs = %v, want only samequeue-lock.data", locs)
+	}
+	if cat, ok := locs["samequeue-lock.data"]; !ok || cat != race.CrossPosted {
+		t.Fatalf("racy locs = %v", locs)
+	}
+}
+
+// TestAblationEffects disables one rule at a time and checks exactly the
+// expected location becomes a false positive.
+func TestAblationEffects(t *testing.T) {
+	tr := ablationTrace(t)
+	base := racyLocs(t, tr, hb.DefaultConfig())
+	cases := []struct {
+		name    string
+		mut     func(*hb.Config)
+		addedFP []trace.Loc
+	}{
+		{"no-fifo", func(c *hb.Config) { c.FIFO = false }, []trace.Loc{"fifo.data"}},
+		{"no-nopre", func(c *hb.Config) { c.NoPre = false }, []trace.Loc{"nopre.data"}},
+		{"no-enable", func(c *hb.Config) { c.EnableEdges = false }, []trace.Loc{"enable.data"}},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			cfg := hb.DefaultConfig()
+			cse.mut(&cfg)
+			got := racyLocs(t, tr, cfg)
+			for _, fp := range cse.addedFP {
+				if _, ok := got[fp]; !ok {
+					t.Errorf("expected false positive on %s missing (got %v)", fp, got)
+				}
+			}
+			// The real race must survive every ablation that weakens the
+			// relation.
+			if _, ok := got["samequeue-lock.data"]; !ok {
+				t.Errorf("real race lost under %s", cse.name)
+			}
+			// No baseline race should disappear.
+			for loc := range base {
+				if _, ok := got[loc]; !ok {
+					t.Errorf("race on %v disappeared under %s", loc, cse.name)
+				}
+			}
+		})
+	}
+}
+
+func TestAblationEventOnlyFalsePositives(t *testing.T) {
+	tr := ablationTrace(t)
+	cfg := hb.DefaultConfig()
+	cfg.STOnly = true
+	got := racyLocs(t, tr, cfg)
+	for _, fp := range []trace.Loc{"lock.data", "post.data"} {
+		if _, ok := got[fp]; !ok {
+			t.Errorf("event-only should flag %s (cross-thread sync invisible); got %v", fp, got)
+		}
+	}
+}
+
+func TestAblationNaiveMasksRealRace(t *testing.T) {
+	tr := ablationTrace(t)
+	cfg := hb.DefaultConfig()
+	cfg.Naive = true
+	got := racyLocs(t, tr, cfg)
+	if _, ok := got["samequeue-lock.data"]; ok {
+		t.Errorf("naive combination should mask the same-queue lock race; got %v", got)
+	}
+	// The precise analysis reports it (checked in TestAblationWorkloadFullRules).
+}
+
+func TestAblationWholeThreadPOMasksSingleThreadedRaces(t *testing.T) {
+	tr := ablationTrace(t)
+	cfg := hb.DefaultConfig()
+	cfg.WholeThreadPO = true
+	got := racyLocs(t, tr, cfg)
+	if _, ok := got["samequeue-lock.data"]; ok {
+		t.Errorf("whole-thread PO should hide the same-thread race; got %v", got)
+	}
+}

@@ -1,0 +1,161 @@
+// Package apps contains the application models the evaluation runs on:
+// one model per row of Table 2 of the DroidRacer paper, reproducing each
+// application's concurrency skeleton — thread and task-queue usage,
+// asynchronous task volume, and seeded races with ground-truth labels.
+//
+// The paper evaluated 10 open-source applications (200K lines of Java)
+// and 5 proprietary ones on real devices; those binaries cannot run here,
+// so each model reproduces the *concurrency shape* that drives Tables 2
+// and 3: how many threads with and without task queues the app uses, how
+// many asynchronous tasks a representative test executes, which memory
+// locations race, and whether each race is real (reorderable) or a false
+// positive (ordered by ad-hoc synchronization invisible to the
+// instrumentation). Ground-truth labels replace the paper's manual DDMS
+// triage.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"droidracer/internal/android"
+	"droidracer/internal/explorer"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// SeededRace is a ground-truth entry: a memory location intentionally left
+// racy in a model, the category the classifier should assign, and what
+// goes wrong when the orders flip.
+type SeededRace struct {
+	Loc      trace.Loc
+	Category race.Category
+	Note     string
+}
+
+// App is one modeled application.
+type App interface {
+	// Name is the Table 2 application name.
+	Name() string
+	// LOC is the paper-reported source size (0 for proprietary apps).
+	LOC() int
+	// Proprietary marks the five closed-source applications.
+	Proprietary() bool
+	// MainActivity is the activity launched at app start.
+	MainActivity() string
+	// Options configures the simulated environment.
+	Options() android.Options
+	// Explore bounds the representative exploration (the paper used event
+	// sequences of length 1–7, or 1–3 for apps with complex startup).
+	Explore() explorer.Options
+	// Register installs the app's components into the environment.
+	Register(e *android.Env)
+	// GroundTruth lists the seeded true races; nil for proprietary apps
+	// (the paper could not triage them either).
+	GroundTruth() []SeededRace
+}
+
+// Factory adapts an app to the explorer's factory interface.
+func Factory(app App) explorer.AppFactory {
+	return func(seed int64) (*android.Env, error) {
+		opts := app.Options()
+		opts.Seed = seed
+		e := android.NewEnv(opts)
+		app.Register(e)
+		if err := e.Launch(app.MainActivity()); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+}
+
+// RepresentativeTest explores the app and returns the test with the
+// longest trace — the "one representative test" per app that Table 2
+// reports statistics over.
+func RepresentativeTest(app App) (*explorer.Test, error) {
+	res, err := explorer.Explore(Factory(app), app.Explore())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", app.Name(), err)
+	}
+	if len(res.Tests) == 0 {
+		return nil, fmt.Errorf("%s: exploration produced no tests", app.Name())
+	}
+	best := &res.Tests[0]
+	for i := range res.Tests {
+		if res.Tests[i].Trace.Len() > best.Trace.Len() {
+			best = &res.Tests[i]
+		}
+	}
+	return best, nil
+}
+
+var registry = map[string]func() App{}
+
+// register adds an app constructor to the registry (called from init
+// functions of the per-app files).
+func register(name string, ctor func() App) {
+	registry[name] = ctor
+}
+
+// Names returns all registered app names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New instantiates a registered app by name.
+func New(name string) (App, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown app %q", name)
+	}
+	return ctor(), nil
+}
+
+// table2Order lists the models in the paper's Table 2 row order.
+var table2Order = []string{
+	"Aard Dictionary",
+	"Music Player",
+	"My Tracks",
+	"Messenger",
+	"Tomdroid Notes",
+	"FBReader",
+	"Browser",
+	"OpenSudoku",
+	"K-9 Mail",
+	"SGTPuzzles",
+	"Remind Me",
+	"Twitter",
+	"Adobe Reader",
+	"Facebook",
+	"Flipkart",
+}
+
+// All instantiates every model in Table 2 row order.
+func All() []App {
+	out := make([]App, 0, len(table2Order))
+	for _, n := range table2Order {
+		app, err := New(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, app)
+	}
+	return out
+}
+
+// OpenSource instantiates the ten open-source models.
+func OpenSource() []App {
+	var out []App
+	for _, a := range All() {
+		if !a.Proprietary() {
+			out = append(out, a)
+		}
+	}
+	return out
+}

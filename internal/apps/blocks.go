@@ -1,0 +1,341 @@
+package apps
+
+import (
+	"fmt"
+
+	"droidracer/internal/android"
+	"droidracer/internal/trace"
+)
+
+// The blocks in this file are the shared concurrency idioms the app models
+// are assembled from. Each seed block plants races of a known category on
+// distinct memory locations; locations listed in trueSet are genuinely
+// reorderable, while the others are ordered by ad-hoc synchronization
+// (sched flags) invisible to the instrumentation — DroidRacer still
+// reports them, and the ground truth labels them false positives,
+// reproducing the §6 discussion of false-positive sources.
+//
+// Races come from few threads posting many tasks, as in the real
+// applications: Table 2's Music Player has 17 cross-posted races but only
+// 3 threads without queues.
+
+// raceLocs derives the n racy location names for a seed block.
+func raceLocs(app, block string, n int) []trace.Loc {
+	locs := make([]trace.Loc, n)
+	for i := range locs {
+		locs[i] = trace.Loc(fmt.Sprintf("%s.%s%d", app, block, i))
+	}
+	return locs
+}
+
+// fieldSweep touches n distinct fields under the given prefix from the
+// current context, padding the trace and the Table 2 "Fields" column the
+// way real applications touch many object fields per callback.
+func fieldSweep(c *android.Ctx, prefix string, n int) {
+	for i := 0; i < n; i++ {
+		loc := trace.Loc(fmt.Sprintf("%s.f%d", prefix, i))
+		c.Write(loc)
+		c.Read(loc)
+	}
+}
+
+// readSweep re-reads n fields previously written by fieldSweep from the
+// same thread-local region.
+func readSweep(c *android.Ctx, prefix string, n int) {
+	for i := 0; i < n; i++ {
+		c.Read(trace.Loc(fmt.Sprintf("%s.f%d", prefix, i)))
+	}
+}
+
+// seedMTBatch races one background thread against the current thread on
+// nTrue+nFalse locations: the thread reads while the caller writes. The
+// false portion is flag-ordered (write first, invisibly). Adds one thread
+// without a queue.
+func seedMTBatch(c *android.Ctx, app string, nTrue, nFalse int) {
+	locsT := raceLocs(app, "mt", nTrue)
+	locsF := raceLocs(app, "mtfp", nFalse)
+	flag := app + ".mt.ready"
+	c.Fork(app+"-mt-reader", func(b *android.Ctx) {
+		for _, l := range locsT {
+			b.Read(l)
+		}
+		if len(locsF) > 0 {
+			b.WaitFlag(flag)
+			for _, l := range locsF {
+				b.Read(l)
+			}
+		}
+	})
+	for _, l := range locsT {
+		c.Write(l)
+	}
+	for _, l := range locsF {
+		c.Write(l)
+	}
+	if len(locsF) > 0 {
+		c.SetFlag(flag)
+	}
+}
+
+// bundles splits locs into groups of at most per (per<1 means 1).
+func bundles(locs []trace.Loc, per int) [][]trace.Loc {
+	if per < 1 {
+		per = 1
+	}
+	var out [][]trace.Loc
+	for len(locs) > 0 {
+		n := per
+		if n > len(locs) {
+			n = len(locs)
+		}
+		out = append(out, locs[:n])
+		locs = locs[n:]
+	}
+	return out
+}
+
+// seedCrossBatch plants cross-posted races: two poster threads send tasks
+// to the main thread that access the same locations without ordering
+// between the posts. Each task pair covers up to perTask locations (one
+// racy update task touches several fields, as in real applications).
+// False entries are flag-ordered: the reader's post waits (invisibly)
+// until the writer task ran. Adds two threads without queues.
+func seedCrossBatch(c *android.Ctx, app string, nTrue, nFalse, perTask int) {
+	bundlesT := bundles(raceLocs(app, "cross", nTrue), perTask)
+	bundlesF := bundles(raceLocs(app, "crossfp", nFalse), perTask)
+	h := c.Env.MainHandler()
+	c.Fork(app+"-poster1", func(b *android.Ctx) {
+		for i, group := range bundlesT {
+			group := group
+			h.Post(b, fmt.Sprintf("%s.update%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Write(l)
+				}
+			})
+		}
+		for i, group := range bundlesF {
+			group := group
+			flag := fmt.Sprintf("%s.cross.done%d", app, i)
+			h.Post(b, fmt.Sprintf("%s.updatefp%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Write(l)
+				}
+				m.SetFlag(flag)
+			})
+		}
+	})
+	c.Fork(app+"-poster2", func(b *android.Ctx) {
+		for i, group := range bundlesT {
+			group := group
+			h.Post(b, fmt.Sprintf("%s.refresh%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Read(l)
+				}
+			})
+		}
+		for i, group := range bundlesF {
+			group := group
+			b.WaitFlag(fmt.Sprintf("%s.cross.done%d", app, i))
+			h.Post(b, fmt.Sprintf("%s.refreshfp%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Read(l)
+				}
+			})
+		}
+	})
+}
+
+// seedDelayedBatch plants delayed races: for each location bundle, a
+// delayed task and a plain task posted around schedule-dependent work.
+// True entries use a short timeout comparable to the intervening work, so
+// either order occurs; false entries use a timeout far beyond any possible
+// interleaving (with the margin enforced by a flag). Adds one thread
+// without a queue.
+func seedDelayedBatch(c *android.Ctx, app string, nTrue, nFalse, perTask int) {
+	bundlesT := bundles(raceLocs(app, "delayed", nTrue), perTask)
+	bundlesF := bundles(raceLocs(app, "delayedfp", nFalse), perTask)
+	h := c.Env.MainHandler()
+	c.Fork(app+"-delayer", func(b *android.Ctx) {
+		for i, group := range bundlesT {
+			group := group
+			h.PostDelayed(b, fmt.Sprintf("%s.timeout%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Write(l)
+				}
+			}, 4)
+			fieldSweep(b, fmt.Sprintf("%s.dwork%d", app, i), 2)
+			h.Post(b, fmt.Sprintf("%s.poll%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Read(l)
+				}
+			})
+		}
+		for i, group := range bundlesF {
+			group := group
+			// The delayed post comes FIRST, so the delayed-FIFO refinement
+			// derives no ordering and the pair is reported — but the
+			// timeout is so large that the plain task always runs long
+			// before it: a false positive that only timing reasoning could
+			// rule out, the paper's description of the delayed category.
+			h.PostDelayed(b, fmt.Sprintf("%s.timeoutfp%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Write(l)
+				}
+			}, 1_000_000)
+			h.Post(b, fmt.Sprintf("%s.pollfp%d", app, i), func(m *android.Ctx) {
+				for _, l := range group {
+					m.Read(l)
+				}
+			})
+		}
+	})
+}
+
+// seedUnknownBatch plants unknown-category races: pairs of tasks
+// self-posted by the main thread from one parent task, the second to the
+// front of the queue — the FIFO exception the paper defers to future
+// work, which defeats every classification criterion. False entries raise
+// a flag in the front task that the back task waits on, so the reverse
+// order would deadlock and is never observable. Adds no threads. Call
+// from a main-thread task context.
+func seedUnknownBatch(c *android.Ctx, app string, nTrue, nFalse, perTask int) {
+	bundlesT := bundles(raceLocs(app, "unk", nTrue), perTask)
+	bundlesF := bundles(raceLocs(app, "unkfp", nFalse), perTask)
+	h := c.Env.MainHandler()
+	for i, group := range bundlesT {
+		group := group
+		h.Post(c, fmt.Sprintf("%s.uback%d", app, i), func(m *android.Ctx) {
+			for _, l := range group {
+				m.Write(l)
+			}
+		})
+		h.PostAtFront(c, fmt.Sprintf("%s.ufront%d", app, i), func(m *android.Ctx) {
+			for _, l := range group {
+				m.Read(l)
+			}
+		})
+	}
+	for i, group := range bundlesF {
+		group := group
+		flag := fmt.Sprintf("%s.unk.flag%d", app, i)
+		h.Post(c, fmt.Sprintf("%s.ubackfp%d", app, i), func(m *android.Ctx) {
+			m.WaitFlag(flag)
+			for _, l := range group {
+				m.Write(l)
+			}
+		})
+		h.PostAtFront(c, fmt.Sprintf("%s.ufrontfp%d", app, i), func(m *android.Ctx) {
+			for _, l := range group {
+				m.Read(l)
+			}
+			m.SetFlag(flag)
+		})
+	}
+}
+
+// busyTasksMain posts n small self-tasks from the current main-thread
+// task. NOPRE orders them after the parent, so no races result; only the
+// "Async. tasks" column grows. Adds no threads.
+func busyTasksMain(c *android.Ctx, name string, n int) {
+	h := c.Env.MainHandler()
+	for i := 0; i < n; i++ {
+		loc := trace.Loc(fmt.Sprintf("%s.mitem%d", name, i))
+		c.Write(loc)
+		h.Post(c, fmt.Sprintf("%s.mtask%d", name, i), func(m *android.Ctx) {
+			m.Read(loc)
+		})
+	}
+}
+
+// coEnabledButtons registers one pair of enabled buttons whose handlers
+// conflict on nTrue+nFalse locations: two UI events co-enabled on one
+// screen. The false entries are accessed by the second handler only after
+// the first ran (a Go-level condition models state the real app checks),
+// so the reverse access order cannot occur. Firing both buttons exposes
+// the races. Handlers also run `work` field sweeps to weight the trace.
+func coEnabledButtons(c *android.Ctx, app string, nTrue, nFalse, work int) {
+	locsT := raceLocs(app, "co", nTrue)
+	locsF := raceLocs(app, "cofp", nFalse)
+	firstRan := false
+	c.AddButton(app+"-action1", true, func(m *android.Ctx) {
+		for _, l := range locsT {
+			m.Write(l)
+		}
+		for _, l := range locsF {
+			m.Write(l)
+		}
+		firstRan = true
+		fieldSweep(m, app+".action1", work)
+	})
+	c.AddButton(app+"-action2", true, func(m *android.Ctx) {
+		for _, l := range locsT {
+			m.Read(l)
+		}
+		if firstRan {
+			for _, l := range locsF {
+				m.Read(l)
+			}
+			// Consume what action1 produced: extra work that makes the
+			// two-button sequence the longest explored test, so the
+			// representative trace exposes the co-enabled races.
+			fieldSweep(m, app+".consume", work+2)
+		}
+		fieldSweep(m, app+".action2", work)
+	})
+}
+
+// busyTasks posts n small tasks from a worker thread, inflating the
+// Table 2 "Async. tasks" column the way chatty applications do. Each task
+// touches its own field, so no races result. Adds one thread.
+func busyTasks(c *android.Ctx, name string, n int) {
+	h := c.Env.MainHandler()
+	c.Fork(name+"-pump", func(b *android.Ctx) {
+		for i := 0; i < n; i++ {
+			loc := trace.Loc(fmt.Sprintf("%s.item%d", name, i))
+			b.Write(loc)
+			h.Post(b, fmt.Sprintf("%s.task%d", name, i), func(m *android.Ctx) {
+				m.Read(loc)
+			})
+		}
+	})
+}
+
+// plainWorkers forks n plain threads that do thread-local work, inflating
+// the Table 2 "Threads (w/o Qs)" column without adding races.
+func plainWorkers(c *android.Ctx, name string, n, work int) {
+	for i := 0; i < n; i++ {
+		i := i
+		c.Fork(fmt.Sprintf("%s-%d", name, i), func(b *android.Ctx) {
+			fieldSweep(b, fmt.Sprintf("%s.%d", name, i), work)
+		})
+	}
+}
+
+// queueWorkers creates n HandlerThreads that each process `jobs` posted
+// jobs of `work` field sweeps, inflating the "Threads (w/ Qs)" column.
+func queueWorkers(c *android.Ctx, name string, n, jobs, work int) {
+	for i := 0; i < n; i++ {
+		h := c.NewHandlerThread(fmt.Sprintf("%s-%d", name, i))
+		for j := 0; j < jobs; j++ {
+			prefix := fmt.Sprintf("%s.%d.%d", name, i, j)
+			h.Post(c, prefix, func(w *android.Ctx) {
+				fieldSweep(w, prefix, work)
+			})
+		}
+	}
+}
+
+// lockedCounter bumps a shared counter under a lock from both the current
+// thread and a background thread: correctly synchronized, never reported.
+// Adds one thread.
+func lockedCounter(c *android.Ctx, name string, loc trace.Loc) {
+	l := trace.LockID(name + ".mu")
+	c.Fork(name+"-incr", func(b *android.Ctx) {
+		b.Acquire(l)
+		b.Write(loc)
+		b.Release(l)
+	})
+	c.Acquire(l)
+	c.Write(loc)
+	c.Release(l)
+}

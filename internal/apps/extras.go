@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"fmt"
+
+	"droidracer/internal/android"
+	"droidracer/internal/trace"
+)
+
+// Extras give the application models the distinctive framework components
+// the real apps are built from — started services, intent services,
+// broadcast receivers, periodic timers, idle handlers, and the custom
+// task queues §6 calls out in Messenger and FBReader. Their fields are
+// private to each component, so they enrich the trace structure without
+// perturbing Table 3.
+
+// customQueueExtra drains n jobs through a raw (unmapped) custom task
+// queue — the list-of-Runnables construct §6 observes in Messenger and
+// FBReader. The worker is invisible to the analysis as a queue: only its
+// lock and list-field operations appear, and NO-Q-PO chains its jobs.
+// Adds one thread without a queue.
+func customQueueExtra(name string, n int) func(c *android.Ctx) {
+	return func(c *android.Ctx) {
+		q := c.NewCustomQueue(name+".runnables", false)
+		for i := 0; i < n; i++ {
+			loc := trace.Loc(fmt.Sprintf("%s.job%d", name, i))
+			q.Enqueue(c, fmt.Sprintf("job%d", i), func(w *android.Ctx) {
+				w.Write(loc)
+				w.Read(loc)
+			})
+		}
+	}
+}
+
+// trackingServiceExtra models My Tracks' recording service: a started
+// Service plus a periodic GPS sampling timer. Adds one queue thread (the
+// timer) and 1 + ticks asynchronous tasks.
+func trackingServiceExtra(ticks int) func(c *android.Ctx) {
+	return func(c *android.Ctx) {
+		c.Env.RegisterService("TrackRecording", func() android.Service {
+			return &recordingService{}
+		})
+		c.StartService("TrackRecording")
+		c.SchedulePeriodic("My Tracks.gpsSample", 20, ticks, func(tc *android.Ctx) {
+			tc.Write("My Tracks.lastFix")
+			tc.Read("My Tracks.lastFix")
+		})
+	}
+}
+
+type recordingService struct {
+	android.BaseService
+}
+
+func (s *recordingService) OnCreate(c *android.Ctx)       { c.Write("TrackRecording.state") }
+func (s *recordingService) OnStartCommand(c *android.Ctx) { c.Read("TrackRecording.state") }
+
+// syncServiceExtra models K-9's folder synchronization as an
+// IntentService handling `starts` sync requests on a dedicated worker.
+// Adds one queue thread (the worker) and 2·starts asynchronous tasks.
+func syncServiceExtra(starts int) func(c *android.Ctx) {
+	return func(c *android.Ctx) {
+		c.Env.RegisterService("FolderSync", func() android.Service {
+			return &android.IntentService{Name: "FolderSync", OnHandleIntent: func(w *android.Ctx) {
+				fieldSweep(w, "FolderSync.batch", 4)
+			}}
+		})
+		for i := 0; i < starts; i++ {
+			c.StartService("FolderSync")
+		}
+	}
+}
+
+// receiverExtra registers a broadcast receiver and delivers one broadcast
+// from a worker thread (a sync-complete notification). Adds one plain
+// thread and one asynchronous task.
+func receiverExtra(action string) func(c *android.Ctx) {
+	return func(c *android.Ctx) {
+		c.RegisterReceiver(action, func(rc *android.Ctx, a string) {
+			rc.Write(trace.Loc(a + ".received"))
+		})
+		c.Fork(action+"-notifier", func(b *android.Ctx) {
+			fieldSweep(b, action+".payload", 2)
+			b.SendBroadcast(action)
+		})
+	}
+}
+
+// idleExtra registers an idle handler warming a cache once the launch
+// storm settles. Adds one asynchronous task.
+func idleExtra(name string) func(c *android.Ctx) {
+	return func(c *android.Ctx) {
+		c.AddIdleHandler(name+".warmCaches", func(ic *android.Ctx) {
+			fieldSweep(ic, name+".cache", 3)
+		})
+	}
+}
+
+// combineExtras runs several extras in order.
+func combineExtras(extras ...func(c *android.Ctx)) func(c *android.Ctx) {
+	return func(c *android.Ctx) {
+		for _, ex := range extras {
+			ex(c)
+		}
+	}
+}

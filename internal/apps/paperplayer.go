@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"droidracer/internal/android"
+	"droidracer/internal/explorer"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// PaperMusicPlayer is the motivating example of the paper (Figure 1): the
+// DwFileAct activity downloads a file with a FileDwTask AsyncTask, shows
+// progress, and enables a PLAY button when done. The field
+// isActivityDestroyed is read by the background download and by
+// onPostExecute, and written by onDestroy — the two races of Figure 4.
+//
+// It is not a Table 2 row (the paper's "Music Player" is a real 11K-line
+// application); it exists to reproduce the Figure 3/Figure 4 scenarios
+// end-to-end through the simulated runtime.
+type PaperMusicPlayer struct {
+	// DownloadChunks is the number of progress updates the download makes.
+	DownloadChunks int
+}
+
+// NewPaperMusicPlayer returns the model with the paper's behavior.
+func NewPaperMusicPlayer() *PaperMusicPlayer { return &PaperMusicPlayer{DownloadChunks: 3} }
+
+func init() {
+	register("Paper Music Player", func() App { return NewPaperMusicPlayer() })
+}
+
+// DestroyedFlag is the racy field of Figure 1 (line 2).
+const DestroyedFlag = trace.Loc("DwFileAct.isActivityDestroyed")
+
+// Name implements App.
+func (*PaperMusicPlayer) Name() string { return "Paper Music Player" }
+
+// LOC implements App.
+func (*PaperMusicPlayer) LOC() int { return 59 } // the Figure 1 listing
+
+// Proprietary implements App.
+func (*PaperMusicPlayer) Proprietary() bool { return false }
+
+// MainActivity implements App.
+func (*PaperMusicPlayer) MainActivity() string { return "DwFileAct" }
+
+// Options implements App.
+func (*PaperMusicPlayer) Options() android.Options { return android.DefaultOptions() }
+
+// Explore implements App.
+func (*PaperMusicPlayer) Explore() explorer.Options {
+	return explorer.Options{MaxEvents: 2, MaxTests: 10}
+}
+
+// GroundTruth implements App: both Figure 4 races are true positives (the
+// paper validates them by failing the assertions of Figure 1).
+func (*PaperMusicPlayer) GroundTruth() []SeededRace {
+	return []SeededRace{
+		{Loc: DestroyedFlag, Category: race.Multithreaded,
+			Note: "doInBackground asserts !isActivityDestroyed (line 41) against onDestroy"},
+		{Loc: DestroyedFlag, Category: race.CrossPosted,
+			Note: "onPostExecute asserts !isActivityDestroyed (line 53) against onDestroy"},
+	}
+}
+
+// dwFileAct is the DwFileAct activity of Figure 1.
+type dwFileAct struct {
+	android.BaseActivity
+	app *PaperMusicPlayer
+}
+
+// Register implements App.
+func (p *PaperMusicPlayer) Register(e *android.Env) {
+	e.RegisterActivity("DwFileAct", func() android.Activity { return &dwFileAct{app: p} })
+	e.RegisterActivity("MusicPlayActivity", func() android.Activity { return &playActivity{} })
+}
+
+func (a *dwFileAct) OnCreate(c *android.Ctx) {
+	// boolean isActivityDestroyed = false (line 2).
+	c.Write(DestroyedFlag)
+	// The PLAY button exists but is disabled until the download finishes.
+	c.AddButton("play", false, func(c *android.Ctx) {
+		// onPlayClick: startActivity(MusicPlayActivity) (lines 8–12).
+		c.Read("DwFileAct.intent")
+		c.StartActivity("MusicPlayActivity")
+	})
+}
+
+func (a *dwFileAct) OnResume(c *android.Ctx) {
+	// new FileDwTask(this).execute(...) (line 6).
+	c.Execute(&android.AsyncTask{
+		Name: "FileDwTask",
+		OnPreExecute: func(c *android.Ctx) {
+			// dialog = new ProgressDialog(act); dialog.show() (lines 27–29).
+			c.Write("FileDwTask.dialog")
+		},
+		DoInBackground: func(c *android.Ctx, publish func()) {
+			for i := 0; i < a.app.DownloadChunks; i++ {
+				// progress += count (line 40).
+				c.Write("FileDwTask.progress")
+				// assertTrue(!act.isActivityDestroyed) (line 41).
+				c.Read(DestroyedFlag)
+				publish() // publishProgress (line 42).
+			}
+		},
+		OnProgressUpdate: func(c *android.Ctx) {
+			// dialog.setProgress(progress[0]) (line 48).
+			c.Read("FileDwTask.dialog")
+			c.Write("FileDwTask.progressBar")
+		},
+		OnPostExecute: func(c *android.Ctx) {
+			// assertTrue(!act.isActivityDestroyed) (line 53).
+			c.Read(DestroyedFlag)
+			// dialog.dismiss(); btn.setEnabled(true) (lines 54–56).
+			c.Write("FileDwTask.dialog")
+			c.SetEnabled("play", true)
+		},
+	})
+}
+
+func (a *dwFileAct) OnDestroy(c *android.Ctx) {
+	// isActivityDestroyed = true (line 15).
+	c.Write(DestroyedFlag)
+}
+
+// playActivity is the MusicPlayActivity the PLAY button starts.
+type playActivity struct {
+	android.BaseActivity
+}
+
+func (p *playActivity) OnCreate(c *android.Ctx) {
+	c.Read("MusicPlayActivity.file")
+	c.Write("MusicPlayActivity.player")
+}

@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"testing"
+
+	"droidracer/internal/android"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// detectOn runs the full analysis pipeline on a trace.
+func detectOn(t *testing.T, tr *trace.Trace) []race.Race {
+	t.Helper()
+	if i, err := semantics.ValidateInferred(tr); err != nil {
+		t.Fatalf("invalid trace at op %d: %v", i, err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return race.NewDetector(hb.Build(info, hb.DefaultConfig())).DetectDeduped()
+}
+
+// runSequence executes one event sequence on the app.
+func runSequence(t *testing.T, app App, seq []android.UIEvent) *trace.Trace {
+	t.Helper()
+	tr, err := explorer.Replay(Factory(app), 0, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPaperPlayerPlayScenarioRaceFree(t *testing.T) {
+	// The Figure 3 scenario: wait for the download, then click PLAY. The
+	// destroyed-flag accesses are all ordered; no race on it.
+	app := NewPaperMusicPlayer()
+	tr := runSequence(t, app, []android.UIEvent{{Kind: android.EvClick, Widget: "play"}})
+	for _, r := range detectOn(t, tr) {
+		if r.Loc == DestroyedFlag {
+			t.Fatalf("race on %s in the PLAY scenario: %v", DestroyedFlag, r)
+		}
+	}
+}
+
+func TestPaperPlayerBackScenarioTwoRaces(t *testing.T) {
+	// The Figure 4 scenario: press BACK instead. DroidRacer reports the
+	// multithreaded race (doInBackground read vs onDestroy write) and the
+	// cross-posted race (onPostExecute read vs onDestroy write).
+	app := NewPaperMusicPlayer()
+	tr := runSequence(t, app, []android.UIEvent{{Kind: android.EvBack}})
+	races := detectOn(t, tr)
+	var cats []race.Category
+	for _, r := range races {
+		if r.Loc == DestroyedFlag {
+			cats = append(cats, r.Category)
+		}
+	}
+	if len(cats) != 2 {
+		t.Fatalf("races on %s = %v, want multithreaded + cross-posted", DestroyedFlag, races)
+	}
+	has := map[race.Category]bool{}
+	for _, c := range cats {
+		has[c] = true
+	}
+	if !has[race.Multithreaded] || !has[race.CrossPosted] {
+		t.Fatalf("categories = %v, want {multithreaded, cross-posted}", cats)
+	}
+}
+
+func TestPaperPlayerGroundTruthMatchesDetector(t *testing.T) {
+	app := NewPaperMusicPlayer()
+	tr := runSequence(t, app, []android.UIEvent{{Kind: android.EvBack}})
+	races := detectOn(t, tr)
+	for _, gt := range app.GroundTruth() {
+		found := false
+		for _, r := range races {
+			if r.Loc == gt.Loc && r.Category == gt.Category {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seeded race %v (%s) not detected", gt.Loc, gt.Category)
+		}
+	}
+}
+
+func TestPaperPlayerExploration(t *testing.T) {
+	app := NewPaperMusicPlayer()
+	res, err := explorer.Explore(Factory(app), app.Explore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) == 0 {
+		t.Fatal("no tests explored")
+	}
+	// Some explored test must expose the destroyed-flag races.
+	exposed := false
+	for _, test := range res.Tests {
+		for _, r := range detectOn(t, test.Trace) {
+			if r.Loc == DestroyedFlag {
+				exposed = true
+			}
+		}
+	}
+	if !exposed {
+		t.Fatal("no explored test exposed the Figure 4 races")
+	}
+}
+
+func TestRepresentativeTestDeterministic(t *testing.T) {
+	app := NewPaperMusicPlayer()
+	a, err := RepresentativeTest(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RepresentativeTest(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() || a.Trace.Len() != b.Trace.Len() {
+		t.Fatalf("representative test not deterministic: %s/%d vs %s/%d",
+			a.Name(), a.Trace.Len(), b.Name(), b.Trace.Len())
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	if _, err := New("No Such App"); err == nil {
+		t.Fatal("unknown app lookup succeeded")
+	}
+}

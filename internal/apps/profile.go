@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"droidracer/internal/android"
+	"droidracer/internal/explorer"
+	"droidracer/internal/race"
+)
+
+// profile declares the concurrency skeleton of one modeled application:
+// how much state its startup touches, which worker threads and task queues
+// it creates, how chatty its asynchronous messaging is, and how many races
+// of each category it harbors (split into genuinely reorderable ones and
+// ad-hoc-synchronized false positives). The per-app files instantiate one
+// profile each, tuned so the resulting trace statistics land in the same
+// regime as the paper's Table 2 row.
+type profile struct {
+	name        string
+	loc         int
+	proprietary bool
+
+	// Exploration bounds for the representative test.
+	maxEvents int
+	maxTests  int
+
+	// launchFields is the number of object fields the startup path
+	// initializes; rereads re-scans them (list redraws, cache hits).
+	launchFields int
+	rereads      int
+
+	// Race seeds per category: {true positives, false positives}, plus
+	// task bundling width for the post-based categories.
+	mtTrue, mtFalse           int
+	crossTrue, crossFalse     int
+	crossPerTask              int
+	coTrue, coFalse           int
+	coWork                    int
+	delayedTrue, delayedFalse int
+	delayedPerTask            int
+	unkTrue, unkFalse         int
+	unkPerTask                int
+
+	// Background structure.
+	plainThreads, plainWork            int
+	queueThreads, queueJobs, queueWork int
+	tasks                              int // posted from a dedicated pump thread
+	tasksMain                          int // self-posted by the main thread (no extra thread)
+
+	// extra hooks app-specific behavior into onResume.
+	extra func(c *android.Ctx)
+}
+
+// app wraps a profile into the App interface.
+type profileApp struct {
+	p profile
+}
+
+// Name implements App.
+func (a *profileApp) Name() string { return a.p.name }
+
+// LOC implements App.
+func (a *profileApp) LOC() int { return a.p.loc }
+
+// Proprietary implements App.
+func (a *profileApp) Proprietary() bool { return a.p.proprietary }
+
+// MainActivity implements App.
+func (a *profileApp) MainActivity() string { return a.p.name + "Activity" }
+
+// Options implements App.
+func (a *profileApp) Options() android.Options { return android.DefaultOptions() }
+
+// Explore implements App.
+func (a *profileApp) Explore() explorer.Options {
+	return explorer.Options{MaxEvents: a.p.maxEvents, MaxTests: a.p.maxTests}
+}
+
+// GroundTruth implements App: the seeded true races, named by the seed
+// blocks' location scheme. Proprietary apps return nil — their races were
+// not triaged in the paper either.
+func (a *profileApp) GroundTruth() []SeededRace {
+	if a.p.proprietary {
+		return nil
+	}
+	var out []SeededRace
+	add := func(block string, n int, cat race.Category) {
+		for _, l := range raceLocs(a.p.name, block, n) {
+			out = append(out, SeededRace{Loc: l, Category: cat, Note: block + " seed"})
+		}
+	}
+	add("mt", a.p.mtTrue, race.Multithreaded)
+	add("cross", a.p.crossTrue, race.CrossPosted)
+	add("co", a.p.coTrue, race.CoEnabled)
+	add("delayed", a.p.delayedTrue, race.Delayed)
+	add("unk", a.p.unkTrue, race.Unknown)
+	return out
+}
+
+// Register implements App.
+func (a *profileApp) Register(e *android.Env) {
+	e.RegisterActivity(a.MainActivity(), func() android.Activity {
+		return &profileActivity{p: &a.p}
+	})
+}
+
+// profileActivity drives the profile through the activity lifecycle.
+type profileActivity struct {
+	android.BaseActivity
+	p *profile
+}
+
+func (pa *profileActivity) OnCreate(c *android.Ctx) {
+	p := pa.p
+	// Startup initializes the app's object graph.
+	fieldSweep(c, p.name+".init", p.launchFields)
+	// Widgets: the co-enabled pair exists even with zero co seeds so that
+	// every model has UI events to explore.
+	coEnabledButtons(c, p.name, p.coTrue, p.coFalse, p.coWork)
+}
+
+func (pa *profileActivity) OnResume(c *android.Ctx) {
+	p := pa.p
+	for i := 0; i < p.rereads; i++ {
+		readSweep(c, p.name+".init", p.launchFields)
+	}
+	if n := p.mtTrue + p.mtFalse; n > 0 {
+		seedMTBatch(c, p.name, p.mtTrue, p.mtFalse)
+	}
+	if n := p.crossTrue + p.crossFalse; n > 0 {
+		seedCrossBatch(c, p.name, p.crossTrue, p.crossFalse, p.crossPerTask)
+	}
+	if n := p.delayedTrue + p.delayedFalse; n > 0 {
+		seedDelayedBatch(c, p.name, p.delayedTrue, p.delayedFalse, p.delayedPerTask)
+	}
+	if n := p.unkTrue + p.unkFalse; n > 0 {
+		seedUnknownBatch(c, p.name, p.unkTrue, p.unkFalse, p.unkPerTask)
+	}
+	if p.plainThreads > 0 {
+		plainWorkers(c, p.name+".worker", p.plainThreads, p.plainWork)
+	}
+	if p.queueThreads > 0 {
+		queueWorkers(c, p.name+".hthread", p.queueThreads, p.queueJobs, p.queueWork)
+	}
+	if p.tasks > 0 {
+		busyTasks(c, p.name+".pump", p.tasks)
+	}
+	if p.tasksMain > 0 {
+		busyTasksMain(c, p.name+".self", p.tasksMain)
+	}
+	if p.extra != nil {
+		p.extra(c)
+	}
+}

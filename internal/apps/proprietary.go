@@ -1,0 +1,102 @@
+package apps
+
+// The five proprietary applications of Table 2. The paper ran these as
+// unmodified binaries and could not triage their races (no source, no
+// debug info), so the models return no ground truth: the harness reports
+// raw counts only, as Table 3 does. The true/false seed splits below are
+// therefore arbitrary mixtures — what matters is the reported totals and
+// the concurrency shape.
+
+func init() {
+	register("Remind Me", newRemindMe)
+	register("Twitter", newTwitter)
+	register("Adobe Reader", newAdobeReader)
+	register("Facebook", newFacebook)
+	register("Flipkart", newFlipkart)
+}
+
+// newRemindMe models Remind Me: a small reminder app dominated by
+// co-enabled UI races (33) and cross-posted list refreshes (21).
+func newRemindMe() App {
+	return &profileApp{p: profile{
+		name: "Remind Me", proprietary: true,
+		maxEvents: 2, maxTests: 12,
+		launchFields: 118, rereads: 77,
+		crossTrue: 8, crossFalse: 13, crossPerTask: 3,
+		coTrue: 20, coFalse: 13, coWork: 6,
+		tasks:     150, // reminder-list refresh storm
+		tasksMain: 7,
+	}}
+}
+
+// newTwitter models Twitter: a large thread population (21 plain threads,
+// 5 queue threads) with comparatively few races.
+func newTwitter() App {
+	return &profileApp{p: profile{
+		name: "Twitter", proprietary: true,
+		maxEvents: 2, maxTests: 12,
+		launchFields: 1020, rereads: 13,
+		crossTrue: 9, crossFalse: 11, crossPerTask: 4,
+		coTrue: 5, coFalse: 2, coWork: 10,
+		delayedTrue: 2, delayedFalse: 2, delayedPerTask: 2,
+		plainThreads: 17, plainWork: 6,
+		queueThreads: 4, queueJobs: 8, queueWork: 4,
+		tasks:     40,
+		tasksMain: 6,
+	}}
+}
+
+// newAdobeReader models Adobe Reader: rendering workers produce the
+// second-highest multithreaded count (34) plus delayed and unknown races
+// (the paper reports 9 unknown-category races for it).
+func newAdobeReader() App {
+	return &profileApp{p: profile{
+		name: "Adobe Reader", proprietary: true,
+		maxEvents: 2, maxTests: 12,
+		launchFields: 740, rereads: 41,
+		mtTrue: 10, mtFalse: 24,
+		crossTrue: 20, crossFalse: 53, crossPerTask: 6,
+		coWork:      8,
+		delayedTrue: 3, delayedFalse: 6, delayedPerTask: 3,
+		unkTrue: 4, unkFalse: 5, unkPerTask: 3,
+		plainThreads: 12, plainWork: 6,
+		queueThreads: 3, queueJobs: 20, queueWork: 3,
+		tasks:     110,
+		tasksMain: 13,
+	}}
+}
+
+// newFacebook models Facebook: a very long trace with remarkably few
+// asynchronous tasks (16) — heavy in-thread feed processing instead.
+func newFacebook() App {
+	return &profileApp{p: profile{
+		name: "Facebook", proprietary: true,
+		maxEvents: 2, maxTests: 12,
+		launchFields: 630, rereads: 80,
+		mtTrue: 5, mtFalse: 7,
+		crossTrue: 4, crossFalse: 6, crossPerTask: 4,
+		coWork:       10,
+		plainThreads: 13, plainWork: 8,
+		queueThreads: 2, queueJobs: 2, queueWork: 3,
+		tasksMain: 3,
+	}}
+}
+
+// newFlipkart models Flipkart: the largest trace of the evaluation (157K
+// operations, 36 plain threads) and the most races in every category.
+func newFlipkart() App {
+	return &profileApp{p: profile{
+		name: "Flipkart", proprietary: true,
+		maxEvents: 2, maxTests: 8,
+		launchFields: 1385, rereads: 110,
+		mtTrue: 5, mtFalse: 7,
+		crossTrue: 60, crossFalse: 92, crossPerTask: 8,
+		coTrue: 50, coFalse: 34, coWork: 12,
+		delayedTrue: 10, delayedFalse: 20, delayedPerTask: 5,
+		unkTrue: 16, unkFalse: 20, unkPerTask: 6,
+		plainThreads: 31, plainWork: 8,
+		queueThreads: 2, queueJobs: 5, queueWork: 4,
+		tasks:     20,
+		tasksMain: 6,
+	}}
+}

@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"droidracer/internal/trace"
+	"droidracer/internal/vc"
+)
+
+// AsyncAsThreads simulates asynchronous calls through additional threads
+// (§7: such simulations "do not scale or produce many false positives"):
+// every posted task becomes its own vector-clock context, created from the
+// poster's clock at the post. The identity of the queue thread is ignored,
+// so two tasks dispatched sequentially on one thread appear concurrent
+// unless their posts are ordered — FIFO and run-to-completion orderings
+// are lost.
+type AsyncAsThreads struct{}
+
+// NewAsyncAsThreads returns the async-as-threads baseline detector.
+func NewAsyncAsThreads() *AsyncAsThreads { return &AsyncAsThreads{} }
+
+// Name implements Detector.
+func (*AsyncAsThreads) Name() string { return "async-as-threads" }
+
+// Detect implements Detector.
+func (d *AsyncAsThreads) Detect(tr *trace.Trace) []Finding {
+	s := newMTState()
+
+	// Context IDs: threads keep their IDs; tasks are numbered beyond the
+	// largest thread ID seen in the trace.
+	maxThread := trace.ThreadID(0)
+	for _, op := range tr.Ops() {
+		if op.Thread > maxThread {
+			maxThread = op.Thread
+		}
+		if op.Other > maxThread {
+			maxThread = op.Other
+		}
+	}
+	nextTask := vc.ID(maxThread) + 1
+	taskID := make(map[trace.TaskID]vc.ID)
+	idOfTask := func(p trace.TaskID) vc.ID {
+		id, ok := taskID[p]
+		if !ok {
+			id = nextTask
+			nextTask++
+			taskID[p] = id
+		}
+		return id
+	}
+
+	// current maps each real thread to the context executing on it: the
+	// running task's context, or the thread's own.
+	current := make(map[trace.ThreadID]vc.ID)
+	ctx := func(t trace.ThreadID) vc.ID {
+		if id, ok := current[t]; ok {
+			return id
+		}
+		return vc.ID(t)
+	}
+
+	for i, op := range tr.Ops() {
+		me := ctx(op.Thread)
+		switch op.Kind {
+		case trace.OpFork:
+			c := s.clock(me)
+			s.pending[vc.ID(op.Other)] = c.Copy()
+			c.Tick(me)
+		case trace.OpThreadInit:
+			s.clock(me)
+		case trace.OpThreadExit:
+			s.exited[me] = s.clock(me).Copy()
+		case trace.OpJoin:
+			if ec, ok := s.exited[vc.ID(op.Other)]; ok {
+				s.clock(me).Join(ec)
+			}
+		case trace.OpPost:
+			// The task is a freshly spawned "thread": it inherits the
+			// poster's clock.
+			c := s.clock(me)
+			s.pending[idOfTask(op.Task)] = c.Copy()
+			c.Tick(me)
+		case trace.OpBegin:
+			current[op.Thread] = idOfTask(op.Task)
+			s.clock(current[op.Thread])
+		case trace.OpEnd:
+			delete(current, op.Thread)
+		case trace.OpAcquire:
+			if rel, ok := s.lockRel[op.Lock]; ok {
+				s.clock(me).Join(rel)
+			}
+		case trace.OpRelease:
+			c := s.clock(me)
+			s.lockRel[op.Lock] = c.Copy()
+			c.Tick(me)
+		case trace.OpRead, trace.OpWrite:
+			s.record(me, op, i)
+		}
+	}
+	return s.findings()
+}

@@ -1,0 +1,71 @@
+// Package baseline implements the race detectors the DroidRacer paper
+// compares against in §7, to reproduce its false-positive/false-negative
+// arguments on the same traces:
+//
+//   - PureMT: classic multithreaded happens-before (FastTrack/DJIT+-style
+//     vector clocks over threads, fork/join and locks). It ignores
+//     asynchronous dispatch: single-threaded races are invisible (false
+//     negatives) and post-induced orderings are missed (false positives).
+//   - AsyncAsThreads: asynchronous calls "simulated through additional
+//     threads" — every task becomes its own vector-clock context, created
+//     at its post. FIFO and run-to-completion orderings are lost, so
+//     same-queue tasks appear concurrent (false positives).
+//   - EventOnly: the happens-before of single-threaded event-driven
+//     programs applied per thread (the §4.1 specialization), blind to
+//     inter-thread synchronization (false positives on multithreaded
+//     orderings).
+//   - Lockset: Eraser-style lockset analysis; "analyses based on locksets
+//     produce false positives because there may be no explicit locks and
+//     instead the synchronization could be through ordering of events."
+//
+// Each detector reports racy memory locations with one representative
+// access pair, the granularity at which the comparison harness tallies
+// agreement with the full DroidRacer analysis.
+package baseline
+
+import (
+	"sort"
+
+	"droidracer/internal/trace"
+)
+
+// Finding is one racy memory location with a representative access pair
+// (First < Second in trace order).
+type Finding struct {
+	Loc    trace.Loc
+	First  int
+	Second int
+}
+
+// Detector is a race detector operating directly on execution traces.
+type Detector interface {
+	// Name identifies the detector in comparison tables.
+	Name() string
+	// Detect returns the racy locations found in tr, sorted by location.
+	Detect(tr *trace.Trace) []Finding
+}
+
+// All returns one instance of every baseline detector.
+func All() []Detector {
+	return []Detector{
+		NewPureMT(),
+		NewAsyncAsThreads(),
+		NewEventOnly(),
+		NewLockset(),
+	}
+}
+
+// sortFindings orders findings by location for deterministic output.
+func sortFindings(fs []Finding) []Finding {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Loc < fs[j].Loc })
+	return fs
+}
+
+// Locs returns the set of racy locations in a finding list.
+func Locs(fs []Finding) map[trace.Loc]bool {
+	m := make(map[trace.Loc]bool, len(fs))
+	for _, f := range fs {
+		m[f.Loc] = true
+	}
+	return m
+}

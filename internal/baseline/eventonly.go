@@ -1,0 +1,42 @@
+package baseline
+
+import (
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// EventOnly applies the happens-before relation of single-threaded
+// event-driven programs (the web-application analyses of §7) per thread:
+// the thread-local rules with every inter-thread rule dropped. Cross-thread
+// synchronization (fork/join, locks, cross-thread posts) is invisible, so
+// correctly synchronized multithreaded code is reported racy.
+type EventOnly struct{}
+
+// NewEventOnly returns the event-only baseline detector.
+func NewEventOnly() *EventOnly { return &EventOnly{} }
+
+// Name implements Detector.
+func (*EventOnly) Name() string { return "event-only" }
+
+// Detect implements Detector. Structurally malformed traces yield no
+// findings.
+func (d *EventOnly) Detect(tr *trace.Trace) []Finding {
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		return nil
+	}
+	cfg := hb.DefaultConfig()
+	cfg.STOnly = true
+	g := hb.Build(info, cfg)
+	seen := make(map[trace.Loc]bool)
+	var out []Finding
+	for _, r := range race.NewDetector(g).Detect() {
+		if seen[r.Loc] {
+			continue
+		}
+		seen[r.Loc] = true
+		out = append(out, Finding{Loc: r.Loc, First: r.First, Second: r.Second})
+	}
+	return sortFindings(out)
+}

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"droidracer/internal/trace"
+)
+
+// Lockset is an Eraser-style lockset detector: every shared location must
+// be consistently protected by some lock. It uses Eraser's ownership state
+// machine (virgin → exclusive → shared / shared-modified) and reports a
+// location once its candidate lockset becomes empty in the
+// shared-modified state. Ordering-based synchronization (posts, fork/join
+// hand-offs) is invisible, so event-ordered accesses are reported racy —
+// the false-positive mode §7 attributes to lockset analyses.
+type Lockset struct{}
+
+// NewLockset returns the Eraser-style baseline detector.
+func NewLockset() *Lockset { return &Lockset{} }
+
+// Name implements Detector.
+func (*Lockset) Name() string { return "eraser-lockset" }
+
+type ownership uint8
+
+const (
+	virgin ownership = iota
+	exclusive
+	shared
+	sharedModified
+)
+
+type locksetState struct {
+	state     ownership
+	owner     trace.ThreadID
+	candidate map[trace.LockID]bool // nil until first transition out of exclusive
+	lastOp    int
+}
+
+// Detect implements Detector.
+func (d *Lockset) Detect(tr *trace.Trace) []Finding {
+	held := make(map[trace.ThreadID]map[trace.LockID]int)
+	locs := make(map[trace.Loc]*locksetState)
+	found := make(map[trace.Loc]Finding)
+
+	heldSet := func(t trace.ThreadID) map[trace.LockID]bool {
+		out := make(map[trace.LockID]bool)
+		for l, n := range held[t] {
+			if n > 0 {
+				out[l] = true
+			}
+		}
+		return out
+	}
+
+	for i, op := range tr.Ops() {
+		switch op.Kind {
+		case trace.OpAcquire:
+			if held[op.Thread] == nil {
+				held[op.Thread] = make(map[trace.LockID]int)
+			}
+			held[op.Thread][op.Lock]++
+		case trace.OpRelease:
+			if m := held[op.Thread]; m != nil && m[op.Lock] > 0 {
+				m[op.Lock]--
+			}
+		case trace.OpRead, trace.OpWrite:
+			ls, ok := locs[op.Loc]
+			if !ok {
+				ls = &locksetState{state: virgin, lastOp: -1}
+				locs[op.Loc] = ls
+			}
+			switch ls.state {
+			case virgin:
+				ls.state = exclusive
+				ls.owner = op.Thread
+			case exclusive:
+				if op.Thread != ls.owner {
+					ls.candidate = heldSet(op.Thread)
+					if op.Kind == trace.OpWrite {
+						ls.state = sharedModified
+					} else {
+						ls.state = shared
+					}
+				}
+			case shared, sharedModified:
+				if op.Kind == trace.OpWrite {
+					ls.state = sharedModified
+				}
+				for l := range ls.candidate {
+					if held[op.Thread][l] == 0 {
+						delete(ls.candidate, l)
+					}
+				}
+			}
+			if ls.state == sharedModified && len(ls.candidate) == 0 {
+				if _, already := found[op.Loc]; !already && ls.lastOp >= 0 {
+					found[op.Loc] = Finding{Loc: op.Loc, First: ls.lastOp, Second: i}
+				}
+			}
+			ls.lastOp = i
+		}
+	}
+
+	out := make([]Finding, 0, len(found))
+	for _, f := range found {
+		out = append(out, f)
+	}
+	return sortFindings(out)
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"droidracer/internal/trace"
+	"droidracer/internal/vc"
+)
+
+// PureMT is the classic multithreaded happens-before detector (the §4.1
+// specialization that discards every asynchronous-call rule): vector
+// clocks over threads with program order, fork/join, and lock
+// release-acquire edges, in the style of DJIT+/FastTrack. Posts, begins,
+// ends, queues, and enables are ignored.
+type PureMT struct{}
+
+// NewPureMT returns the pure multithreaded baseline detector.
+func NewPureMT() *PureMT { return &PureMT{} }
+
+// Name implements Detector.
+func (*PureMT) Name() string { return "pure-mt-hb" }
+
+// access is the vector-clock snapshot of one memory access, kept per
+// location for race checking.
+type access struct {
+	op    int
+	clock vc.VC
+}
+
+// locState tracks the last write and the last read per context for one
+// location.
+type locState struct {
+	write access
+	reads map[vc.ID]access
+}
+
+// mtState is the mutable analysis state shared by PureMT and
+// AsyncAsThreads (which differ only in how they map operations to
+// contexts).
+type mtState struct {
+	clocks  map[vc.ID]vc.VC // per-context clocks
+	lockRel map[trace.LockID]vc.VC
+	pending map[vc.ID]vc.VC // clock snapshots for not-yet-started contexts
+	exited  map[vc.ID]vc.VC
+	locs    map[trace.Loc]*locState
+	found   map[trace.Loc]Finding
+}
+
+func newMTState() *mtState {
+	return &mtState{
+		clocks:  make(map[vc.ID]vc.VC),
+		lockRel: make(map[trace.LockID]vc.VC),
+		pending: make(map[vc.ID]vc.VC),
+		exited:  make(map[vc.ID]vc.VC),
+		locs:    make(map[trace.Loc]*locState),
+		found:   make(map[trace.Loc]Finding),
+	}
+}
+
+// clock returns (creating if needed) the clock of context id, joining any
+// pending creation snapshot.
+func (s *mtState) clock(id vc.ID) vc.VC {
+	c, ok := s.clocks[id]
+	if !ok {
+		c = vc.New()
+		if p, hasPending := s.pending[id]; hasPending {
+			c.Join(p)
+			delete(s.pending, id)
+		}
+		c.Tick(id)
+		s.clocks[id] = c
+	}
+	return c
+}
+
+// record checks the access at op by context id against the location state
+// and registers the first race per location.
+func (s *mtState) record(id vc.ID, op trace.Op, opIdx int) {
+	ls, ok := s.locs[op.Loc]
+	if !ok {
+		ls = &locState{write: access{op: -1}, reads: make(map[vc.ID]access)}
+		s.locs[op.Loc] = ls
+	}
+	now := s.clock(id)
+	_, already := s.found[op.Loc]
+	if op.Kind == trace.OpWrite {
+		if !already {
+			if ls.write.op >= 0 && !ls.write.clock.LessEq(now) {
+				s.found[op.Loc] = Finding{Loc: op.Loc, First: ls.write.op, Second: opIdx}
+				already = true
+			}
+			if !already {
+				// Choose the earliest racing read so reports are
+				// deterministic under map iteration.
+				best := -1
+				for _, r := range ls.reads {
+					if !r.clock.LessEq(now) && (best < 0 || r.op < best) {
+						best = r.op
+					}
+				}
+				if best >= 0 {
+					s.found[op.Loc] = Finding{Loc: op.Loc, First: best, Second: opIdx}
+				}
+			}
+		}
+		ls.write = access{op: opIdx, clock: now.Copy()}
+		// A write ordered after all previous reads supersedes them.
+		ls.reads = map[vc.ID]access{}
+		return
+	}
+	// Read: races only with the last write.
+	if !already && ls.write.op >= 0 && !ls.write.clock.LessEq(now) {
+		s.found[op.Loc] = Finding{Loc: op.Loc, First: ls.write.op, Second: opIdx}
+	}
+	ls.reads[id] = access{op: opIdx, clock: now.Copy()}
+}
+
+func (s *mtState) findings() []Finding {
+	out := make([]Finding, 0, len(s.found))
+	for _, f := range s.found {
+		out = append(out, f)
+	}
+	return sortFindings(out)
+}
+
+// Detect implements Detector.
+func (d *PureMT) Detect(tr *trace.Trace) []Finding {
+	s := newMTState()
+	tid := func(t trace.ThreadID) vc.ID { return vc.ID(t) }
+	for i, op := range tr.Ops() {
+		me := tid(op.Thread)
+		switch op.Kind {
+		case trace.OpFork:
+			c := s.clock(me)
+			s.pending[tid(op.Other)] = c.Copy()
+			c.Tick(me)
+		case trace.OpThreadInit:
+			s.clock(me) // materializes the clock, consuming any fork snapshot
+		case trace.OpThreadExit:
+			s.exited[me] = s.clock(me).Copy()
+		case trace.OpJoin:
+			if ec, ok := s.exited[tid(op.Other)]; ok {
+				s.clock(me).Join(ec)
+			}
+		case trace.OpAcquire:
+			if rel, ok := s.lockRel[op.Lock]; ok {
+				s.clock(me).Join(rel)
+			}
+		case trace.OpRelease:
+			c := s.clock(me)
+			s.lockRel[op.Lock] = c.Copy()
+			c.Tick(me)
+		case trace.OpRead, trace.OpWrite:
+			s.record(me, op, i)
+		}
+		// post, begin, end, attachQ, loopOnQ, enable, cancel: ignored.
+	}
+	return s.findings()
+}

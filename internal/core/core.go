@@ -1,0 +1,85 @@
+// Package core assembles the DroidRacer analysis pipeline: semantic
+// validation of an execution trace (Figure 5), structural annotation,
+// happens-before computation (Figures 6–7), and race detection with
+// classification (§4.3). It is the single entry point the command-line
+// tools, the public API, and the evaluation harness share.
+package core
+
+import (
+	"fmt"
+
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// Options configure one analysis.
+type Options struct {
+	// HB selects the happens-before rule set; DefaultOptions uses the
+	// paper's full relation.
+	HB hb.Config
+	// Dedup reports one race per (location, category), the paper's
+	// reporting granularity. When false, every racing pair is reported.
+	Dedup bool
+	// Validate replays the trace under the Figure 5 semantics first and
+	// rejects traces that are not valid executions.
+	Validate bool
+	// DropCancelled removes cancelled posts before analysis (§4.2).
+	DropCancelled bool
+}
+
+// DefaultOptions returns the configuration DroidRacer runs with.
+func DefaultOptions() Options {
+	return Options{
+		HB:            hb.DefaultConfig(),
+		Dedup:         true,
+		Validate:      true,
+		DropCancelled: true,
+	}
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// Trace is the analyzed trace (after cancellation pruning).
+	Trace *trace.Trace
+	// Info carries the structural annotations.
+	Info *trace.Info
+	// Graph is the happens-before graph.
+	Graph *hb.Graph
+	// Races are the reported data races, classified.
+	Races []race.Race
+	// Stats are the Table 2 statistics of the trace.
+	Stats trace.Stats
+}
+
+// Analyze runs the full pipeline on tr.
+func Analyze(tr *trace.Trace, opts Options) (*Result, error) {
+	if opts.DropCancelled {
+		tr = tr.WithoutCancelled()
+	}
+	if opts.Validate {
+		if i, err := semantics.ValidateInferred(tr); err != nil {
+			return nil, fmt.Errorf("core: trace is not a valid execution (op %d): %w", i, err)
+		}
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	g := hb.Build(info, opts.HB)
+	d := race.NewDetector(g)
+	var races []race.Race
+	if opts.Dedup {
+		races = d.DetectDeduped()
+	} else {
+		races = d.Detect()
+	}
+	return &Result{
+		Trace: tr,
+		Info:  info,
+		Graph: g,
+		Races: races,
+		Stats: trace.ComputeStats(tr, nil),
+	}, nil
+}

@@ -1,0 +1,190 @@
+// Package eval drives the paper's evaluation (§6): it runs each
+// application model's representative test through the full DroidRacer
+// pipeline — UI exploration, trace generation, happens-before analysis,
+// race detection and classification — and tallies the rows of Table 2
+// (trace statistics) and Table 3 (race reports with true positives), plus
+// the performance measurements (§6 "Performance"): merged-graph size
+// relative to trace length, analysis time, and trace-generation overhead.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// CategoryCount pairs reported races with confirmed true positives for one
+// category. True is -1 when ground truth is unavailable (proprietary
+// applications).
+type CategoryCount struct {
+	Reported int
+	True     int
+}
+
+// AppResult is the evaluation outcome for one application model.
+type AppResult struct {
+	App   apps.App
+	Test  *explorer.Test
+	Stats trace.Stats
+
+	// Races are the deduplicated reports (one per location and category).
+	Races []race.Race
+
+	Multithreaded CategoryCount
+	CrossPosted   CategoryCount
+	CoEnabled     CategoryCount
+	Delayed       CategoryCount
+	Unknown       CategoryCount
+
+	// Performance figures for the §6 paragraphs.
+	GraphNodes    int
+	MergeRatio    float64 // GraphNodes / Stats.Length
+	AnalysisTime  time.Duration
+	UnmergedNodes int
+}
+
+// TotalReported sums reported races over all categories.
+func (r *AppResult) TotalReported() int {
+	return r.Multithreaded.Reported + r.CrossPosted.Reported +
+		r.CoEnabled.Reported + r.Delayed.Reported + r.Unknown.Reported
+}
+
+// TotalTrue sums confirmed true positives (0 when untriaged).
+func (r *AppResult) TotalTrue() int {
+	sum := 0
+	for _, c := range []CategoryCount{r.Multithreaded, r.CrossPosted, r.CoEnabled, r.Delayed, r.Unknown} {
+		if c.True > 0 {
+			sum += c.True
+		}
+	}
+	return sum
+}
+
+// RunApp evaluates one application model end to end.
+func RunApp(app apps.App) (*AppResult, error) {
+	test, err := apps.RepresentativeTest(app)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeTest(app, test)
+}
+
+// AnalyzeTest runs the offline analysis on one explored test.
+func AnalyzeTest(app apps.App, test *explorer.Test) (*AppResult, error) {
+	tr := test.Trace
+	if i, err := semantics.ValidateInferred(tr); err != nil {
+		return nil, fmt.Errorf("%s: invalid trace at op %d: %w", app.Name(), i, err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", app.Name(), err)
+	}
+
+	// System threads (the binder pool) are excluded from Table 2 counts,
+	// as in the paper; the explorer recorded their IDs with the test.
+	sys := make(map[trace.ThreadID]bool)
+	for _, id := range test.SystemThreads {
+		sys[id] = true
+	}
+	stats := trace.ComputeStats(tr, func(id trace.ThreadID) bool { return sys[id] })
+
+	start := time.Now()
+	g := hb.Build(info, hb.DefaultConfig())
+	races := race.NewDetector(g).DetectDeduped()
+	elapsed := time.Since(start)
+
+	res := &AppResult{
+		App:          app,
+		Test:         test,
+		Stats:        stats,
+		Races:        races,
+		GraphNodes:   g.NodeCount(),
+		MergeRatio:   float64(g.NodeCount()) / float64(tr.Len()),
+		AnalysisTime: elapsed,
+		// Without merging every operation is its own node.
+		UnmergedNodes: tr.Len(),
+	}
+	res.tally(app, races)
+	return res, nil
+}
+
+// tally splits the reports by category and, for open-source apps, counts
+// true positives against the seeded ground truth.
+func (r *AppResult) tally(app apps.App, races []race.Race) {
+	truth := make(map[trace.Loc]bool)
+	for _, gt := range app.GroundTruth() {
+		truth[gt.Loc] = true
+	}
+	counts := map[race.Category]*CategoryCount{
+		race.Multithreaded: &r.Multithreaded,
+		race.CrossPosted:   &r.CrossPosted,
+		race.CoEnabled:     &r.CoEnabled,
+		race.Delayed:       &r.Delayed,
+		race.Unknown:       &r.Unknown,
+	}
+	if app.Proprietary() {
+		for _, c := range counts {
+			c.True = -1
+		}
+	}
+	for _, rc := range races {
+		c := counts[rc.Category]
+		c.Reported++
+		if !app.Proprietary() && truth[rc.Loc] {
+			c.True++
+		}
+	}
+}
+
+// RunAll evaluates every given app in order.
+func RunAll(list []apps.App) ([]*AppResult, error) {
+	out := make([]*AppResult, 0, len(list))
+	for _, app := range list {
+		r, err := RunApp(app)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Overhead measures the trace-generation slowdown (§6: "Trace generation
+// causes a slowdown up to 5x due to instrumentation overhead"): the app's
+// representative startup is executed with recording on and off.
+func Overhead(app apps.App, rounds int) (withTrace, without time.Duration, err error) {
+	run := func(record bool) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			opts := app.Options()
+			opts.Record = record
+			e := android.NewEnv(opts)
+			app.Register(e)
+			if err := e.Launch(app.MainActivity()); err != nil {
+				e.Close()
+				return 0, err
+			}
+			if err := e.Run(); err != nil {
+				return 0, err
+			}
+			if err := e.Shutdown(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	if withTrace, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	if without, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	return withTrace, without, nil
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"droidracer/internal/apps"
+	"droidracer/internal/explorer"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// TriagedRace is one report with its reorder-replay verdict.
+type TriagedRace struct {
+	Race race.Race
+	// Confirmed: some replay exhibited the opposite access order (the
+	// paper's true-positive criterion).
+	Confirmed bool
+	// Seed of the confirming replay (when confirmed).
+	Seed int64
+	// Attempts executed.
+	Attempts int
+}
+
+// TriageResult is the automated version of the paper's manual validation:
+// every report of the representative test re-executed under alternate
+// schedules and event timings.
+type TriageResult struct {
+	App       apps.App
+	Races     []TriagedRace
+	Confirmed int
+}
+
+// Triage runs the representative test, detects races, and attempts to
+// confirm each by reorder-replay with the given attempt budget. It
+// automates the DDMS-debugger procedure of §6 (stall threads, reorder
+// asynchronous calls, alter delays) through mid-run event injection under
+// noise scheduling.
+//
+// Unlike the ground-truth labels (which decide Table 3's true positives),
+// triage is a dynamic procedure: it can miss reorderable races whose
+// window the scheduler never hits, so Confirmed is a lower bound — the
+// same caveat the paper's manual validation carries.
+func Triage(app apps.App, attempts int) (*TriageResult, error) {
+	test, err := apps.RepresentativeTest(app)
+	if err != nil {
+		return nil, err
+	}
+	res, err := AnalyzeTest(app, test)
+	if err != nil {
+		return nil, err
+	}
+	info, err := trace.Analyze(test.Trace)
+	if err != nil {
+		return nil, err
+	}
+	factory := apps.Factory(app)
+	out := &TriageResult{App: app}
+	for _, r := range res.Races {
+		v, err := explorer.VerifyRace(factory, test.Sequence, info, r, attempts)
+		if err != nil {
+			return nil, err
+		}
+		tr := TriagedRace{Race: r, Confirmed: v.Confirmed, Seed: v.Seed, Attempts: v.Attempts}
+		if v.Confirmed {
+			out.Confirmed++
+		}
+		out.Races = append(out.Races, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/hb"
+	"droidracer/internal/paper"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// analyze builds the graph and returns it with the detected races.
+func analyze(t *testing.T, tr *trace.Trace) (*hb.Graph, []race.Race) {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hb.Build(info, hb.DefaultConfig())
+	return g, race.NewDetector(g).Detect()
+}
+
+func findCategory(t *testing.T, races []race.Race, cat race.Category) race.Race {
+	t.Helper()
+	for _, r := range races {
+		if r.Category == cat {
+			return r
+		}
+	}
+	t.Fatalf("no %v race in %v", cat, races)
+	return race.Race{}
+}
+
+func TestExplainFigure4Races(t *testing.T) {
+	g, races := analyze(t, paper.Figure4())
+
+	mt := Explain(g, findCategory(t, races, race.Multithreaded))
+	if !strings.Contains(mt.Reason, "different threads") {
+		t.Errorf("mt reason = %q", mt.Reason)
+	}
+	if len(mt.Hints) == 0 {
+		t.Error("no hints for multithreaded race")
+	}
+	s := mt.String()
+	for _, want := range []string{"multithreaded", "DwFileAct-obj", "hint:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explanation missing %q:\n%s", want, s)
+		}
+	}
+
+	cp := Explain(g, findCategory(t, races, race.CrossPosted))
+	if !strings.Contains(cp.Reason, "posted from different threads") {
+		t.Errorf("cross-posted reason = %q", cp.Reason)
+	}
+	// The chains end at the posts by t2 and t0.
+	if len(cp.FirstChain) != 1 || cp.FirstChain[0].Op.Thread != 2 {
+		t.Errorf("first chain = %+v", cp.FirstChain)
+	}
+	if len(cp.SecondChain) != 1 || cp.SecondChain[0].Op.Thread != 0 {
+		t.Errorf("second chain = %+v", cp.SecondChain)
+	}
+	// onDestroy was enabled; onPostExecute was not — the near misses call
+	// out the never-enabled task.
+	joined := strings.Join(cp.NearMisses, "\n")
+	if !strings.Contains(joined, "onPostExecute") || !strings.Contains(joined, "never explicitly enabled") {
+		t.Errorf("near misses = %v", cp.NearMisses)
+	}
+}
+
+func TestExplainCoEnabled(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.Enable(1, "onClick1"),
+		trace.Enable(1, "onClick2"),
+		trace.LoopOnQ(1),
+		trace.Post(1, "onClick1", 1),
+		trace.Begin(1, "onClick1"),
+		trace.Write(1, "x"),
+		trace.End(1, "onClick1"),
+		trace.Post(1, "onClick2", 1),
+		trace.Begin(1, "onClick2"),
+		trace.Write(1, "x"),
+		trace.End(1, "onClick2"),
+	})
+	g, races := analyze(t, tr)
+	e := Explain(g, findCategory(t, races, race.CoEnabled))
+	if !strings.Contains(e.Reason, "onClick1") || !strings.Contains(e.Reason, "onClick2") {
+		t.Errorf("reason = %q", e.Reason)
+	}
+	if !strings.Contains(strings.Join(e.NearMisses, "\n"), "FIFO inapplicable") {
+		t.Errorf("near misses = %v", e.NearMisses)
+	}
+	if !strings.Contains(e.String(), "[enabled]") {
+		t.Error("chain rendering misses the enabled marker")
+	}
+}
+
+func TestExplainDelayed(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.PostDelayed(2, "d1", 1, 250),
+		trace.Post(2, "p2", 1),
+		trace.Begin(1, "p2"),
+		trace.Write(1, "x"),
+		trace.End(1, "p2"),
+		trace.Begin(1, "d1"),
+		trace.Write(1, "x"),
+		trace.End(1, "d1"),
+	})
+	g, races := analyze(t, tr)
+	e := Explain(g, findCategory(t, races, race.Delayed))
+	joined := strings.Join(e.Hints, "\n")
+	if !strings.Contains(joined, "δ=250ms") {
+		t.Errorf("hints = %v", e.Hints)
+	}
+	if !strings.Contains(strings.Join(e.NearMisses, "\n"), "delayed-post timing") {
+		t.Errorf("near misses = %v", e.NearMisses)
+	}
+}
+
+func TestExplainUnknownFrontPost(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.Post(0, "parent", 1),
+		trace.Begin(1, "parent"),
+		trace.Post(1, "back", 1),
+		trace.PostFront(1, "front", 1),
+		trace.End(1, "parent"),
+		trace.Begin(1, "front"),
+		trace.Read(1, "x"),
+		trace.End(1, "front"),
+		trace.Begin(1, "back"),
+		trace.Write(1, "x"),
+		trace.End(1, "back"),
+	})
+	g, races := analyze(t, tr)
+	e := Explain(g, findCategory(t, races, race.Unknown))
+	if !strings.Contains(strings.Join(e.NearMisses, "\n"), "front-of-queue post") {
+		t.Errorf("near misses should identify the FIFO override: %v", e.NearMisses)
+	}
+	if !strings.Contains(e.String(), "near miss:") {
+		t.Error("rendering misses near misses")
+	}
+}
+
+func TestExplainPlainThreadChainRendering(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.ThreadInit(2),
+		trace.Write(1, "x"),
+		trace.Write(2, "x"),
+	})
+	g, races := analyze(t, tr)
+	e := Explain(g, races[0])
+	if !strings.Contains(e.String(), "plain thread code") {
+		t.Errorf("rendering = %s", e.String())
+	}
+	if !strings.Contains(strings.Join(e.NearMisses, "\n"), "no fork/join, lock, or post edge") {
+		t.Errorf("near misses = %v", e.NearMisses)
+	}
+}

@@ -1,0 +1,178 @@
+// Package explorer implements the UI Explorer of the DroidRacer tool
+// (§5): systematic depth-first generation of UI event sequences up to a
+// bound k, with deterministic replay for backtracking — "the event
+// sequences generated are stored in a database and used for backtracking
+// and replay". An event fires only after the previous event is consumed
+// (the explorer waits for quiescence), matching the paper's
+// instrumentation checks.
+//
+// The package also provides the reorder-replay verifier used to confirm
+// reported races: it re-executes an event sequence under different
+// schedules looking for an execution in which the racing accesses occur in
+// the opposite order — the paper's manual DDMS procedure, automated.
+package explorer
+
+import (
+	"fmt"
+
+	"droidracer/internal/android"
+	"droidracer/internal/trace"
+)
+
+// AppFactory builds a fresh environment with the application registered
+// and its main activity launched (but not yet run). The seed selects the
+// scheduling interleaving; seed 0 means round-robin.
+type AppFactory func(seed int64) (*android.Env, error)
+
+// Options bound the exploration.
+type Options struct {
+	// MaxEvents is the bound k on UI event sequence length.
+	MaxEvents int
+	// MaxTests caps the number of recorded tests (0 = unlimited).
+	MaxTests int
+	// Seed selects the scheduling policy used for every run.
+	Seed int64
+	// RecordAll records a test for every explored prefix instead of only
+	// maximal sequences.
+	RecordAll bool
+}
+
+// Test is one explored event sequence and the trace its execution
+// produced.
+type Test struct {
+	Sequence []android.UIEvent
+	Trace    *trace.Trace
+	// SystemThreads are the runtime-internal (binder) threads of the run,
+	// excluded from the paper's Table 2 thread counts.
+	SystemThreads []trace.ThreadID
+}
+
+// Name renders the event sequence, e.g. "click(play);BACK".
+func (t *Test) Name() string {
+	s := ""
+	for i, ev := range t.Sequence {
+		if i > 0 {
+			s += ";"
+		}
+		s += ev.String()
+	}
+	if s == "" {
+		return "<empty>"
+	}
+	return s
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	Tests []Test
+	// SequencesExplored counts all prefixes executed, including interior
+	// DFS nodes.
+	SequencesExplored int
+	// EventsFired counts every event injection across all runs.
+	EventsFired int
+}
+
+// Explore systematically enumerates event sequences of length up to
+// opts.MaxEvents in depth-first order, recording a test per maximal
+// sequence (or per prefix with RecordAll). Backtracking replays the prefix
+// on a fresh environment, relying on deterministic scheduling.
+func Explore(factory AppFactory, opts Options) (*Result, error) {
+	if opts.MaxEvents < 0 {
+		return nil, fmt.Errorf("explorer: negative event bound")
+	}
+	res := &Result{}
+	var dfs func(prefix []android.UIEvent) error
+	dfs = func(prefix []android.UIEvent) error {
+		if opts.MaxTests > 0 && len(res.Tests) >= opts.MaxTests {
+			return nil
+		}
+		env, enabled, err := runPrefix(factory, opts.Seed, prefix, res)
+		if err != nil {
+			return err
+		}
+		res.SequencesExplored++
+		atBound := len(prefix) >= opts.MaxEvents || len(enabled) == 0
+		record := atBound || opts.RecordAll
+		if record {
+			if err := env.Shutdown(); err != nil {
+				return fmt.Errorf("explorer: shutdown after %v: %w", prefix, err)
+			}
+			res.Tests = append(res.Tests, Test{
+				Sequence:      append([]android.UIEvent(nil), prefix...),
+				Trace:         env.Trace(),
+				SystemThreads: env.SystemThreads(),
+			})
+		} else {
+			env.Close()
+		}
+		if atBound {
+			return nil
+		}
+		for _, ev := range enabled {
+			if opts.MaxTests > 0 && len(res.Tests) >= opts.MaxTests {
+				return nil
+			}
+			if err := dfs(append(prefix, ev)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runPrefix builds a fresh environment and replays the event prefix,
+// returning the environment at quiescence together with the events enabled
+// there. Replay divergence (an event from the stored sequence no longer
+// enabled) is an error.
+func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Result) (*android.Env, []android.UIEvent, error) {
+	env, err := factory(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := env.Run(); err != nil {
+		return nil, nil, fmt.Errorf("explorer: initial run: %w", err)
+	}
+	for i, ev := range prefix {
+		if !contains(env.EnabledEvents(), ev) {
+			env.Close()
+			return nil, nil, fmt.Errorf("explorer: replay divergence at step %d: %v not enabled", i, ev)
+		}
+		if err := env.Fire(ev); err != nil {
+			env.Close()
+			return nil, nil, fmt.Errorf("explorer: replay step %d: %w", i, err)
+		}
+		if res != nil {
+			res.EventsFired++
+		}
+		if err := env.Run(); err != nil {
+			return nil, nil, fmt.Errorf("explorer: replay step %d run: %w", i, err)
+		}
+	}
+	return env, env.EnabledEvents(), nil
+}
+
+// Replay re-executes a stored event sequence under the given seed and
+// returns the resulting trace.
+func Replay(factory AppFactory, seed int64, sequence []android.UIEvent) (*trace.Trace, error) {
+	env, _, err := runPrefix(factory, seed, sequence, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Shutdown(); err != nil {
+		return nil, err
+	}
+	return env.Trace(), nil
+}
+
+func contains(evs []android.UIEvent, ev android.UIEvent) bool {
+	for _, e := range evs {
+		if e == ev {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,331 @@
+package explorer_test
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// twoButtonFactory builds a minimal app with two buttons and a BACK exit.
+func twoButtonFactory() explorer.AppFactory {
+	return func(seed int64) (*android.Env, error) {
+		opts := android.DefaultOptions()
+		opts.Seed = seed
+		e := android.NewEnv(opts)
+		e.RegisterActivity("Main", func() android.Activity { return &twoButtonAct{} })
+		if err := e.Launch("Main"); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+}
+
+type twoButtonAct struct {
+	android.BaseActivity
+}
+
+func (a *twoButtonAct) OnCreate(c *android.Ctx) {
+	c.AddButton("one", true, func(c *android.Ctx) { c.Write("pressed.one") })
+	c.AddButton("two", true, func(c *android.Ctx) { c.Write("pressed.two") })
+}
+
+func TestExploreEnumeratesDFS(t *testing.T) {
+	res, err := explorer.Explore(twoButtonFactory(), explorer.Options{MaxEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events per screen: one, two, BACK. Sequences of length 2 plus
+	// terminal BACK-first sequences: [one,*]×3, [two,*]×3, [BACK] = 7.
+	if len(res.Tests) != 7 {
+		var names []string
+		for _, tst := range res.Tests {
+			names = append(names, tst.Name())
+		}
+		t.Fatalf("tests = %d (%v), want 7", len(res.Tests), names)
+	}
+	// DFS order: the first maximal test extends the first event.
+	if !strings.HasPrefix(res.Tests[0].Name(), "click(one)") {
+		t.Fatalf("first test = %s", res.Tests[0].Name())
+	}
+	if res.SequencesExplored == 0 || res.EventsFired == 0 {
+		t.Fatal("exploration counters empty")
+	}
+	// Every trace validates and carries system threads.
+	for _, tst := range res.Tests {
+		if i, err := semantics.ValidateInferred(tst.Trace); err != nil {
+			t.Fatalf("%s: invalid at %d: %v", tst.Name(), i, err)
+		}
+		if len(tst.SystemThreads) == 0 {
+			t.Fatalf("%s: no system threads recorded", tst.Name())
+		}
+	}
+}
+
+func TestExploreMaxTests(t *testing.T) {
+	res, err := explorer.Explore(twoButtonFactory(), explorer.Options{MaxEvents: 2, MaxTests: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 3 {
+		t.Fatalf("tests = %d, want 3 (capped)", len(res.Tests))
+	}
+}
+
+func TestExploreRecordAll(t *testing.T) {
+	res, err := explorer.Explore(twoButtonFactory(), explorer.Options{MaxEvents: 1, RecordAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RecordAll includes the empty prefix: [], [one], [two], [BACK].
+	if len(res.Tests) != 4 {
+		t.Fatalf("tests = %d, want 4", len(res.Tests))
+	}
+	if res.Tests[0].Name() != "<empty>" {
+		t.Fatalf("first test = %s, want empty prefix", res.Tests[0].Name())
+	}
+}
+
+func TestExploreNegativeBound(t *testing.T) {
+	if _, err := explorer.Explore(twoButtonFactory(), explorer.Options{MaxEvents: -1}); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+}
+
+func TestReplayMatchesExploredTrace(t *testing.T) {
+	res, err := explorer.Explore(twoButtonFactory(), explorer.Options{MaxEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst := res.Tests[0]
+	replayed, err := explorer.Replay(twoButtonFactory(), 0, tst.Sequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Len() != tst.Trace.Len() {
+		t.Fatalf("replay length %d, want %d", replayed.Len(), tst.Trace.Len())
+	}
+	for i := range tst.Trace.Ops() {
+		if replayed.Op(i) != tst.Trace.Op(i) {
+			t.Fatalf("replay diverges at op %d", i)
+		}
+	}
+}
+
+func TestReplayUnknownEventFails(t *testing.T) {
+	_, err := explorer.Replay(twoButtonFactory(), 0, []android.UIEvent{
+		{Kind: android.EvClick, Widget: "no-such-button"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("err = %v, want divergence", err)
+	}
+}
+
+func TestVerifyRaceConfirmsPaperPlayerRace(t *testing.T) {
+	// The Figure 4 multithreaded race is genuinely reorderable: under some
+	// schedule the onDestroy write precedes the background read.
+	app := apps.NewPaperMusicPlayer()
+	factory := apps.Factory(app)
+	tr, err := explorer.Replay(factory, 0, []android.UIEvent{{Kind: android.EvBack}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := race.NewDetector(hb.Build(info, hb.DefaultConfig())).Detect()
+	var mtRace *race.Race
+	for i := range races {
+		if races[i].Loc == apps.DestroyedFlag && races[i].Category == race.Multithreaded {
+			mtRace = &races[i]
+		}
+	}
+	if mtRace == nil {
+		t.Fatalf("multithreaded race not found in %v", races)
+	}
+	v, err := explorer.VerifyRace(factory, []android.UIEvent{{Kind: android.EvBack}}, info, *mtRace, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Confirmed {
+		t.Fatalf("race not confirmed in %d attempts", v.Attempts)
+	}
+}
+
+// flagOrderedFactory builds an app whose conflicting accesses are ordered
+// by an ad-hoc flag: reported as a race, but never reorderable.
+func flagOrderedFactory() explorer.AppFactory {
+	return func(seed int64) (*android.Env, error) {
+		opts := android.DefaultOptions()
+		opts.Seed = seed
+		e := android.NewEnv(opts)
+		e.RegisterActivity("Main", func() android.Activity { return &flagOrderedAct{} })
+		if err := e.Launch("Main"); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+}
+
+type flagOrderedAct struct {
+	android.BaseActivity
+}
+
+func (a *flagOrderedAct) OnResume(c *android.Ctx) {
+	c.Fork("writer", func(b *android.Ctx) {
+		b.Write("adhoc.data")
+		b.SetFlag("written")
+	})
+	c.Fork("reader", func(b *android.Ctx) {
+		b.WaitFlag("written")
+		b.Read("adhoc.data")
+	})
+}
+
+func TestVerifyRaceRejectsAdHocSyncFalsePositive(t *testing.T) {
+	factory := flagOrderedFactory()
+	tr, err := explorer.Replay(factory, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := race.NewDetector(hb.Build(info, hb.DefaultConfig())).Detect()
+	if len(races) != 1 || races[0].Loc != "adhoc.data" {
+		t.Fatalf("races = %v, want the ad-hoc pair reported", races)
+	}
+	v, err := explorer.VerifyRace(factory, nil, info, races[0], 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Confirmed {
+		t.Fatal("ad-hoc-synchronized pair confirmed as reorderable")
+	}
+	if v.Attempts != 25 {
+		t.Fatalf("attempts = %d, want all 25 used", v.Attempts)
+	}
+}
+
+func TestIdentifyAccessErrors(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{trace.ThreadInit(1), trace.Write(1, "x")})
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := explorer.IdentifyAccess(info, 0); err == nil {
+		t.Fatal("IdentifyAccess accepted a non-access op")
+	}
+	id, err := explorer.IdentifyAccess(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Loc != "x" || id.Ordinal != 0 || id.TaskBase != "" {
+		t.Fatalf("id = %+v", id)
+	}
+}
+
+func TestRandomExploreFiresEvents(t *testing.T) {
+	res, err := explorer.RandomExplore(twoButtonFactory(), explorer.RandomOptions{Events: 3, Runs: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 4 {
+		t.Fatalf("tests = %d, want 4 runs", len(res.Tests))
+	}
+	if res.EventsFired == 0 {
+		t.Fatal("no events fired")
+	}
+	for _, tst := range res.Tests {
+		if i, err := semantics.ValidateInferred(tst.Trace); err != nil {
+			t.Fatalf("%s: op %d: %v", tst.Name(), i, err)
+		}
+		// A run can end early only by app exit (BACK).
+		if len(tst.Sequence) < 3 {
+			sawBack := false
+			for _, ev := range tst.Sequence {
+				if ev.Kind == android.EvBack {
+					sawBack = true
+				}
+			}
+			if !sawBack {
+				t.Fatalf("%s: short run without BACK", tst.Name())
+			}
+		}
+	}
+}
+
+func TestRandomExploreDeterministic(t *testing.T) {
+	opts := explorer.RandomOptions{Events: 2, Runs: 2, Seed: 5}
+	a, err := explorer.RandomExplore(twoButtonFactory(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explorer.RandomExplore(twoButtonFactory(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tests {
+		if a.Tests[i].Name() != b.Tests[i].Name() {
+			t.Fatalf("run %d differs: %s vs %s", i, a.Tests[i].Name(), b.Tests[i].Name())
+		}
+		if a.Tests[i].Trace.Len() != b.Tests[i].Trace.Len() {
+			t.Fatalf("run %d trace lengths differ", i)
+		}
+	}
+}
+
+func TestRandomExploreBadOptions(t *testing.T) {
+	if _, err := explorer.RandomExplore(twoButtonFactory(), explorer.RandomOptions{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}
+
+// TestRandomVsSystematicCoverage compares the two exploration styles on
+// the paper player: the systematic DFS always exposes the Figure 4 races;
+// random exploration finds them with enough runs (the §7 comparison).
+func TestRandomVsSystematicCoverage(t *testing.T) {
+	app := apps.NewPaperMusicPlayer()
+	factory := apps.Factory(app)
+
+	exposes := func(tests []explorer.Test) bool {
+		for _, tst := range tests {
+			info, err := trace.Analyze(tst.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := hb.Build(info, hb.DefaultConfig())
+			for _, r := range race.NewDetector(g).DetectDeduped() {
+				if r.Loc == apps.DestroyedFlag {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	sys, err := explorer.Explore(factory, app.Explore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exposes(sys.Tests) {
+		t.Fatal("systematic exploration missed the Figure 4 races")
+	}
+	rnd, err := explorer.RandomExplore(factory, explorer.RandomOptions{Events: 2, Runs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exposes(rnd.Tests) {
+		t.Fatal("random exploration missed the Figure 4 races in 8 runs")
+	}
+}

@@ -1,0 +1,68 @@
+package explorer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"droidracer/internal/android"
+)
+
+// RandomOptions bound a random exploration run.
+type RandomOptions struct {
+	// Events is the number of events to fire per run.
+	Events int
+	// Runs is the number of independent runs.
+	Runs int
+	// Seed seeds both event choice and, per run, the scheduler.
+	Seed int64
+}
+
+// RandomExplore is a Dynodroid/Monkey-style tester (§7's comparison
+// points): it fires uniformly random enabled events instead of
+// enumerating sequences, and — unlike the systematic explorer — offers no
+// replay database; the recorded Test sequences are the only way to
+// reproduce a run. Each run uses a distinct scheduling seed.
+func RandomExplore(factory AppFactory, opts RandomOptions) (*Result, error) {
+	if opts.Events <= 0 || opts.Runs <= 0 {
+		return nil, fmt.Errorf("explorer: random exploration needs positive Events and Runs")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	for run := 0; run < opts.Runs; run++ {
+		schedSeed := opts.Seed + int64(run)
+		env, err := factory(schedSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Run(); err != nil {
+			return nil, fmt.Errorf("explorer: random run %d: %w", run, err)
+		}
+		var seq []android.UIEvent
+		for len(seq) < opts.Events {
+			enabled := env.EnabledEvents()
+			if len(enabled) == 0 {
+				break
+			}
+			ev := enabled[rng.Intn(len(enabled))]
+			if err := env.Fire(ev); err != nil {
+				env.Close()
+				return nil, fmt.Errorf("explorer: random run %d: fire %v: %w", run, ev, err)
+			}
+			seq = append(seq, ev)
+			res.EventsFired++
+			if err := env.Run(); err != nil {
+				return nil, fmt.Errorf("explorer: random run %d: %w", run, err)
+			}
+		}
+		if err := env.Shutdown(); err != nil {
+			return nil, fmt.Errorf("explorer: random run %d: shutdown: %w", run, err)
+		}
+		res.SequencesExplored++
+		res.Tests = append(res.Tests, Test{
+			Sequence:      seq,
+			Trace:         env.Trace(),
+			SystemThreads: env.SystemThreads(),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package explorer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"droidracer/internal/android"
+	"droidracer/internal/race"
+	"droidracer/internal/sched"
+	"droidracer/internal/trace"
+)
+
+// AccessID identifies one racing access robustly across replays. Thread
+// IDs are stable across replays because thread creation order is fixed by
+// the program structure. It is an alias of race.AccessKey, which trace
+// minimization shares.
+type AccessID = race.AccessKey
+
+// IdentifyAccess computes the AccessID of the access at index i in tr.
+func IdentifyAccess(info *trace.Info, i int) (AccessID, error) {
+	return race.KeyOf(info, i)
+}
+
+// findAccess locates the trace index matching id, or -1.
+func findAccess(info *trace.Info, id AccessID) int {
+	return race.FindAccess(info, id)
+}
+
+// Verification is the outcome of a reorder-replay attempt.
+type Verification struct {
+	// Confirmed reports that some replay exhibited the opposite order of
+	// the racing accesses — the paper's criterion for a true positive.
+	Confirmed bool
+	// Seed is the scheduling seed of the confirming replay.
+	Seed int64
+	// Attempts counts the replays executed.
+	Attempts int
+}
+
+// VerifyRace re-executes sequence under varying schedules and event
+// timings, looking for an execution in which the two racing accesses of r
+// (from origInfo's trace) occur in the opposite order. This automates the
+// paper's validation methodology: "we classify only those reported races
+// as true positives for which we could produce alternate ordering of racey
+// memory accesses than the reported order in the trace" — their
+// stall-threads-with-the-debugger procedure becomes mid-run event
+// injection under alternate scheduler seeds.
+func VerifyRace(factory AppFactory, sequence []android.UIEvent, origInfo *trace.Info, r race.Race, maxAttempts int) (Verification, error) {
+	idA, err := IdentifyAccess(origInfo, r.First)
+	if err != nil {
+		return Verification{}, err
+	}
+	idB, err := IdentifyAccess(origInfo, r.Second)
+	if err != nil {
+		return Verification{}, err
+	}
+	v := Verification{}
+	for seed := int64(1); seed <= int64(maxAttempts); seed++ {
+		v.Attempts++
+		tr, err := replayJittered(factory, seed, sequence)
+		if err != nil {
+			// Some schedules may diverge (a racy app can change its own
+			// UI, or the forced order deadlocks); count the attempt as
+			// unsuccessful.
+			continue
+		}
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			continue
+		}
+		a := findAccess(info, idA)
+		b := findAccess(info, idB)
+		if a < 0 || b < 0 {
+			continue
+		}
+		if b < a {
+			v.Confirmed = true
+			v.Seed = seed
+			return v, nil
+		}
+	}
+	return v, nil
+}
+
+// replayJittered re-executes an event sequence firing each event after a
+// random bounded amount of progress rather than at quiescence, so events
+// can interleave with still-running background work.
+func replayJittered(factory AppFactory, seed int64, sequence []android.UIEvent) (*trace.Trace, error) {
+	env, err := factory(seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i, ev := range sequence {
+		// Half the attempts fire as early as possible (maximal overlap
+		// with background work); the rest fire after a random amount of
+		// progress.
+		jitter := 0
+		if rng.Intn(2) == 0 {
+			jitter = rng.Intn(120)
+		}
+		if _, err := env.RunSteps(jitter); err != nil {
+			return nil, fmt.Errorf("explorer: jittered step %d: %w", i, err)
+		}
+		// Run until the event becomes fireable, in small quanta so it
+		// fires as early as possible; give up at quiescence.
+		for !contains(env.EnabledEvents(), ev) {
+			st, err := env.RunSteps(3)
+			if err != nil {
+				return nil, fmt.Errorf("explorer: jittered step %d: %w", i, err)
+			}
+			if st != sched.Paused && !contains(env.EnabledEvents(), ev) {
+				env.Close()
+				return nil, fmt.Errorf("explorer: jittered replay divergence at step %d: %v", i, ev)
+			}
+		}
+		if err := env.Fire(ev); err != nil {
+			env.Close()
+			return nil, fmt.Errorf("explorer: jittered step %d: %w", i, err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	if err := env.Shutdown(); err != nil {
+		return nil, err
+	}
+	return env.Trace(), nil
+}

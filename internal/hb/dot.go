@@ -1,0 +1,90 @@
+package hb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"droidracer/internal/trace"
+)
+
+// WriteDOT renders the happens-before graph in Graphviz DOT form: one node
+// per graph node (merged access blocks show their access count), grouped
+// into clusters per thread, with the transitive reduction of the combined
+// relation as edges (solid for thread-local st, dashed for inter-thread
+// mt). Intended for debugging small traces; the reduction is cubic in the
+// node count.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph happensbefore {")
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, "  node [shape=box, fontsize=10];")
+
+	byThread := make(map[trace.ThreadID][]int)
+	var threads []trace.ThreadID
+	for i := range g.nodes {
+		t := g.nodes[i].Thread
+		if _, ok := byThread[t]; !ok {
+			threads = append(threads, t)
+		}
+		byThread[t] = append(byThread[t], i)
+	}
+	for _, t := range threads {
+		fmt.Fprintf(bw, "  subgraph cluster_t%d {\n", t)
+		fmt.Fprintf(bw, "    label=\"thread t%d\";\n", t)
+		for _, i := range byThread[t] {
+			fmt.Fprintf(bw, "    n%d [label=%q];\n", i, g.nodeLabel(i))
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+
+	// Transitive reduction: emit (i,j) only when no intermediate k with
+	// i ≼ k ≼ j exists.
+	for i := range g.nodes {
+		emit := func(j int, style string) {
+			fmt.Fprintf(bw, "  n%d -> n%d%s;\n", i, j, style)
+		}
+		for j := g.st[i].NextSet(0); j != -1; j = g.st[i].NextSet(j + 1) {
+			if !g.hasIntermediate(i, j) {
+				emit(j, "")
+			}
+		}
+		for j := g.mt[i].NextSet(0); j != -1; j = g.mt[i].NextSet(j + 1) {
+			if g.st[i].Has(j) {
+				continue // already drawn as st
+			}
+			if !g.hasIntermediate(i, j) {
+				emit(j, " [style=dashed]")
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// hasIntermediate reports whether some k satisfies i ≼ k ≼ j.
+func (g *Graph) hasIntermediate(i, j int) bool {
+	row := g.st[i]
+	for k := row.NextSet(i + 1); k != -1; k = row.NextSet(k + 1) {
+		if k != j && (g.st[k].Has(j) || g.mt[k].Has(j)) {
+			return true
+		}
+	}
+	mrow := g.mt[i]
+	for k := mrow.NextSet(i + 1); k != -1; k = mrow.NextSet(k + 1) {
+		if k != j && (g.st[k].Has(j) || g.mt[k].Has(j)) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeLabel renders a node for DOT output.
+func (g *Graph) nodeLabel(i int) string {
+	n := &g.nodes[i]
+	tr := g.info.Trace()
+	if len(n.Ops) == 1 {
+		return fmt.Sprintf("%d: %v", n.Ops[0], tr.Op(n.Ops[0]))
+	}
+	return fmt.Sprintf("%d..%d: %d accesses", n.Ops[0], n.Ops[len(n.Ops)-1], len(n.Ops))
+}

@@ -1,0 +1,60 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/paper"
+	"droidracer/internal/trace"
+)
+
+func TestWriteDOTFigure4(t *testing.T) {
+	info, err := trace.Analyze(paper.Figure4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(info, DefaultConfig())
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph happensbefore",
+		"cluster_t0", "cluster_t1", "cluster_t2",
+		"fork(t1,t2)",
+		"style=dashed", // at least one inter-thread edge
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Every edge of the reduction must be a real ≼ pair, and the closure
+	// of the reduction must equal the original relation (spot check: the
+	// fork edge's endpoints stay connected).
+	if !g.HappensBefore(paper.Idx(8), paper.Idx(11)) {
+		t.Fatal("fork edge lost")
+	}
+}
+
+func TestWriteDOTMergedBlocks(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.Read(1, "a"),
+		trace.Read(1, "b"),
+		trace.Read(1, "c"),
+	})
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(info, DefaultConfig())
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 accesses") {
+		t.Errorf("merged block label missing:\n%s", sb.String())
+	}
+}

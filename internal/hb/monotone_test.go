@@ -1,0 +1,105 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// relationSubset checks g1's relation is contained in g2's over all
+// operation pairs.
+func relationSubset(tr *trace.Trace, g1, g2 *Graph) (int, int, bool) {
+	for i := 0; i < tr.Len(); i++ {
+		for j := 0; j < tr.Len(); j++ {
+			if i != j && g1.HappensBefore(i, j) && !g2.HappensBefore(i, j) {
+				return i, j, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// TestQuickAblationMonotonicity: removing rules can only shrink the
+// relation, and the naive combination can only grow it. Checked pairwise
+// on random valid traces:
+//
+//	st-only ⊆ full,  no-enable ⊆ full,  no-fifo ⊆ full,
+//	no-nopre ⊆ full, full ⊆ naive.
+func TestQuickAblationMonotonicity(t *testing.T) {
+	cfg := semantics.DefaultGenConfig()
+	cfg.MaxOps = 70
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := semantics.RandomTrace(rng, cfg)
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			return false
+		}
+		full := Build(info, DefaultConfig())
+		weaker := map[string]Config{}
+		c := DefaultConfig()
+		c.STOnly = true
+		weaker["st-only"] = c
+		c = DefaultConfig()
+		c.EnableEdges = false
+		weaker["no-enable"] = c
+		c = DefaultConfig()
+		c.FIFO = false
+		weaker["no-fifo"] = c
+		c = DefaultConfig()
+		c.NoPre = false
+		weaker["no-nopre"] = c
+		for name, wc := range weaker {
+			g := Build(info, wc)
+			if i, j, ok := relationSubset(tr, g, full); !ok {
+				t.Logf("seed %d: %s derived (%d,%d) that the full relation lacks", seed, name, i, j)
+				return false
+			}
+		}
+		naiveCfg := DefaultConfig()
+		naiveCfg.Naive = true
+		naive := Build(info, naiveCfg)
+		if i, j, ok := relationSubset(tr, full, naive); !ok {
+			t.Logf("seed %d: full relation derived (%d,%d) that naive lacks", seed, i, j)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWholeThreadPOSupersetOnSameThread: whole-thread program order
+// must order every same-thread pair, subsuming the precise relation
+// there.
+func TestQuickWholeThreadPOSupersetOnSameThread(t *testing.T) {
+	cfg := semantics.DefaultGenConfig()
+	cfg.MaxOps = 60
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := semantics.RandomTrace(rng, cfg)
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			return false
+		}
+		wcfg := DefaultConfig()
+		wcfg.WholeThreadPO = true
+		w := Build(info, wcfg)
+		for i := 0; i < tr.Len(); i++ {
+			for j := i + 1; j < tr.Len(); j++ {
+				if tr.Op(i).Thread == tr.Op(j).Thread && !w.HappensBefore(i, j) {
+					t.Logf("seed %d: same-thread pair (%d,%d) unordered under whole-thread PO", seed, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// referenceHB is a deliberately naive, rule-by-rule fixpoint over
+// operation pairs — no bitsets, no node merging, no pass ordering. It
+// exists purely as a correctness anchor for the optimized engine: both
+// must compute the same relation on every valid trace.
+type referenceHB struct {
+	tr   *trace.Trace
+	info *trace.Info
+	st   map[[2]int]bool
+	mt   map[[2]int]bool
+}
+
+func newReferenceHB(t *testing.T, tr *trace.Trace) *referenceHB {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &referenceHB{tr: tr, info: info, st: map[[2]int]bool{}, mt: map[[2]int]bool{}}
+	r.fixpoint()
+	return r
+}
+
+func (r *referenceHB) le(i, j int) bool { return i == j || r.st[[2]int{i, j}] || r.mt[[2]int{i, j}] }
+
+func (r *referenceHB) addST(i, j int) bool {
+	if i == j || r.st[[2]int{i, j}] {
+		return false
+	}
+	r.st[[2]int{i, j}] = true
+	return true
+}
+
+func (r *referenceHB) addMT(i, j int) bool {
+	if i == j || r.mt[[2]int{i, j}] {
+		return false
+	}
+	r.mt[[2]int{i, j}] = true
+	return true
+}
+
+// fixpoint applies every Figure 6/7 rule to all operation pairs until
+// nothing changes.
+func (r *referenceHB) fixpoint() {
+	ops := r.tr.Ops()
+	n := len(ops)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.applyPair(i, j) {
+					changed = true
+				}
+			}
+		}
+		// Transitivity.
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if k == i {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if j == i || j == k {
+						continue
+					}
+					if r.st[[2]int{i, k}] && r.st[[2]int{k, j}] && r.addST(i, j) {
+						changed = true
+					}
+					if r.le(i, k) && r.le(k, j) && ops[i].Thread != ops[j].Thread &&
+						!r.mt[[2]int{i, j}] && i != j {
+						// TRANS-MT composes recorded ≼ pairs only.
+						if (r.st[[2]int{i, k}] || r.mt[[2]int{i, k}]) &&
+							(r.st[[2]int{k, j}] || r.mt[[2]int{k, j}]) {
+							if r.addMT(i, j) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// applyPair applies the non-transitive rules to the ordered pair (i, j).
+func (r *referenceHB) applyPair(i, j int) bool {
+	ops := r.tr.Ops()
+	a, b := ops[i], ops[j]
+	info := r.info
+	changed := false
+	same := a.Thread == b.Thread
+
+	if same {
+		loop := info.LoopIdx(a.Thread)
+		if loop < 0 || i <= loop { // NO-Q-PO
+			changed = r.addST(i, j) || changed
+		} else if ta := info.Task(i); ta != "" && ta == info.Task(j) { // ASYNC-PO
+			changed = r.addST(i, j) || changed
+		}
+		// ENABLE-ST / POST-ST
+		if a.Kind == trace.OpEnable && b.Kind == trace.OpPost && a.Task == b.Task {
+			changed = r.addST(i, j) || changed
+		}
+		if a.Kind == trace.OpPost && b.Kind == trace.OpBegin && a.Task == b.Task && a.Other == b.Thread {
+			changed = r.addST(i, j) || changed
+		}
+		// FIFO / NOPRE
+		if a.Kind == trace.OpEnd && b.Kind == trace.OpBegin {
+			qa, qb := info.PostIdx(a.Task), info.PostIdx(b.Task)
+			if qa >= 0 && qb >= 0 {
+				if fifoCompatible(ops[qa], ops[qb]) && r.le(qa, qb) {
+					changed = r.addST(i, j) || changed
+				}
+				// NOPRE: ∃ αk ∈ task(a) with αk ≼ post(b).
+				for k := 0; k < len(ops); k++ {
+					if info.Task(k) == a.Task && r.le(k, qb) {
+						changed = r.addST(i, j) || changed
+						break
+					}
+				}
+			}
+		}
+	} else {
+		if a.Kind == trace.OpEnable && b.Kind == trace.OpPost && a.Task == b.Task {
+			changed = r.addMT(i, j) || changed
+		}
+		if a.Kind == trace.OpPost && b.Kind == trace.OpBegin && a.Task == b.Task && a.Other == b.Thread {
+			changed = r.addMT(i, j) || changed
+		}
+		if a.Kind == trace.OpAttachQ && b.Kind == trace.OpPost && b.Other == a.Thread {
+			changed = r.addMT(i, j) || changed
+		}
+		if a.Kind == trace.OpFork && b.Kind == trace.OpThreadInit && a.Other == b.Thread {
+			changed = r.addMT(i, j) || changed
+		}
+		if a.Kind == trace.OpThreadExit && b.Kind == trace.OpJoin && b.Other == a.Thread {
+			changed = r.addMT(i, j) || changed
+		}
+		if a.Kind == trace.OpRelease && b.Kind == trace.OpAcquire && a.Lock == b.Lock {
+			changed = r.addMT(i, j) || changed
+		}
+	}
+	return changed
+}
+
+// TestQuickEngineMatchesReference compares the optimized engine against
+// the brute-force reference on random valid traces, pair by pair.
+func TestQuickEngineMatchesReference(t *testing.T) {
+	cfg := semantics.DefaultGenConfig()
+	cfg.MaxOps = 45 // the reference is O(n^4); keep traces small
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := semantics.RandomTrace(rng, cfg)
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			return false
+		}
+		engCfg := DefaultConfig()
+		engCfg.MergeAccesses = false
+		eng := Build(info, engCfg)
+		ref := newReferenceHB(t, tr)
+		for i := 0; i < tr.Len(); i++ {
+			for j := 0; j < tr.Len(); j++ {
+				if i == j {
+					continue
+				}
+				if got, want := eng.HappensBefore(i, j), ref.st[[2]int{i, j}] || ref.mt[[2]int{i, j}]; got != want {
+					t.Logf("seed %d: pair (%d:%v, %d:%v): engine %v, reference %v",
+						seed, i, tr.Op(i), j, tr.Op(j), got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineMatchesReferenceOnFigures pins the equivalence on the paper's
+// traces as well.
+func TestEngineMatchesReferenceOnFigures(t *testing.T) {
+	for name, tr := range map[string]*trace.Trace{
+		"lock-example": lockTrace(),
+	} {
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.MergeAccesses = false
+		eng := Build(info, cfg)
+		ref := newReferenceHB(t, tr)
+		for i := 0; i < tr.Len(); i++ {
+			for j := 0; j < tr.Len(); j++ {
+				if i == j {
+					continue
+				}
+				got := eng.HappensBefore(i, j)
+				want := ref.st[[2]int{i, j}] || ref.mt[[2]int{i, j}]
+				if got != want {
+					t.Errorf("%s: pair (%d,%d): engine %v, reference %v", name, i, j, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package lifecycle models the lifecycle state machines of Android
+// application components (§4.2, Figure 8): the callback orderings the
+// runtime environment enforces for Activities, Services, and Broadcast
+// Receivers. The simulated runtime (internal/android) consults these
+// machines to drive callbacks in legal orders and to decide where to emit
+// enable operations; the analysis side gets its environment model from
+// those enables.
+//
+// Solid edges of Figure 8 are must-happen-after orderings; dashed edges
+// are may-happen-after choices. Apply validates single transitions;
+// Sequence expands a high-level user/system event into the callback run
+// the runtime performs.
+package lifecycle
+
+import "fmt"
+
+// State is a lifecycle state (a gray node of Figure 8).
+type State int
+
+// Activity lifecycle states.
+const (
+	Launched State = iota
+	Created
+	Started
+	Running // the paper's "Running" (resumed, foreground)
+	Paused
+	Stopped
+	Restarted
+	Destroyed
+)
+
+var stateNames = [...]string{
+	Launched:  "launched",
+	Created:   "created",
+	Started:   "started",
+	Running:   "running",
+	Paused:    "paused",
+	Stopped:   "stopped",
+	Restarted: "restarted",
+	Destroyed: "destroyed",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Callback names an Activity lifecycle callback.
+type Callback string
+
+// Activity lifecycle callbacks.
+const (
+	OnCreate  Callback = "onCreate"
+	OnStart   Callback = "onStart"
+	OnResume  Callback = "onResume"
+	OnPause   Callback = "onPause"
+	OnStop    Callback = "onStop"
+	OnRestart Callback = "onRestart"
+	OnDestroy Callback = "onDestroy"
+)
+
+// transition is one edge of the state machine: in state From, callback Cb
+// may run and leaves the component in state To.
+type transition struct {
+	From State
+	Cb   Callback
+	To   State
+}
+
+// activityEdges encodes Figure 8 (completed with the standard
+// onPause→onResume return edge of the full Android documentation).
+var activityEdges = []transition{
+	{Launched, OnCreate, Created},
+	{Created, OnStart, Started},
+	{Started, OnResume, Running}, // may: activity comes to the foreground
+	{Started, OnStop, Stopped},   // may: activity stays in the background
+	{Running, OnPause, Paused},   // must-next when leaving the foreground
+	{Paused, OnResume, Running},  // may: user returns
+	{Paused, OnStop, Stopped},    // may: activity no longer visible
+	{Stopped, OnRestart, Restarted},
+	{Restarted, OnStart, Started},
+	{Stopped, OnDestroy, Destroyed},
+}
+
+// Activity is an instance of the Figure 8 machine.
+type Activity struct {
+	state State
+}
+
+// NewActivity returns an activity in the Launched state.
+func NewActivity() *Activity { return &Activity{state: Launched} }
+
+// State returns the current lifecycle state.
+func (a *Activity) State() State { return a.state }
+
+// Enabled returns the callbacks the runtime may invoke next (the dashed
+// may-happen-after successors of the current state).
+func (a *Activity) Enabled() []Callback {
+	var out []Callback
+	for _, e := range activityEdges {
+		if e.From == a.state {
+			out = append(out, e.Cb)
+		}
+	}
+	return out
+}
+
+// CanApply reports whether cb is a legal next callback.
+func (a *Activity) CanApply(cb Callback) bool {
+	for _, e := range activityEdges {
+		if e.From == a.state && e.Cb == cb {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply performs one callback transition, returning an error when the
+// callback is not enabled in the current state.
+func (a *Activity) Apply(cb Callback) error {
+	for _, e := range activityEdges {
+		if e.From == a.state && e.Cb == cb {
+			a.state = e.To
+			return nil
+		}
+	}
+	return fmt.Errorf("lifecycle: callback %s not enabled in state %s", cb, a.state)
+}
+
+// Event is a high-level user or system action affecting an activity.
+type Event int
+
+// Activity events.
+const (
+	// Launch brings a new activity to the foreground.
+	Launch Event = iota
+	// LeaveForeground pauses and stops the activity (another activity
+	// covers it, or HOME is pressed).
+	LeaveForeground
+	// Return brings a stopped activity back to the foreground.
+	Return
+	// Finish destroys the activity (BACK pressed, or finish() called).
+	Finish
+	// Relaunch is a configuration change (e.g. screen rotation): the
+	// activity is destroyed and launched again.
+	Relaunch
+)
+
+func (e Event) String() string {
+	switch e {
+	case Launch:
+		return "launch"
+	case LeaveForeground:
+		return "leave-foreground"
+	case Return:
+		return "return"
+	case Finish:
+		return "finish"
+	case Relaunch:
+		return "relaunch"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Sequence returns the callback run the runtime performs for event in the
+// current state, without applying it. It returns an error when the event
+// is not meaningful in the current state.
+func (a *Activity) Sequence(ev Event) ([]Callback, error) {
+	switch ev {
+	case Launch:
+		if a.state != Launched {
+			return nil, fmt.Errorf("lifecycle: launch in state %s", a.state)
+		}
+		return []Callback{OnCreate, OnStart, OnResume}, nil
+	case LeaveForeground:
+		switch a.state {
+		case Running:
+			return []Callback{OnPause, OnStop}, nil
+		case Paused:
+			return []Callback{OnStop}, nil
+		}
+		return nil, fmt.Errorf("lifecycle: leave-foreground in state %s", a.state)
+	case Return:
+		switch a.state {
+		case Stopped:
+			return []Callback{OnRestart, OnStart, OnResume}, nil
+		case Paused:
+			return []Callback{OnResume}, nil
+		}
+		return nil, fmt.Errorf("lifecycle: return in state %s", a.state)
+	case Finish:
+		switch a.state {
+		case Running:
+			return []Callback{OnPause, OnStop, OnDestroy}, nil
+		case Paused:
+			return []Callback{OnStop, OnDestroy}, nil
+		case Stopped:
+			return []Callback{OnDestroy}, nil
+		}
+		return nil, fmt.Errorf("lifecycle: finish in state %s", a.state)
+	case Relaunch:
+		if a.state != Running {
+			return nil, fmt.Errorf("lifecycle: relaunch in state %s", a.state)
+		}
+		return []Callback{OnPause, OnStop, OnDestroy, OnCreate, OnStart, OnResume}, nil
+	}
+	return nil, fmt.Errorf("lifecycle: unknown event %v", ev)
+}
+
+// ApplyEvent expands event into callbacks and applies them, returning the
+// sequence performed. Relaunch resets the machine through Destroyed back
+// to a fresh launch.
+func (a *Activity) ApplyEvent(ev Event) ([]Callback, error) {
+	seq, err := a.Sequence(ev)
+	if err != nil {
+		return nil, err
+	}
+	for _, cb := range seq {
+		if a.state == Destroyed && cb == OnCreate {
+			a.state = Launched // relaunch after destruction
+		}
+		if err := a.Apply(cb); err != nil {
+			return nil, err
+		}
+	}
+	return seq, nil
+}

@@ -1,0 +1,263 @@
+package lifecycle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaunchSequence(t *testing.T) {
+	a := NewActivity()
+	seq, err := a.ApplyEvent(Launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Callback{OnCreate, OnStart, OnResume}
+	if len(seq) != len(want) {
+		t.Fatalf("seq = %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+	if a.State() != Running {
+		t.Fatalf("state = %v, want running", a.State())
+	}
+}
+
+func TestMustOrdering(t *testing.T) {
+	a := NewActivity()
+	// onStart before onCreate is illegal.
+	if err := a.Apply(OnStart); err == nil {
+		t.Fatal("onStart accepted in launched state")
+	}
+	if err := a.Apply(OnCreate); err != nil {
+		t.Fatal(err)
+	}
+	// onResume before onStart is illegal.
+	if err := a.Apply(OnResume); err == nil {
+		t.Fatal("onResume accepted in created state")
+	}
+}
+
+func TestMayChoicesAfterOnStart(t *testing.T) {
+	// Figure 8: onStart has may-successors onResume and onStop.
+	a := NewActivity()
+	if err := a.Apply(OnCreate); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply(OnStart); err != nil {
+		t.Fatal(err)
+	}
+	enabled := a.Enabled()
+	has := map[Callback]bool{}
+	for _, cb := range enabled {
+		has[cb] = true
+	}
+	if !has[OnResume] || !has[OnStop] || len(enabled) != 2 {
+		t.Fatalf("enabled after onStart = %v, want {onResume, onStop}", enabled)
+	}
+}
+
+func TestFullCycleThroughRestart(t *testing.T) {
+	a := NewActivity()
+	steps := []Callback{OnCreate, OnStart, OnResume, OnPause, OnStop, OnRestart, OnStart, OnResume, OnPause, OnStop, OnDestroy}
+	for i, cb := range steps {
+		if err := a.Apply(cb); err != nil {
+			t.Fatalf("step %d (%s): %v", i, cb, err)
+		}
+	}
+	if a.State() != Destroyed {
+		t.Fatalf("state = %v, want destroyed", a.State())
+	}
+	if got := a.Enabled(); len(got) != 0 {
+		t.Fatalf("enabled after destroy = %v", got)
+	}
+}
+
+func TestEventSequences(t *testing.T) {
+	cases := []struct {
+		prep []Event
+		ev   Event
+		want []Callback
+	}{
+		{nil, Launch, []Callback{OnCreate, OnStart, OnResume}},
+		{[]Event{Launch}, LeaveForeground, []Callback{OnPause, OnStop}},
+		{[]Event{Launch, LeaveForeground}, Return, []Callback{OnRestart, OnStart, OnResume}},
+		{[]Event{Launch}, Finish, []Callback{OnPause, OnStop, OnDestroy}},
+		{[]Event{Launch, LeaveForeground}, Finish, []Callback{OnDestroy}},
+		{[]Event{Launch}, Relaunch, []Callback{OnPause, OnStop, OnDestroy, OnCreate, OnStart, OnResume}},
+	}
+	for _, c := range cases {
+		a := NewActivity()
+		for _, p := range c.prep {
+			if _, err := a.ApplyEvent(p); err != nil {
+				t.Fatalf("prep %v: %v", p, err)
+			}
+		}
+		seq, err := a.ApplyEvent(c.ev)
+		if err != nil {
+			t.Fatalf("%v after %v: %v", c.ev, c.prep, err)
+		}
+		if len(seq) != len(c.want) {
+			t.Fatalf("%v: seq = %v, want %v", c.ev, seq, c.want)
+		}
+		for i := range c.want {
+			if seq[i] != c.want[i] {
+				t.Fatalf("%v: seq = %v, want %v", c.ev, seq, c.want)
+			}
+		}
+	}
+}
+
+func TestIllegalEvents(t *testing.T) {
+	a := NewActivity()
+	for _, ev := range []Event{LeaveForeground, Return, Finish, Relaunch} {
+		if _, err := a.ApplyEvent(ev); err == nil {
+			t.Errorf("%v accepted before launch", ev)
+		}
+	}
+	if _, err := a.ApplyEvent(Launch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ApplyEvent(Launch); err == nil {
+		t.Error("double launch accepted")
+	}
+}
+
+func TestRelaunchResets(t *testing.T) {
+	a := NewActivity()
+	if _, err := a.ApplyEvent(Launch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ApplyEvent(Relaunch); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != Running {
+		t.Fatalf("state after relaunch = %v, want running", a.State())
+	}
+}
+
+// TestQuickRandomEventWalksStayLegal drives random legal events and checks
+// the machine never reaches an inconsistent state and every produced
+// sequence is applicable step by step.
+func TestQuickRandomEventWalksStayLegal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewActivity()
+		if _, err := a.ApplyEvent(Launch); err != nil {
+			return false
+		}
+		for k := 0; k < 30; k++ {
+			evs := []Event{LeaveForeground, Return, Finish, Relaunch}
+			ev := evs[rng.Intn(len(evs))]
+			shadow := *a
+			seq, err := shadow.Sequence(ev)
+			if err != nil {
+				continue // not applicable now; skip
+			}
+			got, err := a.ApplyEvent(ev)
+			if err != nil {
+				t.Logf("seed %d: %v unexpectedly failed: %v", seed, ev, err)
+				return false
+			}
+			if len(got) != len(seq) {
+				return false
+			}
+			if a.State() == Destroyed {
+				a = NewActivity()
+				if _, err := a.ApplyEvent(Launch); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	s := NewService()
+	if s.State() != SvcIdle {
+		t.Fatal("fresh service not idle")
+	}
+	seq, err := s.StartSequence()
+	if err != nil || len(seq) != 2 || seq[0] != SvcOnCreate || seq[1] != SvcOnStartCommand {
+		t.Fatalf("start seq = %v, %v", seq, err)
+	}
+	for _, cb := range seq {
+		if err := s.Apply(cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second start: only onStartCommand.
+	seq, err = s.StartSequence()
+	if err != nil || len(seq) != 1 || seq[0] != SvcOnStartCommand {
+		t.Fatalf("restart seq = %v, %v", seq, err)
+	}
+	if err := s.Apply(SvcOnStartCommand); err != nil {
+		t.Fatal(err)
+	}
+	seq, err = s.StopSequence()
+	if err != nil || len(seq) != 1 || seq[0] != SvcOnDestroy {
+		t.Fatalf("stop seq = %v, %v", seq, err)
+	}
+	if err := s.Apply(SvcOnDestroy); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != SvcDestroyed {
+		t.Fatal("service not destroyed")
+	}
+	if _, err := s.StartSequence(); err == nil {
+		t.Fatal("start accepted on destroyed service")
+	}
+	if err := s.Apply(SvcOnCreate); err == nil {
+		t.Fatal("onCreate accepted on destroyed service")
+	}
+}
+
+func TestServiceStopIdleFails(t *testing.T) {
+	if _, err := NewService().StopSequence(); err == nil {
+		t.Fatal("stop accepted on idle service")
+	}
+}
+
+func TestReceiver(t *testing.T) {
+	r := NewReceiver()
+	if r.CanReceive() {
+		t.Fatal("unregistered receiver can receive")
+	}
+	if err := r.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.CanReceive() {
+		t.Fatal("registered receiver cannot receive")
+	}
+	if err := r.Register(); err == nil {
+		t.Fatal("double register accepted")
+	}
+	if err := r.Unregister(); err != nil {
+		t.Fatal(err)
+	}
+	if r.CanReceive() {
+		t.Fatal("unregistered receiver can receive")
+	}
+	if err := r.Unregister(); err == nil {
+		t.Fatal("double unregister accepted")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Launched.String() != "launched" || Destroyed.String() != "destroyed" {
+		t.Fatal("state names wrong")
+	}
+	if SvcRunning.String() != "running" {
+		t.Fatal("service state names wrong")
+	}
+	if Launch.String() != "launch" || Relaunch.String() != "relaunch" {
+		t.Fatal("event names wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package lifecycle
+
+import "fmt"
+
+// Service lifecycle callbacks (started services; binding is out of scope,
+// as in the paper's discussion).
+const (
+	SvcOnCreate       Callback = "Service.onCreate"
+	SvcOnStartCommand Callback = "Service.onStartCommand"
+	SvcOnDestroy      Callback = "Service.onDestroy"
+)
+
+// ServiceState is the lifecycle state of a started service.
+type ServiceState int
+
+// Service states.
+const (
+	SvcIdle ServiceState = iota
+	SvcRunning
+	SvcDestroyed
+)
+
+func (s ServiceState) String() string {
+	switch s {
+	case SvcIdle:
+		return "idle"
+	case SvcRunning:
+		return "running"
+	case SvcDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("ServiceState(%d)", int(s))
+	}
+}
+
+// Service models a started service: onCreate once, any number of
+// onStartCommand deliveries, onDestroy once.
+type Service struct {
+	state ServiceState
+}
+
+// NewService returns a service that has not been created yet.
+func NewService() *Service { return &Service{} }
+
+// State returns the current service state.
+func (s *Service) State() ServiceState { return s.state }
+
+// StartSequence returns the callbacks for a startService request: onCreate
+// on first start, then onStartCommand.
+func (s *Service) StartSequence() ([]Callback, error) {
+	switch s.state {
+	case SvcIdle:
+		return []Callback{SvcOnCreate, SvcOnStartCommand}, nil
+	case SvcRunning:
+		return []Callback{SvcOnStartCommand}, nil
+	}
+	return nil, fmt.Errorf("lifecycle: startService on %s service", s.state)
+}
+
+// StopSequence returns the callbacks for stopService.
+func (s *Service) StopSequence() ([]Callback, error) {
+	if s.state != SvcRunning {
+		return nil, fmt.Errorf("lifecycle: stopService on %s service", s.state)
+	}
+	return []Callback{SvcOnDestroy}, nil
+}
+
+// Apply performs one service callback transition.
+func (s *Service) Apply(cb Callback) error {
+	switch {
+	case cb == SvcOnCreate && s.state == SvcIdle:
+		s.state = SvcRunning
+	case cb == SvcOnStartCommand && s.state == SvcRunning:
+		// no state change
+	case cb == SvcOnDestroy && s.state == SvcRunning:
+		s.state = SvcDestroyed
+	default:
+		return fmt.Errorf("lifecycle: service callback %s not enabled in state %s", cb, s.state)
+	}
+	return nil
+}
+
+// Receiver models a dynamically registered BroadcastReceiver: onReceive is
+// enabled between registration and unregistration.
+type Receiver struct {
+	registered bool
+}
+
+// NewReceiver returns an unregistered receiver.
+func NewReceiver() *Receiver { return &Receiver{} }
+
+// Register marks the receiver registered; onReceive becomes enabled.
+func (r *Receiver) Register() error {
+	if r.registered {
+		return fmt.Errorf("lifecycle: receiver already registered")
+	}
+	r.registered = true
+	return nil
+}
+
+// Unregister disables delivery.
+func (r *Receiver) Unregister() error {
+	if !r.registered {
+		return fmt.Errorf("lifecycle: receiver not registered")
+	}
+	r.registered = false
+	return nil
+}
+
+// CanReceive reports whether a broadcast may be delivered.
+func (r *Receiver) CanReceive() bool { return r.registered }

@@ -1,0 +1,185 @@
+package minimize
+
+import (
+	"testing"
+
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/paper"
+	"droidracer/internal/race"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// detect runs detection on tr.
+func detect(t *testing.T, tr *trace.Trace) (*hb.Graph, []race.Race) {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hb.Build(info, hb.DefaultConfig())
+	return g, race.NewDetector(g).DetectDeduped()
+}
+
+func TestMinimizePaperPlayerTrace(t *testing.T) {
+	app := apps.NewPaperMusicPlayer()
+	tr, err := explorer.Replay(apps.Factory(app), 0, []android.UIEvent{{Kind: android.EvBack}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, races := detect(t, tr)
+	var target *race.Race
+	for i := range races {
+		if races[i].Loc == apps.DestroyedFlag && races[i].Category == race.Multithreaded {
+			target = &races[i]
+		}
+	}
+	if target == nil {
+		t.Fatalf("no multithreaded race in %v", races)
+	}
+	res, err := Minimize(tr, *target, hb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() >= tr.Len() {
+		t.Fatalf("no reduction: %d -> %d", tr.Len(), res.Trace.Len())
+	}
+	if res.Removed != tr.Len()-res.Trace.Len() {
+		t.Fatalf("Removed = %d", res.Removed)
+	}
+	// The reduced trace is a valid execution and still shows the race.
+	if i, err := semantics.ValidateInferred(res.Trace); err != nil {
+		t.Fatalf("reduced trace invalid at %d: %v", i, err)
+	}
+	_, reducedRaces := detect(t, res.Trace)
+	found := false
+	for _, r := range reducedRaces {
+		if r.Loc == apps.DestroyedFlag && r.Category == race.Multithreaded {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("race lost; reduced races = %v", reducedRaces)
+	}
+	// The re-indexed race in the result is the conflicting unordered pair.
+	a, b := res.Race.First, res.Race.Second
+	if !res.Trace.Op(a).Conflicts(res.Trace.Op(b)) {
+		t.Fatalf("result race ops do not conflict: %v / %v", res.Trace.Op(a), res.Trace.Op(b))
+	}
+	// Substantial reduction is expected: the progress machinery drops.
+	if res.Trace.Len() > tr.Len()*2/3 {
+		t.Errorf("weak reduction: %d -> %d ops", tr.Len(), res.Trace.Len())
+	}
+}
+
+func TestMinimizeSyntheticCrossPosted(t *testing.T) {
+	// Three unrelated worker threads, sweeps, and one cross-posted race:
+	// minimization should strip everything but the racing skeleton.
+	ops := []trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.ThreadInit(3),
+		trace.ThreadInit(4),
+		trace.ThreadInit(5),
+	}
+	// Unrelated busywork threads.
+	for _, tid := range []trace.ThreadID{4, 5} {
+		for k := 0; k < 10; k++ {
+			ops = append(ops, trace.Write(tid, trace.Loc("junk")))
+		}
+	}
+	ops = append(ops,
+		trace.Post(2, "update", 1),
+		trace.Post(3, "query", 1),
+		trace.Post(2, "banner", 1), // unrelated task
+		trace.Begin(1, "update"),
+		trace.Write(1, "row"),
+		trace.End(1, "update"),
+		trace.Begin(1, "query"),
+		trace.Read(1, "row"),
+		trace.End(1, "query"),
+		trace.Begin(1, "banner"),
+		trace.Write(1, "banner.text"),
+		trace.End(1, "banner"),
+	)
+	tr := trace.FromOps(ops)
+	_, races := detect(t, tr)
+	var target *race.Race
+	for i := range races {
+		if races[i].Loc == "row" {
+			target = &races[i]
+		}
+	}
+	if target == nil {
+		t.Fatalf("races = %v", races)
+	}
+	res, err := Minimize(tr, *target, hb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Junk threads, the banner task, and the junk accesses all go.
+	for _, op := range res.Trace.Ops() {
+		if op.Thread == 4 || op.Thread == 5 {
+			t.Fatalf("junk thread survived: %v", op)
+		}
+		if op.Task == "banner" || op.Loc == "junk" || op.Loc == "banner.text" {
+			t.Fatalf("unrelated op survived: %v", op)
+		}
+	}
+	if res.Race.Category != race.CrossPosted {
+		t.Fatalf("category after minimization = %v", res.Race.Category)
+	}
+	if res.Trace.Len() > 14 {
+		t.Errorf("reduced trace still has %d ops:\n", res.Trace.Len())
+		for i, op := range res.Trace.Ops() {
+			t.Logf("%2d %v", i, op)
+		}
+	}
+}
+
+func TestMinimizeRejectsNonRace(t *testing.T) {
+	tr := paper.Figure3()
+	// Ops 7 and 16 (1-based) conflict but are ordered: not a race.
+	bogus := race.Race{First: paper.Idx(7), Second: paper.Idx(16), Loc: "DwFileAct-obj"}
+	if _, err := Minimize(tr, bogus, hb.DefaultConfig()); err == nil {
+		t.Fatal("minimize accepted an ordered pair")
+	}
+}
+
+func TestMinimizeFigure4AlreadyMinimal(t *testing.T) {
+	tr := paper.Figure4()
+	_, races := detect(t, tr)
+	var target *race.Race
+	for i := range races {
+		if races[i].Category == race.CrossPosted {
+			target = &races[i]
+		}
+	}
+	if target == nil {
+		t.Fatal("cross-posted race missing")
+	}
+	res, err := Minimize(tr, *target, hb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4 is nearly minimal for this race; whatever remains must
+	// still be valid and racy.
+	if i, err := semantics.ValidateInferred(res.Trace); err != nil {
+		t.Fatalf("invalid at %d: %v", i, err)
+	}
+	_, reduced := detect(t, res.Trace)
+	found := false
+	for _, r := range reduced {
+		if r.Loc == "DwFileAct-obj" && r.Category == race.CrossPosted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("race lost: %v", reduced)
+	}
+}

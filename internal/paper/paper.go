@@ -1,0 +1,161 @@
+// Package paper embeds the literal example traces and the published
+// evaluation numbers from the DroidRacer paper (Maiya, Kanade, Majumdar,
+// "Race Detection for Android Applications", PLDI 2014).
+//
+// Tests validate the happens-before engine and race detector against the
+// paper's Figure 3 and Figure 4 traces operation by operation, and the
+// benchmark harness compares regenerated Table 2/Table 3 rows against the
+// published ones recorded here.
+package paper
+
+import "droidracer/internal/trace"
+
+// Idx converts a 1-based operation index, as printed in the paper's
+// figures, to the 0-based index used by the trace package.
+func Idx(paperIndex int) int { return paperIndex - 1 }
+
+// Figure3 returns the execution trace of Figure 3: the music player
+// scenario in which the user clicks the PLAY button. Operation i of the
+// figure is at index Idx(i).
+func Figure3() *trace.Trace {
+	return trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),                 // 1
+		trace.AttachQ(1),                    // 2
+		trace.LoopOnQ(1),                    // 3
+		trace.Enable(1, "LAUNCH_ACTIVITY"),  // 4
+		trace.Post(0, "LAUNCH_ACTIVITY", 1), // 5
+		trace.Begin(1, "LAUNCH_ACTIVITY"),   // 6
+		trace.Write(1, "DwFileAct-obj"),     // 7
+		trace.Fork(1, 2),                    // 8
+		trace.Enable(1, "onDestroy"),        // 9
+		trace.End(1, "LAUNCH_ACTIVITY"),     // 10
+		trace.ThreadInit(2),                 // 11
+		trace.Read(2, "DwFileAct-obj"),      // 12
+		trace.Post(2, "onPostExecute", 1),   // 13
+		trace.ThreadExit(2),                 // 14
+		trace.Begin(1, "onPostExecute"),     // 15
+		trace.Read(1, "DwFileAct-obj"),      // 16
+		trace.Enable(1, "onPlayClick"),      // 17
+		trace.End(1, "onPostExecute"),       // 18
+		trace.Post(1, "onPlayClick", 1),     // 19
+		trace.Begin(1, "onPlayClick"),       // 20
+		trace.Enable(1, "onPause"),          // 21
+		trace.End(1, "onPlayClick"),         // 22
+		trace.Post(0, "onPause", 1),         // 23
+	})
+}
+
+// Figure4 returns the execution trace of Figure 4: the variant scenario in
+// which the user presses the BACK button instead of PLAY. Operations 1–5
+// are the elided prefix shared with Figure 3. The paper reports two data
+// races on this trace: (12, 21) and (16, 21) in 1-based figure indices.
+func Figure4() *trace.Trace {
+	return trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),                 // 1
+		trace.AttachQ(1),                    // 2
+		trace.LoopOnQ(1),                    // 3
+		trace.Enable(1, "LAUNCH_ACTIVITY"),  // 4
+		trace.Post(0, "LAUNCH_ACTIVITY", 1), // 5
+		trace.Begin(1, "LAUNCH_ACTIVITY"),   // 6
+		trace.Write(1, "DwFileAct-obj"),     // 7
+		trace.Fork(1, 2),                    // 8
+		trace.Enable(1, "onDestroy"),        // 9
+		trace.End(1, "LAUNCH_ACTIVITY"),     // 10
+		trace.ThreadInit(2),                 // 11
+		trace.Read(2, "DwFileAct-obj"),      // 12
+		trace.Post(2, "onPostExecute", 1),   // 13
+		trace.ThreadExit(2),                 // 14
+		trace.Begin(1, "onPostExecute"),     // 15
+		trace.Read(1, "DwFileAct-obj"),      // 16
+		trace.Enable(1, "onPlayClick"),      // 17
+		trace.End(1, "onPostExecute"),       // 18
+		trace.Post(0, "onDestroy", 1),       // 19
+		trace.Begin(1, "onDestroy"),         // 20
+		trace.Write(1, "DwFileAct-obj"),     // 21
+		trace.End(1, "onDestroy"),           // 22
+	})
+}
+
+// Table2Row is one row of the paper's Table 2 ("Statistics about
+// applications and traces").
+type Table2Row struct {
+	App         string
+	LOC         int // 0 for proprietary applications (source unavailable)
+	Proprietary bool
+	TraceLen    int
+	Fields      int
+	ThreadsNoQ  int
+	ThreadsQ    int
+	AsyncTasks  int
+}
+
+// Table2 holds the published Table 2, in the paper's row order (ascending
+// trace length; open-source applications first).
+var Table2 = []Table2Row{
+	{App: "Aard Dictionary", LOC: 4044, TraceLen: 1355, Fields: 189, ThreadsNoQ: 2, ThreadsQ: 1, AsyncTasks: 58},
+	{App: "Music Player", LOC: 11012, TraceLen: 5532, Fields: 521, ThreadsNoQ: 3, ThreadsQ: 2, AsyncTasks: 62},
+	{App: "My Tracks", LOC: 26146, TraceLen: 7305, Fields: 573, ThreadsNoQ: 11, ThreadsQ: 7, AsyncTasks: 164},
+	{App: "Messenger", LOC: 27593, TraceLen: 10106, Fields: 845, ThreadsNoQ: 11, ThreadsQ: 4, AsyncTasks: 99},
+	{App: "Tomdroid Notes", LOC: 3215, TraceLen: 10120, Fields: 413, ThreadsNoQ: 3, ThreadsQ: 1, AsyncTasks: 348},
+	{App: "FBReader", LOC: 50042, TraceLen: 10723, Fields: 322, ThreadsNoQ: 14, ThreadsQ: 1, AsyncTasks: 119},
+	{App: "Browser", LOC: 30874, TraceLen: 19062, Fields: 963, ThreadsNoQ: 13, ThreadsQ: 4, AsyncTasks: 103},
+	{App: "OpenSudoku", LOC: 6151, TraceLen: 24901, Fields: 334, ThreadsNoQ: 5, ThreadsQ: 1, AsyncTasks: 45},
+	{App: "K-9 Mail", LOC: 54119, TraceLen: 29662, Fields: 1296, ThreadsNoQ: 7, ThreadsQ: 2, AsyncTasks: 689},
+	{App: "SGTPuzzles", LOC: 2368, TraceLen: 38864, Fields: 566, ThreadsNoQ: 4, ThreadsQ: 1, AsyncTasks: 80},
+	{App: "Remind Me", Proprietary: true, TraceLen: 10348, Fields: 348, ThreadsNoQ: 3, ThreadsQ: 1, AsyncTasks: 176},
+	{App: "Twitter", Proprietary: true, TraceLen: 16975, Fields: 1362, ThreadsNoQ: 21, ThreadsQ: 5, AsyncTasks: 97},
+	{App: "Adobe Reader", Proprietary: true, TraceLen: 33866, Fields: 1267, ThreadsNoQ: 17, ThreadsQ: 4, AsyncTasks: 226},
+	{App: "Facebook", Proprietary: true, TraceLen: 52146, Fields: 801, ThreadsNoQ: 16, ThreadsQ: 3, AsyncTasks: 16},
+	{App: "Flipkart", Proprietary: true, TraceLen: 157539, Fields: 2065, ThreadsNoQ: 36, ThreadsQ: 3, AsyncTasks: 105},
+}
+
+// Count is a reported/true-positive pair in the paper's "X(Y)" notation.
+// True is -1 when the paper could not triage (proprietary applications).
+type Count struct {
+	Reported int
+	True     int
+}
+
+// Table3Row is one row of Table 3 ("Data races reported by DroidRacer")
+// plus the unknown-category counts reported in the running text.
+type Table3Row struct {
+	App           string
+	Proprietary   bool
+	Multithreaded Count
+	CrossPosted   Count
+	CoEnabled     Count
+	Delayed       Count
+	Unknown       Count
+}
+
+// Table3 holds the published Table 3 in row order.
+var Table3 = []Table3Row{
+	{App: "Aard Dictionary", Multithreaded: Count{1, 1}},
+	{App: "Music Player", CrossPosted: Count{17, 4}, CoEnabled: Count{11, 10}, Delayed: Count{4, 0}, Unknown: Count{3, 2}},
+	{App: "My Tracks", Multithreaded: Count{1, 0}, CrossPosted: Count{2, 1}, CoEnabled: Count{1, 0}},
+	{App: "Messenger", Multithreaded: Count{1, 1}, CrossPosted: Count{15, 5}, CoEnabled: Count{4, 3}, Delayed: Count{2, 2}},
+	{App: "Tomdroid Notes", CrossPosted: Count{5, 2}, CoEnabled: Count{1, 0}},
+	{App: "FBReader", Multithreaded: Count{1, 0}, CrossPosted: Count{22, 22}, CoEnabled: Count{14, 4}},
+	{App: "Browser", Multithreaded: Count{2, 1}, CrossPosted: Count{64, 2}},
+	{App: "OpenSudoku", Multithreaded: Count{1, 0}, CrossPosted: Count{1, 0}},
+	{App: "K-9 Mail", Multithreaded: Count{9, 2}, CoEnabled: Count{1, 0}},
+	{App: "SGTPuzzles", Multithreaded: Count{11, 10}, CrossPosted: Count{21, 8}},
+	{App: "Remind Me", Proprietary: true, CrossPosted: Count{21, -1}, CoEnabled: Count{33, -1}},
+	{App: "Twitter", Proprietary: true, CrossPosted: Count{20, -1}, CoEnabled: Count{7, -1}, Delayed: Count{4, -1}},
+	{App: "Adobe Reader", Proprietary: true, Multithreaded: Count{34, -1}, CrossPosted: Count{73, -1}, Delayed: Count{9, -1}, Unknown: Count{9, -1}},
+	{App: "Facebook", Proprietary: true, Multithreaded: Count{12, -1}, CrossPosted: Count{10, -1}},
+	{App: "Flipkart", Proprietary: true, Multithreaded: Count{12, -1}, CrossPosted: Count{152, -1}, CoEnabled: Count{84, -1}, Delayed: Count{30, -1}, Unknown: Count{36, -1}},
+}
+
+// Performance facts from §6 of the paper, used to validate the
+// node-merging optimization and overhead benchmarks.
+const (
+	// MergeRatioMin and MergeRatioMax bound the published merged-graph size
+	// as a fraction of the trace length (1.4%–24.8%).
+	MergeRatioMin = 0.014
+	MergeRatioMax = 0.248
+	// MergeRatioAvg is the published average ratio (11.1%).
+	MergeRatioAvg = 0.111
+	// TraceGenSlowdownMax is the published trace-generation slowdown (5x).
+	TraceGenSlowdownMax = 5.0
+)

@@ -1,0 +1,64 @@
+package race
+
+import (
+	"fmt"
+	"strings"
+
+	"droidracer/internal/trace"
+)
+
+// AccessKey identifies one access robustly across trace transformations
+// (replays under other schedules, minimization): the memory location, the
+// base name of the enclosing task (unique "#k" renaming suffixes are
+// stripped, since numbering depends on global execution order), the
+// executing thread, and the ordinal among accesses sharing all three.
+type AccessKey struct {
+	Loc      trace.Loc
+	TaskBase string
+	Thread   trace.ThreadID
+	Ordinal  int
+}
+
+// TaskBase strips the unique-renaming suffix from a task name.
+func TaskBase(t trace.TaskID) string {
+	s := string(t)
+	if i := strings.LastIndex(s, "#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// KeyOf computes the AccessKey of the access at trace index i.
+func KeyOf(info *trace.Info, i int) (AccessKey, error) {
+	tr := info.Trace()
+	op := tr.Op(i)
+	if !op.Kind.IsAccess() {
+		return AccessKey{}, fmt.Errorf("race: op %d (%v) is not an access", i, op)
+	}
+	key := AccessKey{Loc: op.Loc, TaskBase: TaskBase(info.Task(i)), Thread: op.Thread}
+	for j := 0; j < i; j++ {
+		o := tr.Op(j)
+		if o.Kind.IsAccess() && o.Loc == key.Loc && o.Thread == key.Thread &&
+			TaskBase(info.Task(j)) == key.TaskBase {
+			key.Ordinal++
+		}
+	}
+	return key, nil
+}
+
+// FindAccess locates the trace index matching key, or -1.
+func FindAccess(info *trace.Info, key AccessKey) int {
+	tr := info.Trace()
+	n := 0
+	for i, op := range tr.Ops() {
+		if !op.Kind.IsAccess() || op.Loc != key.Loc || op.Thread != key.Thread ||
+			TaskBase(info.Task(i)) != key.TaskBase {
+			continue
+		}
+		if n == key.Ordinal {
+			return i
+		}
+		n++
+	}
+	return -1
+}

@@ -1,0 +1,181 @@
+package race
+
+import (
+	"testing"
+
+	"droidracer/internal/hb"
+	"droidracer/internal/trace"
+)
+
+// build analyzes and builds the graph for classification tests.
+func build(t *testing.T, tr *trace.Trace) *Detector {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDetector(hb.Build(info, hb.DefaultConfig()))
+}
+
+// TestCoEnabledPrecedesDelayed: a race satisfying both the co-enabled and
+// delayed criteria classifies as co-enabled — §4.3 checks the criteria in
+// presentation order.
+func TestCoEnabledPrecedesDelayed(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.ThreadInit(3),
+		trace.Enable(2, "alarm1"),
+		trace.PostDelayed(2, "alarm1", 1, 100),
+		trace.Enable(3, "alarm2"),
+		trace.PostDelayed(3, "alarm2", 1, 300),
+		trace.Begin(1, "alarm1"),
+		trace.Write(1, "x"),
+		trace.End(1, "alarm1"),
+		trace.Begin(1, "alarm2"),
+		trace.Write(1, "x"),
+		trace.End(1, "alarm2"),
+	})
+	races := build(t, tr).Detect()
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].Category != CoEnabled {
+		t.Fatalf("category = %v, want co-enabled (precedence over delayed)", races[0].Category)
+	}
+}
+
+// TestDelayedPrecedesCrossPosted: both delayed and cross-posted criteria
+// hold; delayed wins.
+func TestDelayedPrecedesCrossPosted(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.ThreadInit(3),
+		trace.PostDelayed(2, "d1", 1, 100),
+		trace.Post(3, "p2", 1),
+		trace.Begin(1, "p2"),
+		trace.Write(1, "x"),
+		trace.End(1, "p2"),
+		trace.Begin(1, "d1"),
+		trace.Write(1, "x"),
+		trace.End(1, "d1"),
+	})
+	races := build(t, tr).Detect()
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].Category != Delayed {
+		t.Fatalf("category = %v, want delayed (precedence over cross-posted)", races[0].Category)
+	}
+}
+
+// TestChainWalksNestedPosts: classification uses the most recent matching
+// post of the whole chain, not just the immediate one.
+func TestChainWalksNestedPosts(t *testing.T) {
+	// Thread 2 posts task a; a posts b (self-post); b's access races with
+	// task c posted by thread 3. The most recent cross post of b's chain is
+	// post(a) by t2 — distinct from c's post by t3 → cross-posted.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.ThreadInit(3),
+		trace.Post(2, "a", 1),
+		trace.Begin(1, "a"),
+		trace.Post(1, "b", 1),
+		trace.End(1, "a"),
+		trace.Post(3, "c", 1),
+		trace.Begin(1, "b"),
+		trace.Write(1, "x"),
+		trace.End(1, "b"),
+		trace.Begin(1, "c"),
+		trace.Write(1, "x"),
+		trace.End(1, "c"),
+	})
+	d := build(t, tr)
+	races := d.Detect()
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].Category != CrossPosted {
+		t.Fatalf("category = %v, want cross-posted via the nested chain", races[0].Category)
+	}
+}
+
+// TestSameEventPostNotCoEnabled: two accesses descending from the SAME
+// enabled post are not co-enabled (βi = βj ⇒ βi ≼ βj).
+func TestSameEventPostNotCoEnabled(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.Enable(2, "parent"),
+		trace.Post(2, "parent", 1),
+		trace.Begin(1, "parent"),
+		trace.Post(1, "backTask", 1),
+		trace.PostFront(1, "frontTask", 1),
+		trace.End(1, "parent"),
+		trace.Begin(1, "frontTask"),
+		trace.Read(1, "x"),
+		trace.End(1, "frontTask"),
+		trace.Begin(1, "backTask"),
+		trace.Write(1, "x"),
+		trace.End(1, "backTask"),
+	})
+	races := build(t, tr).Detect()
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].Category != Unknown {
+		t.Fatalf("category = %v, want unknown (same event post on both chains)", races[0].Category)
+	}
+}
+
+// TestWriteWriteRace: write-write pairs race like read-write pairs.
+func TestWriteWriteRace(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.ThreadInit(2),
+		trace.Write(1, "x"),
+		trace.Write(2, "x"),
+	})
+	races := build(t, tr).Detect()
+	if len(races) != 1 || races[0].Category != Multithreaded {
+		t.Fatalf("races = %v", races)
+	}
+}
+
+// TestDetectOrderingDeterministic: Detect returns races sorted by trace
+// position regardless of map iteration.
+func TestDetectOrderingDeterministic(t *testing.T) {
+	ops := []trace.Op{trace.ThreadInit(1), trace.ThreadInit(2)}
+	for _, loc := range []trace.Loc{"z", "a", "m", "q", "b"} {
+		ops = append(ops, trace.Write(1, loc), trace.Write(2, loc))
+	}
+	tr := trace.FromOps(ops)
+	d := build(t, tr)
+	first := d.Detect()
+	for round := 0; round < 5; round++ {
+		again := d.Detect()
+		if len(again) != len(first) {
+			t.Fatal("race count varies")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("ordering varies at %d", i)
+			}
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].First > first[i].First {
+			t.Fatal("races not sorted by position")
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package race
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"droidracer/internal/hb"
+	"droidracer/internal/paper"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+func detect(t *testing.T, tr *trace.Trace) []Race {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDetector(hb.Build(info, hb.DefaultConfig())).Detect()
+}
+
+func TestCategoryString(t *testing.T) {
+	for c, want := range map[Category]string{
+		Multithreaded: "multithreaded",
+		CoEnabled:     "co-enabled",
+		Delayed:       "delayed",
+		CrossPosted:   "cross-posted",
+		Unknown:       "unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if !strings.Contains(Category(42).String(), "42") {
+		t.Error("out-of-range category formatting")
+	}
+}
+
+func TestFigure3NoRaces(t *testing.T) {
+	if races := detect(t, paper.Figure3()); len(races) != 0 {
+		t.Fatalf("Figure 3 should be race free; got %v", races)
+	}
+}
+
+func TestFigure4TwoRaces(t *testing.T) {
+	races := detect(t, paper.Figure4())
+	if len(races) != 2 {
+		t.Fatalf("Figure 4 should have exactly 2 races; got %v", races)
+	}
+	got := map[[2]int]Category{}
+	for _, r := range races {
+		got[[2]int{r.First, r.Second}] = r.Category
+	}
+	// (12,21): read on t2 vs write on t1 — multithreaded.
+	if c, ok := got[[2]int{paper.Idx(12), paper.Idx(21)}]; !ok || c != Multithreaded {
+		t.Errorf("race (12,21): got %v, want multithreaded", got)
+	}
+	// (16,21): both on t1, tasks posted from t2 and t0 — cross-posted
+	// (the paper's Messenger example shape).
+	if c, ok := got[[2]int{paper.Idx(16), paper.Idx(21)}]; !ok || c != CrossPosted {
+		t.Errorf("race (16,21): got %v, want cross-posted", got)
+	}
+}
+
+func TestCoEnabledClassification(t *testing.T) {
+	// Two independently enabled UI events whose handlers run on the main
+	// thread: a co-enabled race.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.Enable(1, "onClick1"),
+		trace.Enable(1, "onClick2"),
+		trace.LoopOnQ(1),
+		trace.Post(1, "onClick1", 1),
+		trace.Begin(1, "onClick1"),
+		trace.Write(1, "x"),
+		trace.End(1, "onClick1"),
+		trace.Post(1, "onClick2", 1),
+		trace.Begin(1, "onClick2"),
+		trace.Write(1, "x"),
+		trace.End(1, "onClick2"),
+	})
+	races := detect(t, tr)
+	if len(races) != 1 || races[0].Category != CoEnabled {
+		t.Fatalf("got %v, want one co-enabled race", races)
+	}
+}
+
+func TestOrderedEventsNotCoEnabled(t *testing.T) {
+	// The second event is enabled from INSIDE the first handler (e.g. a
+	// button enabled by the first callback): enable ≼ post orders the
+	// handlers, so there is no race at all.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.Enable(1, "onClick1"),
+		trace.LoopOnQ(1),
+		trace.Post(1, "onClick1", 1),
+		trace.Begin(1, "onClick1"),
+		trace.Write(1, "x"),
+		trace.Enable(1, "onClick2"),
+		trace.End(1, "onClick1"),
+		trace.Post(1, "onClick2", 1),
+		trace.Begin(1, "onClick2"),
+		trace.Write(1, "x"),
+		trace.End(1, "onClick2"),
+	})
+	if races := detect(t, tr); len(races) != 0 {
+		t.Fatalf("got %v, want no races (enable orders the handlers)", races)
+	}
+}
+
+func TestDelayedClassification(t *testing.T) {
+	// A delayed post racing with a plain post: the delayed category.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.PostDelayed(2, "d1", 1, 100),
+		trace.Post(2, "p2", 1),
+		trace.Begin(1, "p2"),
+		trace.Write(1, "x"),
+		trace.End(1, "p2"),
+		trace.Begin(1, "d1"),
+		trace.Write(1, "x"),
+		trace.End(1, "d1"),
+	})
+	races := detect(t, tr)
+	if len(races) != 1 || races[0].Category != Delayed {
+		t.Fatalf("got %v, want one delayed race", races)
+	}
+}
+
+func TestTwoDistinctDelayedPostsClassifiedDelayed(t *testing.T) {
+	// Both chains end in delayed posts with δ1 > δ2: unordered, delayed.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.PostDelayed(2, "d1", 1, 300),
+		trace.PostDelayed(2, "d2", 1, 100),
+		trace.Begin(1, "d2"),
+		trace.Write(1, "x"),
+		trace.End(1, "d2"),
+		trace.Begin(1, "d1"),
+		trace.Write(1, "x"),
+		trace.End(1, "d1"),
+	})
+	races := detect(t, tr)
+	if len(races) != 1 || races[0].Category != Delayed {
+		t.Fatalf("got %v, want one delayed race", races)
+	}
+}
+
+func TestUnknownClassification(t *testing.T) {
+	// Both tasks self-posted by the main thread with no enables, delays,
+	// or cross-thread posts: unknown.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.Post(1, "a", 1),
+		trace.Begin(1, "a"),
+		trace.Write(1, "x"),
+		trace.End(1, "a"),
+		trace.Post(1, "b", 1),
+		trace.Begin(1, "b"),
+		trace.Write(1, "x"),
+		trace.End(1, "b"),
+	})
+	races := detect(t, tr)
+	if len(races) != 1 || races[0].Category != Unknown {
+		t.Fatalf("got %v, want one unknown race", races)
+	}
+}
+
+func TestReadReadNotARace(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.ThreadInit(2),
+		trace.Read(1, "x"),
+		trace.Read(2, "x"),
+	})
+	if races := detect(t, tr); len(races) != 0 {
+		t.Fatalf("read-read pair reported: %v", races)
+	}
+}
+
+func TestMultithreadedRaceAndLockFix(t *testing.T) {
+	racy := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.ThreadInit(2),
+		trace.Write(1, "x"),
+		trace.Read(2, "x"),
+	})
+	races := detect(t, racy)
+	if len(races) != 1 || races[0].Category != Multithreaded {
+		t.Fatalf("got %v, want one multithreaded race", races)
+	}
+	fixed := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.ThreadInit(2),
+		trace.Acquire(1, "l"),
+		trace.Write(1, "x"),
+		trace.Release(1, "l"),
+		trace.Acquire(2, "l"),
+		trace.Read(2, "x"),
+		trace.Release(2, "l"),
+	})
+	if races := detect(t, fixed); len(races) != 0 {
+		t.Fatalf("lock-protected accesses reported racy: %v", races)
+	}
+}
+
+func TestDetectDeduped(t *testing.T) {
+	// Three unordered writer tasks on one location: 3 pairwise races of
+	// the same (loc, category) dedupe to one report.
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.AttachQ(1),
+		trace.LoopOnQ(1),
+		trace.ThreadInit(2),
+		trace.ThreadInit(3),
+		trace.ThreadInit(4),
+		trace.Post(2, "a", 1),
+		trace.Post(3, "b", 1),
+		trace.Post(4, "c", 1),
+		trace.Begin(1, "a"),
+		trace.Write(1, "x"),
+		trace.End(1, "a"),
+		trace.Begin(1, "b"),
+		trace.Write(1, "x"),
+		trace.End(1, "b"),
+		trace.Begin(1, "c"),
+		trace.Write(1, "x"),
+		trace.End(1, "c"),
+	})
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector(hb.Build(info, hb.DefaultConfig()))
+	all := d.Detect()
+	if len(all) != 3 {
+		t.Fatalf("Detect: got %d races, want 3", len(all))
+	}
+	deduped := d.DetectDeduped()
+	if len(deduped) != 1 {
+		t.Fatalf("DetectDeduped: got %v, want 1 report", deduped)
+	}
+	if deduped[0].Category != CrossPosted {
+		t.Fatalf("category = %v, want cross-posted", deduped[0].Category)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	races := []Race{
+		{Category: Multithreaded},
+		{Category: Multithreaded},
+		{Category: CoEnabled},
+		{Category: Delayed},
+		{Category: CrossPosted},
+		{Category: Unknown},
+	}
+	s := Summarize(races)
+	if s.Multithreaded != 2 || s.CoEnabled != 1 || s.Delayed != 1 ||
+		s.CrossPosted != 1 || s.Unknown != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", s.Total())
+	}
+	if Summarize(nil).Total() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{First: 15, Second: 20, Loc: "DwFileAct-obj", Category: CrossPosted}
+	s := r.String()
+	for _, want := range []string{"cross-posted", "DwFileAct-obj", "15", "20"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestQuickRacesAreUnorderedConflicts cross-checks Detect against a direct
+// definition on random valid traces.
+func TestQuickRacesAreUnorderedConflicts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := semantics.RandomTrace(rng, semantics.DefaultGenConfig())
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			return false
+		}
+		g := hb.Build(info, hb.DefaultConfig())
+		got := make(map[[2]int]bool)
+		for _, r := range NewDetector(g).Detect() {
+			if r.First >= r.Second {
+				return false
+			}
+			got[[2]int{r.First, r.Second}] = true
+		}
+		want := make(map[[2]int]bool)
+		for a := 0; a < tr.Len(); a++ {
+			for b := a + 1; b < tr.Len(); b++ {
+				if tr.Op(a).Conflicts(tr.Op(b)) &&
+					!g.HappensBefore(a, b) && !g.HappensBefore(b, a) {
+					want[[2]int{a, b}] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %d races, want %d", seed, len(got), len(want))
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDedupIsSubset checks DetectDeduped reports a subset of Detect
+// with unique (loc, category) keys.
+func TestQuickDedupIsSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := semantics.RandomTrace(rng, semantics.DefaultGenConfig())
+		info, err := trace.Analyze(tr)
+		if err != nil {
+			return false
+		}
+		d := NewDetector(hb.Build(info, hb.DefaultConfig()))
+		all := make(map[[2]int]bool)
+		for _, r := range d.Detect() {
+			all[[2]int{r.First, r.Second}] = true
+		}
+		seen := make(map[string]bool)
+		for _, r := range d.DetectDeduped() {
+			if !all[[2]int{r.First, r.Second}] {
+				return false
+			}
+			k := string(r.Loc) + "|" + r.Category.String()
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

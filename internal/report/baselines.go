@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+
+	"droidracer/internal/baseline"
+	"droidracer/internal/eval"
+	"droidracer/internal/trace"
+)
+
+// Baselines compares the baseline detectors of §7 against the full
+// DroidRacer analysis on the same traces: for each app and detector, the
+// racy locations reported, how many of those DroidRacer also reports
+// (agreement), how many are extra (the baseline's false-positive modes),
+// and how many DroidRacer locations the baseline misses (false-negative
+// modes, e.g. single-threaded races invisible to pure multithreaded
+// happens-before).
+func Baselines(results []*eval.AppResult, detectors []baseline.Detector) string {
+	t := &table{header: []string{"Application", "Detector", "Locs", "Agree", "Extra", "Missed"}}
+	for _, r := range results {
+		full := make(map[trace.Loc]bool)
+		for _, rc := range r.Races {
+			full[rc.Loc] = true
+		}
+		for _, d := range detectors {
+			locs := baseline.Locs(d.Detect(r.Test.Trace))
+			agree, extra := 0, 0
+			for l := range locs {
+				if full[l] {
+					agree++
+				} else {
+					extra++
+				}
+			}
+			missed := 0
+			for l := range full {
+				if !locs[l] {
+					missed++
+				}
+			}
+			t.addRow(r.App.Name(), d.Name(),
+				fmt.Sprintf("%d", len(locs)),
+				fmt.Sprintf("%d", agree),
+				fmt.Sprintf("%d", extra),
+				fmt.Sprintf("%d", missed))
+		}
+	}
+	return "Baseline detectors vs DroidRacer (racy locations)\n" + t.String()
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/apps"
+	"droidracer/internal/baseline"
+	"droidracer/internal/eval"
+)
+
+// result runs one small app through the evaluation pipeline.
+func result(t *testing.T, name string) *eval.AppResult {
+	t.Helper()
+	app, err := apps.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eval.RunApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &table{header: []string{"App", "N"}}
+	tb.addRow("short", "1")
+	tb.addRow("a much longer name", "12345")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows share the same width.
+	w := len(lines[0])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	rs := []*eval.AppResult{result(t, "Aard Dictionary")}
+	out := Table2(rs)
+	for _, want := range []string{"Table 2", "Aard Dictionary", "/1355", "/189", "2/2", "1/1", "/58"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2SkipsUnknownApps(t *testing.T) {
+	rs := []*eval.AppResult{result(t, "Paper Music Player")}
+	out := Table2(rs)
+	if strings.Contains(out, "Paper Music Player") {
+		t.Errorf("apps without a published row should be skipped:\n%s", out)
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	rs := []*eval.AppResult{result(t, "Aard Dictionary")}
+	out := Table3(rs)
+	for _, want := range []string{"Table 3", "1(1)", "(paper)", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerfRendering(t *testing.T) {
+	rs := []*eval.AppResult{result(t, "Aard Dictionary")}
+	out := Perf(rs)
+	for _, want := range []string{"Node-merging", "average ratio", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Perf output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselinesRendering(t *testing.T) {
+	rs := []*eval.AppResult{result(t, "Aard Dictionary")}
+	out := Baselines(rs, baseline.All())
+	for _, want := range []string{"pure-mt-hb", "async-as-threads", "event-only", "eraser-lockset", "Agree", "Missed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Baselines output missing %q:\n%s", want, out)
+		}
+	}
+}

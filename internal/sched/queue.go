@@ -1,0 +1,112 @@
+package sched
+
+import "droidracer/internal/trace"
+
+// message is one posted asynchronous task.
+type message struct {
+	task      trace.TaskID
+	fn        TaskFunc
+	cancelled bool
+}
+
+// msgQueue is a FIFO task queue with front insertion and cancellation.
+type msgQueue struct {
+	msgs  []*message
+	known map[trace.TaskID]*message // every message ever routed here
+}
+
+func newMsgQueue() *msgQueue {
+	return &msgQueue{known: make(map[trace.TaskID]*message)}
+}
+
+func (q *msgQueue) push(m *message)      { q.msgs = append(q.msgs, m) }
+func (q *msgQueue) pushFront(m *message) { q.msgs = append([]*message{m}, q.msgs...) }
+
+func (q *msgQueue) pop() *message {
+	for len(q.msgs) > 0 {
+		m := q.msgs[0]
+		q.msgs = q.msgs[1:]
+		if m.cancelled {
+			continue
+		}
+		return m
+	}
+	return nil
+}
+
+func (q *msgQueue) remove(task trace.TaskID) {
+	for i, m := range q.msgs {
+		if m.task == task {
+			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *msgQueue) empty() bool {
+	for _, m := range q.msgs {
+		if !m.cancelled {
+			return false
+		}
+	}
+	return true
+}
+
+// delayedMsg is a message waiting for the virtual clock.
+type delayedMsg struct {
+	due  int64
+	seq  int // insertion order breaks due-time ties deterministically
+	dest *Thread
+	msg  *message
+}
+
+// delayHeap is a min-heap over (due, seq) implemented directly to keep the
+// scheduler free of interface boxing in its hot path.
+type delayHeap []*delayedMsg
+
+func (h delayHeap) Len() int { return len(h) }
+
+func (h delayHeap) less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *delayHeap) push(d *delayedMsg) {
+	*h = append(*h, d)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() *delayedMsg {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(*h) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,458 @@
+// Package sched is a deterministic cooperative scheduler for simulated
+// Android threads. It stands in for the paper's instrumented Dalvik VM
+// (§5, Trace Generator): application models run as scheduler-gated
+// goroutines, exactly one simulated thread executes at a time, every
+// operation is a scheduling point, and each operation is logged in the
+// core language of internal/trace.
+//
+// Determinism: given the same seed, policy, and program, the scheduler
+// produces the identical interleaving and therefore the identical trace —
+// the property DroidRacer's UI Explorer relies on for backtracking and
+// replay. Delayed posts run against a virtual clock that advances only
+// when every thread is blocked.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"droidracer/internal/trace"
+)
+
+// Status is the result of a scheduling run.
+type Status int
+
+// Run outcomes.
+const (
+	// Quiescent: no thread is runnable and no delayed task is pending; the
+	// remaining threads wait on empty queues. The driver may inject events.
+	Quiescent Status = iota
+	// Done: every thread has finished.
+	Done
+	// Paused: RunSteps exhausted its step budget with work remaining.
+	Paused
+)
+
+func (s Status) String() string {
+	switch s {
+	case Done:
+		return "done"
+	case Paused:
+		return "paused"
+	default:
+		return "quiescent"
+	}
+}
+
+// Policy chooses the next thread among the runnable ones. Implementations
+// must be deterministic functions of their own state and the argument.
+type Policy interface {
+	// Pick returns an index into the non-empty runnable list.
+	Pick(runnable []*Thread) int
+}
+
+// RoundRobin cycles through runnable threads in queue order.
+type RoundRobin struct{}
+
+// Pick implements Policy.
+func (RoundRobin) Pick([]*Thread) int { return 0 }
+
+// RandomPolicy picks uniformly with a seeded generator.
+type RandomPolicy struct{ rng *rand.Rand }
+
+// NewRandomPolicy returns a seeded random policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Policy.
+func (p *RandomPolicy) Pick(runnable []*Thread) int { return p.rng.Intn(len(runnable)) }
+
+// NoisePolicy is a seeded priority-based scheduling policy in the style of
+// PCT (probabilistic concurrency testing): every thread receives a random
+// priority when first seen, the highest-priority runnable thread always
+// runs, and priorities are occasionally demoted at random change points.
+// A thread with an unluckily low priority is starved until everything else
+// blocks — the scheduling analogue of the paper's
+// stall-threads-in-the-debugger race validation. Deterministic for a given
+// seed.
+type NoisePolicy struct {
+	rng   *rand.Rand
+	prio  map[*Thread]int
+	floor int // priorities below every assigned one, for demotions
+}
+
+// NewNoisePolicy returns a seeded noise policy.
+func NewNoisePolicy(seed int64) *NoisePolicy {
+	return &NoisePolicy{rng: rand.New(rand.NewSource(seed)), prio: make(map[*Thread]int)}
+}
+
+// Pick implements Policy.
+func (p *NoisePolicy) Pick(runnable []*Thread) int {
+	for _, t := range runnable {
+		if _, ok := p.prio[t]; !ok {
+			p.prio[t] = p.rng.Intn(1 << 20)
+		}
+	}
+	best := 0
+	for i := 1; i < len(runnable); i++ {
+		if p.prio[runnable[i]] > p.prio[runnable[best]] {
+			best = i
+		}
+	}
+	// Random change point: demote the chosen thread below all others so a
+	// different ordering unfolds from here.
+	if p.rng.Intn(50) == 0 {
+		p.floor--
+		p.prio[runnable[best]] = p.floor
+	}
+	return best
+}
+
+// PreferPolicy deterministically prefers a specific thread when runnable
+// (useful to reorder racy tasks during race validation), delegating to a
+// fallback otherwise.
+type PreferPolicy struct {
+	Prefer   trace.ThreadID
+	Fallback Policy
+}
+
+// Pick implements Policy.
+func (p *PreferPolicy) Pick(runnable []*Thread) int {
+	for i, t := range runnable {
+		if t.id == p.Prefer {
+			return i
+		}
+	}
+	return p.Fallback.Pick(runnable)
+}
+
+// Options configure a simulation.
+type Options struct {
+	// Policy defaults to RoundRobin when nil.
+	Policy Policy
+	// Record controls trace emission; disabling it measures the
+	// uninstrumented run for the §6 overhead experiment.
+	Record bool
+}
+
+// DefaultOptions records traces under round-robin scheduling.
+func DefaultOptions() Options { return Options{Policy: RoundRobin{}, Record: true} }
+
+type eventKind int
+
+const (
+	evYield eventKind = iota
+	evBlocked
+	evFinished
+)
+
+type threadEvent struct {
+	t    *Thread
+	kind eventKind
+}
+
+// Sim is one simulated execution. Create with New, add framework threads
+// with Spawn, then drive with Run/RunUntilQuiescent and inject events
+// between quiescent phases. A Sim is not safe for concurrent driver use.
+type Sim struct {
+	opts    Options
+	tr      *trace.Trace
+	nextID  trace.ThreadID
+	threads []*Thread
+	ready   []*Thread
+	events  chan threadEvent
+	delayed delayHeap
+	seq     int // tiebreaker for equal due times
+	now     int64
+	locks   map[trace.LockID]*lockState
+	flags   map[string]bool
+	taskSeq map[string]int
+	err     error
+	started bool
+	closed  bool
+}
+
+type lockState struct {
+	owner *Thread
+	count int
+}
+
+// New returns an empty simulation.
+func New(opts Options) *Sim {
+	if opts.Policy == nil {
+		opts.Policy = RoundRobin{}
+	}
+	return &Sim{
+		opts:    opts,
+		tr:      &trace.Trace{},
+		nextID:  0,
+		events:  make(chan threadEvent),
+		locks:   make(map[trace.LockID]*lockState),
+		flags:   make(map[string]bool),
+		taskSeq: make(map[string]int),
+	}
+}
+
+// Trace returns the trace recorded so far.
+func (s *Sim) Trace() *trace.Trace { return s.tr }
+
+// Now returns the virtual clock in milliseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// Err returns the first runtime error (misuse of the concurrency API or a
+// deadlock), or nil.
+func (s *Sim) Err() error { return s.err }
+
+// FreshTask returns a unique task name derived from base, implementing the
+// paper's unique renaming of procedure occurrences.
+func (s *Sim) FreshTask(base string) trace.TaskID {
+	s.taskSeq[base]++
+	if s.taskSeq[base] == 1 {
+		return trace.TaskID(base)
+	}
+	return trace.TaskID(fmt.Sprintf("%s#%d", base, s.taskSeq[base]))
+}
+
+// Spawn creates a framework thread (present from the start of the
+// execution) running program. It must be called before the first Run.
+func (s *Sim) Spawn(name string, program Program) *Thread {
+	if s.started {
+		panic("sched: Spawn after Run; use Thread.Fork from inside the program")
+	}
+	t := s.newThread(name)
+	t.program = program
+	s.makeReady(t)
+	go t.main()
+	return t
+}
+
+func (s *Sim) newThread(name string) *Thread {
+	t := &Thread{
+		sim:   s,
+		id:    s.nextID,
+		name:  name,
+		grant: make(chan struct{}),
+		held:  make(map[trace.LockID]int),
+		state: stateNew,
+	}
+	s.nextID++
+	s.threads = append(s.threads, t)
+	return t
+}
+
+func (s *Sim) makeReady(t *Thread) {
+	if t.state == stateReady || t.state == stateDone {
+		return
+	}
+	t.state = stateReady
+	s.ready = append(s.ready, t)
+}
+
+// wake moves a blocked thread back to the runnable list.
+func (s *Sim) wake(t *Thread) {
+	if t.state == stateBlocked {
+		t.block = blockNone
+		s.makeReady(t)
+	}
+}
+
+// wakeQueueWaiter wakes t if it blocks waiting for queue input.
+func (s *Sim) wakeQueueWaiter(t *Thread) {
+	if t.state == stateBlocked && t.block == blockQueue {
+		s.wake(t)
+	}
+}
+
+func (s *Sim) emit(op trace.Op) {
+	if s.opts.Record {
+		s.tr.Append(op)
+	}
+}
+
+// fail records the first runtime error and aborts the current thread.
+func (s *Sim) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+	panic(killed{})
+}
+
+// RunUntilQuiescent schedules threads until every thread is finished or
+// blocked on an empty queue with no delayed task pending. It returns Done
+// when all threads finished. Deadlocks (threads blocked on locks or joins
+// with nothing runnable) and API misuse surface as errors.
+func (s *Sim) RunUntilQuiescent() (Status, error) {
+	return s.run(-1)
+}
+
+// RunSteps schedules at most maxSteps operations, returning Paused when
+// the budget runs out with work remaining. The race verifier uses it to
+// inject events in the middle of ongoing work — the paper's
+// stall-threads-in-the-debugger methodology.
+func (s *Sim) RunSteps(maxSteps int) (Status, error) {
+	return s.run(maxSteps)
+}
+
+func (s *Sim) run(maxSteps int) (Status, error) {
+	s.started = true
+	steps := 0
+	for s.err == nil {
+		if maxSteps >= 0 && steps >= maxSteps {
+			return Paused, nil
+		}
+		steps++
+		if len(s.ready) == 0 {
+			if s.delayed.Len() > 0 {
+				s.advanceClock()
+				continue
+			}
+			allDone := true
+			for _, t := range s.threads {
+				switch t.state {
+				case stateDone:
+					continue
+				case stateBlocked:
+					allDone = false
+					if t.block == blockFlag && t.daemon {
+						continue // a parked service loop; not a deadlock
+					}
+					if t.block == blockLock || t.block == blockJoin || t.block == blockAttach || t.block == blockFlag {
+						return Quiescent, fmt.Errorf("sched: deadlock: thread t%d (%s) blocked on %v", t.id, t.name, t.block)
+					}
+				default:
+					allDone = false
+				}
+			}
+			if allDone {
+				return Done, nil
+			}
+			return Quiescent, nil
+		}
+		i := s.opts.Policy.Pick(s.ready)
+		t := s.ready[i]
+		s.ready = append(s.ready[:i], s.ready[i+1:]...)
+		t.state = stateRunning
+		// Every operation consumes one virtual millisecond, so delayed
+		// tasks come due while other work proceeds — as on a real device.
+		s.now++
+		s.deliverDue()
+		t.grant <- struct{}{}
+		ev := <-s.events
+		switch ev.kind {
+		case evYield:
+			s.makeReady(ev.t)
+		case evBlocked:
+			ev.t.state = stateBlocked
+		case evFinished:
+			ev.t.state = stateDone
+			// Wake joiners so they can observe the exit.
+			for _, o := range s.threads {
+				if o.state == stateBlocked && o.block == blockJoin {
+					s.wake(o)
+				}
+			}
+		}
+	}
+	return Quiescent, s.err
+}
+
+// advanceClock jumps the virtual clock to the earliest pending delayed
+// task and delivers everything that came due.
+func (s *Sim) advanceClock() {
+	if s.delayed.Len() == 0 {
+		return
+	}
+	s.now = s.delayed[0].due
+	s.deliverDue()
+}
+
+// deliverDue moves every delayed message whose timeout expired into its
+// destination queue, waking idle loopers.
+func (s *Sim) deliverDue() {
+	for s.delayed.Len() > 0 && s.delayed[0].due <= s.now {
+		d := s.delayed.pop()
+		if d.msg.cancelled {
+			continue
+		}
+		d.dest.queue.push(d.msg)
+		s.wakeQueueWaiter(d.dest)
+	}
+}
+
+// Inject queues a UI input event for the looper thread dest: when the
+// looper becomes idle it emits post(dest, task, dest) itself — mirroring
+// Android's input dispatch through the looper — and then runs fn as an
+// asynchronous task. Call between scheduling runs.
+func (s *Sim) Inject(dest *Thread, task trace.TaskID, fn TaskFunc) {
+	dest.input = append(dest.input, &message{task: task, fn: fn})
+	s.wakeQueueWaiter(dest)
+}
+
+// Exec queues a command for a command-loop thread (the binder model): the
+// thread executes fn with its own identity, outside any task. Safe to call
+// from the driver or from a running thread.
+func (s *Sim) Exec(dest *Thread, fn func(*Thread)) {
+	dest.cmds = append(dest.cmds, fn)
+	s.wakeQueueWaiter(dest)
+}
+
+// RequestStop asks every looper and command loop to exit once drained.
+// Parked daemons (custom queue workers waiting on flags) are woken so
+// they can observe Quitting and return.
+func (s *Sim) RequestStop() {
+	for _, t := range s.threads {
+		t.quit = true
+		s.wakeQueueWaiter(t)
+		if t.state == stateBlocked && t.block == blockFlag && t.daemon {
+			s.wake(t)
+		}
+	}
+}
+
+// Shutdown stops all loops and runs the simulation to completion.
+func (s *Sim) Shutdown() error {
+	s.RequestStop()
+	st, err := s.RunUntilQuiescent()
+	if err != nil {
+		s.Close()
+		return err
+	}
+	if st != Done {
+		s.Close()
+		return fmt.Errorf("sched: shutdown left threads blocked")
+	}
+	return nil
+}
+
+// Close force-terminates every thread goroutine. It is safe to call after
+// errors and multiple times; traces recorded so far remain readable.
+func (s *Sim) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for {
+		n := 0
+		for _, t := range s.threads {
+			if t.state == stateReady || t.state == stateBlocked {
+				n++
+				t.state = stateRunning
+				close(t.grant)
+				ev := <-s.events
+				ev.t.state = stateDone
+			}
+		}
+		s.ready = s.ready[:0]
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// Threads returns all threads in creation order.
+func (s *Sim) Threads() []*Thread {
+	out := make([]*Thread, len(s.threads))
+	copy(out, s.threads)
+	return out
+}

@@ -1,0 +1,551 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// looperProgram attaches a queue and loops.
+func looperProgram(t *Thread) {
+	t.AttachQueue()
+	t.Loop()
+}
+
+// runToQuiescence drives the sim and fails the test on scheduler errors.
+func runToQuiescence(t *testing.T, s *Sim) Status {
+	t.Helper()
+	st, err := s.RunUntilQuiescent()
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	return st
+}
+
+// validate checks the recorded trace against the Figure 5 semantics.
+func validate(t *testing.T, s *Sim) {
+	t.Helper()
+	if i, err := semantics.ValidateInferred(s.Trace()); err != nil {
+		t.Fatalf("trace invalid at op %d: %v\ntrace:\n%s", i, err, dump(s.Trace()))
+	}
+}
+
+func dump(tr *trace.Trace) string {
+	var sb strings.Builder
+	for i, op := range tr.Ops() {
+		sb.WriteString(op.String())
+		if i < tr.Len()-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func TestBasicLooperPost(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	s.Spawn("worker", func(w *Thread) {
+		w.Write("x")
+		w.Post(main, "show", func(m *Thread) {
+			m.Read("x")
+		})
+	})
+	if st := runToQuiescence(t, s); st != Quiescent {
+		t.Fatalf("status = %v, want quiescent (looper still waiting)", st)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	validate(t, s)
+	tr := s.Trace()
+	var kinds []trace.Kind
+	for _, op := range tr.Ops() {
+		kinds = append(kinds, op.Kind)
+	}
+	// Expect post before begin before end, and both accesses present.
+	post, begin, end, reads, writes := -1, -1, -1, 0, 0
+	for i, op := range tr.Ops() {
+		switch op.Kind {
+		case trace.OpPost:
+			post = i
+		case trace.OpBegin:
+			begin = i
+		case trace.OpEnd:
+			end = i
+		case trace.OpRead:
+			reads++
+		case trace.OpWrite:
+			writes++
+		}
+	}
+	if post < 0 || begin < 0 || end < 0 || !(post < begin && begin < end) {
+		t.Fatalf("post/begin/end malformed: %v\n%s", kinds, dump(tr))
+	}
+	if reads != 1 || writes != 1 {
+		t.Fatalf("accesses: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestFIFODispatchOrder(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	var order []string
+	s.Spawn("worker", func(w *Thread) {
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			w.Post(main, name, func(*Thread) { order = append(order, name) })
+		}
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("dispatch order = %q, want abc", got)
+	}
+	validate(t, s)
+}
+
+func TestFrontPostOvertakes(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	var order []string
+	// Post from within a task so the queue holds both before dispatch.
+	s.Spawn("worker", func(w *Thread) {
+		w.Post(main, "setup", func(m *Thread) {
+			m.Post(main, "back", func(*Thread) { order = append(order, "back") })
+			m.PostFront(main, "front", func(*Thread) { order = append(order, "front") })
+		})
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "front,back" {
+		t.Fatalf("order = %q, want front,back", got)
+	}
+	validate(t, s)
+}
+
+func TestDelayedPostsFireInTimeoutOrder(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	var order []string
+	s.Spawn("worker", func(w *Thread) {
+		w.PostDelayed(main, "late", func(*Thread) { order = append(order, "late") }, 500)
+		w.PostDelayed(main, "early", func(*Thread) { order = append(order, "early") }, 100)
+		w.Post(main, "now", func(*Thread) { order = append(order, "now") })
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "now,early,late" {
+		t.Fatalf("order = %q, want now,early,late", got)
+	}
+	// The clock reached at least the longest timeout (plus one tick per
+	// operation performed after the jump).
+	if s.Now() < 500 {
+		t.Fatalf("virtual clock = %d, want ≥ 500", s.Now())
+	}
+	validate(t, s)
+}
+
+func TestDelayedTieBreaksByPostOrder(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	var order []string
+	s.Spawn("worker", func(w *Thread) {
+		w.PostDelayed(main, "first", func(*Thread) { order = append(order, "first") }, 100)
+		w.PostDelayed(main, "second", func(*Thread) { order = append(order, "second") }, 100)
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "first,second" {
+		t.Fatalf("order = %q", got)
+	}
+}
+
+func TestCancelPendingTask(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	ran := false
+	s.Spawn("worker", func(w *Thread) {
+		w.Post(main, "blocker", func(m *Thread) {
+			// While this task runs, cancel the queued victim.
+			id := m.Post(m.sim.threadByName("main"), "victim", func(*Thread) { ran = true })
+			m.Cancel(m.sim.threadByName("main"), id)
+		})
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled task ran")
+	}
+	validate(t, s)
+}
+
+// threadByName is a test helper.
+func (s *Sim) threadByName(name string) *Thread {
+	for _, t := range s.threads {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+func TestCancelDelayedTask(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	ran := false
+	s.Spawn("worker", func(w *Thread) {
+		id := w.PostDelayed(main, "victim", func(*Thread) { ran = true }, 100)
+		w.Cancel(main, id)
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled delayed task ran")
+	}
+}
+
+func TestLockMutualExclusionAndBlocking(t *testing.T) {
+	s := New(DefaultOptions())
+	depth := 0
+	maxDepth := 0
+	body := func(w *Thread) {
+		w.Acquire("l")
+		depth++
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		w.Write("x")
+		w.Write("x")
+		depth--
+		w.Release("l")
+	}
+	s.Spawn("a", body)
+	s.Spawn("b", body)
+	if st := runToQuiescence(t, s); st != Done {
+		t.Fatalf("status = %v, want done", st)
+	}
+	if maxDepth != 1 {
+		t.Fatalf("critical sections overlapped (depth %d)", maxDepth)
+	}
+	validate(t, s)
+}
+
+func TestReentrantLock(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) {
+		w.Acquire("l")
+		w.Acquire("l")
+		w.Release("l")
+		w.Release("l")
+	})
+	if st := runToQuiescence(t, s); st != Done {
+		t.Fatalf("status = %v", st)
+	}
+	validate(t, s)
+}
+
+func TestForkJoin(t *testing.T) {
+	s := New(DefaultOptions())
+	var childDone bool
+	s.Spawn("parent", func(p *Thread) {
+		c := p.Fork("child", func(c *Thread) {
+			c.Write("x")
+			childDone = true
+		})
+		p.Join(c)
+		if !childDone {
+			t.Error("join returned before child finished")
+		}
+		p.Read("x")
+	})
+	if st := runToQuiescence(t, s); st != Done {
+		t.Fatalf("status = %v, want done", st)
+	}
+	validate(t, s)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) {
+		w.Acquire("l1")
+		w.Acquire("l2")
+		w.Release("l2")
+		w.Release("l1")
+	})
+	s.Spawn("b", func(w *Thread) {
+		w.Acquire("l2")
+		w.Acquire("l1")
+		w.Release("l1")
+		w.Release("l2")
+	})
+	_, err := s.RunUntilQuiescent()
+	s.Close()
+	// Round-robin interleaving acquires l1@a, l2@b, then both block.
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestInjectUIEvent(t *testing.T) {
+	s := New(DefaultOptions())
+	main := s.Spawn("main", looperProgram)
+	clicked := false
+	runToQuiescence(t, s)
+	s.Inject(main, s.FreshTask("onClick"), func(*Thread) { clicked = true })
+	runToQuiescence(t, s)
+	if !clicked {
+		t.Fatal("injected event did not run")
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	validate(t, s)
+	// The handler post is emitted by the looper thread itself.
+	var post trace.Op
+	for _, op := range s.Trace().Ops() {
+		if op.Kind == trace.OpPost {
+			post = op
+		}
+	}
+	if post.Thread != main.ID() || post.Other != main.ID() {
+		t.Fatalf("input post = %v, want self-post on main", post)
+	}
+}
+
+func TestExecCommandThread(t *testing.T) {
+	s := New(DefaultOptions())
+	binder := s.Spawn("binder", func(b *Thread) { b.CommandLoop() })
+	main := s.Spawn("main", looperProgram)
+	runToQuiescence(t, s)
+	s.Exec(binder, func(b *Thread) {
+		b.Post(main, "LAUNCH_ACTIVITY", func(m *Thread) { m.Write("act") })
+	})
+	runToQuiescence(t, s)
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	validate(t, s)
+	found := false
+	for _, op := range s.Trace().Ops() {
+		if op.Kind == trace.OpPost && op.Thread == binder.ID() && op.Other == main.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("binder post missing from trace")
+	}
+}
+
+func TestPostWithoutQueueFails(t *testing.T) {
+	s := New(DefaultOptions())
+	plain := s.Spawn("plain", func(w *Thread) {
+		w.CommandLoop()
+	})
+	s.Spawn("worker", func(w *Thread) {
+		w.Post(plain, "task", func(*Thread) {})
+	})
+	_, err := s.RunUntilQuiescent()
+	s.Close()
+	if err == nil || !strings.Contains(err.Error(), "without a queue") {
+		t.Fatalf("err = %v, want queue error", err)
+	}
+}
+
+func TestExitHoldingLockFails(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) { w.Acquire("l") })
+	_, err := s.RunUntilQuiescent()
+	s.Close()
+	if err == nil || !strings.Contains(err.Error(), "holding locks") {
+		t.Fatalf("err = %v, want lock leak error", err)
+	}
+}
+
+func TestPanicInProgramSurfaces(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) {
+		w.Write("x")
+		panic("boom")
+	})
+	_, err := s.RunUntilQuiescent()
+	s.Close()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic message", err)
+	}
+}
+
+func TestRecordOff(t *testing.T) {
+	s := New(Options{Policy: RoundRobin{}, Record: false})
+	s.Spawn("a", func(w *Thread) { w.Write("x") })
+	runToQuiescence(t, s)
+	if s.Trace().Len() != 0 {
+		t.Fatalf("trace recorded %d ops with Record off", s.Trace().Len())
+	}
+}
+
+func TestFreshTaskUnique(t *testing.T) {
+	s := New(DefaultOptions())
+	a := s.FreshTask("onClick")
+	b := s.FreshTask("onClick")
+	c := s.FreshTask("other")
+	if a == b || a == c || b == c {
+		t.Fatalf("task names collide: %s %s %s", a, b, c)
+	}
+	if a != "onClick" {
+		t.Fatalf("first occurrence renamed: %s", a)
+	}
+}
+
+// program used for determinism and validation property tests: a small app
+// with a looper, a binder-ish worker, locks, delayed posts, and forks.
+func richProgram(s *Sim) {
+	main := s.Spawn("main", looperProgram)
+	s.Spawn("worker", func(w *Thread) {
+		w.WaitQueue(main)
+		w.Write("g")
+		w.Acquire("l")
+		w.Write("shared")
+		w.Release("l")
+		w.Post(main, "t1", func(m *Thread) {
+			m.Read("g")
+			m.Acquire("l")
+			m.Write("shared")
+			m.Release("l")
+			bg := m.Fork("bg", func(b *Thread) {
+				b.Write("bgdata")
+			})
+			m.Join(bg)
+		})
+		w.PostDelayed(main, "t2", func(m *Thread) {
+			m.Read("bgdata")
+		}, 50)
+		w.PostFront(main, "t3", func(m *Thread) {
+			m.Read("g")
+		})
+	})
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) *trace.Trace {
+		s := New(Options{Policy: NewRandomPolicy(seed), Record: true})
+		richProgram(s)
+		if _, err := s.RunUntilQuiescent(); err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		if err := s.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Trace()
+	}
+	a, b := run(42), run(42)
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different lengths: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Ops() {
+		if a.Op(i) != b.Op(i) {
+			t.Fatalf("same seed diverges at op %d: %v vs %v", i, a.Op(i), b.Op(i))
+		}
+	}
+}
+
+// TestQuickTracesValidUnderAnySeed checks the central simulator/semantics
+// agreement: every interleaving the scheduler produces is a valid
+// execution under Figure 5.
+func TestQuickTracesValidUnderAnySeed(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(Options{Policy: NewRandomPolicy(seed), Record: true})
+		richProgram(s)
+		if _, err := s.RunUntilQuiescent(); err != nil {
+			s.Close()
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := s.Shutdown(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if i, err := semantics.ValidateInferred(s.Trace()); err != nil {
+			t.Logf("seed %d: op %d: %v", seed, i, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	a := &Thread{id: 1}
+	b := &Thread{id: 2}
+	if (RoundRobin{}).Pick([]*Thread{a, b}) != 0 {
+		t.Fatal("round robin must pick the head")
+	}
+	p := &PreferPolicy{Prefer: 2, Fallback: RoundRobin{}}
+	if p.Pick([]*Thread{a, b}) != 1 {
+		t.Fatal("prefer policy ignored preferred thread")
+	}
+	if p.Pick([]*Thread{a}) != 0 {
+		t.Fatal("prefer policy fallback broken")
+	}
+	r := NewRandomPolicy(1)
+	for i := 0; i < 10; i++ {
+		if k := r.Pick([]*Thread{a, b}); k != 0 && k != 1 {
+			t.Fatal("random policy out of range")
+		}
+	}
+}
+
+func TestAdHocFlags(t *testing.T) {
+	s := New(DefaultOptions())
+	var order []string
+	s.Spawn("producer", func(w *Thread) {
+		w.Write("data")
+		order = append(order, "write")
+		w.SetFlag("ready")
+	})
+	s.Spawn("consumer", func(w *Thread) {
+		w.WaitFlag("ready")
+		order = append(order, "read")
+		w.Read("data")
+	})
+	if st := runToQuiescence(t, s); st != Done {
+		t.Fatalf("status = %v", st)
+	}
+	if strings.Join(order, ",") != "write,read" {
+		t.Fatalf("order = %v: ad-hoc flag did not enforce ordering", order)
+	}
+	// The flag leaves no trace operations behind.
+	for _, op := range s.Trace().Ops() {
+		if op.Kind != trace.OpThreadInit && op.Kind != trace.OpThreadExit && !op.Kind.IsAccess() {
+			t.Fatalf("unexpected op %v in trace", op)
+		}
+	}
+}
+
+func TestFlagNeverSetIsDeadlock(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("waiter", func(w *Thread) { w.WaitFlag("never") })
+	_, err := s.RunUntilQuiescent()
+	s.Close()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}

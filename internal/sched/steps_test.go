@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"droidracer/internal/trace"
+)
+
+func TestRunStepsPausesAndResumes(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) {
+		for i := 0; i < 20; i++ {
+			w.Write("x")
+		}
+	})
+	st, err := s.RunSteps(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Paused {
+		t.Fatalf("status = %v, want paused", st)
+	}
+	mid := s.Trace().Len()
+	if mid == 0 || mid > 6 {
+		t.Fatalf("ops after 5 steps = %d", mid)
+	}
+	st, err = s.RunUntilQuiescent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Done {
+		t.Fatalf("status = %v, want done", st)
+	}
+	if got := s.Trace().Len(); got != 22 { // init + 20 writes + exit
+		t.Fatalf("final ops = %d, want 22", got)
+	}
+}
+
+func TestRunStepsZeroBudget(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) { w.Write("x") })
+	st, err := s.RunSteps(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Paused {
+		t.Fatalf("status = %v, want paused with zero budget", st)
+	}
+	if s.Trace().Len() != 0 {
+		t.Fatal("work performed with zero budget")
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotentAndAfterError(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) {
+		w.Acquire("l") // exits holding a lock: runtime error
+	})
+	if _, err := s.RunUntilQuiescent(); err == nil {
+		t.Fatal("expected lock-leak error")
+	}
+	s.Close()
+	s.Close() // must be safe twice
+	if s.Err() == nil {
+		t.Fatal("Err() lost the failure")
+	}
+}
+
+func TestSpawnAfterRunPanics(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("a", func(w *Thread) {})
+	if _, err := s.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn after Run did not panic")
+		}
+	}()
+	s.Spawn("late", func(w *Thread) {})
+}
+
+func TestWaitFlagOrQuitDrainsDaemon(t *testing.T) {
+	s := New(DefaultOptions())
+	processed := 0
+	s.Spawn("daemon", func(w *Thread) {
+		w.SetDaemon(true)
+		for {
+			if s.flags["work"] {
+				w.ClearFlag("work")
+				processed++
+				w.Write("work.item")
+				continue
+			}
+			if !w.WaitFlagOrQuit("work") {
+				return
+			}
+		}
+	})
+	s.Spawn("producer", func(w *Thread) {
+		w.SetFlag("work")
+	})
+	st, err := s.RunUntilQuiescent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Quiescent {
+		t.Fatalf("status = %v, want quiescent (daemon parked)", st)
+	}
+	if processed != 1 {
+		t.Fatalf("processed = %d", processed)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonBlockedOnFlagIsNotDeadlock(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Spawn("daemon", func(w *Thread) {
+		w.SetDaemon(true)
+		w.WaitFlagOrQuit("never")
+	})
+	st, err := s.RunUntilQuiescent()
+	if err != nil {
+		t.Fatalf("daemon park reported as error: %v", err)
+	}
+	if st != Quiescent {
+		t.Fatalf("status = %v", st)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleHookRunsOnEmptyQueue(t *testing.T) {
+	s := New(DefaultOptions())
+	fired := false
+	main := s.Spawn("main", func(w *Thread) {
+		w.AttachQueue()
+		w.SetIdleHook(func(t *Thread) bool {
+			if fired {
+				return false
+			}
+			fired = true
+			t.PostTask(t.sim.threadByName("main"), "idleTask", func(*Thread) {
+				t.sim.threadByName("main").sim.emit(trace.Read(t.id, "warm"))
+			})
+			return true
+		})
+		w.Loop()
+	})
+	_ = main
+	st, err := s.RunUntilQuiescent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Quiescent {
+		t.Fatalf("status = %v", st)
+	}
+	if !fired {
+		t.Fatal("idle hook never ran")
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// The idle task ran as a real begin/end pair.
+	var kinds []string
+	for _, op := range s.Trace().Ops() {
+		if op.Task == "idleTask" {
+			kinds = append(kinds, op.Kind.String())
+		}
+	}
+	if got := strings.Join(kinds, ","); got != "post,begin,end" {
+		t.Fatalf("idle task shape = %q", got)
+	}
+}
+
+func TestNoisePolicyDeterministic(t *testing.T) {
+	mk := func() []int {
+		p := NewNoisePolicy(9)
+		a := &Thread{id: 1}
+		b := &Thread{id: 2}
+		c := &Thread{id: 3}
+		var picks []int
+		for i := 0; i < 200; i++ {
+			picks = append(picks, p.Pick([]*Thread{a, b, c}))
+		}
+		return picks
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("noise policy diverges at pick %d", i)
+		}
+	}
+}
+
+func TestNoisePolicyStarves(t *testing.T) {
+	// Some thread must experience a long starvation streak — the point of
+	// the PCT-style priorities.
+	p := NewNoisePolicy(3)
+	a := &Thread{id: 1}
+	b := &Thread{id: 2}
+	runs := map[int]int{}
+	cur, streak := -1, 0
+	longest := 0
+	for i := 0; i < 300; i++ {
+		k := p.Pick([]*Thread{a, b})
+		runs[k]++
+		if k == cur {
+			streak++
+		} else {
+			cur, streak = k, 1
+		}
+		if streak > longest {
+			longest = streak
+		}
+	}
+	if runs[0] == 0 || runs[1] == 0 {
+		t.Fatalf("one thread never ran: %v (demotions should rotate priorities)", runs)
+	}
+	if longest < 10 {
+		t.Fatalf("longest streak %d; expected starvation bursts", longest)
+	}
+}

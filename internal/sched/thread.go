@@ -1,0 +1,431 @@
+package sched
+
+import (
+	"fmt"
+
+	"droidracer/internal/trace"
+)
+
+// Program is the body of a simulated thread.
+type Program func(t *Thread)
+
+// TaskFunc is the body of an asynchronous task.
+type TaskFunc func(t *Thread)
+
+type tstate int
+
+const (
+	stateNew tstate = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+type blockReason int
+
+const (
+	blockNone blockReason = iota
+	blockQueue
+	blockLock
+	blockJoin
+	blockAttach
+	blockFlag
+)
+
+func (b blockReason) String() string {
+	switch b {
+	case blockQueue:
+		return "queue"
+	case blockLock:
+		return "lock"
+	case blockJoin:
+		return "join"
+	case blockAttach:
+		return "queue attach"
+	case blockFlag:
+		return "ad-hoc flag"
+	default:
+		return "none"
+	}
+}
+
+// killed aborts a thread goroutine during Close or after a runtime error.
+type killed struct{}
+
+// Thread is one simulated thread. Its methods may only be called from the
+// thread's own Program/TaskFunc (they yield to the scheduler), except
+// where noted.
+type Thread struct {
+	sim     *Sim
+	id      trace.ThreadID
+	name    string
+	grant   chan struct{}
+	state   tstate
+	block   blockReason
+	program Program
+
+	queue  *msgQueue  // task queue; nil until AttachQueue
+	input  []*message // pending UI input events (looper self-posts)
+	cmds   []func(*Thread)
+	quit   bool
+	daemon bool
+	// idleHook runs when the looper is about to block on an empty queue;
+	// returning true means it scheduled more work (Android's IdleHandler).
+	idleHook func(*Thread) bool
+
+	held    map[trace.LockID]int
+	current trace.TaskID // task executing on this thread ("" when idle)
+	exited  bool
+}
+
+// ID returns the thread's trace identifier.
+func (t *Thread) ID() trace.ThreadID { return t.id }
+
+// Name returns the thread's human-readable name.
+func (t *Thread) Name() string { return t.name }
+
+// HasQueue reports whether the thread attached a task queue (driver-safe).
+func (t *Thread) HasQueue() bool { return t.queue != nil }
+
+// Exited reports whether the thread emitted threadexit (driver-safe).
+func (t *Thread) Exited() bool { return t.exited }
+
+// main is the goroutine body wrapping the thread program.
+func (t *Thread) main() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				t.sim.events <- threadEvent{t, evFinished}
+				return
+			}
+			if t.sim.err == nil {
+				t.sim.err = fmt.Errorf("sched: thread t%d (%s) panicked: %v", t.id, t.name, r)
+			}
+			t.sim.events <- threadEvent{t, evFinished}
+		}
+	}()
+	t.awaitGrant()
+	t.exec(trace.ThreadInit(t.id), nil)
+	t.program(t)
+	if len(t.held) > 0 {
+		t.sim.fail("sched: thread t%d (%s) exited holding locks", t.id, t.name)
+	}
+	t.exited = true
+	t.sim.emit(trace.ThreadExit(t.id))
+	t.sim.events <- threadEvent{t, evFinished}
+}
+
+func (t *Thread) awaitGrant() {
+	if _, ok := <-t.grant; !ok {
+		panic(killed{})
+	}
+}
+
+// exec performs one operation while holding the turn: emit the trace
+// operation, apply the state change, then yield and wait for the next
+// grant.
+func (t *Thread) exec(op trace.Op, apply func()) {
+	t.sim.emit(op)
+	if apply != nil {
+		apply()
+	}
+	t.sim.events <- threadEvent{t, evYield}
+	t.awaitGrant()
+}
+
+// blockOn yields the turn reporting a blocked state and waits to be woken
+// and granted again.
+func (t *Thread) blockOn(r blockReason) {
+	t.block = r
+	t.sim.events <- threadEvent{t, evBlocked}
+	t.awaitGrant()
+}
+
+// Read logs a read of m.
+func (t *Thread) Read(m trace.Loc) { t.exec(trace.Read(t.id, m), nil) }
+
+// Write logs a write of m.
+func (t *Thread) Write(m trace.Loc) { t.exec(trace.Write(t.id, m), nil) }
+
+// Enable logs that the environment may now post task p.
+func (t *Thread) Enable(p trace.TaskID) { t.exec(trace.Enable(t.id, p), nil) }
+
+// Acquire takes lock l, blocking while another thread holds it. Locks are
+// reentrant, as in the paper's ACQUIRE rule.
+func (t *Thread) Acquire(l trace.LockID) {
+	for {
+		ls := t.sim.locks[l]
+		if ls == nil {
+			ls = &lockState{}
+			t.sim.locks[l] = ls
+		}
+		if ls.owner == nil || ls.owner == t {
+			ls.owner = t
+			ls.count++
+			t.held[l]++
+			t.exec(trace.Acquire(t.id, l), nil)
+			return
+		}
+		t.blockOn(blockLock)
+	}
+}
+
+// Release releases lock l, waking any waiters.
+func (t *Thread) Release(l trace.LockID) {
+	ls := t.sim.locks[l]
+	if ls == nil || ls.owner != t {
+		t.sim.fail("sched: thread t%d releases lock %s it does not hold", t.id, l)
+	}
+	t.exec(trace.Release(t.id, l), func() {
+		ls.count--
+		t.held[l]--
+		if t.held[l] == 0 {
+			delete(t.held, l)
+		}
+		if ls.count == 0 {
+			ls.owner = nil
+			for _, o := range t.sim.threads {
+				if o.state == stateBlocked && o.block == blockLock {
+					t.sim.wake(o)
+				}
+			}
+		}
+	})
+}
+
+// Fork spawns a new thread running program and logs the fork.
+func (t *Thread) Fork(name string, program Program) *Thread {
+	child := t.sim.newThread(name)
+	child.program = program
+	go child.main()
+	t.exec(trace.Fork(t.id, child.id), func() { t.sim.makeReady(child) })
+	return child
+}
+
+// Join waits for child to finish and logs the join.
+func (t *Thread) Join(child *Thread) {
+	for {
+		if child.state == stateDone && child.exited {
+			t.exec(trace.Join(t.id, child.id), nil)
+			return
+		}
+		if child.state == stateDone {
+			t.sim.fail("sched: join on killed thread t%d", child.id)
+		}
+		t.blockOn(blockJoin)
+	}
+}
+
+// AttachQueue attaches a task queue to the thread and wakes threads
+// waiting in WaitQueue.
+func (t *Thread) AttachQueue() {
+	if t.queue != nil {
+		t.sim.fail("sched: thread t%d already has a queue", t.id)
+	}
+	t.exec(trace.AttachQ(t.id), func() {
+		t.queue = newMsgQueue()
+		for _, o := range t.sim.threads {
+			if o.state == stateBlocked && o.block == blockAttach {
+				t.sim.wake(o)
+			}
+		}
+	})
+}
+
+// WaitQueue blocks until dest has attached its task queue. It emits no
+// trace operation: the real Android runtime provides this ordering
+// structurally (the main looper exists before application code runs), and
+// the ATTACH-Q-MT happens-before rule accounts for it in the analysis.
+func (t *Thread) WaitQueue(dest *Thread) {
+	for dest.queue == nil {
+		t.blockOn(blockAttach)
+	}
+}
+
+// Post posts task fn under the given base name to thread dest, which must
+// have attached a queue. The concrete unique task name is returned.
+func (t *Thread) Post(dest *Thread, base string, fn TaskFunc) trace.TaskID {
+	return t.post(dest, t.sim.FreshTask(base), fn, 0, false)
+}
+
+// PostDelayed posts fn to run after delay virtual milliseconds.
+func (t *Thread) PostDelayed(dest *Thread, base string, fn TaskFunc, delay int64) trace.TaskID {
+	return t.post(dest, t.sim.FreshTask(base), fn, delay, false)
+}
+
+// PostFront posts fn to the front of dest's queue (the extension beyond
+// the paper's FIFO semantics).
+func (t *Thread) PostFront(dest *Thread, base string, fn TaskFunc) trace.TaskID {
+	return t.post(dest, t.sim.FreshTask(base), fn, 0, true)
+}
+
+// PostTask posts fn under a pre-allocated unique task ID (from
+// Sim.FreshTask). The Android environment model uses this to tie enable
+// operations to the exact task a later post delivers.
+func (t *Thread) PostTask(dest *Thread, task trace.TaskID, fn TaskFunc) trace.TaskID {
+	return t.post(dest, task, fn, 0, false)
+}
+
+// PostTaskDelayed is PostTask with a virtual-time delay.
+func (t *Thread) PostTaskDelayed(dest *Thread, task trace.TaskID, fn TaskFunc, delay int64) trace.TaskID {
+	return t.post(dest, task, fn, delay, false)
+}
+
+func (t *Thread) post(dest *Thread, task trace.TaskID, fn TaskFunc, delay int64, front bool) trace.TaskID {
+	if dest.queue == nil {
+		t.sim.fail("sched: post %q to thread t%d (%s) without a queue", task, dest.id, dest.name)
+	}
+	m := &message{task: task, fn: fn}
+	var op trace.Op
+	switch {
+	case delay > 0:
+		op = trace.PostDelayed(t.id, task, dest.id, delay)
+	case front:
+		op = trace.PostFront(t.id, task, dest.id)
+	default:
+		op = trace.Post(t.id, task, dest.id)
+	}
+	t.exec(op, func() {
+		switch {
+		case delay > 0:
+			t.sim.seq++
+			t.sim.delayed.push(&delayedMsg{due: t.sim.now + delay, seq: t.sim.seq, dest: dest, msg: m})
+		case front:
+			dest.queue.pushFront(m)
+			t.sim.wakeQueueWaiter(dest)
+		default:
+			dest.queue.push(m)
+			t.sim.wakeQueueWaiter(dest)
+		}
+		dest.queue.known[task] = m
+	})
+	return task
+}
+
+// Cancel removes a pending post of task p from dest's queue (Android's
+// removeCallbacks). Cancelling a task that already ran is a no-op.
+func (t *Thread) Cancel(dest *Thread, p trace.TaskID) {
+	if dest.queue == nil {
+		t.sim.fail("sched: cancel on thread t%d without a queue", dest.id)
+	}
+	t.exec(trace.Cancel(t.id, p), func() {
+		if m := dest.queue.known[p]; m != nil {
+			m.cancelled = true
+			dest.queue.remove(p)
+		}
+	})
+}
+
+// Loop attaches semantics of the paper's loopOnQ: the thread processes its
+// queue, running each task to completion between begin/end operations,
+// blocking when idle, and returning once a stop was requested and the
+// queue drained. AttachQueue must have been called.
+func (t *Thread) Loop() {
+	if t.queue == nil {
+		t.sim.fail("sched: loopOnQ on thread t%d without a queue", t.id)
+	}
+	t.exec(trace.LoopOnQ(t.id), nil)
+	for {
+		// Input events first: the looper itself posts the handler, exactly
+		// like Android's input dispatch (Figure 3, operation 19).
+		if len(t.input) > 0 {
+			m := t.input[0]
+			t.input = t.input[1:]
+			t.exec(trace.Post(t.id, m.task, t.id), func() {
+				t.queue.push(m)
+				t.queue.known[m.task] = m
+			})
+			continue
+		}
+		if m := t.queue.pop(); m != nil {
+			t.current = m.task
+			t.exec(trace.Begin(t.id, m.task), nil)
+			m.fn(t)
+			t.current = ""
+			t.exec(trace.End(t.id, m.task), nil)
+			continue
+		}
+		if t.idleHook != nil && t.idleHook(t) {
+			continue // the hook scheduled more work
+		}
+		if t.quit {
+			return
+		}
+		t.blockOn(blockQueue)
+	}
+}
+
+// SetIdleHook installs fn to run when the looper is about to block on an
+// empty queue (the MessageQueue.IdleHandler mechanism). fn returns true
+// when it scheduled more work.
+func (t *Thread) SetIdleHook(fn func(*Thread) bool) { t.idleHook = fn }
+
+// CommandLoop services injected commands (the binder-thread model): each
+// command runs with this thread's identity, outside any task.
+func (t *Thread) CommandLoop() {
+	for {
+		if len(t.cmds) > 0 {
+			c := t.cmds[0]
+			t.cmds = t.cmds[1:]
+			c(t)
+			continue
+		}
+		if t.quit {
+			return
+		}
+		t.blockOn(blockQueue)
+	}
+}
+
+// CurrentTask returns the task executing on this thread, or "".
+func (t *Thread) CurrentTask() trace.TaskID { return t.current }
+
+// SetFlag raises an ad-hoc synchronization flag, waking waiters. No trace
+// operation is emitted: flags model synchronization that is INVISIBLE to
+// the instrumentation (condition polling, volatile hand-offs, native
+// code), the false-positive source §6 of the paper discusses. The real
+// execution order is enforced, but the analysis cannot derive it.
+func (t *Thread) SetFlag(name string) {
+	t.sim.flags[name] = true
+	for _, o := range t.sim.threads {
+		if o.state == stateBlocked && o.block == blockFlag {
+			t.sim.wake(o)
+		}
+	}
+}
+
+// WaitFlag blocks until the named ad-hoc flag is raised. See SetFlag.
+func (t *Thread) WaitFlag(name string) {
+	for !t.sim.flags[name] {
+		t.blockOn(blockFlag)
+	}
+}
+
+// WaitFlagOrQuit blocks until the flag is raised or the simulation
+// requests a stop; it reports whether the flag was actually raised.
+// Daemon service loops use it so Shutdown can drain them.
+func (t *Thread) WaitFlagOrQuit(name string) bool {
+	for !t.sim.flags[name] {
+		if t.quit {
+			return false
+		}
+		t.blockOn(blockFlag)
+	}
+	return true
+}
+
+// ClearFlag lowers an ad-hoc flag (condition-variable style reuse by
+// custom task queues). Like SetFlag, it emits no trace operation.
+func (t *Thread) ClearFlag(name string) {
+	delete(t.sim.flags, name)
+}
+
+// SetDaemon marks the thread as a daemon: when it blocks on an ad-hoc
+// flag it neither prevents quiescence nor counts as deadlocked — it is a
+// service loop waiting for future work (a custom task queue worker).
+// Daemons observe Quit requests through Quitting and must exit then.
+func (t *Thread) SetDaemon(on bool) { t.daemon = on }
+
+// Quitting reports whether the simulation asked loops to drain and stop.
+func (t *Thread) Quitting() bool { return t.quit }

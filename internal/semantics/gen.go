@@ -1,0 +1,245 @@
+package semantics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"droidracer/internal/trace"
+)
+
+// GenConfig controls RandomTrace.
+type GenConfig struct {
+	MaxOps     int     // approximate number of operations to generate
+	MaxThreads int     // cap on total threads (≥ 2)
+	Locs       int     // number of distinct memory locations
+	Locks      int     // number of distinct locks
+	PQueue     float64 // probability a forked thread attaches a task queue
+	PDelayed   float64 // probability a post is delayed
+	PFront     float64 // probability a post goes to the front of the queue
+}
+
+// DefaultGenConfig returns a configuration that produces small but
+// structurally rich traces: multiple queue and non-queue threads, posts in
+// all flavors, locks, and forks/joins.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxOps:     120,
+		MaxThreads: 6,
+		Locs:       8,
+		Locks:      3,
+		PQueue:     0.5,
+		PDelayed:   0.1,
+		PFront:     0.05,
+	}
+}
+
+// genThread is the generator's view of one simulated thread.
+type genThread struct {
+	id       trace.ThreadID
+	hasQueue bool
+	looping  bool
+	inTask   trace.TaskID // "" when idle / between tasks
+	queue    []trace.TaskID
+	delayed  []trace.TaskID
+	locks    []trace.LockID
+	exited   bool
+	started  bool
+}
+
+// RandomTrace generates a random execution trace that is valid under the
+// Figure 5 semantics (Validate always succeeds on it). It simulates an
+// application scheduling loop, choosing among enabled actions uniformly.
+// The same rng state yields the same trace.
+func RandomTrace(rng *rand.Rand, cfg GenConfig) *trace.Trace {
+	if cfg.MaxThreads < 2 {
+		cfg.MaxThreads = 2
+	}
+	tr := &trace.Trace{}
+	taskSeq := 0
+	newTask := func() trace.TaskID {
+		taskSeq++
+		return trace.TaskID(fmt.Sprintf("task%d", taskSeq))
+	}
+
+	// The main thread t1 has a queue and loops; thread t2 starts without
+	// one (mirroring the paper's main + binder arrangement).
+	threads := []*genThread{
+		{id: 1, hasQueue: true},
+		{id: 2},
+	}
+	nextID := trace.ThreadID(3)
+	for _, t := range threads {
+		tr.Append(trace.ThreadInit(t.id))
+		t.started = true
+	}
+	tr.Append(trace.AttachQ(1))
+	tr.Append(trace.LoopOnQ(1))
+	threads[0].looping = true
+
+	queueThreads := func() []*genThread {
+		var qs []*genThread
+		for _, t := range threads {
+			if t.hasQueue && !t.exited {
+				qs = append(qs, t)
+			}
+		}
+		return qs
+	}
+
+	loc := func() trace.Loc { return trace.Loc(fmt.Sprintf("m%d", rng.Intn(cfg.Locs))) }
+
+	lockFree := func(l trace.LockID, self *genThread) bool {
+		for _, t := range threads {
+			if t == self {
+				continue
+			}
+			for _, held := range t.locks {
+				if held == l {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for tr.Len() < cfg.MaxOps {
+		// Pick a runnable thread.
+		var runnable []*genThread
+		for _, t := range threads {
+			if t.exited || !t.started {
+				continue
+			}
+			if t.looping && t.inTask == "" && len(t.queue) == 0 && len(t.delayed) == 0 {
+				continue // idle looper with empty queue blocks
+			}
+			runnable = append(runnable, t)
+		}
+		if len(runnable) == 0 {
+			break
+		}
+		t := runnable[rng.Intn(len(runnable))]
+
+		// An idle looper must begin a task before doing anything else.
+		if t.looping && t.inTask == "" {
+			var task trace.TaskID
+			if len(t.delayed) > 0 && (len(t.queue) == 0 || rng.Intn(2) == 0) {
+				i := rng.Intn(len(t.delayed))
+				task = t.delayed[i]
+				t.delayed = append(t.delayed[:i], t.delayed[i+1:]...)
+			} else {
+				task = t.queue[0]
+				t.queue = t.queue[1:]
+			}
+			tr.Append(trace.Begin(t.id, task))
+			t.inTask = task
+			continue
+		}
+
+		// A non-queue thread or a looper inside a task picks an action.
+		switch rng.Intn(10) {
+		case 0, 1, 2: // memory access
+			if rng.Intn(2) == 0 {
+				tr.Append(trace.Read(t.id, loc()))
+			} else {
+				tr.Append(trace.Write(t.id, loc()))
+			}
+		case 3: // lock acquire/release
+			if len(t.locks) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(t.locks))
+				l := t.locks[i]
+				t.locks = append(t.locks[:i], t.locks[i+1:]...)
+				tr.Append(trace.Release(t.id, l))
+			} else if cfg.Locks > 0 {
+				l := trace.LockID(fmt.Sprintf("l%d", rng.Intn(cfg.Locks)))
+				if lockFree(l, t) {
+					t.locks = append(t.locks, l)
+					tr.Append(trace.Acquire(t.id, l))
+				}
+			}
+		case 4, 5: // post to a random queue thread
+			qs := queueThreads()
+			if len(qs) == 0 {
+				continue
+			}
+			dest := qs[rng.Intn(len(qs))]
+			task := newTask()
+			if rng.Intn(3) == 0 {
+				tr.Append(trace.Enable(t.id, task))
+			}
+			r := rng.Float64()
+			switch {
+			case r < cfg.PDelayed:
+				tr.Append(trace.PostDelayed(t.id, task, dest.id, int64(rng.Intn(1000))))
+				dest.delayed = append(dest.delayed, task)
+			case r < cfg.PDelayed+cfg.PFront:
+				tr.Append(trace.PostFront(t.id, task, dest.id))
+				dest.queue = append([]trace.TaskID{task}, dest.queue...)
+			default:
+				tr.Append(trace.Post(t.id, task, dest.id))
+				dest.queue = append(dest.queue, task)
+			}
+		case 6: // fork
+			if len(threads) >= cfg.MaxThreads {
+				continue
+			}
+			child := &genThread{id: nextID, hasQueue: rng.Float64() < cfg.PQueue}
+			nextID++
+			threads = append(threads, child)
+			tr.Append(trace.Fork(t.id, child.id))
+			tr.Append(trace.ThreadInit(child.id))
+			child.started = true
+			if child.hasQueue {
+				tr.Append(trace.AttachQ(child.id))
+				tr.Append(trace.LoopOnQ(child.id))
+				child.looping = true
+			}
+		case 7: // join a finished thread
+			for _, other := range threads {
+				if other.exited && other != t {
+					tr.Append(trace.Join(t.id, other.id))
+					break
+				}
+			}
+		case 8: // end current task (loopers) or exit (plain threads)
+			if t.looping && t.inTask != "" {
+				// Release any locks still held inside the task first to
+				// keep lock usage well nested.
+				for len(t.locks) > 0 {
+					l := t.locks[len(t.locks)-1]
+					t.locks = t.locks[:len(t.locks)-1]
+					tr.Append(trace.Release(t.id, l))
+				}
+				tr.Append(trace.End(t.id, t.inTask))
+				t.inTask = ""
+			} else if !t.hasQueue && t.id != 2 {
+				for len(t.locks) > 0 {
+					l := t.locks[len(t.locks)-1]
+					t.locks = t.locks[:len(t.locks)-1]
+					tr.Append(trace.Release(t.id, l))
+				}
+				tr.Append(trace.ThreadExit(t.id))
+				t.exited = true
+			}
+		case 9: // enable a task that may or may not be posted later
+			tr.Append(trace.Enable(t.id, newTask()))
+		}
+	}
+
+	// Drain: end any open tasks and release held locks so the trace is a
+	// clean prefix of a terminating execution.
+	for _, t := range threads {
+		if t.exited || !t.started {
+			continue
+		}
+		for len(t.locks) > 0 {
+			l := t.locks[len(t.locks)-1]
+			t.locks = t.locks[:len(t.locks)-1]
+			tr.Append(trace.Release(t.id, l))
+		}
+		if t.inTask != "" {
+			tr.Append(trace.End(t.id, t.inTask))
+			t.inTask = ""
+		}
+	}
+	return tr
+}

@@ -1,0 +1,423 @@
+// Package semantics implements the operational semantics of the Android
+// concurrency model formalized in §3 (Figure 5) of the DroidRacer paper.
+//
+// The state of an application is the tuple σ = (C, R, F, B, E, Q, L):
+// created threads C, running threads R, finished threads F, threads B that
+// have begun processing their task queues, the executing procedure E per
+// thread (⊥ when idle), the task queue Q per thread (ε when absent), and
+// the lock set L per thread.
+//
+// Step applies one operation to a state, checking the antecedents of the
+// corresponding semantic rule; Validate replays a whole trace. A trace is
+// an execution of the application exactly when every operation steps
+// without error, so Validate doubles as a well-formedness oracle for
+// traces produced by the simulated runtime and by hand in tests.
+//
+// Two refinements from §4.2 are modeled beyond Figure 5: delayed posts
+// enter a pending set and may begin in any order relative to other delayed
+// tasks (their firing time is abstracted away by the trace), and
+// front-of-queue posts prepend to the FIFO queue.
+package semantics
+
+import (
+	"fmt"
+
+	"droidracer/internal/trace"
+)
+
+// Status is the lifecycle phase of a thread: the set among C, R, F that
+// contains it.
+type Status uint8
+
+// Thread lifecycle phases.
+const (
+	StatusUnknown  Status = iota // never seen
+	StatusCreated                // ∈ C: created, not yet scheduled
+	StatusRunning                // ∈ R
+	StatusFinished               // ∈ F
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusCreated:
+		return "created"
+	case StatusRunning:
+		return "running"
+	case StatusFinished:
+		return "finished"
+	default:
+		return "unknown"
+	}
+}
+
+type threadState struct {
+	status   Status
+	looping  bool // ∈ B
+	idle     bool // E(t) = ⊥ (meaningful only after loopOnQ)
+	current  trace.TaskID
+	hasQueue bool
+	queue    []trace.TaskID        // FIFO portion of the task queue
+	delayed  map[trace.TaskID]bool // pending delayed tasks
+	locks    map[trace.LockID]int  // held locks with reentrancy counts
+}
+
+// State is an application state σ. Create one with NewState; Step mutates
+// it in place.
+type State struct {
+	threads map[trace.ThreadID]*threadState
+	// owner maps each held lock to the thread holding it, mirroring the
+	// ACQUIRE antecedent l ∉ L(t') for all t' ≠ t.
+	owner map[trace.LockID]trace.ThreadID
+}
+
+// NewState returns the initial state σ0 of the START rule: the given
+// framework-created threads are in C with no queues and no locks.
+func NewState(initial []trace.ThreadID) *State {
+	s := &State{
+		threads: make(map[trace.ThreadID]*threadState),
+		owner:   make(map[trace.LockID]trace.ThreadID),
+	}
+	for _, t := range initial {
+		s.threads[t] = newThreadState()
+	}
+	return s
+}
+
+func newThreadState() *threadState {
+	return &threadState{
+		status:  StatusCreated,
+		delayed: make(map[trace.TaskID]bool),
+		locks:   make(map[trace.LockID]int),
+	}
+}
+
+// Status returns the lifecycle phase of thread t.
+func (s *State) Status(t trace.ThreadID) Status {
+	if ts, ok := s.threads[t]; ok {
+		return ts.status
+	}
+	return StatusUnknown
+}
+
+// Looping reports whether t ∈ B (the thread processes its queue).
+func (s *State) Looping(t trace.ThreadID) bool {
+	ts, ok := s.threads[t]
+	return ok && ts.looping
+}
+
+// HasQueue reports whether Q(t) ≠ ε.
+func (s *State) HasQueue(t trace.ThreadID) bool {
+	ts, ok := s.threads[t]
+	return ok && ts.hasQueue
+}
+
+// QueueLen returns the number of pending tasks on t's queue, including
+// delayed ones.
+func (s *State) QueueLen(t trace.ThreadID) int {
+	ts, ok := s.threads[t]
+	if !ok {
+		return 0
+	}
+	return len(ts.queue) + len(ts.delayed)
+}
+
+// Current returns E(t): the task executing on t, or "" when idle or when t
+// is not a looping queue thread.
+func (s *State) Current(t trace.ThreadID) trace.TaskID {
+	if ts, ok := s.threads[t]; ok {
+		return ts.current
+	}
+	return ""
+}
+
+// HoldsLock reports whether l ∈ L(t).
+func (s *State) HoldsLock(t trace.ThreadID, l trace.LockID) bool {
+	ts, ok := s.threads[t]
+	return ok && ts.locks[l] > 0
+}
+
+// RuleError reports a violated antecedent of a semantic rule.
+type RuleError struct {
+	Rule string   // the Figure 5 rule name, e.g. "BEGIN"
+	Op   trace.Op // the offending operation
+	Msg  string
+}
+
+func (e *RuleError) Error() string {
+	return fmt.Sprintf("rule %s violated by %v: %s", e.Rule, e.Op, e.Msg)
+}
+
+func ruleErr(rule string, op trace.Op, format string, args ...any) error {
+	return &RuleError{Rule: rule, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Step applies op to the state, enforcing the antecedents of the matching
+// Figure 5 rule. On error the state is left unchanged.
+func (s *State) Step(op trace.Op) error {
+	switch op.Kind {
+	case trace.OpThreadInit:
+		ts, ok := s.threads[op.Thread]
+		if !ok || ts.status != StatusCreated {
+			return ruleErr("INIT", op, "thread not in C (status %v)", s.Status(op.Thread))
+		}
+		ts.status = StatusRunning
+		return nil
+
+	case trace.OpThreadExit:
+		ts, err := s.running("EXIT", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		ts.status = StatusFinished
+		return nil
+
+	case trace.OpFork:
+		if _, err := s.running("FORK", op, op.Thread); err != nil {
+			return err
+		}
+		if s.Status(op.Other) != StatusUnknown {
+			return ruleErr("FORK", op, "thread t%d is not fresh", op.Other)
+		}
+		s.threads[op.Other] = newThreadState()
+		return nil
+
+	case trace.OpJoin:
+		if _, err := s.running("JOIN", op, op.Thread); err != nil {
+			return err
+		}
+		if s.Status(op.Other) != StatusFinished {
+			return ruleErr("JOIN", op, "joined thread t%d has not finished (status %v)", op.Other, s.Status(op.Other))
+		}
+		return nil
+
+	case trace.OpAttachQ:
+		ts, err := s.running("ATTACHQ", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		if ts.hasQueue {
+			return ruleErr("ATTACHQ", op, "Q(t%d) already attached", op.Thread)
+		}
+		ts.hasQueue = true
+		return nil
+
+	case trace.OpLoopOnQ:
+		ts, err := s.running("LOOPONQ", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		if ts.looping {
+			return ruleErr("LOOPONQ", op, "thread already in B")
+		}
+		if !ts.hasQueue {
+			return ruleErr("LOOPONQ", op, "Q(t%d) = ε", op.Thread)
+		}
+		ts.looping = true
+		ts.idle = true
+		return nil
+
+	case trace.OpPost:
+		if _, err := s.running("POST", op, op.Thread); err != nil {
+			return err
+		}
+		dest, err := s.running("POST", op, op.Other)
+		if err != nil {
+			return err
+		}
+		if !dest.hasQueue {
+			return ruleErr("POST", op, "destination Q(t%d) = ε", op.Other)
+		}
+		switch {
+		case op.Delayed:
+			dest.delayed[op.Task] = true
+		case op.Front:
+			dest.queue = append([]trace.TaskID{op.Task}, dest.queue...)
+		default:
+			dest.queue = append(dest.queue, op.Task)
+		}
+		return nil
+
+	case trace.OpBegin:
+		ts, err := s.running("BEGIN", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		if !ts.looping {
+			return ruleErr("BEGIN", op, "thread not in B")
+		}
+		if !ts.idle {
+			return ruleErr("BEGIN", op, "E(t%d) = %s, not ⊥", op.Thread, ts.current)
+		}
+		switch {
+		case len(ts.queue) > 0 && ts.queue[0] == op.Task:
+			ts.queue = ts.queue[1:]
+		case ts.delayed[op.Task]:
+			// A delayed task may fire at any point once posted; the trace
+			// abstracts the timeout away.
+			delete(ts.delayed, op.Task)
+		default:
+			return ruleErr("BEGIN", op, "task %s is not Front(Q(t%d))", op.Task, op.Thread)
+		}
+		ts.idle = false
+		ts.current = op.Task
+		return nil
+
+	case trace.OpEnd:
+		ts, err := s.running("END", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		if ts.idle || ts.current != op.Task {
+			return ruleErr("END", op, "E(t%d) = %s", op.Thread, s.describeE(op.Thread))
+		}
+		ts.idle = true
+		ts.current = ""
+		return nil
+
+	case trace.OpAcquire:
+		ts, err := s.running("ACQUIRE", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		if holder, held := s.owner[op.Lock]; held && holder != op.Thread {
+			return ruleErr("ACQUIRE", op, "lock held by t%d", holder)
+		}
+		s.owner[op.Lock] = op.Thread
+		ts.locks[op.Lock]++
+		return nil
+
+	case trace.OpRelease:
+		ts, err := s.running("RELEASE", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		if ts.locks[op.Lock] == 0 {
+			return ruleErr("RELEASE", op, "lock not held by t%d", op.Thread)
+		}
+		ts.locks[op.Lock]--
+		if ts.locks[op.Lock] == 0 {
+			delete(ts.locks, op.Lock)
+			delete(s.owner, op.Lock)
+		}
+		return nil
+
+	case trace.OpRead, trace.OpWrite, trace.OpEnable:
+		// These do not change the application state (§3), but only running
+		// threads execute operations.
+		_, err := s.running(op.Kind.String(), op, op.Thread)
+		return err
+
+	case trace.OpCancel:
+		ts, err := s.running("CANCEL", op, op.Thread)
+		if err != nil {
+			return err
+		}
+		// Cancellation removes a pending post from any queue; a cancel of a
+		// task that already ran or was never posted is a no-op, matching
+		// Android's removeCallbacks.
+		_ = ts
+		for _, other := range s.threads {
+			if other.delayed[op.Task] {
+				delete(other.delayed, op.Task)
+				return nil
+			}
+			for i, q := range other.queue {
+				if q == op.Task {
+					other.queue = append(other.queue[:i], other.queue[i+1:]...)
+					return nil
+				}
+			}
+		}
+		return nil
+
+	default:
+		return ruleErr("?", op, "unknown operation kind")
+	}
+}
+
+func (s *State) running(rule string, op trace.Op, t trace.ThreadID) (*threadState, error) {
+	ts, ok := s.threads[t]
+	if !ok || ts.status != StatusRunning {
+		return nil, ruleErr(rule, op, "thread t%d not in R (status %v)", t, s.Status(t))
+	}
+	return ts, nil
+}
+
+func (s *State) describeE(t trace.ThreadID) string {
+	ts := s.threads[t]
+	if ts.idle {
+		return "⊥"
+	}
+	return string(ts.current)
+}
+
+// InferInitialThreads returns the threads that must be framework-created
+// for the trace to be executable: every thread that executes an operation
+// without a preceding fork creating it.
+func InferInitialThreads(tr *trace.Trace) []trace.ThreadID {
+	forked := make(map[trace.ThreadID]bool)
+	seen := make(map[trace.ThreadID]bool)
+	var initial []trace.ThreadID
+	note := func(t trace.ThreadID) {
+		if !seen[t] && !forked[t] {
+			initial = append(initial, t)
+		}
+		seen[t] = true
+	}
+	for _, op := range tr.Ops() {
+		note(op.Thread)
+		switch op.Kind {
+		case trace.OpFork:
+			forked[op.Other] = true
+		case trace.OpPost, trace.OpJoin:
+			// The destination/joined thread participates but might never
+			// execute an op itself in a partial trace; only count threads
+			// that actually execute.
+		}
+	}
+	return initial
+}
+
+// Validate replays tr from the initial state with the given
+// framework-created threads, applying Step to every operation. It returns
+// the index of the first offending operation and the rule error, or -1 and
+// nil when the whole trace is a valid execution.
+func Validate(tr *trace.Trace, initial []trace.ThreadID) (int, error) {
+	s := NewState(initial)
+	for i, op := range tr.Ops() {
+		if err := s.Step(op); err != nil {
+			return i, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return -1, nil
+}
+
+// ValidateInferred is Validate with the initial thread set inferred by
+// InferInitialThreads. It accepts partial traces in which framework
+// threads (such as the binder thread t0 in the paper's figures) appear
+// without explicit threadinit operations by pre-running them.
+func ValidateInferred(tr *trace.Trace) (int, error) {
+	initial := InferInitialThreads(tr)
+	s := NewState(initial)
+	// Framework threads that never execute threadinit in a partial trace
+	// are promoted to running up front.
+	inits := make(map[trace.ThreadID]bool)
+	for _, op := range tr.Ops() {
+		if op.Kind == trace.OpThreadInit {
+			inits[op.Thread] = true
+		}
+	}
+	for _, t := range initial {
+		if !inits[t] {
+			if err := s.Step(trace.ThreadInit(t)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for i, op := range tr.Ops() {
+		if err := s.Step(op); err != nil {
+			return i, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,347 @@
+package semantics
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"droidracer/internal/paper"
+	"droidracer/internal/trace"
+)
+
+// step applies ops to a fresh state with the given initial threads,
+// returning the first error.
+func step(initial []trace.ThreadID, ops ...trace.Op) error {
+	s := NewState(initial)
+	for _, op := range ops {
+		if err := s.Step(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func wantRule(t *testing.T, err error, rule string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("no error, want %s violation", rule)
+	}
+	var re *RuleError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a RuleError", err)
+	}
+	if re.Rule != rule {
+		t.Fatalf("rule = %s, want %s (err: %v)", re.Rule, rule, err)
+	}
+}
+
+func TestInitRule(t *testing.T) {
+	if err := step([]trace.ThreadID{1}, trace.ThreadInit(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Initializing an unknown thread violates INIT.
+	wantRule(t, step(nil, trace.ThreadInit(1)), "INIT")
+	// Initializing twice violates INIT (thread no longer in C).
+	wantRule(t, step([]trace.ThreadID{1}, trace.ThreadInit(1), trace.ThreadInit(1)), "INIT")
+}
+
+func TestExitRule(t *testing.T) {
+	if err := step([]trace.ThreadID{1}, trace.ThreadInit(1), trace.ThreadExit(1)); err != nil {
+		t.Fatal(err)
+	}
+	wantRule(t, step([]trace.ThreadID{1}, trace.ThreadExit(1)), "EXIT")
+	// Operations after exit fail: the thread left R.
+	wantRule(t, step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.ThreadExit(1), trace.Read(1, "x")), "read")
+}
+
+func TestForkJoinRules(t *testing.T) {
+	ok := []trace.Op{
+		trace.ThreadInit(1),
+		trace.Fork(1, 2),
+		trace.ThreadInit(2),
+		trace.ThreadExit(2),
+		trace.Join(1, 2),
+	}
+	if err := step([]trace.ThreadID{1}, ok...); err != nil {
+		t.Fatal(err)
+	}
+	// Forking an existing thread id is not fresh.
+	wantRule(t, step([]trace.ThreadID{1, 2},
+		trace.ThreadInit(1), trace.Fork(1, 2)), "FORK")
+	// Joining a thread that has not finished.
+	wantRule(t, step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.Fork(1, 2), trace.ThreadInit(2), trace.Join(1, 2)), "JOIN")
+	// Fork by a non-running thread.
+	wantRule(t, step([]trace.ThreadID{1}, trace.Fork(1, 2)), "FORK")
+}
+
+func TestAttachLoopRules(t *testing.T) {
+	if err := step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.AttachQ(1), trace.LoopOnQ(1)); err != nil {
+		t.Fatal(err)
+	}
+	wantRule(t, step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.AttachQ(1), trace.AttachQ(1)), "ATTACHQ")
+	wantRule(t, step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.LoopOnQ(1)), "LOOPONQ")
+	wantRule(t, step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.AttachQ(1), trace.LoopOnQ(1), trace.LoopOnQ(1)), "LOOPONQ")
+}
+
+func TestPostBeginEndRules(t *testing.T) {
+	base := []trace.Op{
+		trace.ThreadInit(1), trace.ThreadInit(2),
+		trace.AttachQ(1), trace.LoopOnQ(1),
+	}
+	ok := append(append([]trace.Op{}, base...),
+		trace.Post(2, "p", 1),
+		trace.Begin(1, "p"),
+		trace.Read(1, "x"),
+		trace.End(1, "p"),
+	)
+	if err := step([]trace.ThreadID{1, 2}, ok...); err != nil {
+		t.Fatal(err)
+	}
+	// Post to a thread without a queue.
+	wantRule(t, step([]trace.ThreadID{1, 2},
+		trace.ThreadInit(1), trace.ThreadInit(2), trace.Post(1, "p", 2)), "POST")
+	// Begin out of FIFO order.
+	bad := append(append([]trace.Op{}, base...),
+		trace.Post(2, "p", 1),
+		trace.Post(2, "q", 1),
+		trace.Begin(1, "q"),
+	)
+	wantRule(t, step([]trace.ThreadID{1, 2}, bad...), "BEGIN")
+	// Begin while a task runs.
+	bad = append(append([]trace.Op{}, base...),
+		trace.Post(2, "p", 1),
+		trace.Post(2, "q", 1),
+		trace.Begin(1, "p"),
+		trace.Begin(1, "q"),
+	)
+	wantRule(t, step([]trace.ThreadID{1, 2}, bad...), "BEGIN")
+	// End of a task that is not running.
+	bad = append(append([]trace.Op{}, base...), trace.End(1, "p"))
+	wantRule(t, step([]trace.ThreadID{1, 2}, bad...), "END")
+}
+
+func TestDelayedAndFrontPosts(t *testing.T) {
+	base := []trace.Op{
+		trace.ThreadInit(1), trace.ThreadInit(2),
+		trace.AttachQ(1), trace.LoopOnQ(1),
+	}
+	// A delayed task may begin after a later-posted non-delayed task.
+	ok := append(append([]trace.Op{}, base...),
+		trace.PostDelayed(2, "slow", 1, 500),
+		trace.Post(2, "fast", 1),
+		trace.Begin(1, "fast"),
+		trace.End(1, "fast"),
+		trace.Begin(1, "slow"),
+		trace.End(1, "slow"),
+	)
+	if err := step([]trace.ThreadID{1, 2}, ok...); err != nil {
+		t.Fatal(err)
+	}
+	// A front post overtakes earlier queued tasks.
+	ok = append(append([]trace.Op{}, base...),
+		trace.Post(2, "first", 1),
+		trace.PostFront(2, "urgent", 1),
+		trace.Begin(1, "urgent"),
+		trace.End(1, "urgent"),
+		trace.Begin(1, "first"),
+		trace.End(1, "first"),
+	)
+	if err := step([]trace.ThreadID{1, 2}, ok...); err != nil {
+		t.Fatal(err)
+	}
+	// Without the front flag the same order violates FIFO.
+	bad := append(append([]trace.Op{}, base...),
+		trace.Post(2, "first", 1),
+		trace.Post(2, "urgent", 1),
+		trace.Begin(1, "urgent"),
+	)
+	wantRule(t, step([]trace.ThreadID{1, 2}, bad...), "BEGIN")
+}
+
+func TestCancelRemovesPendingPost(t *testing.T) {
+	ops := []trace.Op{
+		trace.ThreadInit(1), trace.ThreadInit(2),
+		trace.AttachQ(1), trace.LoopOnQ(1),
+		trace.Post(2, "a", 1),
+		trace.Post(2, "b", 1),
+		trace.Cancel(2, "a"),
+		trace.Begin(1, "b"), // a was cancelled, so b is now the front
+		trace.End(1, "b"),
+	}
+	if err := step([]trace.ThreadID{1, 2}, ops...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockRules(t *testing.T) {
+	ops := []trace.Op{
+		trace.ThreadInit(1), trace.ThreadInit(2),
+		trace.Acquire(1, "l"),
+		trace.Acquire(1, "l"), // reentrant acquire by the holder is allowed
+		trace.Release(1, "l"),
+		trace.Release(1, "l"),
+		trace.Acquire(2, "l"), // free again
+		trace.Release(2, "l"),
+	}
+	if err := step([]trace.ThreadID{1, 2}, ops...); err != nil {
+		t.Fatal(err)
+	}
+	// Acquiring a lock held by another thread violates ACQUIRE.
+	wantRule(t, step([]trace.ThreadID{1, 2},
+		trace.ThreadInit(1), trace.ThreadInit(2),
+		trace.Acquire(1, "l"), trace.Acquire(2, "l")), "ACQUIRE")
+	// Releasing an unheld lock violates RELEASE.
+	wantRule(t, step([]trace.ThreadID{1},
+		trace.ThreadInit(1), trace.Release(1, "l")), "RELEASE")
+}
+
+func TestStateAccessors(t *testing.T) {
+	s := NewState([]trace.ThreadID{1, 2})
+	if s.Status(1) != StatusCreated || s.Status(3) != StatusUnknown {
+		t.Fatal("initial statuses wrong")
+	}
+	must := func(op trace.Op) {
+		t.Helper()
+		if err := s.Step(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(trace.ThreadInit(1))
+	must(trace.ThreadInit(2))
+	must(trace.AttachQ(1))
+	if !s.HasQueue(1) || s.HasQueue(2) {
+		t.Fatal("HasQueue wrong")
+	}
+	must(trace.LoopOnQ(1))
+	if !s.Looping(1) {
+		t.Fatal("Looping(1) = false")
+	}
+	must(trace.Post(2, "p", 1))
+	must(trace.PostDelayed(2, "d", 1, 10))
+	if s.QueueLen(1) != 2 {
+		t.Fatalf("QueueLen = %d, want 2", s.QueueLen(1))
+	}
+	must(trace.Begin(1, "p"))
+	if s.Current(1) != "p" {
+		t.Fatalf("Current = %q, want p", s.Current(1))
+	}
+	must(trace.Acquire(1, "l"))
+	if !s.HoldsLock(1, "l") || s.HoldsLock(2, "l") {
+		t.Fatal("HoldsLock wrong")
+	}
+	if s.Status(1).String() != "running" || StatusUnknown.String() != "unknown" ||
+		StatusCreated.String() != "created" || StatusFinished.String() != "finished" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+func TestStepLeavesStateUnchangedOnError(t *testing.T) {
+	s := NewState([]trace.ThreadID{1})
+	if err := s.Step(trace.ThreadInit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(trace.LoopOnQ(1)); err == nil {
+		t.Fatal("expected LOOPONQ violation")
+	}
+	// The failed step must not have marked the thread as looping.
+	if s.Looping(1) {
+		t.Fatal("state mutated by failed step")
+	}
+}
+
+func TestValidateFigureTraces(t *testing.T) {
+	for name, tr := range map[string]*trace.Trace{
+		"figure3": paper.Figure3(),
+		"figure4": paper.Figure4(),
+	} {
+		if i, err := ValidateInferred(tr); err != nil {
+			t.Errorf("%s: op %d: %v", name, i, err)
+		}
+	}
+}
+
+func TestValidateReportsIndex(t *testing.T) {
+	tr := trace.FromOps([]trace.Op{
+		trace.ThreadInit(1),
+		trace.Read(1, "x"),
+		trace.LoopOnQ(1), // invalid: no queue attached
+	})
+	i, err := Validate(tr, []trace.ThreadID{1})
+	if err == nil || i != 2 {
+		t.Fatalf("Validate = (%d, %v), want op 2 failure", i, err)
+	}
+	if !strings.Contains(err.Error(), "LOOPONQ") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInferInitialThreads(t *testing.T) {
+	got := InferInitialThreads(paper.Figure3())
+	want := map[trace.ThreadID]bool{0: true, 1: true}
+	if len(got) != 2 {
+		t.Fatalf("initial = %v, want t0 and t1", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected initial thread t%d", id)
+		}
+	}
+}
+
+// TestQuickRandomTracesValidate is the generator/semantics agreement
+// property: every randomly generated trace is a valid execution.
+func TestQuickRandomTracesValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTrace(rng, DefaultGenConfig())
+		i, err := Validate(tr, []trace.ThreadID{1, 2})
+		if err != nil {
+			t.Logf("seed %d: op %d: %v", seed, i, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomTracesAnalyze checks that generated traces also pass the
+// structural Analyze pass of the trace package.
+func TestQuickRandomTracesAnalyze(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTrace(rng, DefaultGenConfig())
+		_, err := trace.Analyze(tr)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+		}
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomTraceDeterminism checks replay determinism: the same seed
+// produces the identical trace.
+func TestRandomTraceDeterminism(t *testing.T) {
+	a := RandomTrace(rand.New(rand.NewSource(7)), DefaultGenConfig())
+	b := RandomTrace(rand.New(rand.NewSource(7)), DefaultGenConfig())
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Ops() {
+		if a.Op(i) != b.Op(i) {
+			t.Fatalf("op %d differs: %v vs %v", i, a.Op(i), b.Op(i))
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format writes tr to w in the textual trace format, one operation per
+// line, e.g.:
+//
+//	threadinit(t1)
+//	attachQ(t1)
+//	loopOnQ(t1)
+//	post(t0,LAUNCH_ACTIVITY,t1)
+//
+// Lines beginning with '#' and blank lines are ignored by Parse, so traces
+// may be annotated by hand.
+func Format(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range tr.Ops() {
+		if _, err := fmt.Fprintln(bw, op.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a trace in the textual format produced by Format.
+func Parse(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := ParseOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		tr.Append(op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ParseOp parses a single operation in its textual form.
+func ParseOp(s string) (Op, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Op{}, fmt.Errorf("malformed operation %q", s)
+	}
+	name := s[:open]
+	args := strings.Split(s[open+1:len(s)-1], ",")
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d arguments, got %d in %q", name, n, len(args), s)
+		}
+		return nil
+	}
+	thr, err := parseThread(args[0])
+	if err != nil {
+		return Op{}, fmt.Errorf("%s: %w", name, err)
+	}
+	switch name {
+	case "threadinit", "threadexit", "attachQ", "loopOnQ":
+		if err := arity(1); err != nil {
+			return Op{}, err
+		}
+		kinds := map[string]Kind{
+			"threadinit": OpThreadInit, "threadexit": OpThreadExit,
+			"attachQ": OpAttachQ, "loopOnQ": OpLoopOnQ,
+		}
+		return Op{Kind: kinds[name], Thread: thr}, nil
+	case "fork", "join":
+		if err := arity(2); err != nil {
+			return Op{}, err
+		}
+		other, err := parseThread(args[1])
+		if err != nil {
+			return Op{}, fmt.Errorf("%s: %w", name, err)
+		}
+		k := OpFork
+		if name == "join" {
+			k = OpJoin
+		}
+		return Op{Kind: k, Thread: thr, Other: other}, nil
+	case "post", "postf":
+		if err := arity(3); err != nil {
+			return Op{}, err
+		}
+		dest, err := parseThread(args[2])
+		if err != nil {
+			return Op{}, fmt.Errorf("%s: %w", name, err)
+		}
+		return Op{Kind: OpPost, Thread: thr, Task: TaskID(args[1]), Other: dest, Front: name == "postf"}, nil
+	case "postd":
+		if err := arity(4); err != nil {
+			return Op{}, err
+		}
+		dest, err := parseThread(args[2])
+		if err != nil {
+			return Op{}, fmt.Errorf("postd: %w", err)
+		}
+		delay, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil || delay < 0 {
+			return Op{}, fmt.Errorf("postd: bad delay %q", args[3])
+		}
+		return Op{Kind: OpPost, Thread: thr, Task: TaskID(args[1]), Other: dest, Delayed: true, Delay: delay}, nil
+	case "begin", "end", "enable", "cancel":
+		if err := arity(2); err != nil {
+			return Op{}, err
+		}
+		kinds := map[string]Kind{
+			"begin": OpBegin, "end": OpEnd, "enable": OpEnable, "cancel": OpCancel,
+		}
+		return Op{Kind: kinds[name], Thread: thr, Task: TaskID(args[1])}, nil
+	case "acquire", "release":
+		if err := arity(2); err != nil {
+			return Op{}, err
+		}
+		k := OpAcquire
+		if name == "release" {
+			k = OpRelease
+		}
+		return Op{Kind: k, Thread: thr, Lock: LockID(args[1])}, nil
+	case "read", "write":
+		if err := arity(2); err != nil {
+			return Op{}, err
+		}
+		k := OpRead
+		if name == "write" {
+			k = OpWrite
+		}
+		return Op{Kind: k, Thread: thr, Loc: Loc(args[1])}, nil
+	default:
+		return Op{}, fmt.Errorf("unknown opcode %q", name)
+	}
+}
+
+func parseThread(s string) (ThreadID, error) {
+	if len(s) < 2 || s[0] != 't' {
+		return 0, fmt.Errorf("bad thread id %q", s)
+	}
+	n, err := strconv.ParseInt(s[1:], 10, 32)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad thread id %q", s)
+	}
+	return ThreadID(n), nil
+}

@@ -1,0 +1,223 @@
+package trace
+
+import "fmt"
+
+// Info carries per-trace structural annotations computed once and shared by
+// the happens-before engine and the race classifier: the position of queue
+// operations per thread, the enclosing asynchronous task of every
+// operation, and per-task begin/end/post/enable indices.
+type Info struct {
+	tr *Trace
+
+	// loopIdx and attachIdx give the trace index of the loopOnQ/attachQ
+	// operation of each thread, or -1 when the thread has none.
+	loopIdx   map[ThreadID]int
+	attachIdx map[ThreadID]int
+
+	// enclTask[i] is the task enclosing operation i, or "" when i executes
+	// outside any asynchronous task (before loopOnQ, or on a thread without
+	// a queue).
+	enclTask []TaskID
+
+	// Per-task indices; -1 when the corresponding operation is absent.
+	beginIdx  map[TaskID]int
+	endIdx    map[TaskID]int
+	postIdx   map[TaskID]int
+	enableIdx map[TaskID]int
+
+	threads []ThreadID // in order of first appearance
+}
+
+// Analyze computes structural annotations for tr. It returns an error if
+// the trace is structurally malformed: a task begins twice, ends without
+// beginning, begins while another task runs on the same thread, begins
+// without a post, or begins before the thread's loopOnQ.
+func Analyze(tr *Trace) (*Info, error) {
+	info := &Info{
+		tr:        tr,
+		loopIdx:   make(map[ThreadID]int),
+		attachIdx: make(map[ThreadID]int),
+		enclTask:  make([]TaskID, tr.Len()),
+		beginIdx:  make(map[TaskID]int),
+		endIdx:    make(map[TaskID]int),
+		postIdx:   make(map[TaskID]int),
+		enableIdx: make(map[TaskID]int),
+	}
+	seen := make(map[ThreadID]bool)
+	current := make(map[ThreadID]TaskID) // task currently running on each thread
+	for i, op := range tr.Ops() {
+		if !seen[op.Thread] {
+			seen[op.Thread] = true
+			info.threads = append(info.threads, op.Thread)
+		}
+		info.enclTask[i] = current[op.Thread]
+		switch op.Kind {
+		case OpAttachQ:
+			if _, dup := info.attachIdx[op.Thread]; dup {
+				return nil, fmt.Errorf("op %d: %v: thread already has a queue", i, op)
+			}
+			info.attachIdx[op.Thread] = i
+		case OpLoopOnQ:
+			if _, dup := info.loopIdx[op.Thread]; dup {
+				return nil, fmt.Errorf("op %d: %v: thread already loops on its queue", i, op)
+			}
+			if _, ok := info.attachIdx[op.Thread]; !ok {
+				return nil, fmt.Errorf("op %d: %v: loopOnQ without attachQ", i, op)
+			}
+			info.loopIdx[op.Thread] = i
+		case OpPost:
+			if _, dup := info.postIdx[op.Task]; dup {
+				return nil, fmt.Errorf("op %d: %v: task posted twice (tasks must be uniquely named)", i, op)
+			}
+			info.postIdx[op.Task] = i
+		case OpEnable:
+			if _, dup := info.enableIdx[op.Task]; !dup {
+				info.enableIdx[op.Task] = i
+			}
+		case OpBegin:
+			if _, dup := info.beginIdx[op.Task]; dup {
+				return nil, fmt.Errorf("op %d: %v: task began twice", i, op)
+			}
+			if cur := current[op.Thread]; cur != "" {
+				return nil, fmt.Errorf("op %d: %v: task %s still running on t%d (tasks run to completion)", i, op, cur, op.Thread)
+			}
+			if _, ok := info.loopIdx[op.Thread]; !ok {
+				return nil, fmt.Errorf("op %d: %v: begin before loopOnQ", i, op)
+			}
+			if _, ok := info.postIdx[op.Task]; !ok {
+				return nil, fmt.Errorf("op %d: %v: begin without post", i, op)
+			}
+			info.beginIdx[op.Task] = i
+			current[op.Thread] = op.Task
+			info.enclTask[i] = op.Task // begin/end belong to their own task
+		case OpEnd:
+			if current[op.Thread] != op.Task {
+				return nil, fmt.Errorf("op %d: %v: end does not match running task %q", i, op, current[op.Thread])
+			}
+			info.endIdx[op.Task] = i
+			info.enclTask[i] = op.Task
+			current[op.Thread] = ""
+		}
+	}
+	return info, nil
+}
+
+// Trace returns the analyzed trace.
+func (in *Info) Trace() *Trace { return in.tr }
+
+// Threads returns all thread IDs appearing in the trace, in order of first
+// appearance. The caller must treat the slice as read-only.
+func (in *Info) Threads() []ThreadID { return in.threads }
+
+// LoopIdx returns the index of thread t's loopOnQ operation, or -1.
+func (in *Info) LoopIdx(t ThreadID) int {
+	if i, ok := in.loopIdx[t]; ok {
+		return i
+	}
+	return -1
+}
+
+// AttachIdx returns the index of thread t's attachQ operation, or -1.
+func (in *Info) AttachIdx(t ThreadID) int {
+	if i, ok := in.attachIdx[t]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasQueue reports whether thread t attached a task queue in the trace.
+func (in *Info) HasQueue(t ThreadID) bool {
+	_, ok := in.attachIdx[t]
+	return ok
+}
+
+// Task returns the asynchronous task enclosing operation i, or "" when the
+// operation runs outside any task. This is the paper's task(α) helper;
+// begin and end operations belong to their own task.
+func (in *Info) Task(i int) TaskID { return in.enclTask[i] }
+
+// BeginIdx returns the index of task p's begin operation, or -1.
+func (in *Info) BeginIdx(p TaskID) int { return idxOr(in.beginIdx, p) }
+
+// EndIdx returns the index of task p's end operation, or -1.
+func (in *Info) EndIdx(p TaskID) int { return idxOr(in.endIdx, p) }
+
+// PostIdx returns the index of the post operation for task p, or -1.
+func (in *Info) PostIdx(p TaskID) int { return idxOr(in.postIdx, p) }
+
+// EnableIdx returns the index of the first enable operation for task p, or
+// -1 when p was never explicitly enabled.
+func (in *Info) EnableIdx(p TaskID) int { return idxOr(in.enableIdx, p) }
+
+func idxOr(m map[TaskID]int, p TaskID) int {
+	if i, ok := m[p]; ok {
+		return i
+	}
+	return -1
+}
+
+// PostChain returns the paper's chain(α) for the operation at index i: the
+// maximal sequence of post operations β1,…,βm (as trace indices, in trace
+// order) such that each βj executes inside the task posted by βj−1 and βm
+// posts the task enclosing operation i. The chain is empty when i executes
+// outside any task.
+func (in *Info) PostChain(i int) []int {
+	var rev []int
+	task := in.Task(i)
+	for task != "" {
+		post, ok := in.postIdx[task]
+		if !ok {
+			break
+		}
+		rev = append(rev, post)
+		task = in.Task(post)
+	}
+	// Reverse into chain order β1..βm.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// Stats are the per-trace statistics reported in Table 2 of the paper.
+type Stats struct {
+	Length     int // number of operations in the core language
+	Fields     int // distinct memory locations accessed
+	ThreadsNoQ int // threads without task queues
+	ThreadsQ   int // threads with task queues
+	AsyncTasks int // asynchronous tasks executed (begin operations)
+}
+
+// ComputeStats computes Table 2 statistics for tr. Threads for which
+// isSystem returns true (e.g. binder and other runtime-created threads,
+// which the paper excludes from its thread counts) are not counted;
+// isSystem may be nil to count every thread.
+func ComputeStats(tr *Trace, isSystem func(ThreadID) bool) Stats {
+	st := Stats{Length: tr.Len()}
+	locs := make(map[Loc]bool)
+	hasQ := make(map[ThreadID]bool)
+	seen := make(map[ThreadID]bool)
+	for _, op := range tr.Ops() {
+		seen[op.Thread] = true
+		switch op.Kind {
+		case OpAttachQ:
+			hasQ[op.Thread] = true
+		case OpRead, OpWrite:
+			locs[op.Loc] = true
+		case OpBegin:
+			st.AsyncTasks++
+		}
+	}
+	st.Fields = len(locs)
+	for t := range seen {
+		if isSystem != nil && isSystem(t) {
+			continue
+		}
+		if hasQ[t] {
+			st.ThreadsQ++
+		} else {
+			st.ThreadsNoQ++
+		}
+	}
+	return st
+}

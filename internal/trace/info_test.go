@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// figureTrace is the Figure 3 trace of the paper, kept local to avoid an
+// import cycle with internal/paper (which imports this package).
+func figureTrace() *Trace {
+	return FromOps([]Op{
+		ThreadInit(1),                 // 1
+		AttachQ(1),                    // 2
+		LoopOnQ(1),                    // 3
+		Enable(1, "LAUNCH_ACTIVITY"),  // 4
+		Post(0, "LAUNCH_ACTIVITY", 1), // 5
+		Begin(1, "LAUNCH_ACTIVITY"),   // 6
+		Write(1, "DwFileAct-obj"),     // 7
+		Fork(1, 2),                    // 8
+		Enable(1, "onDestroy"),        // 9
+		End(1, "LAUNCH_ACTIVITY"),     // 10
+		ThreadInit(2),                 // 11
+		Read(2, "DwFileAct-obj"),      // 12
+		Post(2, "onPostExecute", 1),   // 13
+		ThreadExit(2),                 // 14
+		Begin(1, "onPostExecute"),     // 15
+		Read(1, "DwFileAct-obj"),      // 16
+		Enable(1, "onPlayClick"),      // 17
+		End(1, "onPostExecute"),       // 18
+		Post(1, "onPlayClick", 1),     // 19
+		Begin(1, "onPlayClick"),       // 20
+		Enable(1, "onPause"),          // 21
+		End(1, "onPlayClick"),         // 22
+		Post(0, "onPause", 1),         // 23
+	})
+}
+
+func TestAnalyzeFigure3(t *testing.T) {
+	in, err := Analyze(figureTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.LoopIdx(1); got != 2 {
+		t.Errorf("LoopIdx(t1) = %d, want 2", got)
+	}
+	if got := in.LoopIdx(2); got != -1 {
+		t.Errorf("LoopIdx(t2) = %d, want -1", got)
+	}
+	if !in.HasQueue(1) || in.HasQueue(0) || in.HasQueue(2) {
+		t.Error("HasQueue wrong: only t1 has a queue")
+	}
+	// Operation 7 (write) runs inside LAUNCH_ACTIVITY; op 12 (read on t2)
+	// runs outside any task; op 16 runs inside onPostExecute.
+	if got := in.Task(6); got != "LAUNCH_ACTIVITY" {
+		t.Errorf("Task(op7) = %q", got)
+	}
+	if got := in.Task(11); got != "" {
+		t.Errorf("Task(op12) = %q, want none", got)
+	}
+	if got := in.Task(14); got != "onPostExecute" {
+		t.Errorf("Task(op15=begin) = %q, want its own task", got)
+	}
+	if got := in.Task(17); got != "onPostExecute" {
+		t.Errorf("Task(op18=end) = %q, want its own task", got)
+	}
+	if got := in.BeginIdx("onPostExecute"); got != 14 {
+		t.Errorf("BeginIdx(onPostExecute) = %d, want 14", got)
+	}
+	if got := in.EndIdx("onPostExecute"); got != 17 {
+		t.Errorf("EndIdx = %d, want 17", got)
+	}
+	if got := in.PostIdx("onPostExecute"); got != 12 {
+		t.Errorf("PostIdx = %d, want 12", got)
+	}
+	if got := in.EnableIdx("onPlayClick"); got != 16 {
+		t.Errorf("EnableIdx(onPlayClick) = %d, want 16", got)
+	}
+	if got := in.EnableIdx("onPostExecute"); got != -1 {
+		t.Errorf("EnableIdx(onPostExecute) = %d, want -1", got)
+	}
+	// onPause is posted but never begins in the partial trace.
+	if got := in.BeginIdx("onPause"); got != -1 {
+		t.Errorf("BeginIdx(onPause) = %d, want -1", got)
+	}
+	// Thread order of first appearance: t1, t0, t2.
+	ths := in.Threads()
+	if len(ths) != 3 || ths[0] != 1 || ths[1] != 0 || ths[2] != 2 {
+		t.Errorf("Threads() = %v", ths)
+	}
+}
+
+func TestPostChain(t *testing.T) {
+	in, err := Analyze(figureTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Op 16 (read in onPostExecute): its task was posted by op 13, which
+	// executes on t2 outside any task, so the chain is just [12].
+	chain := in.PostChain(15)
+	if len(chain) != 1 || chain[0] != 12 {
+		t.Errorf("PostChain(op16) = %v, want [12]", chain)
+	}
+	// Op 12 (read on t2, outside any task): empty chain.
+	if got := in.PostChain(11); len(got) != 0 {
+		t.Errorf("PostChain(op12) = %v, want empty", got)
+	}
+	// Op 21 (enable in onPlayClick): onPlayClick posted by op 19, which
+	// runs inside onPlayClick? No — op 19 runs on t1 between tasks, outside
+	// any task, so the chain is just [18].
+	chain = in.PostChain(20)
+	if len(chain) != 1 || chain[0] != 18 {
+		t.Errorf("PostChain(op21) = %v, want [18]", chain)
+	}
+}
+
+func TestPostChainNested(t *testing.T) {
+	// a posts b from inside a; b posts c from inside b. chain of an op in c
+	// is [post(b)? ...]: the posts of b and c.
+	tr := FromOps([]Op{
+		ThreadInit(1),
+		AttachQ(1),
+		LoopOnQ(1),
+		Post(0, "a", 1),
+		Begin(1, "a"),
+		Post(1, "b", 1),
+		End(1, "a"),
+		Begin(1, "b"),
+		Post(1, "c", 1),
+		End(1, "b"),
+		Begin(1, "c"),
+		Read(1, "x"),
+		End(1, "c"),
+	})
+	in, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := in.PostChain(11) // the read inside c
+	// post(a)=3 runs outside tasks; post(b)=5 inside a; post(c)=8 inside b.
+	want := []int{3, 5, 8}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want string
+	}{
+		{
+			"begin-before-loop",
+			[]Op{ThreadInit(1), AttachQ(1), Post(0, "p", 1), Begin(1, "p")},
+			"begin before loopOnQ",
+		},
+		{
+			"begin-without-post",
+			[]Op{ThreadInit(1), AttachQ(1), LoopOnQ(1), Begin(1, "p")},
+			"begin without post",
+		},
+		{
+			"double-begin",
+			[]Op{ThreadInit(1), AttachQ(1), LoopOnQ(1), Post(0, "p", 1), Begin(1, "p"), End(1, "p"), Begin(1, "p")},
+			"began twice",
+		},
+		{
+			"nested-begin",
+			[]Op{ThreadInit(1), AttachQ(1), LoopOnQ(1), Post(0, "p", 1), Post(0, "q", 1), Begin(1, "p"), Begin(1, "q")},
+			"still running",
+		},
+		{
+			"end-mismatch",
+			[]Op{ThreadInit(1), AttachQ(1), LoopOnQ(1), Post(0, "p", 1), Begin(1, "p"), End(1, "q")},
+			"end does not match",
+		},
+		{
+			"double-post",
+			[]Op{ThreadInit(1), AttachQ(1), LoopOnQ(1), Post(0, "p", 1), Post(0, "p", 1)},
+			"posted twice",
+		},
+		{
+			"double-attach",
+			[]Op{ThreadInit(1), AttachQ(1), AttachQ(1)},
+			"already has a queue",
+		},
+		{
+			"loop-without-attach",
+			[]Op{ThreadInit(1), LoopOnQ(1)},
+			"loopOnQ without attachQ",
+		},
+		{
+			"double-loop",
+			[]Op{ThreadInit(1), AttachQ(1), LoopOnQ(1), LoopOnQ(1)},
+			"already loops",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Analyze(FromOps(c.ops))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}

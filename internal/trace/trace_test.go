@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		OpThreadInit: "threadinit",
+		OpThreadExit: "threadexit",
+		OpFork:       "fork",
+		OpJoin:       "join",
+		OpAttachQ:    "attachQ",
+		OpLoopOnQ:    "loopOnQ",
+		OpPost:       "post",
+		OpBegin:      "begin",
+		OpEnd:        "end",
+		OpAcquire:    "acquire",
+		OpRelease:    "release",
+		OpRead:       "read",
+		OpWrite:      "write",
+		OpEnable:     "enable",
+		OpCancel:     "cancel",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d: got %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range kind: got %q", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{ThreadInit(1), "threadinit(t1)"},
+		{ThreadExit(2), "threadexit(t2)"},
+		{Fork(1, 2), "fork(t1,t2)"},
+		{Join(1, 2), "join(t1,t2)"},
+		{AttachQ(1), "attachQ(t1)"},
+		{LoopOnQ(1), "loopOnQ(t1)"},
+		{Post(0, "LAUNCH_ACTIVITY", 1), "post(t0,LAUNCH_ACTIVITY,t1)"},
+		{PostDelayed(1, "tick", 1, 500), "postd(t1,tick,t1,500)"},
+		{PostFront(1, "urgent", 1), "postf(t1,urgent,t1)"},
+		{Begin(1, "p"), "begin(t1,p)"},
+		{End(1, "p"), "end(t1,p)"},
+		{Acquire(1, "l"), "acquire(t1,l)"},
+		{Release(1, "l"), "release(t1,l)"},
+		{Read(2, "DwFileAct-obj"), "read(t2,DwFileAct-obj)"},
+		{Write(1, "DwFileAct-obj"), "write(t1,DwFileAct-obj)"},
+		{Enable(1, "onDestroy"), "enable(t1,onDestroy)"},
+		{Cancel(1, "tick"), "cancel(t1,tick)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	cases := []struct {
+		a, b Op
+		want bool
+	}{
+		{Write(1, "m"), Read(2, "m"), true},
+		{Read(1, "m"), Write(2, "m"), true},
+		{Write(1, "m"), Write(2, "m"), true},
+		{Read(1, "m"), Read(2, "m"), false},
+		{Write(1, "m"), Write(2, "n"), false},
+		{Write(1, "m"), Post(2, "p", 1), false},
+		{Begin(1, "p"), End(1, "p"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Conflicts(c.b); got != c.want {
+			t.Errorf("Conflicts(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Conflicts(c.a); got != c.want {
+			t.Errorf("Conflicts(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestTraceAppendLenOp(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 {
+		t.Fatalf("fresh trace Len = %d", tr.Len())
+	}
+	i := tr.Append(ThreadInit(1))
+	j := tr.Append(AttachQ(1))
+	if i != 0 || j != 1 {
+		t.Fatalf("Append indices = %d,%d, want 0,1", i, j)
+	}
+	if tr.Op(0).Kind != OpThreadInit || tr.Op(1).Kind != OpAttachQ {
+		t.Fatal("Op returned wrong operations")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := New(2)
+	tr.Append(ThreadInit(1))
+	c := tr.Clone()
+	c.Append(ThreadExit(1))
+	if tr.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: orig=%d clone=%d", tr.Len(), c.Len())
+	}
+}
+
+func TestWithoutCancelled(t *testing.T) {
+	tr := FromOps([]Op{
+		ThreadInit(1),
+		AttachQ(1),
+		LoopOnQ(1),
+		Post(1, "a", 1),
+		Post(1, "b", 1),
+		Cancel(1, "b"),
+		Begin(1, "a"),
+		End(1, "a"),
+	})
+	got := tr.WithoutCancelled()
+	if got.Len() != 6 {
+		t.Fatalf("Len = %d, want 6: %v", got.Len(), got.Ops())
+	}
+	for _, op := range got.Ops() {
+		if op.Kind == OpCancel {
+			t.Error("cancel op survived")
+		}
+		if op.Kind == OpPost && op.Task == "b" {
+			t.Error("cancelled post survived")
+		}
+	}
+}
+
+func TestWithoutCancelledKeepsBegunTask(t *testing.T) {
+	// A cancel that raced with dispatch: the task already began, so its
+	// post must stay to keep the trace well-formed.
+	tr := FromOps([]Op{
+		ThreadInit(1),
+		AttachQ(1),
+		LoopOnQ(1),
+		Post(1, "a", 1),
+		Begin(1, "a"),
+		End(1, "a"),
+		Cancel(1, "a"),
+	})
+	got := tr.WithoutCancelled()
+	posts := 0
+	for _, op := range got.Ops() {
+		if op.Kind == OpPost {
+			posts++
+		}
+	}
+	if posts != 1 {
+		t.Fatalf("post count = %d, want 1", posts)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := FromOps([]Op{
+		ThreadInit(1),
+		AttachQ(1),
+		LoopOnQ(1),
+		Fork(1, 2),
+		ThreadInit(2),
+		Read(2, "x"),
+		Write(2, "y"),
+		Read(2, "x"),
+		Post(2, "p", 1),
+		Begin(1, "p"),
+		Write(1, "x"),
+		End(1, "p"),
+	})
+	st := ComputeStats(tr, nil)
+	if st.Length != 12 {
+		t.Errorf("Length = %d, want 12", st.Length)
+	}
+	if st.Fields != 2 {
+		t.Errorf("Fields = %d, want 2", st.Fields)
+	}
+	if st.ThreadsQ != 1 || st.ThreadsNoQ != 1 {
+		t.Errorf("ThreadsQ,NoQ = %d,%d, want 1,1", st.ThreadsQ, st.ThreadsNoQ)
+	}
+	if st.AsyncTasks != 1 {
+		t.Errorf("AsyncTasks = %d, want 1", st.AsyncTasks)
+	}
+
+	// Excluding thread 2 as a system thread drops it from the counts.
+	st = ComputeStats(tr, func(id ThreadID) bool { return id == 2 })
+	if st.ThreadsQ != 1 || st.ThreadsNoQ != 0 {
+		t.Errorf("with filter: ThreadsQ,NoQ = %d,%d, want 1,0", st.ThreadsQ, st.ThreadsNoQ)
+	}
+}

@@ -1,0 +1,103 @@
+// Package vc provides vector clocks, the substrate for the baseline race
+// detectors (pure multithreaded happens-before and async-as-threads) that
+// the DroidRacer paper compares against in §7.
+//
+// Clocks are keyed by ID, an abstract context identifier: baseline
+// detectors assign IDs to threads and, for the async-as-threads baseline,
+// to individual asynchronous tasks.
+package vc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies one logical context (a thread or a task) in a clock.
+type ID int32
+
+// VC is a vector clock: a map from context ID to that context's logical
+// time. The zero value (nil) is the all-zeros clock and is usable with
+// every read-only method; use New or Copy before mutating.
+type VC map[ID]uint64
+
+// New returns an empty (all-zeros) mutable clock.
+func New() VC { return make(VC) }
+
+// Get returns the component for id (zero when absent).
+func (v VC) Get(id ID) uint64 { return v[id] }
+
+// Set sets the component for id.
+func (v VC) Set(id ID, t uint64) {
+	if t == 0 {
+		delete(v, id)
+		return
+	}
+	v[id] = t
+}
+
+// Tick increments the component for id and returns the new value.
+func (v VC) Tick(id ID) uint64 {
+	v[id]++
+	return v[id]
+}
+
+// Join sets v to the pointwise maximum of v and o.
+func (v VC) Join(o VC) {
+	for id, t := range o {
+		if t > v[id] {
+			v[id] = t
+		}
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	for id, t := range v {
+		c[id] = t
+	}
+	return c
+}
+
+// LessEq reports whether v ≤ o pointwise (v happens before or equals o).
+func (v VC) LessEq(o VC) bool {
+	for id, t := range v {
+		if t > o[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports v ≤ o and v ≠ o.
+func (v VC) HappensBefore(o VC) bool {
+	return v.LessEq(o) && !o.LessEq(v)
+}
+
+// Concurrent reports that neither clock is ≤ the other.
+func (v VC) Concurrent(o VC) bool {
+	return !v.LessEq(o) && !o.LessEq(v)
+}
+
+// Equal reports pointwise equality.
+func (v VC) Equal(o VC) bool { return v.LessEq(o) && o.LessEq(v) }
+
+// String renders the clock deterministically, e.g. "[1:3 2:1]".
+func (v VC) String() string {
+	ids := make([]ID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for k, id := range ids {
+		if k > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%d", id, v[id])
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

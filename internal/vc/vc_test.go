@@ -1,0 +1,149 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReadable(t *testing.T) {
+	var v VC
+	if v.Get(1) != 0 {
+		t.Fatal("nil clock component not zero")
+	}
+	o := New()
+	o.Tick(1)
+	if !v.LessEq(o) || !v.HappensBefore(o) {
+		t.Fatal("nil clock not below ticked clock")
+	}
+	if v.String() != "[]" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestTickGetSet(t *testing.T) {
+	v := New()
+	if got := v.Tick(3); got != 1 {
+		t.Fatalf("first tick = %d", got)
+	}
+	if got := v.Tick(3); got != 2 {
+		t.Fatalf("second tick = %d", got)
+	}
+	v.Set(5, 7)
+	if v.Get(5) != 7 || v.Get(3) != 2 {
+		t.Fatal("Get after Set wrong")
+	}
+	v.Set(5, 0)
+	if _, ok := v[5]; ok {
+		t.Fatal("Set(_,0) did not clear the component")
+	}
+}
+
+func TestJoinCopy(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1, 5)
+	a.Set(2, 1)
+	b.Set(2, 3)
+	b.Set(3, 4)
+	c := a.Copy()
+	c.Join(b)
+	if c.Get(1) != 5 || c.Get(2) != 3 || c.Get(3) != 4 {
+		t.Fatalf("join = %v", c)
+	}
+	if a.Get(2) != 1 {
+		t.Fatal("Copy shares storage")
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1, 1)
+	b.Set(1, 2)
+	if !a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Fatal("happens-before on single component wrong")
+	}
+	b.Set(2, 1)
+	a.Set(3, 1)
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Fatal("concurrent clocks not detected")
+	}
+	if !a.Equal(a.Copy()) {
+		t.Fatal("clock not equal to its copy")
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct clocks equal")
+	}
+	if a.HappensBefore(a) {
+		t.Fatal("happens-before reflexive")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New()
+	v.Set(2, 1)
+	v.Set(1, 3)
+	if v.String() != "[1:3 2:1]" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+// TestQuickJoinIsLUB checks that Join computes the least upper bound.
+func TestQuickJoinIsLUB(t *testing.T) {
+	gen := func(rng *rand.Rand) VC {
+		v := New()
+		for i := 0; i < rng.Intn(6); i++ {
+			v.Set(ID(rng.Intn(5)), uint64(1+rng.Intn(10)))
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		j := a.Copy()
+		j.Join(b)
+		if !a.LessEq(j) || !b.LessEq(j) {
+			return false
+		}
+		// Any upper bound dominates the join.
+		u := a.Copy()
+		u.Join(b)
+		u.Tick(ID(rng.Intn(5)))
+		return j.LessEq(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOrderTrichotomyExclusive checks that exactly one of a<b, b<a,
+// equal, concurrent holds for any pair.
+func TestQuickOrderTrichotomyExclusive(t *testing.T) {
+	gen := func(rng *rand.Rand) VC {
+		v := New()
+		for i := 0; i < rng.Intn(6); i++ {
+			v.Set(ID(rng.Intn(4)), uint64(1+rng.Intn(4)))
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		states := 0
+		if a.HappensBefore(b) {
+			states++
+		}
+		if b.HappensBefore(a) {
+			states++
+		}
+		if a.Equal(b) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

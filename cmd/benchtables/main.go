@@ -44,10 +44,11 @@ func main() {
 	var results []*eval.AppResult
 	need := want("2") || want("3") || want("perf") || want("baselines")
 	if need {
-		var err error
-		results, err = eval.RunAll(list)
-		if err != nil {
-			fatal(err)
+		// Isolated per app: one broken model loses its rows, not the run.
+		var failures []eval.AppFailure
+		results, failures = eval.RunAllIsolated(list)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchtables: %s failed evaluation: %v (rows omitted)\n", f.App, f.Err)
 		}
 	}
 

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	racedet [-all] [-stats] [-naive] [-no-enable] [-no-fifo] [trace.txt]
+//	racedet [-all] [-stats] [-naive] [-no-enable] [-no-fifo]
+//	        [-deadline 5s] [-max-nodes N] [-no-degrade] [trace.txt]
 //
-// With no file argument the trace is read from standard input.
+// With no file argument the trace is read from standard input. Under
+// -deadline/-max-nodes the analysis is budgeted: when the budget runs
+// out it degrades to the pure multithreaded baseline detector (or, with
+// -no-degrade, exits with the partial results printed and a structured
+// budget error).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +34,9 @@ func main() {
 	explainFlag := flag.Bool("explain", false, "print a debugging explanation per race (chains, hints, near misses)")
 	dotFile := flag.String("dot", "", "write the happens-before graph (transitive reduction) as Graphviz DOT to this file")
 	minimizeFlag := flag.Bool("minimize", false, "print a minimized witness trace for the first reported race")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the analysis (0 = unlimited)")
+	maxNodes := flag.Int("max-nodes", 0, "cap on happens-before graph nodes (0 = unlimited)")
+	noDegrade := flag.Bool("no-degrade", false, "on budget exhaustion, fail with partial results instead of degrading to the pure-MT baseline")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -50,19 +59,35 @@ func main() {
 	opts.HB.Naive = *naive
 	opts.HB.EnableEdges = !*noEnable
 	opts.HB.FIFO = !*noFIFO
+	opts.Budget = droidracer.Budget{Wall: *deadline, MaxGraphNodes: *maxNodes}
+	opts.DegradeOnBudget = !*noDegrade
 
-	res, err := droidracer.Analyze(tr, opts)
+	partial := false
+	res, err := droidracer.AnalyzeContext(context.Background(), tr, opts)
 	if err != nil {
-		fatal(err)
+		be, ok := droidracer.AsBudgetError(err)
+		if !ok || res == nil {
+			fatal(err)
+		}
+		partial = true
+		fmt.Fprintf(os.Stderr, "racedet: %v; reporting partial results\n", be)
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "racedet: degraded to the pure-MT baseline detector (%v)\n", res.DegradedReason)
 	}
 	if *stats {
 		s := res.Stats
 		fmt.Printf("trace: %d ops, %d fields, %d threads w/o queues, %d with, %d async tasks\n",
 			s.Length, s.Fields, s.ThreadsNoQ, s.ThreadsQ, s.AsyncTasks)
-		fmt.Printf("graph: %d nodes (%.1f%% of trace length)\n",
-			res.Graph.NodeCount(), 100*float64(res.Graph.NodeCount())/float64(s.Length))
+		if res.Graph != nil {
+			fmt.Printf("graph: %d nodes (%.1f%% of trace length)\n",
+				res.Graph.NodeCount(), 100*float64(res.Graph.NodeCount())/float64(s.Length))
+		}
 	}
 	if *dotFile != "" {
+		if res.Graph == nil {
+			fatal(fmt.Errorf("-dot: no happens-before graph in a degraded result"))
+		}
 		f, err := os.Create(*dotFile)
 		if err != nil {
 			fatal(err)
@@ -75,7 +100,7 @@ func main() {
 		}
 	}
 	for _, r := range res.Races {
-		if *explainFlag {
+		if *explainFlag && res.Graph != nil {
 			fmt.Print(droidracer.Explain(res.Graph, r))
 			continue
 		}
@@ -84,10 +109,13 @@ func main() {
 	}
 	if len(res.Races) == 0 {
 		fmt.Println("no data races detected")
+		if partial {
+			os.Exit(1)
+		}
 		return
 	}
 	fmt.Printf("%d race report(s)\n", len(res.Races))
-	if *minimizeFlag {
+	if *minimizeFlag && res.Graph != nil {
 		min, err := droidracer.Minimize(res.Trace, res.Races[0], opts.HB)
 		if err != nil {
 			fatal(err)
@@ -97,6 +125,9 @@ func main() {
 		if err := droidracer.FormatTrace(os.Stdout, min.Trace); err != nil {
 			fatal(err)
 		}
+	}
+	if partial {
+		os.Exit(1)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"droidracer"
 	"droidracer/internal/apps"
+	"droidracer/internal/budget"
 )
 
 func main() {
@@ -49,8 +50,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := droidracer.Replay(apps.Factory(app), *seed, seq)
-	if err != nil {
+	// The replay runs the app model's own callbacks; isolate so a broken
+	// model yields an error message, not a crashed process.
+	var tr *droidracer.Trace
+	if err := budget.Isolate("tracegen", func() error {
+		var err error
+		tr, err = droidracer.Replay(apps.Factory(app), *seed, seq)
+		return err
+	}); err != nil {
 		fatal(err)
 	}
 	var w io.Writer = os.Stdout

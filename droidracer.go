@@ -34,9 +34,11 @@
 package droidracer
 
 import (
+	"context"
 	"io"
 
 	"droidracer/internal/android"
+	"droidracer/internal/budget"
 	"droidracer/internal/core"
 	"droidracer/internal/explain"
 	"droidracer/internal/explorer"
@@ -77,6 +79,26 @@ type (
 	Race = race.Race
 	// Category classifies a race (§4.3).
 	Category = race.Category
+)
+
+// Robustness types of the hardened pipeline.
+type (
+	// Budget bounds one analysis or exploration (wall-clock deadline,
+	// graph/closure caps, explorer sequence cap). The zero value means
+	// unlimited.
+	Budget = budget.Limits
+	// BudgetError is the structured budget-exhaustion/cancellation error;
+	// match with errors.As. Its Canceled method distinguishes explicit
+	// cancellation from exhausted budgets.
+	BudgetError = budget.Error
+	// PanicError is a panic recovered at a pipeline boundary.
+	PanicError = budget.PanicError
+	// ModelError reports a mistake in an application model (unregistered
+	// activity, missing widget, invalid lifecycle request), surfaced
+	// through the run's error instead of crashing the process.
+	ModelError = android.ModelError
+	// RetryPolicy bounds retry-with-backoff around race verification.
+	RetryPolicy = explorer.RetryPolicy
 )
 
 // Race categories.
@@ -152,6 +174,15 @@ func DefaultHBConfig() HBConfig { return hb.DefaultConfig() }
 // classification.
 func Analyze(tr *Trace, opts Options) (*Result, error) { return core.Analyze(tr, opts) }
 
+// AnalyzeContext is Analyze under a context and opts.Budget: the
+// pipeline polls both in its hot loops, recovers panics into
+// *PanicError, and (with opts.DegradeOnBudget) falls back to the
+// pure-MT baseline detector when the budget runs out, marking the
+// Result Degraded — a report is always produced.
+func AnalyzeContext(ctx context.Context, tr *Trace, opts Options) (*Result, error) {
+	return core.AnalyzeContext(ctx, tr, opts)
+}
+
 // DefaultEnvOptions returns the default simulated-runtime configuration:
 // deterministic scheduling, trace recording, one binder thread, and BACK
 // events enabled.
@@ -164,6 +195,13 @@ func NewEnv(opts EnvOptions) *Env { return android.NewEnv(opts) }
 // UI event sequences up to opts.MaxEvents with deterministic replay.
 func Explore(factory AppFactory, opts ExploreOptions) (*ExploreResult, error) {
 	return explorer.Explore(factory, opts)
+}
+
+// ExploreContext is Explore under a context and opts.Budget; on budget
+// exhaustion the tests recorded so far are returned together with a
+// *BudgetError.
+func ExploreContext(ctx context.Context, factory AppFactory, opts ExploreOptions) (*ExploreResult, error) {
+	return explorer.ExploreContext(ctx, factory, opts)
 }
 
 // RandomExploreOptions bound a random (Dynodroid/Monkey-style)
@@ -187,6 +225,22 @@ func Replay(factory AppFactory, seed int64, sequence []UIEvent) (*Trace, error) 
 func VerifyRace(factory AppFactory, sequence []UIEvent, info *trace.Info, r Race, maxAttempts int) (Verification, error) {
 	return explorer.VerifyRace(factory, sequence, info, r, maxAttempts)
 }
+
+// VerifyRaceWithRetry is VerifyRace with seeded, deterministic
+// retry-with-backoff: each round tries a disjoint block of scheduling
+// seeds, pausing per the policy between rounds.
+func VerifyRaceWithRetry(factory AppFactory, sequence []UIEvent, info *trace.Info, r Race, policy RetryPolicy) (Verification, error) {
+	return explorer.VerifyRaceWithRetry(factory, sequence, info, r, policy)
+}
+
+// DefaultRetryPolicy retries verification twice beyond the first round
+// with doubling, jittered backoff.
+func DefaultRetryPolicy(attemptsPerRound int) RetryPolicy {
+	return explorer.DefaultRetryPolicy(attemptsPerRound)
+}
+
+// AsBudgetError unwraps err to a *BudgetError when one is in its chain.
+func AsBudgetError(err error) (*BudgetError, bool) { return budget.AsError(err) }
 
 // ParseTrace reads a trace in the textual format (one operation per line,
 // e.g. "post(t0,LAUNCH_ACTIVITY,t1)").

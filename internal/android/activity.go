@@ -225,7 +225,7 @@ func (c *Ctx) StartActivity(name string) {
 	cur := e.foreground()
 	factory, ok := e.factories[name]
 	if !ok {
-		panic(fmt.Sprintf("android: activity %q not registered", name))
+		modelFail("StartActivity", fmt.Sprintf("activity %q", name), "not registered")
 	}
 	next := &activityRecord{
 		env:      e,
@@ -412,7 +412,7 @@ func (c *Ctx) AddTextField(name string, enabled bool, inputs []string, fn func(*
 func (c *Ctx) SetEnabled(name string, on bool) {
 	w := c.rec.findWidget(name)
 	if w == nil {
-		panic(fmt.Sprintf("android: widget %q not found on %s", name, c.rec.name))
+		modelFail("SetEnabled", fmt.Sprintf("widget %q", name), "not found on %s", c.rec.name)
 	}
 	if on && !w.enabled {
 		c.armWidget(w)

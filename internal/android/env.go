@@ -40,6 +40,10 @@ type Options struct {
 	// events (system-sent intents) — the intent injection the paper lists
 	// as future work for DroidRacer's testing phase.
 	EnableBroadcasts bool
+	// FaultHook is passed through to the scheduler (see
+	// sched.Options.FaultHook); the fault-injection harness uses it to
+	// abort or panic runs at chosen scheduling points.
+	FaultHook func(step int, op trace.Op) error
 }
 
 // DefaultOptions enables recording, one binder thread, and BACK events.
@@ -86,7 +90,7 @@ func NewEnv(opts Options) *Env {
 	}
 	e := &Env{
 		opts:      opts,
-		sim:       sched.New(sched.Options{Policy: policy, Record: opts.Record}),
+		sim:       sched.New(sched.Options{Policy: policy, Record: opts.Record, FaultHook: opts.FaultHook}),
 		system:    make(map[trace.ThreadID]bool),
 		factories: make(map[string]func() Activity),
 		services:  make(map[string]*serviceRecord),

@@ -1,0 +1,35 @@
+package android
+
+import "fmt"
+
+// ModelError reports a mistake in an application model — an unregistered
+// activity or service, a missing widget, a lifecycle request the current
+// state forbids. The model API is used inside callbacks running on
+// simulated threads and has no error return path, so these are raised as
+// panic(&ModelError{...}); the scheduler recovers them into the run's
+// error (with the cause preserved for errors.As), and budget.Isolate
+// does the same for panics escaping direct calls. Internal-invariant
+// violations remain plain panics: they indicate bugs in the environment
+// model, not in the app under test.
+type ModelError struct {
+	// Component is the model element involved, e.g. `activity "Music"`.
+	Component string
+	// Op is the API call that failed, e.g. "StartActivity".
+	Op string
+	// Err describes the mistake.
+	Err error
+}
+
+// Error implements error.
+func (e *ModelError) Error() string {
+	return fmt.Sprintf("android: %s: %s: %v", e.Op, e.Component, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *ModelError) Unwrap() error { return e.Err }
+
+// modelFail raises a ModelError from model-API code with no error
+// return path; see the type comment for how it is recovered.
+func modelFail(op, component string, format string, args ...any) {
+	panic(&ModelError{Component: component, Op: op, Err: fmt.Errorf(format, args...)})
+}

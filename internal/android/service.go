@@ -47,11 +47,11 @@ func (c *Ctx) StartService(name string) {
 	e := c.Env
 	rec, ok := e.services[name]
 	if !ok {
-		panic(fmt.Sprintf("android: service %q not registered", name))
+		modelFail("StartService", fmt.Sprintf("service %q", name), "not registered")
 	}
 	seq, err := rec.machine.StartSequence()
 	if err != nil {
-		panic(fmt.Sprintf("android: %s: %v", name, err))
+		modelFail("StartService", fmt.Sprintf("service %q", name), "%v", err)
 	}
 	// The machine transitions at request time: the scheduled callbacks are
 	// now committed, and a later StartService/StopService must see the
@@ -85,10 +85,10 @@ func (c *Ctx) StopService(name string) {
 	e := c.Env
 	rec, ok := e.services[name]
 	if !ok {
-		panic(fmt.Sprintf("android: service %q not registered", name))
+		modelFail("StopService", fmt.Sprintf("service %q", name), "not registered")
 	}
 	if _, err := rec.machine.StopSequence(); err != nil {
-		panic(fmt.Sprintf("android: %s: %v", name, err))
+		modelFail("StopService", fmt.Sprintf("service %q", name), "%v", err)
 	}
 	if err := rec.machine.Apply(lifecycle.SvcOnDestroy); err != nil {
 		panic(err)

@@ -1,0 +1,288 @@
+// Package budget provides the resource-budget and fault-isolation
+// primitives of the hardened analysis pipeline: wall-clock deadlines,
+// caps on happens-before graph size and closure work, cooperative
+// cancellation via context.Context, and panic isolation at pipeline
+// boundaries.
+//
+// The paper's detector ran "seconds to hours" per trace with graphs up
+// to 20 MB (§6); a service analyzing adversarial traces must never hang
+// or OOM on one bad input. Every hot loop of the pipeline (the hb
+// fixpoint, the race scan, the explorer DFS) polls a Checker, which
+// turns an exhausted budget into a structured *Error instead of an
+// unbounded computation. Callers then either surface the error with the
+// partial results produced so far or degrade to a cheaper detector (see
+// core.AnalyzeContext).
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Limits bound one unit of analysis work. The zero value means
+// unlimited. Wall combines with any context deadline; the earlier of
+// the two wins.
+type Limits struct {
+	// Wall is the wall-clock budget for the whole unit of work.
+	Wall time.Duration
+	// MaxGraphNodes caps the happens-before graph size after node
+	// merging. The graph's reachability bitsets cost O(nodes²) bits, so
+	// this is the primary OOM guard.
+	MaxGraphNodes int
+	// MaxClosureEdges caps the number of ≼ pairs the fixpoint may
+	// record (st plus mt).
+	MaxClosureEdges int
+	// MaxSequences caps the number of event-sequence prefixes the UI
+	// explorer may execute.
+	MaxSequences int
+}
+
+// IsZero reports whether no limit is set.
+func (l Limits) IsZero() bool {
+	return l.Wall == 0 && l.MaxGraphNodes == 0 && l.MaxClosureEdges == 0 && l.MaxSequences == 0
+}
+
+// Resource names the budget dimension an Error reports against.
+type Resource string
+
+// Budgeted resources.
+const (
+	ResourceWallClock    Resource = "wall-clock"
+	ResourceGraphNodes   Resource = "graph-nodes"
+	ResourceClosureEdges Resource = "closure-edges"
+	ResourceSequences    Resource = "sequences"
+	ResourceContext      Resource = "context"
+)
+
+// Error is the structured budget/cancellation error of the pipeline. It
+// records which stage stopped, which resource ran out, and — for
+// countable resources — how far over the limit the work was when it
+// stopped. Partial results are returned alongside the error by the
+// stage that produced it (see core.AnalyzeContext, explorer
+// ExploreContext).
+type Error struct {
+	// Stage is the pipeline stage that stopped, e.g. "happens-before".
+	Stage string
+	// Resource is the exhausted budget dimension.
+	Resource Resource
+	// Limit and Used quantify countable resources; both are zero for
+	// wall-clock and context errors.
+	Limit, Used int64
+	// Cause carries the context error for Resource == ResourceContext.
+	Cause error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	switch e.Resource {
+	case ResourceContext:
+		return fmt.Sprintf("budget: %s canceled: %v", e.Stage, e.Cause)
+	case ResourceWallClock:
+		return fmt.Sprintf("budget: %s exceeded the wall-clock budget", e.Stage)
+	default:
+		return fmt.Sprintf("budget: %s exceeded the %s budget (%d > %d)",
+			e.Stage, e.Resource, e.Used, e.Limit)
+	}
+}
+
+// Unwrap exposes the context cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Canceled reports whether the error represents an explicit caller
+// cancellation (context.Canceled) rather than an exhausted budget.
+// Deadline expiry — from Limits.Wall or a context deadline — counts as
+// budget exhaustion, which degraded mode may absorb; cancellation
+// always propagates.
+func (e *Error) Canceled() bool {
+	return e.Cause != nil && errors.Is(e.Cause, context.Canceled)
+}
+
+// AsError unwraps err to a budget *Error when there is one in its chain.
+func AsError(err error) (*Error, bool) {
+	var be *Error
+	ok := errors.As(err, &be)
+	return be, ok
+}
+
+// PanicError is a panic captured at a pipeline boundary by Isolate: one
+// broken app model or corrupt trace fails its unit of work with this
+// typed error instead of crashing the process.
+type PanicError struct {
+	// Stage is the boundary that recovered the panic.
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: recovered panic: %v", e.Stage, e.Value)
+}
+
+// Unwrap exposes an underlying error panic value to errors.Is/As, so a
+// panic(&android.ModelError{...}) recovered here still matches
+// errors.As(err, &modelErr).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Isolate runs fn, converting a panic into a *PanicError. It is the
+// per-unit-of-work fault boundary used by the evaluation harness, the
+// command-line tools, and core.AnalyzeContext.
+func Isolate(stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Stage: stage, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// checkInterval rate-limits the wall-clock/context poll: Check consults
+// the clock once per this many calls, so hot loops can call it per
+// iteration at the cost of an increment and a mask.
+const checkInterval = 256
+
+// Checker is the cooperative budget monitor one unit of work threads
+// through its stages. A nil *Checker is valid and never trips, so
+// unbudgeted call paths (hb.Build, race.Detect) pay nothing.
+//
+// A Checker is not safe for concurrent use; each unit of work owns one.
+type Checker struct {
+	ctx         context.Context
+	limits      Limits
+	start       time.Time
+	deadline    time.Time
+	hasDeadline bool
+	stage       string
+	calls       uint32
+}
+
+// NewChecker builds a checker for one unit of work. The effective
+// deadline is the earlier of ctx's deadline and now+limits.Wall. A nil
+// result is returned when there is nothing to enforce (background
+// context, zero limits), keeping the unbudgeted path free.
+func NewChecker(ctx context.Context, limits Limits) *Checker {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := &Checker{ctx: ctx, limits: limits, start: time.Now()}
+	if limits.Wall > 0 {
+		c.deadline = c.start.Add(limits.Wall)
+		c.hasDeadline = true
+	}
+	if d, ok := ctx.Deadline(); ok && (!c.hasDeadline || d.Before(c.deadline)) {
+		c.deadline = d
+		c.hasDeadline = true
+	}
+	if !c.hasDeadline && ctx.Done() == nil && limits.IsZero() {
+		return nil
+	}
+	return c
+}
+
+// Active reports whether the checker can ever trip. It is false for a
+// nil checker.
+func (c *Checker) Active() bool { return c != nil }
+
+// Limits returns the configured limits (zero for a nil checker).
+func (c *Checker) Limits() Limits {
+	if c == nil {
+		return Limits{}
+	}
+	return c.limits
+}
+
+// SetStage labels subsequent errors with the named pipeline stage.
+func (c *Checker) SetStage(stage string) {
+	if c != nil {
+		c.stage = stage
+	}
+}
+
+// Stage returns the current stage label.
+func (c *Checker) Stage() string {
+	if c == nil {
+		return ""
+	}
+	return c.stage
+}
+
+// Check polls the wall clock and the context, rate-limited so it is
+// cheap enough for per-iteration use in hot loops. It returns nil until
+// the budget trips, then a *Error.
+func (c *Checker) Check() error {
+	if c == nil {
+		return nil
+	}
+	c.calls++
+	if c.calls&(checkInterval-1) != 0 {
+		return nil
+	}
+	return c.CheckNow()
+}
+
+// CheckNow polls the wall clock and the context immediately (stage
+// boundaries, chunked scheduler runs).
+func (c *Checker) CheckNow() error {
+	if c == nil {
+		return nil
+	}
+	select {
+	case <-c.ctx.Done():
+		cause := c.ctx.Err()
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return &Error{Stage: c.stage, Resource: ResourceWallClock, Cause: cause}
+		}
+		return &Error{Stage: c.stage, Resource: ResourceContext, Cause: cause}
+	default:
+	}
+	if c.hasDeadline && time.Now().After(c.deadline) {
+		return &Error{Stage: c.stage, Resource: ResourceWallClock}
+	}
+	return nil
+}
+
+// Nodes enforces MaxGraphNodes against the given node count.
+func (c *Checker) Nodes(used int) error {
+	if c == nil || c.limits.MaxGraphNodes <= 0 || used <= c.limits.MaxGraphNodes {
+		return nil
+	}
+	return &Error{Stage: c.stage, Resource: ResourceGraphNodes,
+		Limit: int64(c.limits.MaxGraphNodes), Used: int64(used)}
+}
+
+// Edges enforces MaxClosureEdges against the given edge count.
+func (c *Checker) Edges(used int) error {
+	if c == nil || c.limits.MaxClosureEdges <= 0 || used <= c.limits.MaxClosureEdges {
+		return nil
+	}
+	return &Error{Stage: c.stage, Resource: ResourceClosureEdges,
+		Limit: int64(c.limits.MaxClosureEdges), Used: int64(used)}
+}
+
+// Sequences enforces MaxSequences against the given prefix count.
+func (c *Checker) Sequences(used int) error {
+	if c == nil || c.limits.MaxSequences <= 0 || used <= c.limits.MaxSequences {
+		return nil
+	}
+	return &Error{Stage: c.stage, Resource: ResourceSequences,
+		Limit: int64(c.limits.MaxSequences), Used: int64(used)}
+}
+
+// Elapsed returns the time since the checker was created (zero for a
+// nil checker).
+func (c *Checker) Elapsed() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.start)
+}

@@ -1,0 +1,159 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerNeverTrips(t *testing.T) {
+	var c *Checker
+	if c.Active() {
+		t.Fatal("nil checker active")
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := c.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Edges(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sequences(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCheckerUnlimitedIsNil(t *testing.T) {
+	if c := NewChecker(context.Background(), Limits{}); c != nil {
+		t.Fatal("background context with zero limits should yield a nil checker")
+	}
+	if c := NewChecker(nil, Limits{}); c != nil {
+		t.Fatal("nil context with zero limits should yield a nil checker")
+	}
+	if c := NewChecker(context.Background(), Limits{MaxGraphNodes: 5}); c == nil {
+		t.Fatal("node limit should yield an active checker")
+	}
+}
+
+func TestWallClockTrips(t *testing.T) {
+	c := NewChecker(context.Background(), Limits{Wall: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	c.SetStage("hot-loop")
+	err := c.CheckNow()
+	be, ok := AsError(err)
+	if !ok {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if be.Resource != ResourceWallClock || be.Stage != "hot-loop" {
+		t.Fatalf("got %+v", be)
+	}
+	if be.Canceled() {
+		t.Fatal("deadline expiry must not count as cancellation")
+	}
+}
+
+func TestRateLimitedCheckEventuallyTrips(t *testing.T) {
+	c := NewChecker(context.Background(), Limits{Wall: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	var err error
+	for i := 0; i < 4*checkInterval && err == nil; i++ {
+		err = c.Check()
+	}
+	if _, ok := AsError(err); !ok {
+		t.Fatalf("rate-limited Check never tripped: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewChecker(ctx, Limits{})
+	if c == nil {
+		t.Fatal("cancelable context should yield an active checker")
+	}
+	if err := c.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	be, ok := AsError(c.CheckNow())
+	if !ok || !be.Canceled() {
+		t.Fatalf("want canceled budget error, got %+v ok=%v", be, ok)
+	}
+	if !errors.Is(be, context.Canceled) {
+		t.Fatal("budget error should unwrap to context.Canceled")
+	}
+}
+
+func TestContextDeadlineCountsAsWallClock(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	c := NewChecker(ctx, Limits{})
+	be, ok := AsError(c.CheckNow())
+	if !ok || be.Resource != ResourceWallClock {
+		t.Fatalf("want wall-clock budget error, got %+v ok=%v", be, ok)
+	}
+	if be.Canceled() {
+		t.Fatal("deadline expiry must not count as cancellation")
+	}
+}
+
+func TestCountableResources(t *testing.T) {
+	c := NewChecker(context.Background(), Limits{MaxGraphNodes: 10, MaxClosureEdges: 20, MaxSequences: 3})
+	c.SetStage("s")
+	if err := c.Nodes(10); err != nil {
+		t.Fatal(err)
+	}
+	be, _ := AsError(c.Nodes(11))
+	if be == nil || be.Resource != ResourceGraphNodes || be.Limit != 10 || be.Used != 11 {
+		t.Fatalf("got %+v", be)
+	}
+	if err := c.Edges(20); err != nil {
+		t.Fatal(err)
+	}
+	if be, _ = AsError(c.Edges(21)); be == nil || be.Resource != ResourceClosureEdges {
+		t.Fatalf("got %+v", be)
+	}
+	if err := c.Sequences(3); err != nil {
+		t.Fatal(err)
+	}
+	if be, _ = AsError(c.Sequences(4)); be == nil || be.Resource != ResourceSequences {
+		t.Fatalf("got %+v", be)
+	}
+}
+
+func TestIsolateRecoversPanics(t *testing.T) {
+	err := Isolate("unit", func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Stage != "unit" || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("got %+v", pe)
+	}
+}
+
+func TestIsolatePreservesErrorPanics(t *testing.T) {
+	sentinel := errors.New("model invariant")
+	err := Isolate("unit", func() error { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error panic value should unwrap: %v", err)
+	}
+}
+
+func TestIsolatePassesThroughErrors(t *testing.T) {
+	sentinel := errors.New("plain")
+	if err := Isolate("unit", func() error { return sentinel }); err != sentinel {
+		t.Fatalf("got %v", err)
+	}
+	if err := Isolate("unit", func() error { return nil }); err != nil {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -3,16 +3,30 @@
 // happens-before computation (Figures 6–7), and race detection with
 // classification (§4.3). It is the single entry point the command-line
 // tools, the public API, and the evaluation harness share.
+//
+// The pipeline is hardened for adversarial inputs: AnalyzeContext
+// accepts a context and a Budget, polls them in every hot loop, recovers
+// panics into typed errors, and — when the full st/mt analysis exceeds
+// its budget — degrades to the linear pure-MT baseline detector so a
+// report is always produced.
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"droidracer/internal/baseline"
+	"droidracer/internal/budget"
 	"droidracer/internal/hb"
 	"droidracer/internal/race"
 	"droidracer/internal/semantics"
 	"droidracer/internal/trace"
 )
+
+// Budget bounds one analysis: wall-clock deadline, happens-before graph
+// size, closure work, and explorer sequences. The zero value means
+// unlimited. See the budget package for field semantics.
+type Budget = budget.Limits
 
 // Options configure one analysis.
 type Options struct {
@@ -27,15 +41,24 @@ type Options struct {
 	Validate bool
 	// DropCancelled removes cancelled posts before analysis (§4.2).
 	DropCancelled bool
+	// Budget bounds the analysis. The zero value means unlimited.
+	Budget Budget
+	// DegradeOnBudget falls back to the pure-MT baseline detector when
+	// the full analysis exhausts its budget, producing a Degraded result
+	// instead of an error. Explicit cancellation (context.Canceled) is
+	// never absorbed. When false, budget exhaustion returns the
+	// *budget.Error together with the partial Result built so far.
+	DegradeOnBudget bool
 }
 
 // DefaultOptions returns the configuration DroidRacer runs with.
 func DefaultOptions() Options {
 	return Options{
-		HB:            hb.DefaultConfig(),
-		Dedup:         true,
-		Validate:      true,
-		DropCancelled: true,
+		HB:              hb.DefaultConfig(),
+		Dedup:           true,
+		Validate:        true,
+		DropCancelled:   true,
+		DegradeOnBudget: true,
 	}
 }
 
@@ -43,22 +66,64 @@ func DefaultOptions() Options {
 type Result struct {
 	// Trace is the analyzed trace (after cancellation pruning).
 	Trace *trace.Trace
-	// Info carries the structural annotations.
+	// Info carries the structural annotations. Nil in degraded results
+	// when annotation itself was cut short.
 	Info *trace.Info
-	// Graph is the happens-before graph.
+	// Graph is the happens-before graph. Nil in degraded results: the
+	// full graph was abandoned when the budget tripped.
 	Graph *hb.Graph
-	// Races are the reported data races, classified.
+	// Races are the reported data races, classified. In degraded results
+	// they come from the pure-MT baseline: single-threaded races are
+	// missing and classification is limited to multithreaded/unknown.
 	Races []race.Race
 	// Stats are the Table 2 statistics of the trace.
 	Stats trace.Stats
+	// Degraded reports that the full analysis exceeded its budget and
+	// the races come from the baseline fallback detector.
+	Degraded bool
+	// DegradedReason is the budget error that forced the fallback, nil
+	// for full results.
+	DegradedReason error
 }
 
-// Analyze runs the full pipeline on tr.
+// Analyze runs the full pipeline on tr without a deadline. See
+// AnalyzeContext for budgeted analysis.
 func Analyze(tr *trace.Trace, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), tr, opts)
+}
+
+// AnalyzeContext runs the pipeline under ctx and opts.Budget. Outcomes:
+//
+//   - Within budget: a full Result, nil error.
+//   - Budget exhausted, opts.DegradeOnBudget: a Degraded Result backed
+//     by the pure-MT baseline detector, nil error.
+//   - Budget exhausted otherwise: the partial Result built so far (its
+//     Graph may be nil or under-closed) and a *budget.Error.
+//   - ctx canceled: partial Result and a *budget.Error with
+//     Canceled() == true — never absorbed by degradation.
+//   - Panic in the pipeline or the app model: a *budget.PanicError.
+//   - Invalid trace: a plain validation error, as before.
+func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (res *Result, err error) {
+	ierr := budget.Isolate("core.Analyze", func() error {
+		res, err = analyze(ctx, tr, opts)
+		return nil
+	})
+	if ierr != nil {
+		return nil, ierr
+	}
+	return res, err
+}
+
+func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error) {
+	ck := budget.NewChecker(ctx, opts.Budget)
 	if opts.DropCancelled {
 		tr = tr.WithoutCancelled()
 	}
+	ck.SetStage("validate")
 	if opts.Validate {
+		if err := ck.CheckNow(); err != nil {
+			return degradeOrErr(tr, nil, opts, ck, err)
+		}
 		if i, err := semantics.ValidateInferred(tr); err != nil {
 			return nil, fmt.Errorf("core: trace is not a valid execution (op %d): %w", i, err)
 		}
@@ -67,19 +132,69 @@ func Analyze(tr *trace.Trace, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	g := hb.Build(info, opts.HB)
+	ck.SetStage("happens-before")
+	g, err := hb.BuildBudgeted(info, opts.HB, ck)
+	if err != nil {
+		res := &Result{Trace: tr, Info: info, Graph: g, Stats: trace.ComputeStats(tr, nil)}
+		return degradeOrErr(tr, res, opts, ck, err)
+	}
+	ck.SetStage("race-scan")
 	d := race.NewDetector(g)
 	var races []race.Race
 	if opts.Dedup {
-		races = d.DetectDeduped()
+		races, err = d.DetectDedupedBudgeted(ck)
 	} else {
-		races = d.Detect()
+		races, err = d.DetectBudgeted(ck)
 	}
-	return &Result{
+	res := &Result{
 		Trace: tr,
 		Info:  info,
 		Graph: g,
 		Races: races,
 		Stats: trace.ComputeStats(tr, nil),
-	}, nil
+	}
+	if err != nil {
+		return degradeOrErr(tr, res, opts, ck, err)
+	}
+	return res, nil
+}
+
+// degradeOrErr decides what an exhausted budget becomes: a degraded
+// baseline-backed result, or the partial result plus the budget error.
+// Explicit cancellation always propagates.
+func degradeOrErr(tr *trace.Trace, partial *Result, opts Options, ck *budget.Checker, err error) (*Result, error) {
+	if be, ok := budget.AsError(err); ok && opts.DegradeOnBudget && !be.Canceled() {
+		return degrade(tr, partial, err), nil
+	}
+	return partial, err
+}
+
+// degrade produces the fallback result: races from the linear pure-MT
+// baseline detector, which needs no happens-before graph and no budget.
+func degrade(tr *trace.Trace, partial *Result, reason error) *Result {
+	res := partial
+	if res == nil {
+		res = &Result{Trace: tr, Stats: trace.ComputeStats(tr, nil)}
+	}
+	res.Graph = nil
+	res.Races = racesFromFindings(tr, baseline.NewPureMT().Detect(tr))
+	res.Degraded = true
+	res.DegradedReason = reason
+	return res
+}
+
+// racesFromFindings converts baseline findings into the report's race
+// representation. Baseline detectors have no post-chain information, so
+// classification is limited: accesses on two threads are multithreaded,
+// anything else is unknown.
+func racesFromFindings(tr *trace.Trace, fs []baseline.Finding) []race.Race {
+	races := make([]race.Race, 0, len(fs))
+	for _, f := range fs {
+		cat := race.Unknown
+		if tr.Op(f.First).Thread != tr.Op(f.Second).Thread {
+			cat = race.Multithreaded
+		}
+		races = append(races, race.Race{First: f.First, Second: f.Second, Loc: f.Loc, Category: cat})
+	}
+	return races
 }

@@ -13,6 +13,7 @@ import (
 
 	"droidracer/internal/android"
 	"droidracer/internal/apps"
+	"droidracer/internal/budget"
 	"droidracer/internal/explorer"
 	"droidracer/internal/hb"
 	"droidracer/internal/race"
@@ -154,6 +155,39 @@ func RunAll(list []apps.App) ([]*AppResult, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// AppFailure records one application model that failed evaluation:
+// RunAllIsolated keeps going past it instead of aborting the batch.
+type AppFailure struct {
+	// App names the failed application model.
+	App string
+	// Err is the failure, with panics recovered as *budget.PanicError
+	// (typed causes such as *android.ModelError remain reachable via
+	// errors.As).
+	Err error
+}
+
+// RunAllIsolated evaluates every given app, isolating each behind a
+// panic boundary: one broken app model fails its own row, not the whole
+// batch. Results and failures are returned in input order.
+func RunAllIsolated(list []apps.App) ([]*AppResult, []AppFailure) {
+	out := make([]*AppResult, 0, len(list))
+	var failures []AppFailure
+	for _, app := range list {
+		var r *AppResult
+		err := budget.Isolate("eval: "+app.Name(), func() error {
+			var err error
+			r, err = RunApp(app)
+			return err
+		})
+		if err != nil {
+			failures = append(failures, AppFailure{App: app.Name(), Err: err})
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, failures
 }
 
 // Overhead measures the trace-generation slowdown (§6: "Trace generation

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/budget"
+	"droidracer/internal/explorer"
+)
+
+// brokenApp panics during registration — the worst-behaved app model a
+// batch evaluation can meet.
+type brokenApp struct{ apps.App }
+
+func (brokenApp) Name() string              { return "Broken" }
+func (brokenApp) LOC() int                  { return 0 }
+func (brokenApp) Proprietary() bool         { return false }
+func (brokenApp) MainActivity() string      { return "Main" }
+func (brokenApp) Options() android.Options  { return android.DefaultOptions() }
+func (brokenApp) Explore() explorer.Options { return explorer.Options{MaxEvents: 1} }
+func (brokenApp) Register(e *android.Env)   { panic("broken app model") }
+func (brokenApp) GroundTruth() []apps.SeededRace {
+	return nil
+}
+
+// TestRunAllIsolatedSurvivesBrokenApp asserts one panicking app model
+// fails its own row while the rest of the batch completes.
+func TestRunAllIsolatedSurvivesBrokenApp(t *testing.T) {
+	good := apps.NewPaperMusicPlayer()
+	results, failures := RunAllIsolated([]apps.App{brokenApp{}, good})
+	if len(results) != 1 || results[0].App.Name() != good.Name() {
+		t.Fatalf("results = %v", results)
+	}
+	if len(failures) != 1 || failures[0].App != "Broken" {
+		t.Fatalf("failures = %v", failures)
+	}
+	var pe *budget.PanicError
+	if !errors.As(failures[0].Err, &pe) {
+		t.Fatalf("want recovered panic, got %v", failures[0].Err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack missing")
+	}
+}

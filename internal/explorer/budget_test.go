@@ -1,0 +1,198 @@
+package explorer_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/budget"
+	"droidracer/internal/explorer"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// slowButtonFactory builds an app whose single button posts a long chain
+// of follow-up tasks, so each explored sequence takes many scheduler
+// steps — enough work for a wall-clock budget to interrupt mid-run.
+func slowButtonFactory() explorer.AppFactory {
+	return func(seed int64) (*android.Env, error) {
+		opts := android.DefaultOptions()
+		opts.Seed = seed
+		e := android.NewEnv(opts)
+		e.RegisterActivity("Main", func() android.Activity { return &slowAct{} })
+		if err := e.Launch("Main"); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+}
+
+type slowAct struct {
+	android.BaseActivity
+}
+
+func (a *slowAct) OnCreate(c *android.Ctx) {
+	c.AddButton("go", true, func(c *android.Ctx) {
+		for i := 0; i < 200; i++ {
+			c.Write("busy")
+			c.Read("busy")
+		}
+	})
+	c.AddButton("other", true, func(c *android.Ctx) { c.Write("other") })
+}
+
+// TestExploreSequenceBudget asserts MaxSequences stops the DFS with the
+// tests recorded so far and a typed budget error.
+func TestExploreSequenceBudget(t *testing.T) {
+	res, err := explorer.Explore(twoButtonFactory(), explorer.Options{
+		MaxEvents: 2,
+		Budget:    budget.Limits{MaxSequences: 3},
+	})
+	be, ok := budget.AsError(err)
+	if !ok || be.Resource != budget.ResourceSequences {
+		t.Fatalf("want sequences budget error, got %v", err)
+	}
+	if res == nil || res.SequencesExplored != 3 {
+		t.Fatalf("partial result = %+v", res)
+	}
+}
+
+// TestExploreDeadline asserts a short wall-clock budget interrupts the
+// exploration promptly, returning the partial result.
+func TestExploreDeadline(t *testing.T) {
+	start := time.Now()
+	res, err := explorer.Explore(slowButtonFactory(), explorer.Options{
+		MaxEvents: 8,
+		Budget:    budget.Limits{Wall: 30 * time.Millisecond},
+	})
+	elapsed := time.Since(start)
+	be, ok := budget.AsError(err)
+	if !ok || be.Resource != budget.ResourceWallClock {
+		t.Fatalf("want wall-clock budget error, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+	if elapsed > time.Second {
+		t.Fatalf("exploration ran %v past a 30ms budget", elapsed)
+	}
+}
+
+// TestExploreCancellation asserts a canceled context stops exploration
+// with a Canceled budget error.
+func TestExploreCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := explorer.ExploreContext(ctx, twoButtonFactory(), explorer.Options{MaxEvents: 2})
+	be, ok := budget.AsError(err)
+	if !ok || !be.Canceled() {
+		t.Fatalf("want canceled budget error, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+}
+
+// TestExploreUnbudgetedUnchanged asserts the unbudgeted DFS still
+// enumerates the full tree (guards against budget plumbing changing
+// exploration order or coverage).
+func TestExploreUnbudgetedUnchanged(t *testing.T) {
+	res, err := explorer.Explore(twoButtonFactory(), explorer.Options{MaxEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tests) != 7 {
+		t.Fatalf("tests = %d, want 7", len(res.Tests))
+	}
+}
+
+// firstAccess returns the trace index of the first memory access.
+func firstAccess(t *testing.T, tr *trace.Trace) int {
+	t.Helper()
+	for i, op := range tr.Ops() {
+		if op.Kind.IsAccess() {
+			return i
+		}
+	}
+	t.Fatal("trace has no accesses")
+	return -1
+}
+
+// TestVerifyRaceWithRetrySeedBlocks asserts retry rounds use disjoint
+// seed blocks with deterministic, seeded backoff, and that the injected
+// sleeper observes the expected number of pauses.
+func TestVerifyRaceWithRetrySeedBlocks(t *testing.T) {
+	app := apps.NewPaperMusicPlayer()
+	factory := apps.Factory(app)
+	tr, err := explorer.Replay(factory, 0, []android.UIEvent{{Kind: android.EvBack}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A self-ordered pair (First == Second access on one task) can never
+	// verify, forcing every round to run dry: both ends of the "race"
+	// are the same access, so the opposite order never appears.
+	fake := race.Race{First: firstAccess(t, tr), Second: firstAccess(t, tr)}
+	var sleeps []time.Duration
+	policy := explorer.RetryPolicy{
+		Retries:          2,
+		AttemptsPerRound: 3,
+		BaseBackoff:      time.Millisecond,
+		Seed:             7,
+		Sleep:            func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	v, err := explorer.VerifyRaceWithRetry(factory, []android.UIEvent{{Kind: android.EvBack}}, info, fake, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Confirmed {
+		t.Fatal("degenerate race cannot be confirmed")
+	}
+	if v.Rounds != 3 || v.Attempts != 9 {
+		t.Fatalf("rounds=%d attempts=%d, want 3/9", v.Rounds, v.Attempts)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 backoff pauses", sleeps)
+	}
+	if sleeps[0] < time.Millisecond || sleeps[1] < 2*time.Millisecond {
+		t.Fatalf("backoff did not grow: %v", sleeps)
+	}
+	// Deterministic: the same policy seed reproduces identical pauses.
+	var again []time.Duration
+	policy.Sleep = func(d time.Duration) { again = append(again, d) }
+	if _, err := explorer.VerifyRaceWithRetry(factory, []android.UIEvent{{Kind: android.EvBack}}, info, fake, policy); err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 || again[0] != sleeps[0] || again[1] != sleeps[1] {
+		t.Fatalf("backoff not deterministic: %v vs %v", again, sleeps)
+	}
+}
+
+// TestVerifyRaceCompatWrapper asserts the legacy VerifyRace entry point
+// still behaves as a single round.
+func TestVerifyRaceCompatWrapper(t *testing.T) {
+	app := apps.NewPaperMusicPlayer()
+	factory := apps.Factory(app)
+	tr, err := explorer.Replay(factory, 0, []android.UIEvent{{Kind: android.EvBack}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := race.Race{First: firstAccess(t, tr), Second: firstAccess(t, tr)}
+	v, err := explorer.VerifyRace(factory, []android.UIEvent{{Kind: android.EvBack}}, info, fake, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rounds != 1 || v.Attempts != 4 {
+		t.Fatalf("rounds=%d attempts=%d, want 1/4", v.Rounds, v.Attempts)
+	}
+}

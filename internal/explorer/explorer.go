@@ -13,9 +13,12 @@
 package explorer
 
 import (
+	"context"
 	"fmt"
 
 	"droidracer/internal/android"
+	"droidracer/internal/budget"
+	"droidracer/internal/sched"
 	"droidracer/internal/trace"
 )
 
@@ -35,6 +38,10 @@ type Options struct {
 	// RecordAll records a test for every explored prefix instead of only
 	// maximal sequences.
 	RecordAll bool
+	// Budget bounds the exploration: Wall caps total wall-clock time and
+	// MaxSequences caps the number of prefixes executed. The zero value
+	// means unlimited.
+	Budget budget.Limits
 }
 
 // Test is one explored event sequence and the trace its execution
@@ -75,18 +82,48 @@ type Result struct {
 // Explore systematically enumerates event sequences of length up to
 // opts.MaxEvents in depth-first order, recording a test per maximal
 // sequence (or per prefix with RecordAll). Backtracking replays the prefix
-// on a fresh environment, relying on deterministic scheduling.
+// on a fresh environment, relying on deterministic scheduling. See
+// ExploreContext for budgeted exploration.
 func Explore(factory AppFactory, opts Options) (*Result, error) {
+	return ExploreContext(context.Background(), factory, opts)
+}
+
+// ExploreContext is Explore under ctx and opts.Budget. The budget is
+// polled at every DFS node and — when a wall-clock deadline or context
+// is in play — between scheduler quanta inside each run, so a hung or
+// long-running app model cannot stall the explorer. On a trip the tests
+// recorded so far are returned together with a *budget.Error; a panic in
+// the app model surfaces as a *budget.PanicError.
+func ExploreContext(ctx context.Context, factory AppFactory, opts Options) (res *Result, err error) {
+	ierr := budget.Isolate("explorer.Explore", func() error {
+		res, err = explore(ctx, factory, opts)
+		return nil
+	})
+	if ierr != nil {
+		return nil, ierr
+	}
+	return res, err
+}
+
+func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, error) {
 	if opts.MaxEvents < 0 {
 		return nil, fmt.Errorf("explorer: negative event bound")
 	}
+	ck := budget.NewChecker(ctx, opts.Budget)
+	ck.SetStage("explore")
 	res := &Result{}
 	var dfs func(prefix []android.UIEvent) error
 	dfs = func(prefix []android.UIEvent) error {
 		if opts.MaxTests > 0 && len(res.Tests) >= opts.MaxTests {
 			return nil
 		}
-		env, enabled, err := runPrefix(factory, opts.Seed, prefix, res)
+		if err := ck.CheckNow(); err != nil {
+			return err
+		}
+		if err := ck.Sequences(res.SequencesExplored + 1); err != nil {
+			return err
+		}
+		env, enabled, err := runPrefix(factory, opts.Seed, prefix, res, ck)
 		if err != nil {
 			return err
 		}
@@ -119,21 +156,48 @@ func Explore(factory AppFactory, opts Options) (*Result, error) {
 		return nil
 	}
 	if err := dfs(nil); err != nil {
-		return nil, err
+		return res, err
 	}
 	return res, nil
+}
+
+// runQuanta is the scheduler step quantum between budget polls of a
+// budgeted run. Small enough that a 50 ms deadline is honored within a
+// couple of quanta even on slow app models.
+const runQuanta = 512
+
+// runAll drives env to quiescence. Without an active checker it is a
+// single uninterruptible env.Run; with one it runs in quanta, polling
+// the budget between them so deadlines interrupt even a single long run.
+func runAll(env *android.Env, ck *budget.Checker) error {
+	if !ck.Active() {
+		return env.Run()
+	}
+	for {
+		if err := ck.CheckNow(); err != nil {
+			return err
+		}
+		st, err := env.RunSteps(runQuanta)
+		if err != nil {
+			return err
+		}
+		if st != sched.Paused {
+			return nil
+		}
+	}
 }
 
 // runPrefix builds a fresh environment and replays the event prefix,
 // returning the environment at quiescence together with the events enabled
 // there. Replay divergence (an event from the stored sequence no longer
 // enabled) is an error.
-func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Result) (*android.Env, []android.UIEvent, error) {
+func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Result, ck *budget.Checker) (*android.Env, []android.UIEvent, error) {
 	env, err := factory(seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := env.Run(); err != nil {
+	if err := runAll(env, ck); err != nil {
+		env.Close()
 		return nil, nil, fmt.Errorf("explorer: initial run: %w", err)
 	}
 	for i, ev := range prefix {
@@ -148,7 +212,8 @@ func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Re
 		if res != nil {
 			res.EventsFired++
 		}
-		if err := env.Run(); err != nil {
+		if err := runAll(env, ck); err != nil {
+			env.Close()
 			return nil, nil, fmt.Errorf("explorer: replay step %d run: %w", i, err)
 		}
 	}
@@ -158,7 +223,7 @@ func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Re
 // Replay re-executes a stored event sequence under the given seed and
 // returns the resulting trace.
 func Replay(factory AppFactory, seed int64, sequence []android.UIEvent) (*trace.Trace, error) {
-	env, _, err := runPrefix(factory, seed, sequence, nil)
+	env, _, err := runPrefix(factory, seed, sequence, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package explorer
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"droidracer/internal/android"
 	"droidracer/internal/race"
@@ -35,6 +36,41 @@ type Verification struct {
 	Seed int64
 	// Attempts counts the replays executed.
 	Attempts int
+	// Rounds counts the retry rounds executed (1 without retries).
+	Rounds int
+}
+
+// RetryPolicy bounds the retry-with-backoff wrapper around reorder
+// replay. Verification is inherently nondeterministic — a schedule may
+// deadlock, diverge, or simply not hit the window — so one round of
+// seeds is not conclusive; retrying with fresh seed blocks and backoff
+// between rounds trades time for confidence deterministically.
+type RetryPolicy struct {
+	// Retries is the number of additional rounds after the first (0 =
+	// a single round, the plain VerifyRace behavior).
+	Retries int
+	// AttemptsPerRound is the number of scheduling seeds tried per
+	// round.
+	AttemptsPerRound int
+	// BaseBackoff is the pause before the second round; it doubles each
+	// round, jittered by up to 50% from the seeded generator so retry
+	// timing is reproducible.
+	BaseBackoff time.Duration
+	// Seed seeds the backoff jitter.
+	Seed int64
+	// Sleep pauses between rounds; nil means time.Sleep. Tests inject a
+	// recorder here.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy retries twice with 10 ms initial backoff.
+func DefaultRetryPolicy(attemptsPerRound int) RetryPolicy {
+	return RetryPolicy{
+		Retries:          2,
+		AttemptsPerRound: attemptsPerRound,
+		BaseBackoff:      10 * time.Millisecond,
+		Seed:             1,
+	}
 }
 
 // VerifyRace re-executes sequence under varying schedules and event
@@ -46,6 +82,21 @@ type Verification struct {
 // stall-threads-with-the-debugger procedure becomes mid-run event
 // injection under alternate scheduler seeds.
 func VerifyRace(factory AppFactory, sequence []android.UIEvent, origInfo *trace.Info, r race.Race, maxAttempts int) (Verification, error) {
+	return VerifyRaceWithRetry(factory, sequence, origInfo, r,
+		RetryPolicy{AttemptsPerRound: maxAttempts})
+}
+
+// VerifyRaceWithRetry is VerifyRace with bounded retry: each round tries
+// policy.AttemptsPerRound fresh scheduling seeds (round n uses seeds
+// n·AttemptsPerRound+1 … (n+1)·AttemptsPerRound, so no seed repeats),
+// backing off between rounds per the policy. It stops at the first
+// confirming replay. Errors computing the access identities are
+// permanent and returned immediately; per-replay failures (divergence,
+// deadlocked schedule) only consume the attempt.
+func VerifyRaceWithRetry(factory AppFactory, sequence []android.UIEvent, origInfo *trace.Info, r race.Race, policy RetryPolicy) (Verification, error) {
+	if policy.AttemptsPerRound <= 0 {
+		return Verification{}, fmt.Errorf("explorer: verify: non-positive attempts per round")
+	}
 	idA, err := IdentifyAccess(origInfo, r.First)
 	if err != nil {
 		return Verification{}, err
@@ -54,8 +105,33 @@ func VerifyRace(factory AppFactory, sequence []android.UIEvent, origInfo *trace.
 	if err != nil {
 		return Verification{}, err
 	}
+	sleep := policy.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(policy.Seed))
+	backoff := policy.BaseBackoff
 	v := Verification{}
-	for seed := int64(1); seed <= int64(maxAttempts); seed++ {
+	for round := 0; round <= policy.Retries; round++ {
+		if round > 0 && backoff > 0 {
+			// Jitter by up to 50%, deterministically from the policy seed.
+			sleep(backoff + time.Duration(rng.Int63n(int64(backoff)/2+1)))
+			backoff *= 2
+		}
+		v.Rounds++
+		firstSeed := int64(round)*int64(policy.AttemptsPerRound) + 1
+		if verifyRange(factory, sequence, idA, idB, firstSeed, policy.AttemptsPerRound, &v) {
+			return v, nil
+		}
+	}
+	return v, nil
+}
+
+// verifyRange tries the attempts scheduling seeds starting at firstSeed,
+// recording attempts into v and reporting whether one confirmed the
+// reorder.
+func verifyRange(factory AppFactory, sequence []android.UIEvent, idA, idB AccessID, firstSeed int64, attempts int, v *Verification) bool {
+	for seed := firstSeed; seed < firstSeed+int64(attempts); seed++ {
 		v.Attempts++
 		tr, err := replayJittered(factory, seed, sequence)
 		if err != nil {
@@ -76,10 +152,10 @@ func VerifyRace(factory AppFactory, sequence []android.UIEvent, origInfo *trace.
 		if b < a {
 			v.Confirmed = true
 			v.Seed = seed
-			return v, nil
+			return true
 		}
 	}
-	return v, nil
+	return false
 }
 
 // replayJittered re-executes an event sequence firing each event after a

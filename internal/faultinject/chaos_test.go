@@ -1,0 +1,207 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"droidracer/internal/android"
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/paper"
+	"droidracer/internal/trace"
+)
+
+// figure3Lines renders the paper's Figure 3 trace to its textual lines,
+// the base input every corruption operator mutates.
+func figure3Lines(t *testing.T) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Format(&buf, paper.Figure3()); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+}
+
+// TestChaosOperatorsThroughPipeline feeds every corruption operator,
+// under several seeds, through parse + analysis with a tight budget.
+// Each run must end in a structured error or a report (possibly
+// degraded) — never a panic, never a hang.
+func TestChaosOperatorsThroughPipeline(t *testing.T) {
+	lines := figure3Lines(t)
+	opts := core.DefaultOptions()
+	opts.Budget = core.Budget{Wall: 2 * time.Second}
+	for _, op := range faultinject.Operators() {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 20; seed++ {
+				corrupted := op.Apply(lines, rand.New(rand.NewSource(seed)))
+				text := strings.Join(corrupted, "\n")
+				tr, err := trace.Parse(strings.NewReader(text))
+				if err != nil {
+					if err.Error() == "" {
+						t.Fatalf("seed %d: empty parse error", seed)
+					}
+					continue // structured parse error: acceptable outcome
+				}
+				res, err := core.Analyze(tr, opts)
+				if err != nil {
+					if err.Error() == "" {
+						t.Fatalf("seed %d: empty analysis error", seed)
+					}
+					continue // structured analysis error: acceptable outcome
+				}
+				if res == nil {
+					t.Fatalf("seed %d: nil result without error", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestMutateTextNeverCrashesParse drives MutateText over many seeds and
+// asserts the parser survives every mutation.
+func TestMutateTextNeverCrashesParse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.Format(&buf, paper.Figure4()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for seed := int64(0); seed < 200; seed++ {
+		mutated := faultinject.MutateText(data, seed)
+		if _, err := trace.Parse(bytes.NewReader(mutated)); err != nil && err.Error() == "" {
+			t.Fatalf("seed %d: empty parse error", seed)
+		}
+	}
+}
+
+// chaosApp is a minimal activity whose button touches shared state.
+type chaosApp struct{ android.BaseActivity }
+
+func (a *chaosApp) OnCreate(c *android.Ctx) {
+	c.AddButton("go", true, func(c *android.Ctx) { c.Write("pressed") })
+}
+
+func chaosEnv(hook func(step int, op trace.Op) error) *android.Env {
+	opts := android.DefaultOptions()
+	opts.FaultHook = hook
+	e := android.NewEnv(opts)
+	e.RegisterActivity("Main", func() android.Activity { return &chaosApp{} })
+	return e
+}
+
+// TestSchedulerFaultHookError injects an error mid-run and asserts it
+// surfaces as the run's error with the cause preserved.
+func TestSchedulerFaultHookError(t *testing.T) {
+	cause := errors.New("injected io failure")
+	e := chaosEnv(faultinject.FailAt(5, cause))
+	defer e.Close()
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run()
+	if err == nil {
+		t.Fatal("injected fault did not fail the run")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+// TestSchedulerFaultHookPanic injects a panic mid-run and asserts the
+// scheduler recovers it into a structured error, including typed
+// *android.ModelError values.
+func TestSchedulerFaultHookPanic(t *testing.T) {
+	modelErr := &android.ModelError{Component: "chaos", Op: "hook", Err: errors.New("boom")}
+	e := chaosEnv(faultinject.PanicAt(5, modelErr))
+	defer e.Close()
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run()
+	if err == nil {
+		t.Fatal("injected panic did not fail the run")
+	}
+	var me *android.ModelError
+	if !errors.As(err, &me) {
+		t.Fatalf("ModelError lost through recovery: %v", err)
+	}
+}
+
+// TestModelErrorSurfacesFromApp asserts a broken app model (starting an
+// unregistered activity) fails its run with a typed ModelError instead
+// of crashing the process.
+func TestModelErrorSurfacesFromApp(t *testing.T) {
+	opts := android.DefaultOptions()
+	e := android.NewEnv(opts)
+	defer e.Close()
+	e.RegisterActivity("Main", func() android.Activity { return &badApp{} })
+	if err := e.Launch("Main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		checkModelError(t, err)
+		return
+	}
+	// The bad StartActivity fires from a button press.
+	if err := e.Fire(android.UIEvent{Kind: android.EvClick, Widget: "bad"}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run()
+	if err == nil {
+		t.Fatal("unregistered activity did not fail the run")
+	}
+	checkModelError(t, err)
+}
+
+func checkModelError(t *testing.T, err error) {
+	t.Helper()
+	var me *android.ModelError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *android.ModelError in chain, got %v", err)
+	}
+	if me.Op != "StartActivity" {
+		t.Fatalf("got %+v", me)
+	}
+}
+
+type badApp struct{ android.BaseActivity }
+
+func (a *badApp) OnCreate(c *android.Ctx) {
+	c.AddButton("bad", true, func(c *android.Ctx) { c.StartActivity("no-such-activity") })
+}
+
+// TestFaultHookStepsAreDeterministic asserts the same hook position
+// fails at the same operation across runs, the property replayable
+// chaos tests rely on.
+func TestFaultHookStepsAreDeterministic(t *testing.T) {
+	cause := errors.New("probe")
+	run := func() string {
+		var at trace.Op
+		hook := func(step int, op trace.Op) error {
+			if step == 7 {
+				at = op
+				return cause
+			}
+			return nil
+		}
+		e := chaosEnv(hook)
+		defer e.Close()
+		if err := e.Launch("Main"); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(); !errors.Is(err, cause) {
+			t.Fatalf("fault not injected: %v", err)
+		}
+		return at.String()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic fault site: %q vs %q", got, first)
+		}
+	}
+}

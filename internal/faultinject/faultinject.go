@@ -1,0 +1,170 @@
+// Package faultinject is the fault-injection harness of the hardened
+// pipeline: deterministic corruption operators over textual traces and
+// scheduler-level fault hooks, used by chaos tests to assert that the
+// analysis degrades with a structured error or report — never a process
+// crash — on adversarial input.
+//
+// Trace operators work on the textual format so they model the faults a
+// real trace-collection pipeline produces: truncated uploads, dropped
+// and duplicated log records, reordered buffers, corrupted thread IDs.
+// Scheduler hooks model faults inside a run of the simulated
+// environment itself (see sched.Options.FaultHook).
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"droidracer/internal/trace"
+)
+
+// Operator is one deterministic corruption of a textual trace. Apply
+// must be a pure function of its inputs: the same lines and seed always
+// produce the same corruption, so chaos-test failures replay exactly.
+type Operator struct {
+	// Name identifies the operator in test output.
+	Name string
+	// Apply returns the corrupted lines. It must not modify its input.
+	Apply func(lines []string, rng *rand.Rand) []string
+}
+
+// Operators returns every corruption operator, in a fixed order.
+func Operators() []Operator {
+	return []Operator{
+		{Name: "truncate", Apply: truncate},
+		{Name: "drop-ops", Apply: dropOps},
+		{Name: "duplicate-ops", Apply: duplicateOps},
+		{Name: "swap-adjacent", Apply: swapAdjacent},
+		{Name: "scramble-threads", Apply: scrambleThreads},
+		{Name: "garble-bytes", Apply: garbleBytes},
+	}
+}
+
+// truncate cuts the trace at a random line, modeling an interrupted
+// upload. The cut can fall mid-line, leaving a syntactically broken
+// final record.
+func truncate(lines []string, rng *rand.Rand) []string {
+	if len(lines) == 0 {
+		return nil
+	}
+	out := append([]string(nil), lines[:rng.Intn(len(lines))]...)
+	if len(out) > 0 && rng.Intn(2) == 0 {
+		last := out[len(out)-1]
+		out[len(out)-1] = last[:rng.Intn(len(last)+1)]
+	}
+	return out
+}
+
+// dropOps removes a random ~20% of the lines, modeling lost records.
+func dropOps(lines []string, rng *rand.Rand) []string {
+	var out []string
+	for _, l := range lines {
+		if rng.Intn(5) == 0 {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// duplicateOps repeats a random ~20% of the lines in place, modeling
+// re-delivered records (duplicate posts and begins included).
+func duplicateOps(lines []string, rng *rand.Rand) []string {
+	var out []string
+	for _, l := range lines {
+		out = append(out, l)
+		if rng.Intn(5) == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// swapAdjacent exchanges random adjacent pairs, modeling reordered
+// buffers; the result usually violates the execution semantics (begin
+// before post, FIFO inversions).
+func swapAdjacent(lines []string, rng *rand.Rand) []string {
+	out := append([]string(nil), lines...)
+	for i := 0; i+1 < len(out); i++ {
+		if rng.Intn(4) == 0 {
+			out[i], out[i+1] = out[i+1], out[i]
+		}
+	}
+	return out
+}
+
+// scrambleThreads rewrites random thread IDs, producing out-of-range and
+// mismatched thread references.
+func scrambleThreads(lines []string, rng *rand.Rand) []string {
+	out := append([]string(nil), lines...)
+	for i, l := range out {
+		if rng.Intn(4) != 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			out[i] = strings.Replace(l, "(t", fmt.Sprintf("(t%d", rng.Intn(1000)), 1)
+		case 1:
+			out[i] = strings.Replace(l, "(t", "(t-", 1)
+		default:
+			out[i] = strings.Replace(l, "(t", "(t99999999999999999999", 1)
+		}
+	}
+	return out
+}
+
+// garbleBytes overwrites random bytes of random lines, modeling storage
+// corruption.
+func garbleBytes(lines []string, rng *rand.Rand) []string {
+	out := append([]string(nil), lines...)
+	for i, l := range out {
+		if rng.Intn(4) != 0 || l == "" {
+			continue
+		}
+		b := []byte(l)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// MutateText applies the seed-selected operator to textual trace data
+// and returns the corrupted text. It is the entry point fuzz drivers
+// use to derive corrupt variants of valid traces.
+func MutateText(data []byte, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	ops := Operators()
+	op := ops[rng.Intn(len(ops))]
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	out := op.Apply(lines, rng)
+	if len(out) == 0 {
+		return nil
+	}
+	return []byte(strings.Join(out, "\n") + "\n")
+}
+
+// FailAt returns a scheduler fault hook that injects an error at the
+// n-th scheduling point (see sched.Options.FaultHook): the run fails
+// with the returned cause in its error chain.
+func FailAt(n int, cause error) func(step int, op trace.Op) error {
+	return func(step int, op trace.Op) error {
+		if step == n {
+			return cause
+		}
+		return nil
+	}
+}
+
+// PanicAt returns a scheduler fault hook that panics with value at the
+// n-th scheduling point, exercising the scheduler's panic recovery.
+func PanicAt(n int, value any) func(step int, op trace.Op) error {
+	return func(step int, op trace.Op) error {
+		if step == n {
+			panic(value)
+		}
+		return nil
+	}
+}

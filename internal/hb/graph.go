@@ -21,6 +21,7 @@ package hb
 
 import (
 	"droidracer/internal/bitset"
+	"droidracer/internal/budget"
 	"droidracer/internal/trace"
 )
 
@@ -94,22 +95,91 @@ type Graph struct {
 	// a backward edge — possible only on traces that are not valid
 	// executions (e.g. a hand-written trace violating FIFO dispatch).
 	skipped int
+
+	// edges counts recorded ≼ pairs; the budget checker compares it
+	// against Limits.MaxClosureEdges during construction.
+	edges int
+
+	// Budget enforcement during Build; both are nil/zero afterwards on
+	// the unbudgeted path.
+	ck       *budget.Checker
+	buildErr error
 }
 
 // Build computes the happens-before relation for the analyzed trace.
 func Build(info *trace.Info, cfg Config) *Graph {
-	g := &Graph{cfg: cfg, info: info}
+	g, _ := BuildBudgeted(info, cfg, nil)
+	return g
+}
+
+// BuildBudgeted computes the happens-before relation under a budget: the
+// checker's wall clock and context are polled throughout construction,
+// MaxGraphNodes is enforced before the O(nodes²) reachability bitsets
+// are allocated (the primary OOM guard), and MaxClosureEdges bounds the
+// fixpoint. On a trip the partially closed graph built so far is
+// returned together with a *budget.Error; its relation is a sound
+// under-approximation of ≼, so reachability answers remain usable for
+// diagnostics, but race detection over it may report false positives —
+// callers should degrade instead (see core.AnalyzeContext). A nil
+// checker reproduces Build exactly.
+func BuildBudgeted(info *trace.Info, cfg Config, ck *budget.Checker) (*Graph, error) {
+	g := &Graph{cfg: cfg, info: info, ck: ck}
 	g.buildNodes()
 	n := len(g.nodes)
+	if err := ck.Nodes(n); err != nil {
+		g.buildErr = err
+	}
 	g.st = make([]*bitset.Set, n)
 	g.mt = make([]*bitset.Set, n)
 	for i := range g.nodes {
+		if !g.check() {
+			break
+		}
 		g.st[i] = bitset.New(n)
 		g.mt[i] = bitset.New(n)
 	}
-	g.addBaseEdges()
-	g.fixpoint()
-	return g
+	if g.buildErr == nil {
+		g.addBaseEdges()
+		g.fixpoint()
+	}
+	err := g.buildErr
+	g.ck, g.buildErr = nil, nil
+	if err != nil {
+		// Rows never allocated (budget tripped mid-allocation) share one
+		// empty set so the partial graph stays safe to query without
+		// paying the O(n²) allocation the budget just prevented. The
+		// graph is immutable after Build, so sharing is safe.
+		empty := bitset.New(n)
+		for i := range g.nodes {
+			if g.st[i] == nil {
+				g.st[i] = empty
+			}
+			if g.mt[i] == nil {
+				g.mt[i] = empty
+			}
+		}
+	}
+	return g, err
+}
+
+// check polls the budget during construction, recording the first trip
+// in buildErr. It reports whether construction may continue.
+func (g *Graph) check() bool {
+	if g.buildErr != nil {
+		return false
+	}
+	if g.ck == nil {
+		return true
+	}
+	if err := g.ck.Check(); err != nil {
+		g.buildErr = err
+		return false
+	}
+	if err := g.ck.Edges(g.edges); err != nil {
+		g.buildErr = err
+		return false
+	}
+	return true
 }
 
 // buildNodes partitions trace operations into graph nodes, merging
@@ -219,6 +289,7 @@ func (g *Graph) addST(a, b int) bool {
 		return false
 	}
 	g.st[a].Set(b)
+	g.edges++
 	return true
 }
 
@@ -236,5 +307,6 @@ func (g *Graph) addMT(a, b int) bool {
 		return false
 	}
 	g.mt[a].Set(b)
+	g.edges++
 	return true
 }

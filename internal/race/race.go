@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"droidracer/internal/budget"
 	"droidracer/internal/hb"
 	"droidracer/internal/trace"
 )
@@ -82,6 +83,16 @@ func NewDetector(g *hb.Graph) *Detector {
 // Detect returns every race witnessed in the trace, in order of (First,
 // Second). This is the paper's exhaustive offline analysis.
 func (d *Detector) Detect() []Race {
+	races, _ := d.DetectBudgeted(nil)
+	return races
+}
+
+// DetectBudgeted is Detect under a budget: the checker is polled once per
+// candidate access pair. On a trip the races found so far are returned
+// (sorted as usual) together with a *budget.Error; the partial list is
+// sound — every entry is a real race under the supplied graph — but may
+// miss races among unscanned pairs. A nil checker reproduces Detect.
+func (d *Detector) DetectBudgeted(ck *budget.Checker) ([]Race, error) {
 	tr := d.info.Trace()
 	byLoc := make(map[trace.Loc][]int)
 	for i, op := range tr.Ops() {
@@ -90,10 +101,16 @@ func (d *Detector) Detect() []Race {
 		}
 	}
 	var races []Race
+	var tripErr error
+scan:
 	for loc, accs := range byLoc {
 		for x := 0; x < len(accs); x++ {
 			a := accs[x]
 			for y := x + 1; y < len(accs); y++ {
+				if err := ck.Check(); err != nil {
+					tripErr = err
+					break scan
+				}
 				b := accs[y]
 				if !tr.Op(a).Conflicts(tr.Op(b)) {
 					continue
@@ -116,7 +133,7 @@ func (d *Detector) Detect() []Race {
 		}
 		return races[i].Second < races[j].Second
 	})
-	return races
+	return races, tripErr
 }
 
 // DetectDeduped returns one representative race per (location, category),
@@ -125,13 +142,21 @@ func (d *Detector) Detect() []Race {
 // one of them." The representative is the earliest by trace position, so
 // reports are deterministic.
 func (d *Detector) DetectDeduped() []Race {
+	races, _ := d.DetectDedupedBudgeted(nil)
+	return races
+}
+
+// DetectDedupedBudgeted is DetectDeduped under a budget; see
+// DetectBudgeted for partial-result semantics.
+func (d *Detector) DetectDedupedBudgeted(ck *budget.Checker) ([]Race, error) {
+	all, err := d.DetectBudgeted(ck)
 	type key struct {
 		loc trace.Loc
 		cat Category
 	}
 	seen := make(map[key]bool)
 	var out []Race
-	for _, r := range d.Detect() {
+	for _, r := range all {
 		k := key{r.Loc, r.Category}
 		if seen[k] {
 			continue
@@ -139,7 +164,7 @@ func (d *Detector) DetectDeduped() []Race {
 		seen[k] = true
 		out = append(out, r)
 	}
-	return out
+	return out, err
 }
 
 // Classify categorizes the race between the operations at trace indices a

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/race"
+)
+
+// Outcome is one analyzed trace's final state as the hardened pipeline
+// leaves it: a full result, a degraded result, a partial result with a
+// budget error, or a bare error. Every combination renders to a row —
+// the "always produce a report" guarantee at the reporting layer.
+type Outcome struct {
+	// Name labels the trace or app.
+	Name string
+	// Result is the analysis result; may be nil (hard failure) or
+	// partial (alongside a budget error).
+	Result *core.Result
+	// Err is the error the pipeline returned, nil on success.
+	Err error
+}
+
+// mode summarizes how the outcome's analysis ended.
+func (o Outcome) mode() string {
+	switch {
+	case o.Result != nil && o.Result.Degraded:
+		return "degraded"
+	case o.Err != nil && o.Result != nil:
+		return "partial"
+	case o.Err != nil:
+		return "error"
+	default:
+		return "full"
+	}
+}
+
+// detail renders the reason column: the budget resource, the panic
+// stage, or the error text.
+func (o Outcome) detail() string {
+	err := o.Err
+	if err == nil && o.Result != nil {
+		err = o.Result.DegradedReason
+	}
+	if err == nil {
+		return ""
+	}
+	var pe *budget.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Sprintf("panic in %s", pe.Stage)
+	}
+	if be, ok := budget.AsError(err); ok {
+		return fmt.Sprintf("budget: %s", be.Resource)
+	}
+	return err.Error()
+}
+
+// Pipeline renders one row per outcome: name, mode
+// (full/degraded/partial/error), race count, and the reason. Degraded
+// and partial rows keep their (baseline or incomplete) race counts, so
+// a budget-limited batch still yields a usable report.
+func Pipeline(outcomes []Outcome) string {
+	t := &table{header: []string{"Trace", "Mode", "Races", "Reason"}}
+	for _, o := range outcomes {
+		races := "-"
+		if o.Result != nil {
+			races = fmt.Sprintf("%d", len(o.Result.Races))
+		}
+		t.addRow(o.Name, o.mode(), races, o.detail())
+	}
+	return t.String()
+}
+
+// PipelineSummaries tallies race categories per outcome, skipping
+// outcomes without results.
+func PipelineSummaries(outcomes []Outcome) map[string]race.Summary {
+	m := make(map[string]race.Summary)
+	for _, o := range outcomes {
+		if o.Result == nil {
+			continue
+		}
+		m[o.Name] = race.Summarize(o.Result.Races)
+	}
+	return m
+}

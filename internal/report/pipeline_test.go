@@ -1,0 +1,98 @@
+package report_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/paper"
+	"droidracer/internal/report"
+	"droidracer/internal/trace"
+)
+
+// bigTrace builds a valid looper trace large enough to blow a short
+// deadline.
+func bigTrace(tasks int) *trace.Trace {
+	tr := &trace.Trace{}
+	tr.Append(trace.ThreadInit(1))
+	tr.Append(trace.AttachQ(1))
+	tr.Append(trace.LoopOnQ(1))
+	for i := 0; i < tasks; i++ {
+		task := trace.TaskID(fmt.Sprintf("T%d", i))
+		tr.Append(trace.Post(0, task, 1))
+		tr.Append(trace.Begin(1, task))
+		tr.Append(trace.Write(1, trace.Loc(fmt.Sprintf("s%d", i%64))))
+		tr.Append(trace.End(1, task))
+	}
+	return tr
+}
+
+// TestPipelineRoundTripsEveryOutcome runs the pipeline into each of its
+// four terminal states and asserts every one renders to a report row —
+// the partial-results-round-trip-through-report property.
+func TestPipelineRoundTripsEveryOutcome(t *testing.T) {
+	var outcomes []report.Outcome
+
+	// Full analysis.
+	full, err := core.Analyze(paper.Figure4(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes = append(outcomes, report.Outcome{Name: "figure4-full", Result: full, Err: nil})
+
+	// Degraded analysis.
+	opts := core.DefaultOptions()
+	opts.Budget = core.Budget{Wall: 30 * time.Millisecond}
+	deg, err := core.Analyze(bigTrace(25000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded {
+		t.Fatal("expected degraded result")
+	}
+	outcomes = append(outcomes, report.Outcome{Name: "big-degraded", Result: deg})
+
+	// Partial result with a budget error.
+	opts.DegradeOnBudget = false
+	partial, perr := core.Analyze(bigTrace(25000), opts)
+	if _, ok := budget.AsError(perr); !ok || partial == nil {
+		t.Fatalf("expected partial result + budget error, got %v / %v", partial, perr)
+	}
+	outcomes = append(outcomes, report.Outcome{Name: "big-partial", Result: partial, Err: perr})
+
+	// Hard failure (invalid trace).
+	bad := &trace.Trace{}
+	bad.Append(trace.Begin(1, "orphan"))
+	_, berr := core.Analyze(bad, core.DefaultOptions())
+	if berr == nil {
+		t.Fatal("invalid trace did not error")
+	}
+	outcomes = append(outcomes, report.Outcome{Name: "bad-error", Err: berr})
+
+	out := report.Pipeline(outcomes)
+	for _, want := range []string{
+		"figure4-full", "full",
+		"big-degraded", "degraded", "budget: wall-clock",
+		"big-partial", "partial",
+		"bad-error", "error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The full row reports the paper's races; the degraded row still has
+	// a numeric count column (possibly 0), not a crash.
+	if len(full.Races) == 0 {
+		t.Fatal("figure4 should report races")
+	}
+	sums := report.PipelineSummaries(outcomes)
+	if _, ok := sums["figure4-full"]; !ok {
+		t.Fatal("summaries missing full outcome")
+	}
+	if _, ok := sums["bad-error"]; ok {
+		t.Fatal("summaries should skip result-less outcomes")
+	}
+}

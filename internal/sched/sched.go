@@ -134,6 +134,14 @@ type Options struct {
 	// Record controls trace emission; disabling it measures the
 	// uninstrumented run for the §6 overhead experiment.
 	Record bool
+	// FaultHook, when non-nil, is consulted at every scheduling point
+	// (each emitted operation, numbered from 0) before the operation is
+	// recorded. A non-nil return injects a fault: the current thread
+	// aborts and the run fails with that error as the cause. A panic in
+	// the hook is recovered like any simulated-thread panic. The
+	// fault-injection harness uses this to test that drivers survive
+	// mid-run failures.
+	FaultHook func(step int, op trace.Op) error
 }
 
 // DefaultOptions records traces under round-robin scheduling.
@@ -168,6 +176,7 @@ type Sim struct {
 	locks   map[trace.LockID]*lockState
 	flags   map[string]bool
 	taskSeq map[string]int
+	emitted int
 	err     error
 	started bool
 	closed  bool
@@ -265,6 +274,13 @@ func (s *Sim) wakeQueueWaiter(t *Thread) {
 }
 
 func (s *Sim) emit(op trace.Op) {
+	if s.opts.FaultHook != nil {
+		step := s.emitted
+		s.emitted++
+		if err := s.opts.FaultHook(step, op); err != nil {
+			s.fail("sched: injected fault at step %d (%s): %w", step, op, err)
+		}
+	}
 	if s.opts.Record {
 		s.tr.Append(op)
 	}

@@ -100,7 +100,13 @@ func (t *Thread) main() {
 				return
 			}
 			if t.sim.err == nil {
-				t.sim.err = fmt.Errorf("sched: thread t%d (%s) panicked: %v", t.id, t.name, r)
+				if errVal, ok := r.(error); ok {
+					// Preserve typed panic values (android.ModelError) for
+					// errors.As on the run's error.
+					t.sim.err = fmt.Errorf("sched: thread t%d (%s) panicked: %w", t.id, t.name, errVal)
+				} else {
+					t.sim.err = fmt.Errorf("sched: thread t%d (%s) panicked: %v", t.id, t.name, r)
+				}
 			}
 			t.sim.events <- threadEvent{t, evFinished}
 		}

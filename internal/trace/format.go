@@ -47,25 +47,58 @@ func Parse(r io.Reader) (*Trace, error) {
 		tr.Append(op)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("line %d: line exceeds the %d-byte limit", lineno+1, 16*1024*1024)
+		}
+		return nil, fmt.Errorf("line %d: %w", lineno+1, err)
 	}
 	return tr, nil
+}
+
+// clip bounds how much of an offending input line an error message
+// echoes; a multi-megabyte token must not become a multi-megabyte error.
+func clip(s string) string {
+	const max = 128
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("... (%d bytes)", len(s))
+}
+
+// opArity is the argument count of every known opcode; ParseOp rejects
+// unknown opcodes before looking at arguments.
+var opArity = map[string]int{
+	"threadinit": 1, "threadexit": 1, "attachQ": 1, "loopOnQ": 1,
+	"fork": 2, "join": 2,
+	"post": 3, "postf": 3, "postd": 4,
+	"begin": 2, "end": 2, "enable": 2, "cancel": 2,
+	"acquire": 2, "release": 2,
+	"read": 2, "write": 2,
 }
 
 // ParseOp parses a single operation in its textual form.
 func ParseOp(s string) (Op, error) {
 	open := strings.IndexByte(s, '(')
 	if open < 0 || !strings.HasSuffix(s, ")") {
-		return Op{}, fmt.Errorf("malformed operation %q", s)
+		return Op{}, fmt.Errorf("malformed operation %q", clip(s))
 	}
 	name := s[:open]
+	wantArity, known := opArity[name]
+	if !known {
+		return Op{}, fmt.Errorf("unknown opcode %q", clip(name))
+	}
 	args := strings.Split(s[open+1:len(s)-1], ",")
 	for i := range args {
 		args[i] = strings.TrimSpace(args[i])
 	}
-	arity := func(n int) error {
-		if len(args) != n {
-			return fmt.Errorf("%s: want %d arguments, got %d in %q", name, n, len(args), s)
+	if len(args) != wantArity {
+		return Op{}, fmt.Errorf("%s: want %d arguments, got %d in %q", name, wantArity, len(args), clip(s))
+	}
+	// Names (tasks, locks, locations) must be non-empty, or formatting
+	// the operation would not round-trip.
+	nonEmpty := func(what string, i int) error {
+		if args[i] == "" {
+			return fmt.Errorf("%s: empty %s name in %q", name, what, clip(s))
 		}
 		return nil
 	}
@@ -75,18 +108,12 @@ func ParseOp(s string) (Op, error) {
 	}
 	switch name {
 	case "threadinit", "threadexit", "attachQ", "loopOnQ":
-		if err := arity(1); err != nil {
-			return Op{}, err
-		}
 		kinds := map[string]Kind{
 			"threadinit": OpThreadInit, "threadexit": OpThreadExit,
 			"attachQ": OpAttachQ, "loopOnQ": OpLoopOnQ,
 		}
 		return Op{Kind: kinds[name], Thread: thr}, nil
 	case "fork", "join":
-		if err := arity(2); err != nil {
-			return Op{}, err
-		}
 		other, err := parseThread(args[1])
 		if err != nil {
 			return Op{}, fmt.Errorf("%s: %w", name, err)
@@ -97,7 +124,7 @@ func ParseOp(s string) (Op, error) {
 		}
 		return Op{Kind: k, Thread: thr, Other: other}, nil
 	case "post", "postf":
-		if err := arity(3); err != nil {
+		if err := nonEmpty("task", 1); err != nil {
 			return Op{}, err
 		}
 		dest, err := parseThread(args[2])
@@ -106,7 +133,7 @@ func ParseOp(s string) (Op, error) {
 		}
 		return Op{Kind: OpPost, Thread: thr, Task: TaskID(args[1]), Other: dest, Front: name == "postf"}, nil
 	case "postd":
-		if err := arity(4); err != nil {
+		if err := nonEmpty("task", 1); err != nil {
 			return Op{}, err
 		}
 		dest, err := parseThread(args[2])
@@ -119,7 +146,7 @@ func ParseOp(s string) (Op, error) {
 		}
 		return Op{Kind: OpPost, Thread: thr, Task: TaskID(args[1]), Other: dest, Delayed: true, Delay: delay}, nil
 	case "begin", "end", "enable", "cancel":
-		if err := arity(2); err != nil {
+		if err := nonEmpty("task", 1); err != nil {
 			return Op{}, err
 		}
 		kinds := map[string]Kind{
@@ -127,7 +154,7 @@ func ParseOp(s string) (Op, error) {
 		}
 		return Op{Kind: kinds[name], Thread: thr, Task: TaskID(args[1])}, nil
 	case "acquire", "release":
-		if err := arity(2); err != nil {
+		if err := nonEmpty("lock", 1); err != nil {
 			return Op{}, err
 		}
 		k := OpAcquire
@@ -135,8 +162,8 @@ func ParseOp(s string) (Op, error) {
 			k = OpRelease
 		}
 		return Op{Kind: k, Thread: thr, Lock: LockID(args[1])}, nil
-	case "read", "write":
-		if err := arity(2); err != nil {
+	default: // "read", "write"
+		if err := nonEmpty("location", 1); err != nil {
 			return Op{}, err
 		}
 		k := OpRead
@@ -144,18 +171,16 @@ func ParseOp(s string) (Op, error) {
 			k = OpWrite
 		}
 		return Op{Kind: k, Thread: thr, Loc: Loc(args[1])}, nil
-	default:
-		return Op{}, fmt.Errorf("unknown opcode %q", name)
 	}
 }
 
 func parseThread(s string) (ThreadID, error) {
 	if len(s) < 2 || s[0] != 't' {
-		return 0, fmt.Errorf("bad thread id %q", s)
+		return 0, fmt.Errorf("bad thread id %q", clip(s))
 	}
 	n, err := strconv.ParseInt(s[1:], 10, 32)
 	if err != nil || n < 0 {
-		return 0, fmt.Errorf("bad thread id %q", s)
+		return 0, fmt.Errorf("bad thread id %q", clip(s))
 	}
 	return ThreadID(n), nil
 }

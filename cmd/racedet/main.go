@@ -6,12 +6,22 @@
 //
 //	racedet [-all] [-stats] [-naive] [-no-enable] [-no-fifo]
 //	        [-deadline 5s] [-max-nodes N] [-no-degrade] [trace.txt]
+//	racedet -campaign "Paper Music Player" -state DIR [-k N] [-seed N]
+//	racedet -resume DIR
 //
 // With no file argument the trace is read from standard input. Under
 // -deadline/-max-nodes the analysis is budgeted: when the budget runs
 // out it degrades to the pure multithreaded baseline detector (or, with
 // -no-degrade, exits with the partial results printed and a structured
 // budget error).
+//
+// Campaign mode (-campaign/-resume) runs a restartable exploration
+// campaign over an application model, journaling DFS progress and
+// per-test race results under the -state directory. A campaign killed
+// mid-run — crash, OOM, SIGKILL — is resumed with -resume DIR and
+// produces the same race report as an uninterrupted run. The race
+// report goes to stdout; progress and resume statistics go to stderr,
+// so reports diff cleanly across kill/resume schedules.
 package main
 
 import (
@@ -22,6 +32,9 @@ import (
 	"os"
 
 	"droidracer"
+	"droidracer/internal/apps"
+	"droidracer/internal/core"
+	"droidracer/internal/jobs"
 )
 
 func main() {
@@ -37,7 +50,17 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the analysis (0 = unlimited)")
 	maxNodes := flag.Int("max-nodes", 0, "cap on happens-before graph nodes (0 = unlimited)")
 	noDegrade := flag.Bool("no-degrade", false, "on budget exhaustion, fail with partial results instead of degrading to the pure-MT baseline")
+	campaignApp := flag.String("campaign", "", "run a restartable exploration campaign over this application model")
+	stateDir := flag.String("state", "", "state directory for the campaign journal (with -campaign)")
+	resumeDir := flag.String("resume", "", "resume the campaign journaled under this state directory")
+	k := flag.Int("k", 0, "event-sequence bound for -campaign (0 = the app's default)")
+	seed := flag.Int64("seed", 0, "scheduling seed for -campaign (0 = round-robin)")
 	flag.Parse()
+
+	if *campaignApp != "" || *resumeDir != "" {
+		runCampaign(*campaignApp, *stateDir, *resumeDir, *k, *seed)
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -127,6 +150,65 @@ func main() {
 		}
 	}
 	if partial {
+		os.Exit(1)
+	}
+}
+
+// runCampaign is the -campaign/-resume entry point: it builds (or
+// rebuilds from the journal header) the campaign for an app model and
+// runs it under the state directory. The sorted race report prints to
+// stdout; everything stateful (resume counts, partial-progress notes)
+// prints to stderr.
+func runCampaign(appName, stateDir, resumeDir string, k int, seed int64) {
+	switch {
+	case appName != "" && resumeDir != "":
+		fatal(fmt.Errorf("-campaign and -resume are mutually exclusive"))
+	case appName != "" && stateDir == "":
+		fatal(fmt.Errorf("-campaign requires -state DIR"))
+	case resumeDir != "":
+		stateDir = resumeDir
+		// The journal header identifies the campaign; the original
+		// bounds override any flags given here.
+		name, eopts, err := jobs.Header(resumeDir)
+		if err != nil {
+			fatal(err)
+		}
+		appName, k, seed = name, eopts.MaxEvents, eopts.Seed
+	}
+	app, err := apps.New(appName)
+	if err != nil {
+		fatal(err)
+	}
+	explore := app.Explore()
+	explore.MaxTests = 0 // campaigns run the DFS to its bound
+	if k > 0 {
+		explore.MaxEvents = k
+	}
+	explore.Seed = seed
+	c := jobs.Campaign{
+		Name:    appName,
+		Factory: apps.Factory(app),
+		Explore: explore,
+		Analyze: core.DefaultOptions(),
+	}
+	res, err := jobs.RunCampaign(context.Background(), c, stateDir)
+	if err != nil {
+		if res == nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "racedet: campaign checkpointed mid-run (%v); resume with -resume %s\n", err, stateDir)
+	}
+	if res.Resumed {
+		fmt.Fprintf(os.Stderr, "racedet: resumed %d journaled test(s), explored %d new sequence(s)\n",
+			res.ResumedTests, res.SequencesExplored)
+	}
+	for _, id := range res.Races {
+		fmt.Printf("%s: %s (%s vs %s)\n", id.Category, id.Loc, id.First, id.Second)
+	}
+	s := res.Summary
+	fmt.Printf("%d race(s) over %d test(s): %d multithreaded, %d co-enabled, %d delayed, %d cross-posted, %d unknown\n",
+		len(res.Races), res.Tests, s.Multithreaded, s.CoEnabled, s.Delayed, s.CrossPosted, s.Unknown)
+	if !res.Complete {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,146 @@
+// Command racedetd is the resilient analysis daemon: it watches a spool
+// directory for trace files, runs each through the supervised job pool
+// (bounded queue, per-job budgets, retry-with-backoff, per-input circuit
+// breaker with the pure-MT baseline as the degraded fallback), and
+// journals finished work under a state directory so a restarted daemon
+// re-analyzes only unfinished inputs.
+//
+// Usage:
+//
+//	racedetd -spool DIR -state DIR [-workers N] [-queue N]
+//	         [-deadline 30s] [-retries N] [-poll 2s] [-once]
+//	         [-drain-timeout 30s]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake closes, in-flight
+// analyses run to completion (bounded by -drain-timeout, after which
+// they are cancelled into partial outcomes), queued jobs are recorded as
+// drained for the next incarnation, and the per-job report prints to
+// stdout. -once sweeps the spool a single time, waits for the pool to
+// quiesce, and exits — the mode batch pipelines and the CI smoke test
+// drive.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/jobs"
+	"droidracer/internal/journal"
+	"droidracer/internal/report"
+)
+
+// journalName is the daemon's completed-work journal inside -state.
+const journalName = "daemon.journal"
+
+func main() {
+	spool := flag.String("spool", "", "directory of trace files to analyze")
+	state := flag.String("state", "", "state directory for the completed-work journal")
+	workers := flag.Int("workers", 2, "concurrent analysis workers")
+	queue := flag.Int("queue", 16, "admission queue depth; a full queue sheds new work")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget per analysis attempt (0 = unlimited)")
+	retries := flag.Int("retries", 1, "extra attempts per job after a transient failure")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base backoff between attempts")
+	breaker := flag.Int("breaker", 3, "consecutive hard failures on one input before degrading it (-1 disables)")
+	poll := flag.Duration("poll", 2*time.Second, "spool re-scan interval")
+	once := flag.Bool("once", false, "sweep the spool once, drain, and exit")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight jobs")
+	flag.Parse()
+	if *spool == "" || *state == "" {
+		fatal(fmt.Errorf("missing -spool or -state"))
+	}
+
+	jpath := filepath.Join(*state, journalName)
+	entries, err := journal.Recover(jpath)
+	if err != nil {
+		fatal(err)
+	}
+	done := jobs.CompletedJobs(entries)
+	if len(done) > 0 {
+		fmt.Fprintf(os.Stderr, "racedetd: journal holds %d completed input(s); skipping them\n", len(done))
+	}
+	w, err := journal.Create(jpath)
+	if err != nil {
+		fatal(err)
+	}
+
+	pool := jobs.NewPool(jobs.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Budget:     budget.Limits{Wall: *deadline},
+		Retry:      jobs.RetryPolicy{MaxAttempts: 1 + *retries, BaseBackoff: *backoff},
+		Breaker:    jobs.BreakerPolicy{Threshold: *breaker},
+		Journal:    w,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	submitted := make(map[string]bool)
+	for {
+		if err := sweep(pool, *spool, done, submitted); err != nil {
+			fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
+		}
+		if *once {
+			pool.Quiesce()
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(*poll):
+			continue
+		}
+		break
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	outs := pool.Shutdown(drainCtx)
+	fmt.Print(report.Pipeline(outs))
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// sweep submits every spool file not yet journaled as complete and not
+// already submitted this incarnation. A shed submission (saturated
+// queue) is not marked submitted, so the next sweep retries it — the
+// producer-side reaction to backpressure.
+func sweep(pool *jobs.Pool, spool string, done, submitted map[string]bool) error {
+	ents, err := os.ReadDir(spool)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if done[name] || submitted[name] {
+			continue
+		}
+		job := jobs.TraceJob(name, filepath.Join(spool, name), core.DefaultOptions())
+		if err := pool.Submit(job); err != nil {
+			fmt.Fprintf(os.Stderr, "racedetd: %s: %v\n", name, err)
+			continue
+		}
+		submitted[name] = true
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "racedetd:", err)
+	os.Exit(1)
+}

@@ -157,33 +157,42 @@ const checkInterval = 256
 //
 // A Checker is not safe for concurrent use; each unit of work owns one.
 type Checker struct {
-	ctx         context.Context
-	limits      Limits
-	start       time.Time
-	deadline    time.Time
-	hasDeadline bool
-	stage       string
-	calls       uint32
+	ctx    context.Context
+	limits Limits
+	// start carries Go's monotonic clock reading; the wall budget is
+	// enforced as time.Since(start) > wall, so a wall-clock jump (NTP
+	// step, suspend/resume of the host) in a long-running daemon can
+	// neither instantly expire nor extend a job's deadline.
+	start   time.Time
+	wall    time.Duration
+	hasWall bool
+	stage   string
+	calls   uint32
 }
 
 // NewChecker builds a checker for one unit of work. The effective
-// deadline is the earlier of ctx's deadline and now+limits.Wall. A nil
-// result is returned when there is nothing to enforce (background
-// context, zero limits), keeping the unbudgeted path free.
+// deadline is the earlier of ctx's deadline and now+limits.Wall,
+// captured once as a monotonic duration from start. A nil result is
+// returned when there is nothing to enforce (background context, zero
+// limits), keeping the unbudgeted path free.
 func NewChecker(ctx context.Context, limits Limits) *Checker {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	c := &Checker{ctx: ctx, limits: limits, start: time.Now()}
 	if limits.Wall > 0 {
-		c.deadline = c.start.Add(limits.Wall)
-		c.hasDeadline = true
+		c.wall = limits.Wall
+		c.hasWall = true
 	}
-	if d, ok := ctx.Deadline(); ok && (!c.hasDeadline || d.Before(c.deadline)) {
-		c.deadline = d
-		c.hasDeadline = true
+	if d, ok := ctx.Deadline(); ok {
+		// Convert the context deadline to a monotonic duration once, at
+		// start; a negative remainder means it already expired.
+		if remain := d.Sub(c.start); !c.hasWall || remain < c.wall {
+			c.wall = remain
+			c.hasWall = true
+		}
 	}
-	if !c.hasDeadline && ctx.Done() == nil && limits.IsZero() {
+	if !c.hasWall && ctx.Done() == nil && limits.IsZero() {
 		return nil
 	}
 	return c
@@ -245,7 +254,7 @@ func (c *Checker) CheckNow() error {
 		return &Error{Stage: c.stage, Resource: ResourceContext, Cause: cause}
 	default:
 	}
-	if c.hasDeadline && time.Now().After(c.deadline) {
+	if c.hasWall && time.Since(c.start) > c.wall {
 		return &Error{Stage: c.stage, Resource: ResourceWallClock}
 	}
 	return nil

@@ -43,6 +43,37 @@ func TestNewCheckerUnlimitedIsNil(t *testing.T) {
 	}
 }
 
+func TestDeadlineIsMonotonicDuration(t *testing.T) {
+	// The checker converts deadlines to a duration from its start once,
+	// then enforces them with time.Since (monotonic): a context deadline
+	// far in the wall-clock past trips immediately, and the internal
+	// budget is a duration, not a wall-clock instant a time jump could
+	// move.
+	past, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	c := NewChecker(past, Limits{Wall: time.Hour})
+	if !c.hasWall || c.wall >= 0 {
+		t.Fatalf("expired context deadline should yield a negative wall budget, got %v", c.wall)
+	}
+	err := c.CheckNow()
+	if be, ok := AsError(err); !ok || be.Resource != ResourceWallClock {
+		t.Fatalf("want wall-clock trip, got %v", err)
+	}
+
+	// The tighter of Limits.Wall and the context deadline wins, again as
+	// a duration.
+	ctx, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	c = NewChecker(ctx, Limits{Wall: time.Minute})
+	if c.wall != time.Minute {
+		t.Fatalf("want the 1m limit to win, got %v", c.wall)
+	}
+	c = NewChecker(ctx, Limits{Wall: 2 * time.Hour})
+	if c.wall > time.Hour || c.wall < 59*time.Minute {
+		t.Fatalf("want ~1h context deadline to win, got %v", c.wall)
+	}
+}
+
 func TestWallClockTrips(t *testing.T) {
 	c := NewChecker(context.Background(), Limits{Wall: time.Nanosecond})
 	time.Sleep(time.Millisecond)

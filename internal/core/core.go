@@ -159,12 +159,41 @@ func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error
 	return res, nil
 }
 
+// AnalyzeBaseline runs only the linear pure-MT baseline detector on tr,
+// producing the same Degraded result shape that budget exhaustion
+// degrades to. The jobs supervisor routes inputs here once their circuit
+// breaker opens: an input that repeatedly paniced or timed out under the
+// full analysis still yields a report, at baseline fidelity, without
+// re-entering the code that failed. The reason is recorded as
+// DegradedReason.
+func AnalyzeBaseline(tr *trace.Trace, opts Options, reason error) (res *Result, err error) {
+	// Even the fallback is panic-isolated: an input bad enough to trip
+	// the breaker must not get a second chance to crash the process.
+	ierr := budget.Isolate("core.AnalyzeBaseline", func() error {
+		if opts.DropCancelled {
+			tr = tr.WithoutCancelled()
+		}
+		res = degrade(tr, nil, reason)
+		return nil
+	})
+	if ierr != nil {
+		return nil, ierr
+	}
+	return res, nil
+}
+
 // degradeOrErr decides what an exhausted budget becomes: a degraded
 // baseline-backed result, or the partial result plus the budget error.
-// Explicit cancellation always propagates.
+// Explicit cancellation always propagates. The partial result is never
+// nil — a budget that trips before any stage produced output (e.g.
+// during validation) still hands back the pruned trace and its stats,
+// so downstream reporting always has a row to render.
 func degradeOrErr(tr *trace.Trace, partial *Result, opts Options, ck *budget.Checker, err error) (*Result, error) {
 	if be, ok := budget.AsError(err); ok && opts.DegradeOnBudget && !be.Canceled() {
 		return degrade(tr, partial, err), nil
+	}
+	if partial == nil {
+		partial = &Result{Trace: tr, Stats: trace.ComputeStats(tr, nil)}
 	}
 	return partial, err
 }

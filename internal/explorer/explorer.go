@@ -42,6 +42,30 @@ type Options struct {
 	// MaxSequences caps the number of prefixes executed. The zero value
 	// means unlimited.
 	Budget budget.Limits
+	// OnTest, when set, streams each recorded test to the caller instead
+	// of accumulating it in Result.Tests, so a campaign can analyze and
+	// checkpoint tests as they are produced without holding every trace
+	// in memory. An error from OnTest aborts the exploration.
+	OnTest func(*Test) error
+	// Checkpoint, when set, makes the DFS restartable: completed subtrees
+	// are reported to the sink and previously completed subtrees are
+	// skipped wholesale on resume (their tests are not re-recorded — the
+	// sink already has them). See the jobs package for the journal-backed
+	// implementation.
+	Checkpoint CheckpointSink
+}
+
+// CheckpointSink receives DFS progress for crash-safe resume. The
+// explorer calls SubtreeDone(prefix) only after every sequence extending
+// prefix (and prefix itself) has been recorded — the resume invariant:
+// skipping a done subtree can never lose a test. Implementations must
+// make SubtreeDone durable before returning.
+type CheckpointSink interface {
+	// SkipSubtree reports whether the subtree rooted at this prefix was
+	// fully explored by an earlier (crashed or drained) run.
+	SkipSubtree(prefix []android.UIEvent) bool
+	// SubtreeDone marks the subtree rooted at this prefix complete.
+	SubtreeDone(prefix []android.UIEvent) error
 }
 
 // Test is one explored event sequence and the trace its execution
@@ -112,9 +136,16 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 	ck := budget.NewChecker(ctx, opts.Budget)
 	ck.SetStage("explore")
 	res := &Result{}
+	recorded := 0 // tests recorded, whether streamed or accumulated
 	var dfs func(prefix []android.UIEvent) error
 	dfs = func(prefix []android.UIEvent) error {
-		if opts.MaxTests > 0 && len(res.Tests) >= opts.MaxTests {
+		if opts.MaxTests > 0 && recorded >= opts.MaxTests {
+			return nil
+		}
+		if opts.Checkpoint != nil && opts.Checkpoint.SkipSubtree(prefix) {
+			// A previous run completed this whole subtree and durably
+			// recorded its tests; re-exploring it would redo the work the
+			// checkpoint exists to preserve.
 			return nil
 		}
 		if err := ck.CheckNow(); err != nil {
@@ -134,22 +165,36 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 			if err := env.Shutdown(); err != nil {
 				return fmt.Errorf("explorer: shutdown after %v: %w", prefix, err)
 			}
-			res.Tests = append(res.Tests, Test{
+			t := Test{
 				Sequence:      append([]android.UIEvent(nil), prefix...),
 				Trace:         env.Trace(),
 				SystemThreads: env.SystemThreads(),
-			})
+			}
+			recorded++
+			if opts.OnTest != nil {
+				if err := opts.OnTest(&t); err != nil {
+					return err
+				}
+			} else {
+				res.Tests = append(res.Tests, t)
+			}
 		} else {
 			env.Close()
 		}
-		if atBound {
-			return nil
-		}
-		for _, ev := range enabled {
-			if opts.MaxTests > 0 && len(res.Tests) >= opts.MaxTests {
-				return nil
+		if !atBound {
+			for _, ev := range enabled {
+				if opts.MaxTests > 0 && recorded >= opts.MaxTests {
+					// The cap cut this subtree short; it must not be marked
+					// done, or a resume would skip its unexplored remainder.
+					return nil
+				}
+				if err := dfs(append(prefix, ev)); err != nil {
+					return err
+				}
 			}
-			if err := dfs(append(prefix, ev)); err != nil {
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint.SubtreeDone(prefix); err != nil {
 				return err
 			}
 		}

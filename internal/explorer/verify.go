@@ -1,11 +1,13 @@
 package explorer
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"droidracer/internal/android"
+	"droidracer/internal/budget"
 	"droidracer/internal/race"
 	"droidracer/internal/sched"
 	"droidracer/internal/trace"
@@ -94,6 +96,15 @@ func VerifyRace(factory AppFactory, sequence []android.UIEvent, origInfo *trace.
 // permanent and returned immediately; per-replay failures (divergence,
 // deadlocked schedule) only consume the attempt.
 func VerifyRaceWithRetry(factory AppFactory, sequence []android.UIEvent, origInfo *trace.Info, r race.Race, policy RetryPolicy) (Verification, error) {
+	return VerifyRaceWithRetryContext(context.Background(), factory, sequence, origInfo, r, policy)
+}
+
+// VerifyRaceWithRetryContext is VerifyRaceWithRetry under ctx: the
+// context is polled before every retry round and interrupts the backoff
+// pause, so a supervisor draining jobs is not held up by a verification
+// mid-backoff. On cancellation the rounds completed so far are returned
+// together with a *budget.Error whose Canceled() reflects the cause.
+func VerifyRaceWithRetryContext(ctx context.Context, factory AppFactory, sequence []android.UIEvent, origInfo *trace.Info, r race.Race, policy RetryPolicy) (Verification, error) {
 	if policy.AttemptsPerRound <= 0 {
 		return Verification{}, fmt.Errorf("explorer: verify: non-positive attempts per round")
 	}
@@ -105,18 +116,27 @@ func VerifyRaceWithRetry(factory AppFactory, sequence []android.UIEvent, origInf
 	if err != nil {
 		return Verification{}, err
 	}
-	sleep := policy.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	rng := rand.New(rand.NewSource(policy.Seed))
 	backoff := policy.BaseBackoff
 	v := Verification{}
 	for round := 0; round <= policy.Retries; round++ {
+		if err := ctxErr(ctx); err != nil {
+			return v, err
+		}
 		if round > 0 && backoff > 0 {
 			// Jitter by up to 50%, deterministically from the policy seed.
-			sleep(backoff + time.Duration(rng.Int63n(int64(backoff)/2+1)))
+			pause := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+			if policy.Sleep != nil {
+				policy.Sleep(pause)
+			} else if err := sleepCtx(ctx, pause); err != nil {
+				return v, err
+			}
 			backoff *= 2
+			// Cancellation may also arrive during an injected test sleep;
+			// honor it before burning another round of replays.
+			if err := ctxErr(ctx); err != nil {
+				return v, err
+			}
 		}
 		v.Rounds++
 		firstSeed := int64(round)*int64(policy.AttemptsPerRound) + 1
@@ -125,6 +145,33 @@ func VerifyRaceWithRetry(factory AppFactory, sequence []android.UIEvent, origInf
 		}
 	}
 	return v, nil
+}
+
+// ctxErr converts a done context into the pipeline's structured budget
+// error so callers can distinguish cancellation from deadline expiry.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		res := budget.ResourceContext
+		if ctx.Err() == context.DeadlineExceeded {
+			res = budget.ResourceWallClock
+		}
+		return &budget.Error{Stage: "verify", Resource: res, Cause: ctx.Err()}
+	default:
+		return nil
+	}
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctxErr(ctx)
+	case <-t.C:
+		return nil
+	}
 }
 
 // verifyRange tries the attempts scheduling seeds starting at firstSeed,

@@ -1,0 +1,88 @@
+package explorer_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/explorer"
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+// unconfirmableRace replays the ad-hoc-synchronized app and returns its
+// reported-but-never-reorderable race, so retry rounds always run to
+// exhaustion unless something interrupts them.
+func unconfirmableRace(t *testing.T) (explorer.AppFactory, *trace.Info, race.Race) {
+	t.Helper()
+	factory := flagOrderedFactory()
+	tr, err := explorer.Replay(factory, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := race.NewDetector(hb.Build(info, hb.DefaultConfig())).Detect()
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	return factory, info, races[0]
+}
+
+func TestVerifyRetryCancelledBetweenRounds(t *testing.T) {
+	factory, info, r := unconfirmableRace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	policy := explorer.RetryPolicy{
+		Retries:          5,
+		AttemptsPerRound: 2,
+		BaseBackoff:      time.Millisecond,
+		// Cancellation arrives while the verifier is backing off between
+		// rounds; it must be honored before the next round of replays.
+		Sleep: func(time.Duration) { cancel() },
+	}
+	v, err := explorer.VerifyRaceWithRetryContext(ctx, factory, nil, info, r, policy)
+	be, ok := budget.AsError(err)
+	if !ok || !be.Canceled() {
+		t.Fatalf("err = %v, want canceled budget error", err)
+	}
+	if v.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (cancelled before round 2)", v.Rounds)
+	}
+	if v.Attempts != policy.AttemptsPerRound {
+		t.Fatalf("attempts = %d, want %d", v.Attempts, policy.AttemptsPerRound)
+	}
+	if v.Confirmed {
+		t.Fatal("cancelled verification reported confirmation")
+	}
+}
+
+func TestVerifyRetryPreCancelledRunsNoReplays(t *testing.T) {
+	factory, info, r := unconfirmableRace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err := explorer.VerifyRaceWithRetryContext(ctx, factory, nil, info, r,
+		explorer.RetryPolicy{Retries: 2, AttemptsPerRound: 3})
+	be, ok := budget.AsError(err)
+	if !ok || !be.Canceled() {
+		t.Fatalf("err = %v, want canceled budget error", err)
+	}
+	if v.Rounds != 0 || v.Attempts != 0 {
+		t.Fatalf("pre-cancelled verification did work: %+v", v)
+	}
+}
+
+func TestVerifyRetryDeadlineIsWallClockResource(t *testing.T) {
+	factory, info, r := unconfirmableRace(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := explorer.VerifyRaceWithRetryContext(ctx, factory, nil, info, r,
+		explorer.RetryPolicy{AttemptsPerRound: 1})
+	be, ok := budget.AsError(err)
+	if !ok || be.Resource != budget.ResourceWallClock {
+		t.Fatalf("err = %v, want wall-clock budget error", err)
+	}
+}

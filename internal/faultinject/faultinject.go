@@ -14,7 +14,10 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"strings"
+	"sync"
 
 	"droidracer/internal/trace"
 )
@@ -166,5 +169,66 @@ func PanicAt(n int, value any) func(step int, op trace.Op) error {
 			panic(value)
 		}
 		return nil
+	}
+}
+
+// Kill-points model hard process death (power loss, OOM-kill, SIGKILL) at
+// named code locations, so chaos tests can prove that checkpoint/resume
+// survives a crash at exactly the worst moment. A kill-point is armed by
+// setting the EnvKillpoint environment variable to its name, optionally
+// suffixed with ":N" to crash on the N-th hit instead of the first, e.g.
+//
+//	DROIDRACER_KILLPOINT=journal.append:3 racedet -campaign ...
+//
+// Production binaries pay one environment lookup per kill-point hit when
+// the variable is unset.
+
+// EnvKillpoint is the environment variable that arms a kill-point.
+const EnvKillpoint = "DROIDRACER_KILLPOINT"
+
+// KillExitCode is the exit status of a triggered kill-point. 137 mirrors
+// a SIGKILL'd process (128+9), which is what the kill-point simulates.
+const KillExitCode = 137
+
+var killMu sync.Mutex
+var killHits = map[string]int{}
+
+// armedKillpoint parses EnvKillpoint into a point name and a 1-based hit
+// number (default 1).
+func armedKillpoint() (string, int) {
+	spec := os.Getenv(EnvKillpoint)
+	if spec == "" {
+		return "", 0
+	}
+	name, nth := spec, 1
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		if n, err := strconv.Atoi(spec[i+1:]); err == nil && n > 0 {
+			name, nth = spec[:i], n
+		}
+	}
+	return name, nth
+}
+
+// Triggered reports whether this hit of the named kill-point is the one
+// the environment armed. It consumes one hit. Callers that need custom
+// crash behavior (torn writes) branch on it; plain crashes use Crash.
+func Triggered(point string) bool {
+	name, nth := armedKillpoint()
+	if name != point {
+		return false
+	}
+	killMu.Lock()
+	killHits[point]++
+	hit := killHits[point]
+	killMu.Unlock()
+	return hit == nth
+}
+
+// Crash kills the process with KillExitCode when the named kill-point is
+// armed and this hit is the triggering one. No deferred functions run —
+// like SIGKILL, nothing gets to clean up.
+func Crash(point string) {
+	if Triggered(point) {
+		os.Exit(KillExitCode)
 	}
 }

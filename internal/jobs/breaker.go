@@ -1,0 +1,157 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"droidracer/internal/budget"
+)
+
+// RetryPolicy bounds re-execution of failed job attempts. Retries target
+// transient failures — scheduling-dependent divergence, a deadline that
+// barely tripped under load — while the circuit breaker (BreakerPolicy)
+// catches inputs that fail deterministically.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job (minimum and
+	// default 1: no retry).
+	MaxAttempts int
+	// BaseBackoff is the pause before the second attempt; it doubles per
+	// attempt with up to 50% deterministic jitter from Seed.
+	BaseBackoff time.Duration
+	// Seed seeds the backoff jitter (default 1).
+	Seed int64
+	// Retryable decides whether an error is worth another attempt. The
+	// default retries everything except explicit cancellation.
+	Retryable func(error) bool
+	// Sleep replaces the interruptible pause in tests.
+	Sleep func(time.Duration)
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 1
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Retryable == nil {
+		r.Retryable = func(err error) bool {
+			be, ok := budget.AsError(err)
+			return !ok || !be.Canceled()
+		}
+	}
+	return r
+}
+
+// pause sleeps the exponential backoff for the given 1-based attempt,
+// interruptibly: a canceled pool context cuts the wait short so graceful
+// shutdown is not held hostage by a backoff timer.
+func (r RetryPolicy) pause(ctx context.Context, attempt int) error {
+	if r.BaseBackoff <= 0 {
+		return nil
+	}
+	d := r.BaseBackoff << (attempt - 1)
+	rng := rand.New(rand.NewSource(r.Seed + int64(attempt)))
+	d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return &budget.Error{Stage: "jobs", Resource: budget.ResourceContext, Cause: ctx.Err()}
+	case <-t.C:
+		return nil
+	}
+}
+
+// BreakerPolicy configures the per-input circuit breaker: after
+// Threshold consecutive hard failures (panics or wall-clock/budget
+// exhaustion) on the same job key, the breaker opens for that key and
+// subsequent runs go straight to the job's degraded fallback. Softer
+// failures (parse errors, divergence) do not count — they are either
+// permanent (retries won't help, but neither would the fallback) or
+// transient (retries handle them).
+type BreakerPolicy struct {
+	// Threshold is the consecutive hard-failure count that opens the
+	// breaker (default 3; negative disables the breaker).
+	Threshold int
+}
+
+// breaker tracks consecutive hard failures per key. Once open for a key
+// it stays open for the life of the pool: the same input deterministically
+// re-fed to the code that paniced will panic again, so there is nothing
+// a half-open probe would learn that costs less than the crash.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	consecutive map[string]int
+	open        map[string]error
+}
+
+func newBreaker(p BreakerPolicy) *breaker {
+	t := p.Threshold
+	if t == 0 {
+		t = 3
+	}
+	return &breaker{
+		threshold:   t,
+		consecutive: make(map[string]int),
+		open:        make(map[string]error),
+	}
+}
+
+// openFor reports whether the breaker is open for key, with the failure
+// that opened it.
+func (b *breaker) openFor(key string) (error, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err, ok := b.open[key]
+	return err, ok
+}
+
+// success resets the consecutive-failure count for key.
+func (b *breaker) success(key string) {
+	b.mu.Lock()
+	delete(b.consecutive, key)
+	b.mu.Unlock()
+}
+
+// failure records a failed attempt; hard failures (panic, budget
+// exhaustion) count toward the threshold. It reports whether this
+// failure opened the breaker.
+func (b *breaker) failure(key string, err error) bool {
+	if b.threshold < 0 || !hardFailure(err) {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, already := b.open[key]; already {
+		return false
+	}
+	b.consecutive[key]++
+	if b.consecutive[key] >= b.threshold {
+		b.open[key] = err
+		return true
+	}
+	return false
+}
+
+// hardFailure reports whether err is the kind of failure the breaker
+// counts: a recovered panic or exhausted budget (wall clock, graph
+// nodes, closure edges, sequences) — not cancellation, not plain errors.
+func hardFailure(err error) bool {
+	var pe *budget.PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	if be, ok := budget.AsError(err); ok {
+		return !be.Canceled()
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"droidracer/internal/apps"
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/explorer"
+	"droidracer/internal/faultinject"
+)
+
+// paperCampaign is the fixed campaign all resume tests run: the paper's
+// motivating Music Player model (Figure 1), explored to depth 2. Its two
+// Figure 4 races are the ground truth the chaos tests must preserve
+// across every kill/resume schedule.
+func paperCampaign() Campaign {
+	app, err := apps.New("Paper Music Player")
+	if err != nil {
+		panic(err)
+	}
+	return Campaign{
+		Name:    "paper-player",
+		Factory: apps.Factory(app),
+		Explore: explorer.Options{MaxEvents: 2},
+		Analyze: core.DefaultOptions(),
+	}
+}
+
+func TestCampaignRunsToCompletion(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunCampaign(context.Background(), paperCampaign(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Resumed {
+		t.Fatalf("first run: %+v", res)
+	}
+	if len(res.Races) == 0 || res.Tests == 0 || res.SequencesExplored == 0 {
+		t.Fatalf("empty campaign result: %+v", res)
+	}
+	// Figure 4's multithreaded and cross-posted races must both surface.
+	if res.Summary.Multithreaded == 0 || res.Summary.CrossPosted == 0 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+}
+
+func TestCampaignResumeOfCompleteRunIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	first, err := RunCampaign(context.Background(), paperCampaign(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunCampaign(context.Background(), paperCampaign(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Complete || !again.Resumed {
+		t.Fatalf("re-resume: %+v", again)
+	}
+	if again.SequencesExplored != 0 {
+		t.Fatalf("complete campaign re-explored %d sequences", again.SequencesExplored)
+	}
+	if !reflect.DeepEqual(first.Races, again.Races) || first.Summary != again.Summary {
+		t.Fatalf("rebuilt result diverged:\nfirst %+v\nagain %+v", first, again)
+	}
+}
+
+func TestCampaignRejectsMismatchedStateDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := RunCampaign(context.Background(), paperCampaign(), dir); err != nil {
+		t.Fatal(err)
+	}
+	c := paperCampaign()
+	c.Explore.MaxEvents = 3
+	if _, err := RunCampaign(context.Background(), c, dir); err == nil ||
+		!strings.Contains(err.Error(), "holds campaign") {
+		t.Fatalf("mismatched resume err = %v", err)
+	}
+}
+
+func TestCampaignBudgetTripCheckpointsThenResumes(t *testing.T) {
+	baseline, err := RunCampaign(context.Background(), paperCampaign(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	limited := paperCampaign()
+	limited.Explore.Budget = budget.Limits{MaxSequences: 2}
+	partial, err := RunCampaign(context.Background(), limited, dir)
+	if _, ok := budget.AsError(err); !ok {
+		t.Fatalf("limited run err = %v", err)
+	}
+	if partial == nil || partial.Complete {
+		t.Fatalf("limited run result = %+v", partial)
+	}
+	// Resume without the budget: the campaign must finish and find the
+	// same races as the uninterrupted baseline.
+	resumed, err := RunCampaign(context.Background(), paperCampaign(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Complete {
+		t.Fatalf("resumed run incomplete: %+v", resumed)
+	}
+	if !reflect.DeepEqual(baseline.Races, resumed.Races) || baseline.Summary != resumed.Summary {
+		t.Fatalf("race set diverged after budget trip:\nbaseline %+v\nresumed  %+v",
+			baseline.Races, resumed.Races)
+	}
+}
+
+func TestCampaignCancellationLeavesResumableState(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCampaign(ctx, paperCampaign(), dir)
+	if be, ok := budget.AsError(err); !ok || !be.Canceled() {
+		t.Fatalf("canceled run err = %v", err)
+	}
+	res, err := RunCampaign(context.Background(), paperCampaign(), dir)
+	if err != nil || !res.Complete {
+		t.Fatalf("resume after cancellation: res=%+v err=%v", res, err)
+	}
+}
+
+// campaignHelperEnv marks the re-exec'd helper process of the chaos test.
+const campaignHelperEnv = "DROIDRACER_CAMPAIGN_HELPER"
+
+// TestCampaignHelperProcess is not a test: it is the subprocess body the
+// kill/resume chaos test re-executes so an armed kill-point can kill a
+// real process (os.Exit) without taking the test runner down with it.
+func TestCampaignHelperProcess(t *testing.T) {
+	dir := os.Getenv(campaignHelperEnv)
+	if dir == "" {
+		t.Skip("helper subprocess only")
+	}
+	if _, err := RunCampaign(context.Background(), paperCampaign(), dir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runCampaignProcess re-executes the test binary as a campaign helper
+// against dir, with the given kill-point armed (empty = disarmed), and
+// returns the process exit code.
+func runCampaignProcess(t *testing.T, dir, killpoint string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCampaignHelperProcess$")
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, faultinject.EnvKillpoint+"=") ||
+			strings.HasPrefix(kv, campaignHelperEnv+"=") {
+			continue
+		}
+		cmd.Env = append(cmd.Env, kv)
+	}
+	cmd.Env = append(cmd.Env, campaignHelperEnv+"="+dir)
+	if killpoint != "" {
+		cmd.Env = append(cmd.Env, faultinject.EnvKillpoint+"="+killpoint)
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("helper did not run: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code == faultinject.KillExitCode {
+		return code
+	}
+	t.Fatalf("helper failed (not a kill-point): %v\n%s", err, out)
+	return -1
+}
+
+// TestCampaignKillAndResumeYieldsIdenticalRaces is the chaos guarantee of
+// the resilient service: a campaign SIGKILL'd at any journal kill-point —
+// mid-append, mid-torn-write, right after an fsync — and then resumed
+// produces exactly the race set (same identities, same classification
+// counts) of an uninterrupted run.
+func TestCampaignKillAndResumeYieldsIdenticalRaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	baseline, err := RunCampaign(context.Background(), paperCampaign(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	killpoints := []string{
+		"journal.synced:1", // dies right after the header fsync
+		"journal.synced:2", // dies after the first subtree's durability barrier
+		"journal.synced:3",
+		"journal.append:2", // entry buffered, never flushed: work re-done on resume
+		"journal.append:4",
+		"journal.torn:2", // half a line on disk: recovery must discard the tail
+		"journal.torn:5",
+	}
+	for _, kp := range killpoints {
+		kp := kp
+		t.Run(kp, func(t *testing.T) {
+			dir := t.TempDir()
+			if code := runCampaignProcess(t, dir, kp); code != faultinject.KillExitCode {
+				// The run finished before the armed hit count was reached;
+				// the resume below must then be a pure journal rebuild.
+				t.Logf("kill-point %s never fired (exit %d)", kp, code)
+			}
+			// Resume in-process with the kill-point disarmed.
+			res, err := RunCampaign(context.Background(), paperCampaign(), dir)
+			if err != nil {
+				t.Fatalf("resume after %s: %v", kp, err)
+			}
+			if !res.Complete {
+				t.Fatalf("resume after %s incomplete: %+v", kp, res)
+			}
+			if !reflect.DeepEqual(baseline.Races, res.Races) {
+				t.Fatalf("race set diverged after kill at %s:\nbaseline %+v\nresumed  %+v",
+					kp, baseline.Races, res.Races)
+			}
+			if baseline.Summary != res.Summary {
+				t.Fatalf("classification counts diverged after kill at %s: %+v vs %+v",
+					kp, baseline.Summary, res.Summary)
+			}
+			if journaled, err := os.Stat(filepath.Join(dir, JournalName)); err != nil || journaled.Size() == 0 {
+				t.Fatalf("campaign journal missing after resume: %v", err)
+			}
+		})
+	}
+}

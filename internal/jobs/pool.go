@@ -1,0 +1,423 @@
+// Package jobs is the supervised job-execution layer of the resilient
+// analysis service: a worker pool with a bounded queue, admission
+// control and load-shedding; per-job supervision composing budget.Limits
+// with retry-with-backoff and a per-input circuit breaker that falls
+// back to the degraded pure-MT baseline; crash-safe checkpoint/resume of
+// exploration campaigns over a write-ahead journal; and graceful
+// shutdown that drains in-flight work, checkpoints the rest, and
+// reports per-job outcomes through the report package.
+//
+// The design follows the paper's economics: the UI Explorer's bound-k
+// DFS (§5) is the expensive resource, so its progress is journaled and
+// resumable (see Campaign), while individual trace analyses are cheap
+// enough to restart whole and are tracked at job granularity.
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/journal"
+	"droidracer/internal/report"
+	"droidracer/internal/trace"
+)
+
+// Job is one unit of supervised work.
+type Job struct {
+	// Name labels the job in reports and journals.
+	Name string
+	// Key groups jobs for the circuit breaker: repeated panics or
+	// timeouts under the same key open the breaker for that input.
+	// Defaults to Name.
+	Key string
+	// Run performs the full-fidelity work under ctx and the pool's
+	// per-attempt budget limits.
+	Run func(ctx context.Context, lim budget.Limits) (*core.Result, error)
+	// Fallback, when non-nil, is the degraded path used once the breaker
+	// for Key is open; reason is the failure that opened it. It should
+	// avoid the code that failed (e.g. core.AnalyzeBaseline instead of
+	// the full pipeline).
+	Fallback func(ctx context.Context, reason error) (*core.Result, error)
+}
+
+func (j Job) key() string {
+	if j.Key != "" {
+		return j.Key
+	}
+	return j.Name
+}
+
+// RejectionError is the typed load-shedding rejection: a saturated or
+// shutting-down pool refuses work immediately instead of blocking the
+// producer or growing without bound.
+type RejectionError struct {
+	// Reason is ReasonQueueFull or ReasonShuttingDown.
+	Reason string
+	// Depth and Capacity describe the queue at rejection time.
+	Depth, Capacity int
+}
+
+// Shedding reasons.
+const (
+	ReasonQueueFull    = "queue-full"
+	ReasonShuttingDown = "shutting-down"
+)
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("jobs: rejected (%s, %d/%d queued)", e.Reason, e.Depth, e.Capacity)
+}
+
+// Config configures a pool. The zero value gets one worker, a
+// 16-deep queue, no retries, and a breaker threshold of 3.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 1).
+	Workers int
+	// QueueDepth bounds the admission queue (default 16). Submit sheds
+	// with a *RejectionError once the queue is full.
+	QueueDepth int
+	// Budget bounds each execution attempt; composed with the job's
+	// context (the earlier deadline wins, see budget.NewChecker).
+	Budget budget.Limits
+	// Retry bounds re-execution of failed attempts.
+	Retry RetryPolicy
+	// Breaker configures the per-input circuit breaker.
+	Breaker BreakerPolicy
+	// Journal, when set, receives a "job" entry per finished job, fsync'd
+	// immediately, so a restarted daemon can skip completed inputs. The
+	// pool does not close it.
+	Journal *journal.Writer
+}
+
+// Pool runs submitted jobs on a fixed set of workers.
+type Pool struct {
+	cfg     Config
+	queue   chan Job
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	brk     *breaker
+
+	mu       sync.Mutex
+	idle     *sync.Cond
+	draining bool
+	pending  int            // accepted jobs not yet finished
+	queued   map[string]int // name -> pending count (not yet started)
+	outcomes []report.Outcome
+}
+
+// NewPool starts a pool with cfg.
+func NewPool(cfg Config) *Pool {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:     cfg,
+		queue:   make(chan Job, cfg.QueueDepth),
+		rootCtx: ctx,
+		cancel:  cancel,
+		brk:     newBreaker(cfg.Breaker),
+		queued:  make(map[string]int),
+	}
+	p.idle = sync.NewCond(&p.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a job. It never blocks: when the queue is full or the
+// pool is shutting down it sheds the job, recording a shed outcome and
+// returning the *RejectionError so the producer can spill, requeue, or
+// surface it.
+func (p *Pool) Submit(job Job) error {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		rej := &RejectionError{Reason: ReasonShuttingDown, Depth: len(p.queue), Capacity: cap(p.queue)}
+		p.record(report.Outcome{Name: job.Name, JobState: report.JobShed, Err: rej})
+		return rej
+	}
+	select {
+	case p.queue <- job:
+		p.queued[job.Name]++
+		p.pending++
+		p.mu.Unlock()
+		return nil
+	default:
+		p.mu.Unlock()
+		rej := &RejectionError{Reason: ReasonQueueFull, Depth: cap(p.queue), Capacity: cap(p.queue)}
+		p.record(report.Outcome{Name: job.Name, JobState: report.JobShed, Err: rej})
+		return rej
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		p.mu.Lock()
+		if p.queued[job.Name]--; p.queued[job.Name] == 0 {
+			delete(p.queued, job.Name)
+		}
+		draining := p.draining
+		p.mu.Unlock()
+		if draining {
+			// Jobs still queued at shutdown are checkpointed, not run:
+			// they will be resubmitted by the next incarnation.
+			p.finish(report.Outcome{Name: job.Name, JobState: report.JobDrained})
+			continue
+		}
+		p.finish(p.runJob(job))
+	}
+}
+
+// record appends an outcome without journaling (shed jobs never ran; a
+// restart should still see their input pending).
+func (p *Pool) record(out report.Outcome) {
+	p.mu.Lock()
+	p.outcomes = append(p.outcomes, out)
+	p.mu.Unlock()
+}
+
+// finish appends an outcome, journals it when the pool has a journal,
+// and wakes Quiesce waiters.
+func (p *Pool) finish(out report.Outcome) {
+	p.record(out)
+	if p.cfg.Journal != nil && out.JobState != report.JobDrained {
+		p.cfg.Journal.Append("job", JobEntry{
+			Name:     out.Name,
+			Mode:     OutcomeMode(out),
+			Attempts: out.Attempts,
+		})
+		p.cfg.Journal.Sync()
+	}
+	p.mu.Lock()
+	p.pending--
+	p.idle.Broadcast()
+	p.mu.Unlock()
+}
+
+// Quiesce blocks until every accepted job has finished (or been
+// checkpointed by a concurrent drain). It does not stop the pool; the
+// daemon's one-shot mode uses it between spool sweeps.
+func (p *Pool) Quiesce() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Outcomes returns a snapshot of per-job outcomes so far, including a
+// queued placeholder row per not-yet-started job.
+func (p *Pool) Outcomes() []report.Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := append([]report.Outcome(nil), p.outcomes...)
+	for name, n := range p.queued {
+		for i := 0; i < n; i++ {
+			out = append(out, report.Outcome{Name: name, JobState: report.JobQueued})
+		}
+	}
+	return out
+}
+
+// Shutdown gracefully stops the pool: intake is closed (further Submits
+// shed with ReasonShuttingDown), jobs already executing run to
+// completion or until ctx expires — whichever comes first — and jobs
+// still queued are checkpointed as drained instead of started. It
+// returns every per-job outcome, ready for report.Pipeline.
+func (p *Pool) Shutdown(ctx context.Context) []report.Outcome {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return p.Outcomes()
+	}
+	p.draining = true
+	p.mu.Unlock()
+	close(p.queue)
+	// Kill-point: process death after intake closes but before in-flight
+	// jobs finish draining — the window where queued work exists only in
+	// the journal.
+	faultinject.Crash("jobs.drain")
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline: cancel in-flight jobs; their budget checkers
+		// turn the cancellation into structured partial outcomes.
+		p.cancel()
+		<-done
+	}
+	p.cancel()
+	return p.Outcomes()
+}
+
+// runJob supervises one job execution: breaker short-circuit, bounded
+// retries with backoff, budget composition, and panic isolation.
+func (p *Pool) runJob(job Job) report.Outcome {
+	out := report.Outcome{Name: job.Name}
+	key := job.key()
+	if reason, open := p.brk.openFor(key); open {
+		return p.degrade(job, out, reason)
+	}
+	retry := p.cfg.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= retry.MaxAttempts; attempt++ {
+		out.Attempts = attempt
+		if err := p.rootCtx.Err(); err != nil {
+			out.Err = &budget.Error{Stage: "jobs", Resource: budget.ResourceContext, Cause: err}
+			return out
+		}
+		res, err := p.runAttempt(job)
+		if err == nil {
+			p.brk.success(key)
+			out.Result = res
+			return out
+		}
+		lastErr = err
+		out.Result = res // keep the partial result of the last attempt
+		if be, ok := budget.AsError(err); ok && be.Canceled() {
+			// Explicit cancellation is never retried and never counts
+			// against the input.
+			out.Err = err
+			return out
+		}
+		if opened := p.brk.failure(key, err); opened {
+			// The breaker opened on this failure; stop burning attempts
+			// on an input that keeps killing the full pipeline.
+			return p.degrade(job, out, err)
+		}
+		if !retry.Retryable(err) {
+			break
+		}
+		if attempt < retry.MaxAttempts {
+			if err := retry.pause(p.rootCtx, attempt); err != nil {
+				out.Err = err
+				return out
+			}
+		}
+	}
+	if reason, open := p.brk.openFor(key); open {
+		return p.degrade(job, out, reason)
+	}
+	out.Err = lastErr
+	return out
+}
+
+// runAttempt executes one attempt under the pool budget, isolating
+// panics that escape the job's own boundaries.
+func (p *Pool) runAttempt(job Job) (res *core.Result, err error) {
+	ctx := p.rootCtx
+	if p.cfg.Budget.Wall > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.Budget.Wall)
+		defer cancel()
+	}
+	ierr := budget.Isolate("jobs.run", func() error {
+		res, err = job.Run(ctx, p.cfg.Budget)
+		return nil
+	})
+	if ierr != nil {
+		return nil, ierr
+	}
+	return res, err
+}
+
+// degrade runs the job's fallback (if any) because the breaker is open.
+func (p *Pool) degrade(job Job, out report.Outcome, reason error) report.Outcome {
+	if job.Fallback == nil {
+		out.Err = fmt.Errorf("jobs: breaker open for %s: %w", job.key(), reason)
+		return out
+	}
+	res, err := job.Fallback(p.rootCtx, reason)
+	out.Result, out.Err = res, err
+	return out
+}
+
+// JobEntry is the journal payload recorded per finished job.
+type JobEntry struct {
+	Name     string `json:"name"`
+	Mode     string `json:"mode"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// OutcomeMode renders the outcome's analysis disposition for journaling:
+// "full", "degraded", "partial", or "error" (supervisor states are not
+// journaled — a drained or shed job is still pending).
+func OutcomeMode(out report.Outcome) string {
+	switch {
+	case out.Result != nil && out.Result.Degraded:
+		return "degraded"
+	case out.Err != nil && out.Result != nil:
+		return "partial"
+	case out.Err != nil:
+		return "error"
+	default:
+		return "full"
+	}
+}
+
+// CompletedJobs extracts the names of successfully finished jobs ("full"
+// or "degraded") from journal entries, so a restarted daemon re-runs
+// only unfinished inputs.
+func CompletedJobs(entries []journal.Entry) map[string]bool {
+	done := make(map[string]bool)
+	for _, e := range entries {
+		if e.Type != "job" {
+			continue
+		}
+		var je JobEntry
+		if err := e.Decode(&je); err != nil {
+			continue
+		}
+		if je.Mode == "full" || je.Mode == "degraded" {
+			done[je.Name] = true
+		}
+	}
+	return done
+}
+
+// TraceJob builds the supervised job that analyzes the trace file at
+// path: the full pipeline under the pool budget, with the pure-MT
+// baseline as the breaker fallback. The file is re-parsed per attempt —
+// streaming, so a multi-gigabyte spool file never lives in memory whole
+// — and the parse itself is inside the supervised boundary.
+func TraceJob(name, path string, opts core.Options) Job {
+	return Job{
+		Name: name,
+		Key:  path,
+		Run: func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
+			tr, err := trace.ParseFile(path)
+			if err != nil {
+				return nil, err
+			}
+			o := opts
+			if o.Budget.IsZero() {
+				o.Budget = lim
+			}
+			return core.AnalyzeContext(ctx, tr, o)
+		},
+		Fallback: func(ctx context.Context, reason error) (*core.Result, error) {
+			tr, err := trace.ParseFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return core.AnalyzeBaseline(tr, opts, reason)
+		},
+	}
+}

@@ -1,0 +1,365 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/journal"
+	"droidracer/internal/paper"
+	"droidracer/internal/report"
+	"droidracer/internal/trace"
+)
+
+// blockingJob returns a job that signals started and then waits for
+// release (or ctx).
+func blockingJob(name string, started chan<- string, release <-chan struct{}) Job {
+	return Job{
+		Name: name,
+		Run: func(ctx context.Context, _ budget.Limits) (*core.Result, error) {
+			started <- name
+			select {
+			case <-release:
+				return &core.Result{}, nil
+			case <-ctx.Done():
+				return nil, &budget.Error{Stage: "test", Resource: budget.ResourceContext, Cause: ctx.Err()}
+			}
+		},
+	}
+}
+
+func TestSaturatedQueueShedsTyped(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	p := NewPool(Config{Workers: 1, QueueDepth: 1})
+	if err := p.Submit(blockingJob("running", started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue empty
+	if err := p.Submit(blockingJob("queued", started, release)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: the next submit must shed immediately with the typed
+	// rejection, not block.
+	err := p.Submit(blockingJob("shed", started, release))
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("want *RejectionError, got %v", err)
+	}
+	if rej.Reason != ReasonQueueFull || rej.Capacity != 1 {
+		t.Fatalf("got %+v", rej)
+	}
+	close(release)
+	p.Quiesce()
+	outs := p.Shutdown(context.Background())
+	byName := outcomesByName(outs)
+	if byName["shed"].JobState != report.JobShed {
+		t.Fatalf("shed outcome = %+v", byName["shed"])
+	}
+	if byName["running"].Err != nil || byName["queued"].Err != nil {
+		t.Fatalf("completed jobs errored: %+v", outs)
+	}
+}
+
+func TestSubmitAfterShutdownSheds(t *testing.T) {
+	p := NewPool(Config{Workers: 1})
+	p.Shutdown(context.Background())
+	err := p.Submit(Job{Name: "late", Run: func(context.Context, budget.Limits) (*core.Result, error) {
+		return nil, nil
+	}})
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonShuttingDown {
+		t.Fatalf("want shutting-down rejection, got %v", err)
+	}
+}
+
+func TestRetryWithBackoffThenSuccess(t *testing.T) {
+	var slept []time.Duration
+	var mu sync.Mutex
+	attempts := 0
+	p := NewPool(Config{
+		Workers: 1,
+		Retry: RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: 10 * time.Millisecond,
+			Sleep: func(d time.Duration) {
+				mu.Lock()
+				slept = append(slept, d)
+				mu.Unlock()
+			},
+		},
+	})
+	p.Submit(Job{Name: "flaky", Run: func(context.Context, budget.Limits) (*core.Result, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, fmt.Errorf("transient divergence")
+		}
+		return &core.Result{}, nil
+	}})
+	p.Quiesce()
+	outs := p.Shutdown(context.Background())
+	out := outcomesByName(outs)["flaky"]
+	if out.Err != nil || out.Attempts != 3 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if len(slept) != 2 || slept[1] < slept[0] {
+		t.Fatalf("backoff pauses = %v, want 2 increasing", slept)
+	}
+	if got := outcomeMode(out); got != "full+retried" {
+		t.Fatalf("rendered mode = %q", got)
+	}
+}
+
+func TestCancellationIsNotRetried(t *testing.T) {
+	attempts := 0
+	p := NewPool(Config{Workers: 1, Retry: RetryPolicy{MaxAttempts: 5}})
+	p.Submit(Job{Name: "canceled", Run: func(context.Context, budget.Limits) (*core.Result, error) {
+		attempts++
+		return nil, &budget.Error{Stage: "test", Resource: budget.ResourceContext, Cause: context.Canceled}
+	}})
+	p.Quiesce()
+	outs := p.Shutdown(context.Background())
+	out := outcomesByName(outs)["canceled"]
+	if attempts != 1 {
+		t.Fatalf("canceled job ran %d times", attempts)
+	}
+	if be, ok := budget.AsError(out.Err); !ok || !be.Canceled() {
+		t.Fatalf("outcome err = %v", out.Err)
+	}
+}
+
+func TestBreakerTripsToDegradedFallback(t *testing.T) {
+	p := NewPool(Config{Workers: 1, Breaker: BreakerPolicy{Threshold: 2}})
+	panicky := func(name string) Job {
+		return Job{
+			Name: name,
+			Key:  "same-input",
+			Run: func(context.Context, budget.Limits) (*core.Result, error) {
+				panic("corrupt model")
+			},
+			Fallback: func(_ context.Context, reason error) (*core.Result, error) {
+				return &core.Result{Degraded: true, DegradedReason: reason}, nil
+			},
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p.Submit(panicky(fmt.Sprintf("job-%d", i)))
+		p.Quiesce() // serialize so the breaker sees consecutive failures
+	}
+	outs := p.Shutdown(context.Background())
+	byName := outcomesByName(outs)
+	// First run: panic surfaces as an isolated error.
+	var pe *budget.PanicError
+	if !errors.As(byName["job-0"].Err, &pe) {
+		t.Fatalf("job-0 err = %v", byName["job-0"].Err)
+	}
+	// Second panic on the same key opens the breaker mid-job: degraded.
+	if r := byName["job-1"].Result; r == nil || !r.Degraded {
+		t.Fatalf("job-1 = %+v", byName["job-1"])
+	}
+	// Third never enters the panicking path: straight to the fallback.
+	if r := byName["job-2"].Result; r == nil || !r.Degraded {
+		t.Fatalf("job-2 = %+v", byName["job-2"])
+	}
+}
+
+func TestShutdownDrainsInFlightAndCheckpointsQueued(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	p := NewPool(Config{Workers: 1, QueueDepth: 4})
+	p.Submit(blockingJob("in-flight", started, release))
+	<-started
+	p.Submit(blockingJob("never-started", started, release))
+	// Snapshot before shutdown shows the queued placeholder.
+	snap := outcomesByName(p.Outcomes())
+	if snap["never-started"].JobState != report.JobQueued {
+		t.Fatalf("snapshot = %+v", p.Outcomes())
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	outs := p.Shutdown(context.Background())
+	byName := outcomesByName(outs)
+	if byName["in-flight"].Err != nil {
+		t.Fatalf("in-flight was not drained: %+v", byName["in-flight"])
+	}
+	if byName["never-started"].JobState != report.JobDrained {
+		t.Fatalf("queued job = %+v", byName["never-started"])
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	started := make(chan string, 1)
+	p := NewPool(Config{Workers: 1})
+	p.Submit(blockingJob("stuck", started, nil)) // never released
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	outs := p.Shutdown(ctx)
+	out := outcomesByName(outs)["stuck"]
+	if be, ok := budget.AsError(out.Err); !ok || !be.Canceled() {
+		t.Fatalf("stuck job outcome = %+v", out)
+	}
+}
+
+func TestPoolJournalsCompletedJobs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Create(filepath.Join(dir, "daemon.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := writeTestTrace(t, dir)
+	p := NewPool(Config{Workers: 1, Journal: w})
+	p.Submit(TraceJob("t1.trace", tracePath, core.DefaultOptions()))
+	p.Quiesce()
+	p.Shutdown(context.Background())
+	w.Close()
+	entries, err := journal.Recover(filepath.Join(dir, "daemon.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := CompletedJobs(entries)
+	if !done["t1.trace"] {
+		t.Fatalf("completed jobs = %v", done)
+	}
+}
+
+// poolHelperEnv marks the re-exec'd helper of the drain chaos test.
+const poolHelperEnv = "DROIDRACER_POOL_HELPER"
+
+// TestPoolHelperProcess is the subprocess body of the drain chaos test:
+// it journals one completed job, then shuts down with the jobs.drain
+// kill-point armed by the parent, dying after intake closes but before
+// the queued jobs drain.
+func TestPoolHelperProcess(t *testing.T) {
+	dir := os.Getenv(poolHelperEnv)
+	if dir == "" {
+		t.Skip("helper subprocess only")
+	}
+	w, err := journal.Create(filepath.Join(dir, "daemon.journal"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := NewPool(Config{Workers: 1, QueueDepth: 4, Journal: w})
+	p.Submit(TraceJob("t1.trace", filepath.Join(dir, "t1.trace"), core.DefaultOptions()))
+	p.Quiesce() // t1 finishes and is journaled before the crash
+	p.Submit(TraceJob("t2.trace", filepath.Join(dir, "t1.trace"), core.DefaultOptions()))
+	p.Submit(TraceJob("t3.trace", filepath.Join(dir, "t1.trace"), core.DefaultOptions()))
+	p.Shutdown(context.Background()) // jobs.drain kill-point fires here
+	os.Exit(0)
+}
+
+// TestPoolKilledMidDrainResumesFromJournal proves the daemon-restart
+// guarantee: a pool SIGKILL'd mid-drain loses only un-journaled work,
+// and the next incarnation's journal recovery re-runs exactly the jobs
+// that never completed.
+func TestPoolKilledMidDrainResumesFromJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	writeTestTrace(t, dir)
+	cmd := exec.Command(os.Args[0], "-test.run=^TestPoolHelperProcess$")
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, faultinject.EnvKillpoint+"=") ||
+			strings.HasPrefix(kv, poolHelperEnv+"=") {
+			continue
+		}
+		cmd.Env = append(cmd.Env, kv)
+	}
+	cmd.Env = append(cmd.Env,
+		poolHelperEnv+"="+dir,
+		faultinject.EnvKillpoint+"=jobs.drain")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != faultinject.KillExitCode {
+		t.Fatalf("helper exit = %v, want kill at jobs.drain\n%s", err, out)
+	}
+	// Incarnation 2: recover, resubmit only unfinished inputs.
+	jpath := filepath.Join(dir, "daemon.journal")
+	entries, err := journal.Recover(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := CompletedJobs(entries)
+	if !done["t1.trace"] {
+		t.Fatalf("journaled work lost in crash: %v", done)
+	}
+	if done["t2.trace"] || done["t3.trace"] {
+		t.Fatalf("drained jobs journaled as complete: %v", done)
+	}
+	w, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(Config{Workers: 1, Journal: w})
+	for _, name := range []string{"t1.trace", "t2.trace", "t3.trace"} {
+		if done[name] {
+			continue
+		}
+		p.Submit(TraceJob(name, filepath.Join(dir, "t1.trace"), core.DefaultOptions()))
+	}
+	p.Quiesce()
+	p.Shutdown(context.Background())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = journal.Recover(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done = CompletedJobs(entries)
+	for _, name := range []string{"t1.trace", "t2.trace", "t3.trace"} {
+		if !done[name] {
+			t.Fatalf("after restart %s still unfinished: %v", name, done)
+		}
+	}
+}
+
+// writeTestTrace writes the paper's Figure 4 trace (two known races) as
+// a spool file.
+func writeTestTrace(t *testing.T, dir string) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := trace.Format(&buf, paper.Figure4()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "t1.trace")
+	if err := os.WriteFile(path, []byte(buf.String()), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func outcomesByName(outs []report.Outcome) map[string]report.Outcome {
+	m := make(map[string]report.Outcome)
+	for _, o := range outs {
+		m[o.Name] = o
+	}
+	return m
+}
+
+// outcomeMode exposes the rendered mode column for assertions via the
+// public Pipeline renderer.
+func outcomeMode(o report.Outcome) string {
+	rows := strings.Split(report.Pipeline([]report.Outcome{o}), "\n")
+	for _, row := range rows[1:] {
+		fields := strings.Fields(row)
+		if len(fields) >= 2 && fields[0] == o.Name {
+			return fields[1]
+		}
+	}
+	return ""
+}

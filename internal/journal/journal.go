@@ -1,0 +1,222 @@
+// Package journal implements the crash-safe write-ahead journal of the
+// resilient analysis service: an append-only file of JSON-line entries
+// under a state directory, fsync'd at chunk boundaries, with a recovery
+// reader that tolerates the torn tail a hard crash leaves behind.
+//
+// The journal is what makes exploration campaigns restartable: the
+// explorer's DFS work (bound-k event sequences and their per-test race
+// results) is the expensive resource worth preserving across failures,
+// so every completed unit of work is journaled before the process may
+// die. Recovery follows standard WAL discipline: entries are replayed in
+// order until the first undecodable line, which is treated as the torn
+// tail of an interrupted append and discarded — everything before it was
+// fsync'd and is trusted.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"droidracer/internal/faultinject"
+)
+
+// Entry is one journal record: a type tag and an opaque payload the
+// owning subsystem marshals. Seq is the 1-based position in the journal,
+// assigned on append and verified on replay so a corrupted middle (not
+// just a torn tail) is detected rather than silently skipped.
+type Entry struct {
+	Seq  int             `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Decode unmarshals the entry payload into v.
+func (e Entry) Decode(v any) error {
+	if err := json.Unmarshal(e.Data, v); err != nil {
+		return fmt.Errorf("journal: entry %d (%s): %w", e.Seq, e.Type, err)
+	}
+	return nil
+}
+
+// DefaultChunk is the number of appended entries between automatic
+// fsyncs. Callers mark durability barriers explicitly with Sync; the
+// chunk bound caps how much unsynced work a crash between barriers can
+// lose.
+const DefaultChunk = 16
+
+// Writer appends entries to a journal file. It is safe for concurrent
+// use; appends are serialized internally.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	seq     int
+	pending int
+	chunk   int
+}
+
+// Create opens the journal file at path for appending, creating it (and
+// its parent directory) when absent. An existing journal is continued:
+// the sequence counter resumes after the last recoverable entry, and a
+// torn tail from a previous crash is truncated away first.
+func Create(path string) (*Writer, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	entries, valid, err := recoverFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f), seq: len(entries), chunk: DefaultChunk}, nil
+}
+
+// SetChunk overrides the automatic-fsync chunk size (entries per fsync);
+// n <= 1 syncs every append.
+func (w *Writer) SetChunk(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	w.chunk = n
+}
+
+// Append marshals data under the given type tag and writes it as one
+// journal line. The entry becomes durable at the next chunk boundary or
+// explicit Sync, whichever comes first.
+//
+// Kill-points: "journal.append" crashes after the line is buffered but
+// before any sync; "journal.torn" crashes after flushing only half of
+// the line to the file, leaving the torn tail recovery must discard.
+func (w *Writer) Append(typ string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling %s entry: %w", typ, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	line, err := json.Marshal(Entry{Seq: w.seq, Type: typ, Data: raw})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if faultinject.Triggered("journal.torn") {
+		// Model a crash mid-write: half the line reaches the disk, the
+		// rest is lost with the process.
+		w.bw.Write(line[:len(line)/2])
+		w.bw.Flush()
+		w.f.Sync()
+		os.Exit(faultinject.KillExitCode)
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	faultinject.Crash("journal.append")
+	w.pending++
+	if w.pending >= w.chunk {
+		return w.sync()
+	}
+	return nil
+}
+
+// Sync flushes buffered entries and fsyncs the file — the durability
+// barrier callers place after each completed unit of work.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sync()
+}
+
+func (w *Writer) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.pending = 0
+	faultinject.Crash("journal.synced")
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Recover reads the journal at path, returning every entry before the
+// torn tail (if any). A missing file is an empty journal, not an error:
+// resuming from a state dir that never got as far as its first sync must
+// behave like a fresh start.
+func Recover(path string) ([]Entry, error) {
+	entries, _, err := recoverFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return entries, err
+}
+
+// recoverFile reads entries and also reports the byte offset of the end
+// of the last valid entry, so Create can truncate a torn tail before
+// appending. A final line without its '\n' terminator is torn by
+// definition — the writer always line-frames records — even when its
+// bytes happen to decode.
+func recoverFile(path string) ([]Entry, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var entries []Entry
+	var valid int64
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			// line, if non-empty, is an unterminated (torn) tail.
+			return entries, valid, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("journal: %s: %w", path, err)
+		}
+		var e Entry
+		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil || e.Seq != len(entries)+1 {
+			if uerr == nil && e.Seq != 0 {
+				// A decodable entry with the wrong sequence number is not a
+				// torn tail — the journal middle is corrupt and resuming
+				// from it could silently drop work.
+				return nil, 0, fmt.Errorf("journal: %s: entry out of sequence (want %d, got %d)",
+					path, len(entries)+1, e.Seq)
+			}
+			// Undecodable line: the torn tail of an interrupted append.
+			// Everything after it (normally nothing) is untrusted too.
+			return entries, valid, nil
+		}
+		entries = append(entries, e)
+		valid += int64(len(line))
+	}
+}

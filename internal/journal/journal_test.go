@@ -1,0 +1,212 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state", "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append("seq", payload{Key: "k", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("recovered %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != i+1 || e.Type != "seq" {
+			t.Fatalf("entry %d: seq=%d type=%q", i, e.Seq, e.Type)
+		}
+		var p payload
+		if err := e.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N != i {
+			t.Fatalf("entry %d decoded N=%d", i, p.N)
+		}
+	}
+}
+
+func TestRecoverMissingFileIsEmpty(t *testing.T) {
+	entries, err := Recover(filepath.Join(t.TempDir(), "absent.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != nil {
+		t.Fatalf("got %v, want nil", entries)
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append("seq", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"type":"seq","da`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(entries))
+	}
+}
+
+func TestUnterminatedDecodableTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("seq", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A complete JSON object that lost only its trailing newline is still
+	// torn: the writer line-frames every record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"type":"seq"}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("recovered %d entries, want 1", len(entries))
+	}
+}
+
+func TestCreateResumesAfterTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("seq", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("garbage-tail"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Reopening truncates the torn tail and continues the sequence.
+	w, err = Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("seq", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Seq != 2 {
+		t.Fatalf("recovered %v, want 2 sequential entries", entries)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "garbage") {
+		t.Fatalf("torn tail survived reopen: %q", data)
+	}
+}
+
+func TestOutOfSequenceMiddleIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	body := `{"seq":1,"type":"a"}` + "\n" + `{"seq":3,"type":"b"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(path); err == nil {
+		t.Fatal("out-of-sequence journal recovered without error")
+	}
+}
+
+func TestChunkSyncBoundsUnsyncedEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetChunk(2)
+	// Three appends: the first two auto-sync at the chunk boundary, the
+	// third sits in the buffer. Without Close, only the chunk is on disk.
+	for i := 0; i < 3; i++ {
+		if err := w.Append("seq", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries before close, want 2 (one chunk)", len(entries))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries after close, want 3", len(entries))
+	}
+}

@@ -21,20 +21,56 @@ type Outcome struct {
 	Result *core.Result
 	// Err is the error the pipeline returned, nil on success.
 	Err error
+
+	// The fields below are set by the jobs supervisor for work it
+	// managed; they are zero for plain per-trace analyses.
+
+	// JobState is the supervisor's disposition for a job that never ran
+	// to an analysis verdict: JobQueued (still waiting at shutdown),
+	// JobShed (rejected by admission control), or JobDrained
+	// (checkpointed and requeued for a future resume during graceful
+	// shutdown). Empty for jobs that produced a Result or Err.
+	JobState string
+	// Attempts counts supervised execution attempts; values above 1 mean
+	// the job was retried.
+	Attempts int
+	// Resumed marks a job whose result includes work recovered from a
+	// checkpoint journal rather than recomputed.
+	Resumed bool
 }
 
-// mode summarizes how the outcome's analysis ended.
+// Supervisor job states rendered in the Mode column.
+const (
+	JobQueued  = "queued"
+	JobShed    = "shed"
+	JobDrained = "drained"
+)
+
+// mode summarizes how the outcome's analysis ended. Supervisor states
+// replace the analysis mode (those jobs have no verdict); retry and
+// resume annotate it, e.g. "full+retried" or "degraded+resumed".
 func (o Outcome) mode() string {
+	if o.JobState != "" {
+		return o.JobState
+	}
+	m := ""
 	switch {
 	case o.Result != nil && o.Result.Degraded:
-		return "degraded"
+		m = "degraded"
 	case o.Err != nil && o.Result != nil:
-		return "partial"
+		m = "partial"
 	case o.Err != nil:
-		return "error"
+		m = "error"
 	default:
-		return "full"
+		m = "full"
 	}
+	if o.Attempts > 1 {
+		m += "+retried"
+	}
+	if o.Resumed {
+		m += "+resumed"
+	}
+	return m
 }
 
 // detail renders the reason column: the budget resource, the panic

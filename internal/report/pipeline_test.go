@@ -72,12 +72,24 @@ func TestPipelineRoundTripsEveryOutcome(t *testing.T) {
 	}
 	outcomes = append(outcomes, report.Outcome{Name: "bad-error", Err: berr})
 
+	// Supervisor dispositions: jobs the pool queued, shed, drained,
+	// retried, or resumed must round-trip through the same renderer.
+	outcomes = append(outcomes,
+		report.Outcome{Name: "job-queued", JobState: report.JobQueued},
+		report.Outcome{Name: "job-shed", JobState: report.JobShed,
+			Err: fmt.Errorf("jobs: rejected (queue-full, 16/16 queued)")},
+		report.Outcome{Name: "job-drained", JobState: report.JobDrained},
+	)
+
 	out := report.Pipeline(outcomes)
 	for _, want := range []string{
 		"figure4-full", "full",
 		"big-degraded", "degraded", "budget: wall-clock",
 		"big-partial", "partial",
 		"bad-error", "error",
+		"job-queued", "queued",
+		"job-shed", "shed", "queue-full",
+		"job-drained", "drained",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
@@ -94,5 +106,36 @@ func TestPipelineRoundTripsEveryOutcome(t *testing.T) {
 	}
 	if _, ok := sums["bad-error"]; ok {
 		t.Fatal("summaries should skip result-less outcomes")
+	}
+}
+
+// TestPipelineAnnotatesRetriedAndResumed checks the supervisor's mode
+// annotations: attempts above one render "+retried", journal-recovered
+// work renders "+resumed", and both compose with the analysis mode.
+func TestPipelineAnnotatesRetriedAndResumed(t *testing.T) {
+	full, err := core.Analyze(paper.Figure4(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := &core.Result{Degraded: true, DegradedReason: fmt.Errorf("breaker open")}
+	out := report.Pipeline([]report.Outcome{
+		{Name: "retried", Result: full, Attempts: 3},
+		{Name: "resumed", Result: full, Resumed: true},
+		{Name: "both", Result: degraded, Attempts: 2, Resumed: true},
+	})
+	for _, want := range []string{
+		"full+retried",
+		"full+resumed",
+		"degraded+retried+resumed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Supervisor states must not pick up annotations: a drained job with
+	// zero attempts renders as plain "drained".
+	row := report.Pipeline([]report.Outcome{{Name: "d", JobState: report.JobDrained, Resumed: false}})
+	if !strings.Contains(row, "drained") || strings.Contains(row, "+") {
+		t.Fatalf("drained row = %q", row)
 	}
 }

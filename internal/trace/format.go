@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -28,7 +30,11 @@ func Format(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// Parse reads a trace in the textual format produced by Format.
+// Parse reads a trace in the textual format produced by Format. It
+// streams from r line by line — memory is proportional to the parsed
+// operations plus one line buffer, never to the input size — so a
+// long-running daemon can parse multi-gigabyte spooled traces without
+// first loading them into memory.
 func Parse(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -51,6 +57,29 @@ func Parse(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("line %d: line exceeds the %d-byte limit", lineno+1, 16*1024*1024)
 		}
 		return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+	}
+	return tr, nil
+}
+
+// ParseBytes parses an in-memory trace — a thin wrapper over the
+// streaming Parse for callers that already hold the bytes (fuzzers,
+// tests, corruption operators).
+func ParseBytes(data []byte) (*Trace, error) {
+	return Parse(bytes.NewReader(data))
+}
+
+// ParseFile opens and parses the trace at path, streaming it through
+// Parse so the file is never resident in memory at once. It is the entry
+// point the spool-watching daemon uses per job.
+func ParseFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := Parse(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return tr, nil
 }

@@ -30,11 +30,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"droidracer"
 	"droidracer/internal/apps"
 	"droidracer/internal/core"
 	"droidracer/internal/jobs"
+	"droidracer/internal/obs"
+	"droidracer/internal/report"
 )
 
 func main() {
@@ -50,6 +53,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the analysis (0 = unlimited)")
 	maxNodes := flag.Int("max-nodes", 0, "cap on happens-before graph nodes (0 = unlimited)")
 	noDegrade := flag.Bool("no-degrade", false, "on budget exhaustion, fail with partial results instead of degrading to the pure-MT baseline")
+	phaseTimings := flag.Bool("phase-timings", false, "append a per-phase wall-clock timing table to the report")
 	campaignApp := flag.String("campaign", "", "run a restartable exploration campaign over this application model")
 	stateDir := flag.String("state", "", "state directory for the campaign journal (with -campaign)")
 	resumeDir := flag.String("resume", "", "resume the campaign journaled under this state directory")
@@ -71,10 +75,12 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	parseStart := time.Now()
 	tr, err := droidracer.ParseTrace(in)
 	if err != nil {
 		fatal(err)
 	}
+	parseDur := time.Since(parseStart)
 
 	opts := droidracer.DefaultOptions()
 	opts.Dedup = !*all
@@ -132,6 +138,9 @@ func main() {
 	}
 	if len(res.Races) == 0 {
 		fmt.Println("no data races detected")
+		if *phaseTimings {
+			printPhases(res, parseDur)
+		}
 		if partial {
 			os.Exit(1)
 		}
@@ -149,9 +158,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *phaseTimings {
+		printPhases(res, parseDur)
+	}
 	if partial {
 		os.Exit(1)
 	}
+}
+
+// printPhases appends the -phase-timings table to the report: the trace
+// parse, then the pipeline's per-phase spans in completion order.
+func printPhases(res *droidracer.Result, parse time.Duration) {
+	timings := append([]obs.PhaseTiming{{Phase: "parse", Duration: parse}}, res.Phases...)
+	fmt.Print("\n" + report.PhaseTable(timings))
 }
 
 // runCampaign is the -campaign/-resume entry point: it builds (or
@@ -202,6 +221,10 @@ func runCampaign(appName, stateDir, resumeDir string, k int, seed int64) {
 		fmt.Fprintf(os.Stderr, "racedet: resumed %d journaled test(s), explored %d new sequence(s)\n",
 			res.ResumedTests, res.SequencesExplored)
 	}
+	if res.Recovered.Torn() {
+		fmt.Fprintf(os.Stderr, "racedet: journal recovery discarded a torn tail (%d entr%s, %d bytes); that work was re-explored\n",
+			res.Recovered.DiscardedEntries, plural(res.Recovered.DiscardedEntries, "y", "ies"), res.Recovered.DiscardedBytes)
+	}
 	for _, id := range res.Races {
 		fmt.Printf("%s: %s (%s vs %s)\n", id.Category, id.Loc, id.First, id.Second)
 	}
@@ -211,6 +234,13 @@ func runCampaign(appName, stateDir, resumeDir string, k int, seed int64) {
 	if !res.Complete {
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func fatal(err error) {

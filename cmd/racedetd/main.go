@@ -9,7 +9,15 @@
 //
 //	racedetd -spool DIR -state DIR [-workers N] [-queue N]
 //	         [-deadline 30s] [-retries N] [-poll 2s] [-once]
-//	         [-drain-timeout 30s]
+//	         [-drain-timeout 30s] [-metrics-addr HOST:PORT]
+//	         [-events PATH]
+//
+// -metrics-addr starts the debug HTTP listener: Prometheus-text
+// /metrics, expvar /debug/vars, and net/http/pprof under /debug/pprof/.
+// The bound address is printed to stderr (port 0 picks a free port).
+// -events appends a structured JSONL event log (log/slog) with a
+// per-incarnation run ID; job-finish events carry the journal sequence
+// number of their WAL record.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: intake closes, in-flight
 // analyses run to completion (bounded by -drain-timeout, after which
@@ -35,6 +43,7 @@ import (
 	"droidracer/internal/core"
 	"droidracer/internal/jobs"
 	"droidracer/internal/journal"
+	"droidracer/internal/obs"
 	"droidracer/internal/report"
 )
 
@@ -53,20 +62,54 @@ func main() {
 	poll := flag.Duration("poll", 2*time.Second, "spool re-scan interval")
 	once := flag.Bool("once", false, "sweep the spool once, drain, and exit")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight jobs")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address (empty = off)")
+	eventsPath := flag.String("events", "", "append structured JSONL lifecycle events to this file (empty = off)")
 	flag.Parse()
 	if *spool == "" || *state == "" {
 		fatal(fmt.Errorf("missing -spool or -state"))
 	}
 
+	events := obs.Nop()
+	runID := obs.NewRunID()
+	if *eventsPath != "" {
+		ef, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o666)
+		if err != nil {
+			fatal(err)
+		}
+		defer ef.Close()
+		events = obs.NewEventLog(ef, runID)
+	}
+
+	var debugSrv interface{ Close() error }
+	if *metricsAddr != "" {
+		srv, bound, err := obs.ServeDebug(*metricsAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		debugSrv = srv
+		fmt.Fprintf(os.Stderr, "racedetd: debug listener on http://%s/ (metrics, expvar, pprof)\n", bound)
+		events.Info("daemon.debug-listener", "addr", bound)
+	}
+
 	jpath := filepath.Join(*state, journalName)
-	entries, err := journal.Recover(jpath)
+	entries, rstats, err := journal.RecoverStats(jpath)
 	if err != nil {
 		fatal(err)
+	}
+	if rstats.Torn() {
+		// A hard crash left a torn tail; the discarded bytes were never
+		// acknowledged durable, but say what resume is not replaying.
+		fmt.Fprintf(os.Stderr, "racedetd: journal recovery discarded a torn tail (%d entr(ies), %d bytes)\n",
+			rstats.DiscardedEntries, rstats.DiscardedBytes)
 	}
 	done := jobs.CompletedJobs(entries)
 	if len(done) > 0 {
 		fmt.Fprintf(os.Stderr, "racedetd: journal holds %d completed input(s); skipping them\n", len(done))
 	}
+	events.Info("daemon.start", "spool", *spool, "state", *state,
+		"recovered_entries", rstats.Entries,
+		"torn_entries", rstats.DiscardedEntries, "torn_bytes", rstats.DiscardedBytes,
+		"completed_jobs", len(done))
 	w, err := journal.Create(jpath)
 	if err != nil {
 		fatal(err)
@@ -79,6 +122,7 @@ func main() {
 		Retry:      jobs.RetryPolicy{MaxAttempts: 1 + *retries, BaseBackoff: *backoff},
 		Breaker:    jobs.BreakerPolicy{Threshold: *breaker},
 		Journal:    w,
+		Events:     events,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,8 +147,13 @@ func main() {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	events.Info("daemon.drain", "timeout", drainTimeout.String())
 	outs := pool.Shutdown(drainCtx)
 	fmt.Print(report.Pipeline(outs))
+	events.Info("daemon.stop", "outcomes", len(outs), "journal_seq", w.Seq())
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if err := w.Close(); err != nil {
 		fatal(err)
 	}

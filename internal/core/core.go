@@ -18,6 +18,7 @@ import (
 	"droidracer/internal/baseline"
 	"droidracer/internal/budget"
 	"droidracer/internal/hb"
+	"droidracer/internal/obs"
 	"droidracer/internal/race"
 	"droidracer/internal/semantics"
 	"droidracer/internal/trace"
@@ -84,6 +85,12 @@ type Result struct {
 	// DegradedReason is the budget error that forced the fallback, nil
 	// for full results.
 	DegradedReason error
+	// Phases are the per-phase wall-clock timings of this analysis
+	// (validate, annotate, happens-before, race-scan, and degrade when
+	// the fallback ran), in completion order. racedet -phase-timings
+	// renders them; they are also mirrored into the process-wide
+	// droidracer_phase_duration_seconds histogram.
+	Phases []obs.PhaseTiming
 }
 
 // Analyze runs the full pipeline on tr without a deadline. See
@@ -109,36 +116,58 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (res *Re
 		return nil
 	})
 	if ierr != nil {
+		publishAnalysis(nil, ierr)
 		return nil, ierr
+	}
+	publishAnalysis(res, err)
+	return res, err
+}
+
+// analyze runs the phased pipeline, attaching the per-phase timings to
+// whatever result (full, degraded, or partial) comes back.
+func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error) {
+	ph := obs.NewPhases()
+	res, err := analyzePhased(ctx, tr, opts, ph)
+	if res != nil {
+		res.Phases = ph.Timings()
 	}
 	return res, err
 }
 
-func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error) {
+func analyzePhased(ctx context.Context, tr *trace.Trace, opts Options, ph *obs.Phases) (*Result, error) {
 	ck := budget.NewChecker(ctx, opts.Budget)
 	if opts.DropCancelled {
 		tr = tr.WithoutCancelled()
 	}
 	ck.SetStage("validate")
 	if opts.Validate {
+		sp := ph.Start("validate")
 		if err := ck.CheckNow(); err != nil {
-			return degradeOrErr(tr, nil, opts, ck, err)
+			sp.End()
+			return degradeOrErr(tr, nil, opts, ck, ph, err)
 		}
-		if i, err := semantics.ValidateInferred(tr); err != nil {
+		i, err := semantics.ValidateInferred(tr)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("core: trace is not a valid execution (op %d): %w", i, err)
 		}
 	}
+	sp := ph.Start("annotate")
 	info, err := trace.Analyze(tr)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	ck.SetStage("happens-before")
+	sp = ph.Start("happens-before")
 	g, err := hb.BuildBudgeted(info, opts.HB, ck)
+	sp.End()
 	if err != nil {
 		res := &Result{Trace: tr, Info: info, Graph: g, Stats: trace.ComputeStats(tr, nil)}
-		return degradeOrErr(tr, res, opts, ck, err)
+		return degradeOrErr(tr, res, opts, ck, ph, err)
 	}
 	ck.SetStage("race-scan")
+	sp = ph.Start("race-scan")
 	d := race.NewDetector(g)
 	var races []race.Race
 	if opts.Dedup {
@@ -146,6 +175,7 @@ func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error
 	} else {
 		races, err = d.DetectBudgeted(ck)
 	}
+	sp.End()
 	res := &Result{
 		Trace: tr,
 		Info:  info,
@@ -154,7 +184,7 @@ func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error
 		Stats: trace.ComputeStats(tr, nil),
 	}
 	if err != nil {
-		return degradeOrErr(tr, res, opts, ck, err)
+		return degradeOrErr(tr, res, opts, ck, ph, err)
 	}
 	return res, nil
 }
@@ -173,12 +203,16 @@ func AnalyzeBaseline(tr *trace.Trace, opts Options, reason error) (res *Result, 
 		if opts.DropCancelled {
 			tr = tr.WithoutCancelled()
 		}
-		res = degrade(tr, nil, reason)
+		ph := obs.NewPhases()
+		res = degrade(tr, nil, ph, reason)
+		res.Phases = ph.Timings()
 		return nil
 	})
 	if ierr != nil {
+		publishAnalysis(nil, ierr)
 		return nil, ierr
 	}
+	publishAnalysis(res, nil)
 	return res, nil
 }
 
@@ -188,9 +222,9 @@ func AnalyzeBaseline(tr *trace.Trace, opts Options, reason error) (res *Result, 
 // nil — a budget that trips before any stage produced output (e.g.
 // during validation) still hands back the pruned trace and its stats,
 // so downstream reporting always has a row to render.
-func degradeOrErr(tr *trace.Trace, partial *Result, opts Options, ck *budget.Checker, err error) (*Result, error) {
+func degradeOrErr(tr *trace.Trace, partial *Result, opts Options, ck *budget.Checker, ph *obs.Phases, err error) (*Result, error) {
 	if be, ok := budget.AsError(err); ok && opts.DegradeOnBudget && !be.Canceled() {
-		return degrade(tr, partial, err), nil
+		return degrade(tr, partial, ph, err), nil
 	}
 	if partial == nil {
 		partial = &Result{Trace: tr, Stats: trace.ComputeStats(tr, nil)}
@@ -200,7 +234,9 @@ func degradeOrErr(tr *trace.Trace, partial *Result, opts Options, ck *budget.Che
 
 // degrade produces the fallback result: races from the linear pure-MT
 // baseline detector, which needs no happens-before graph and no budget.
-func degrade(tr *trace.Trace, partial *Result, reason error) *Result {
+func degrade(tr *trace.Trace, partial *Result, ph *obs.Phases, reason error) *Result {
+	sp := ph.Start("degrade")
+	defer sp.End()
 	res := partial
 	if res == nil {
 		res = &Result{Trace: tr, Stats: trace.ComputeStats(tr, nil)}

@@ -1,0 +1,33 @@
+package core
+
+import "droidracer/internal/obs"
+
+// Analysis outcome counters, pre-registered per mode so the series set
+// is complete from process start. Modes mirror report.Outcome: full,
+// degraded (baseline fallback), partial (error alongside partial
+// results), error (including panics).
+var analysisCounters = map[string]*obs.Counter{}
+
+func init() {
+	for _, mode := range []string{"full", "degraded", "partial", "error"} {
+		analysisCounters[mode] = obs.Default().Counter("droidracer_analyses_total",
+			"Completed analyses, by outcome mode.", "mode", mode)
+	}
+}
+
+// publishAnalysis counts one finished analysis by its outcome mode.
+func publishAnalysis(res *Result, err error) {
+	if !obs.ExporterAttached() {
+		return
+	}
+	mode := "full"
+	switch {
+	case err != nil && res != nil:
+		mode = "partial"
+	case err != nil:
+		mode = "error"
+	case res != nil && res.Degraded:
+		mode = "degraded"
+	}
+	analysisCounters[mode].Inc()
+}

@@ -146,6 +146,7 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 			// A previous run completed this whole subtree and durably
 			// recorded its tests; re-exploring it would redo the work the
 			// checkpoint exists to preserve.
+			subtreesSkipped.Inc()
 			return nil
 		}
 		if err := ck.CheckNow(); err != nil {
@@ -159,6 +160,8 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 			return err
 		}
 		res.SequencesExplored++
+		sequencesTotal.Inc()
+		maxDepth.SetMax(int64(len(prefix)))
 		atBound := len(prefix) >= opts.MaxEvents || len(enabled) == 0
 		record := atBound || opts.RecordAll
 		if record {
@@ -171,6 +174,7 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 				SystemThreads: env.SystemThreads(),
 			}
 			recorded++
+			testsTotal.Inc()
 			if opts.OnTest != nil {
 				if err := opts.OnTest(&t); err != nil {
 					return err
@@ -182,11 +186,16 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 			env.Close()
 		}
 		if !atBound {
-			for _, ev := range enabled {
+			for i, ev := range enabled {
 				if opts.MaxTests > 0 && recorded >= opts.MaxTests {
 					// The cap cut this subtree short; it must not be marked
 					// done, or a resume would skip its unexplored remainder.
 					return nil
+				}
+				if i > 0 {
+					// Every sibling after the first means the DFS returned
+					// here and will replay this prefix from scratch.
+					backtracksTotal.Inc()
 				}
 				if err := dfs(append(prefix, ev)); err != nil {
 					return err
@@ -197,6 +206,7 @@ func explore(ctx context.Context, factory AppFactory, opts Options) (*Result, er
 			if err := opts.Checkpoint.SubtreeDone(prefix); err != nil {
 				return err
 			}
+			checkpointBarriers.Inc()
 		}
 		return nil
 	}
@@ -241,6 +251,7 @@ func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Re
 	if err != nil {
 		return nil, nil, err
 	}
+	replaysTotal.Inc()
 	if err := runAll(env, ck); err != nil {
 		env.Close()
 		return nil, nil, fmt.Errorf("explorer: initial run: %w", err)
@@ -256,6 +267,7 @@ func runPrefix(factory AppFactory, seed int64, prefix []android.UIEvent, res *Re
 		}
 		if res != nil {
 			res.EventsFired++
+			eventsFiredTotal.Inc()
 		}
 		if err := runAll(env, ck); err != nil {
 			env.Close()

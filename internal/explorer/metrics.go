@@ -1,0 +1,34 @@
+package explorer
+
+import "droidracer/internal/obs"
+
+// Exploration and verification metrics. Every counter here sits next to
+// a full app-model replay, so one atomic increment per event is noise;
+// no local tallying needed.
+var (
+	sequencesTotal = obs.Default().Counter("droidracer_explorer_sequences_total",
+		"DFS prefixes executed, including interior nodes.")
+	eventsFiredTotal = obs.Default().Counter("droidracer_explorer_events_fired_total",
+		"UI event injections across all exploration runs.")
+	testsTotal = obs.Default().Counter("droidracer_explorer_tests_total",
+		"Tests recorded (streamed or accumulated).")
+	replaysTotal = obs.Default().Counter("droidracer_explorer_replays_total",
+		"Prefix replays on a fresh environment (one per DFS node visited).")
+	backtracksTotal = obs.Default().Counter("droidracer_explorer_backtracks_total",
+		"DFS backtracks: returns to a parent prefix to try a sibling event.")
+	maxDepth = obs.Default().Gauge("droidracer_explorer_max_depth",
+		"Deepest event-sequence prefix explored so far.")
+	checkpointBarriers = obs.Default().Counter("droidracer_explorer_checkpoint_barriers_total",
+		"Completed-subtree checkpoints made durable (SubtreeDone calls).")
+	subtreesSkipped = obs.Default().Counter("droidracer_explorer_subtrees_skipped_total",
+		"Subtrees skipped on resume because a checkpoint marked them done.")
+
+	verifyRunsTotal = obs.Default().Counter("droidracer_verify_runs_total",
+		"Race verifications started (reorder-replay campaigns).")
+	verifyAttemptsTotal = obs.Default().Counter("droidracer_verify_attempts_total",
+		"Reorder-replay attempts across all verifications.")
+	verifyRetriesTotal = obs.Default().Counter("droidracer_verify_retries_total",
+		"Verification retry rounds beyond each campaign's first.")
+	verifyConfirmedTotal = obs.Default().Counter("droidracer_verify_confirmed_total",
+		"Verifications that confirmed a race by exhibiting the opposite order.")
+)

@@ -50,6 +50,7 @@ func RandomExplore(factory AppFactory, opts RandomOptions) (*Result, error) {
 			}
 			seq = append(seq, ev)
 			res.EventsFired++
+			eventsFiredTotal.Inc()
 			if err := env.Run(); err != nil {
 				return nil, fmt.Errorf("explorer: random run %d: %w", run, err)
 			}

@@ -119,6 +119,7 @@ func VerifyRaceWithRetryContext(ctx context.Context, factory AppFactory, sequenc
 	rng := rand.New(rand.NewSource(policy.Seed))
 	backoff := policy.BaseBackoff
 	v := Verification{}
+	verifyRunsTotal.Inc()
 	for round := 0; round <= policy.Retries; round++ {
 		if err := ctxErr(ctx); err != nil {
 			return v, err
@@ -139,8 +140,12 @@ func VerifyRaceWithRetryContext(ctx context.Context, factory AppFactory, sequenc
 			}
 		}
 		v.Rounds++
+		if round > 0 {
+			verifyRetriesTotal.Inc()
+		}
 		firstSeed := int64(round)*int64(policy.AttemptsPerRound) + 1
 		if verifyRange(factory, sequence, idA, idB, firstSeed, policy.AttemptsPerRound, &v) {
+			verifyConfirmedTotal.Inc()
 			return v, nil
 		}
 	}
@@ -180,6 +185,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func verifyRange(factory AppFactory, sequence []android.UIEvent, idA, idB AccessID, firstSeed int64, attempts int, v *Verification) bool {
 	for seed := firstSeed; seed < firstSeed+int64(attempts); seed++ {
 		v.Attempts++
+		verifyAttemptsTotal.Inc()
 		tr, err := replayJittered(factory, seed, sequence)
 		if err != nil {
 			// Some schedules may diverge (a racy app can change its own

@@ -20,6 +20,8 @@
 package hb
 
 import (
+	"time"
+
 	"droidracer/internal/bitset"
 	"droidracer/internal/budget"
 	"droidracer/internal/trace"
@@ -100,6 +102,13 @@ type Graph struct {
 	// against Limits.MaxClosureEdges during construction.
 	edges int
 
+	// ruleEdges attributes edges to the Figure 6–7 rule that derived
+	// them; baseST/baseMT count direct (non-closure) insertions per
+	// relation so the TRANS-* remainders can be computed afterwards.
+	ruleEdges [numRules]int
+	baseST    int
+	baseMT    int
+
 	// Budget enforcement during Build; both are nil/zero afterwards on
 	// the unbudgeted path.
 	ck       *budget.Checker
@@ -123,6 +132,7 @@ func Build(info *trace.Info, cfg Config) *Graph {
 // callers should degrade instead (see core.AnalyzeContext). A nil
 // checker reproduces Build exactly.
 func BuildBudgeted(info *trace.Info, cfg Config, ck *budget.Checker) (*Graph, error) {
+	start := time.Now()
 	g := &Graph{cfg: cfg, info: info, ck: ck}
 	g.buildNodes()
 	n := len(g.nodes)
@@ -159,6 +169,15 @@ func BuildBudgeted(info *trace.Info, cfg Config, ck *budget.Checker) (*Graph, er
 			}
 		}
 	}
+	if err == nil {
+		// Attribute closure edges only for completed builds: the Count
+		// pass is O(nodes²/64) — trivial next to a finished fixpoint,
+		// but not next to a build the budget stopped almost immediately.
+		// Base-rule counts are exact either way; an abandoned closure's
+		// TRANS-* contribution stays 0.
+		g.finalizeRuleCounts()
+	}
+	g.publishMetrics(start)
 	return g, err
 }
 
@@ -276,8 +295,9 @@ func (g *Graph) MTHas(i, j int) bool {
 	return g.mt[ni].Has(nj)
 }
 
-// addST records node a ≼st node b, guarding against backward edges.
-func (g *Graph) addST(a, b int) bool {
+// addST records node a ≼st node b under rule r, guarding against
+// backward edges.
+func (g *Graph) addST(a, b int, r Rule) bool {
 	if a == b {
 		return false
 	}
@@ -290,12 +310,15 @@ func (g *Graph) addST(a, b int) bool {
 	}
 	g.st[a].Set(b)
 	g.edges++
+	g.ruleEdges[r]++
+	g.baseST++
 	return true
 }
 
-// addMT records node a ≼mt node b, guarding against backward edges. Under
-// Config.STOnly inter-thread edges are suppressed entirely.
-func (g *Graph) addMT(a, b int) bool {
+// addMT records node a ≼mt node b under rule r, guarding against
+// backward edges. Under Config.STOnly inter-thread edges are suppressed
+// entirely.
+func (g *Graph) addMT(a, b int, r Rule) bool {
 	if g.cfg.STOnly || a == b {
 		return false
 	}
@@ -308,5 +331,7 @@ func (g *Graph) addMT(a, b int) bool {
 	}
 	g.mt[a].Set(b)
 	g.edges++
+	g.ruleEdges[r]++
+	g.baseMT++
 	return true
 }

@@ -1,0 +1,52 @@
+package hb
+
+import (
+	"testing"
+
+	"droidracer/internal/paper"
+)
+
+// TestRuleEdgesFigure3 checks the per-rule edge attribution on the
+// paper's Figure 3 trace: expected base rules fire, the transitive
+// remainders are attributed, and the per-rule counts sum to the total
+// pair count of the final relations (a pair in both st and mt counted
+// twice, matching RuleEdges' contract).
+func TestRuleEdgesFigure3(t *testing.T) {
+	g := build(t, paper.Figure3(), DefaultConfig())
+	edges := g.RuleEdges()
+
+	for _, rule := range []string{"fork", "post-mt", "enable-st", "enable-mt", "no-q-po"} {
+		if edges[rule] == 0 {
+			t.Errorf("rule %q attributed 0 edges on Figure 3, want > 0", rule)
+		}
+	}
+	if edges["trans-st"] == 0 && edges["trans-mt"] == 0 {
+		t.Error("no closure edges attributed to trans-st/trans-mt on Figure 3")
+	}
+
+	sum := 0
+	for _, n := range edges {
+		sum += n
+	}
+	stmt := 0
+	for i := range g.nodes {
+		stmt += g.st[i].Count() + g.mt[i].Count()
+	}
+	if sum != stmt {
+		t.Errorf("rule edge counts sum to %d, want st+mt pair total %d", sum, stmt)
+	}
+}
+
+// TestRuleEdgesSTOnly checks that the single-threaded specialization
+// attributes no multithreaded-rule edges.
+func TestRuleEdgesSTOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.STOnly = true
+	g := build(t, paper.Figure3(), cfg)
+	edges := g.RuleEdges()
+	for _, rule := range []string{"fork", "join", "enable-mt", "post-mt", "attach-q-mt", "lock", "trans-mt"} {
+		if edges[rule] != 0 {
+			t.Errorf("STOnly graph attributed %d edges to mt rule %q, want 0", edges[rule], rule)
+		}
+	}
+}

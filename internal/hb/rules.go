@@ -51,10 +51,10 @@ func (g *Graph) addBaseEdges() {
 			a, b := ops[k], ops[k+1]
 			switch {
 			case g.cfg.WholeThreadPO, loop < 0, a <= loop:
-				g.addST(g.nodeOf[a], g.nodeOf[b])
+				g.addST(g.nodeOf[a], g.nodeOf[b], RuleNoQPO)
 			default:
 				if ta := g.info.Task(a); ta != "" && ta == g.info.Task(b) {
-					g.addST(g.nodeOf[a], g.nodeOf[b]) // ASYNC-PO
+					g.addST(g.nodeOf[a], g.nodeOf[b], RuleAsyncPO)
 				}
 			}
 		}
@@ -66,7 +66,7 @@ func (g *Graph) addBaseEdges() {
 				}
 				task := g.info.Task(c)
 				if task == "" || g.info.BeginIdx(task) == c {
-					g.addST(loopNode, g.nodeOf[c])
+					g.addST(loopNode, g.nodeOf[c], RuleNoQPO)
 				}
 			}
 		}
@@ -82,11 +82,11 @@ func (g *Graph) addBaseEdges() {
 		}
 		if g.cfg.EnableEdges {
 			if e := g.info.EnableIdx(op.Task); e >= 0 {
-				g.addDirected(e, i)
+				g.addDirected(e, i, RuleEnableST, RuleEnableMT)
 			}
 		}
 		if b := g.info.BeginIdx(op.Task); b >= 0 {
-			g.addDirected(i, b)
+			g.addDirected(i, b, RulePostST, RulePostMT)
 		}
 	}
 
@@ -99,7 +99,7 @@ func (g *Graph) addBaseEdges() {
 		}
 		for _, q := range posts {
 			if tr.Op(q).Thread != t {
-				g.addMT(g.nodeOf[a], g.nodeOf[q])
+				g.addMT(g.nodeOf[a], g.nodeOf[q], RuleAttachQMT)
 			}
 		}
 	}
@@ -109,11 +109,11 @@ func (g *Graph) addBaseEdges() {
 		switch op.Kind {
 		case trace.OpFork:
 			if ti, ok := initOf[op.Other]; ok {
-				g.addMT(g.nodeOf[i], g.nodeOf[ti])
+				g.addMT(g.nodeOf[i], g.nodeOf[ti], RuleFork)
 			}
 		case trace.OpJoin:
 			if te, ok := exitOf[op.Other]; ok {
-				g.addMT(g.nodeOf[te], g.nodeOf[i])
+				g.addMT(g.nodeOf[te], g.nodeOf[i], RuleJoin)
 			}
 		}
 	}
@@ -133,9 +133,9 @@ func (g *Graph) addBaseEdges() {
 				}
 				switch {
 				case tr.Op(r).Thread != tr.Op(a).Thread:
-					g.addMT(g.nodeOf[r], g.nodeOf[a])
+					g.addMT(g.nodeOf[r], g.nodeOf[a], RuleLock)
 				case g.cfg.Naive:
-					g.addST(g.nodeOf[r], g.nodeOf[a])
+					g.addST(g.nodeOf[r], g.nodeOf[a], RuleLock)
 				}
 			}
 		}
@@ -143,14 +143,15 @@ func (g *Graph) addBaseEdges() {
 }
 
 // addDirected records an edge between the operations at trace indices a
-// and b, choosing st or mt by whether they execute on the same thread.
-func (g *Graph) addDirected(a, b int) {
+// and b, choosing st or mt (and the corresponding rule attribution) by
+// whether they execute on the same thread.
+func (g *Graph) addDirected(a, b int, stRule, mtRule Rule) {
 	tr := g.info.Trace()
 	na, nb := g.nodeOf[a], g.nodeOf[b]
 	if tr.Op(a).Thread == tr.Op(b).Thread {
-		g.addST(na, nb)
+		g.addST(na, nb, stRule)
 	} else {
-		g.addMT(na, nb)
+		g.addMT(na, nb, mtRule)
 	}
 }
 
@@ -323,7 +324,7 @@ func (g *Graph) applyTaskRules(next *bitset.Set) {
 				q1, q2 := g.info.PostIdx(p1), g.info.PostIdx(p2)
 				if g.cfg.FIFO && fifoCompatible(tr.Op(q1), tr.Op(q2)) &&
 					g.reachLE(g.nodeOf[q1], g.nodeOf[q2]) {
-					if g.addST(endN, beginN) {
+					if g.addST(endN, beginN, RuleFIFO) {
 						next.Set(endN)
 					}
 					continue
@@ -337,7 +338,7 @@ func (g *Graph) applyTaskRules(next *bitset.Set) {
 							inP1 = true
 						}
 					}
-					if inP1 && g.addST(endN, beginN) {
+					if inP1 && g.addST(endN, beginN, RuleNoPre) {
 						next.Set(endN)
 					}
 				}

@@ -118,6 +118,11 @@ func (b *breaker) openFor(key string) (error, bool) {
 // success resets the consecutive-failure count for key.
 func (b *breaker) success(key string) {
 	b.mu.Lock()
+	if b.consecutive[key] > 0 {
+		// The key had been accumulating hard failures; a success re-enters
+		// the (fully) closed state.
+		breakerTransitions["closed"].Inc()
+	}
 	delete(b.consecutive, key)
 	b.mu.Unlock()
 }
@@ -137,6 +142,8 @@ func (b *breaker) failure(key string, err error) bool {
 	b.consecutive[key]++
 	if b.consecutive[key] >= b.threshold {
 		b.open[key] = err
+		breakerTransitions["open"].Inc()
+		breakersOpen.Set(int64(len(b.open)))
 		return true
 	}
 	return false

@@ -86,6 +86,11 @@ type CampaignResult struct {
 	// Complete reports that the DFS ran to the bound; false when a
 	// budget trip or drain checkpointed mid-campaign.
 	Complete bool
+	// Recovered reports what journal recovery kept and discarded when
+	// this run reopened the state directory (zero on a fresh start):
+	// a non-zero torn tail means the previous incarnation died
+	// mid-append and that work will be re-explored.
+	Recovered journal.RecoveryStats
 }
 
 // Journal entry payloads.
@@ -290,6 +295,7 @@ func RunCampaign(ctx context.Context, c Campaign, stateDir string) (*CampaignRes
 		w.Sync()
 		out := mergeCampaign(c.Name, st.tests, newTests, resumedTests, explored)
 		out.Resumed = resumedTests > 0
+		out.Recovered = w.Recovered()
 		return out, xerr
 	}
 	if err := w.Append("campaign-done", struct{}{}); err != nil {
@@ -301,6 +307,7 @@ func RunCampaign(ctx context.Context, c Campaign, stateDir string) (*CampaignRes
 	out := mergeCampaign(c.Name, st.tests, newTests, resumedTests, explored)
 	out.Resumed = resumedTests > 0
 	out.Complete = true
+	out.Recovered = w.Recovered()
 	return out, nil
 }
 

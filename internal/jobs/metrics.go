@@ -1,0 +1,35 @@
+package jobs
+
+import "droidracer/internal/obs"
+
+// Pool and breaker metrics. Shed and transition counters are
+// pre-registered per label value so a scrape sees the complete series
+// set (at zero) from process start.
+var (
+	queueDepth = obs.Default().Gauge("droidracer_jobs_queue_depth",
+		"Jobs waiting in the admission queue.")
+	queueCapacity = obs.Default().Gauge("droidracer_jobs_queue_capacity",
+		"Bound of the admission queue.")
+	inflight = obs.Default().Gauge("droidracer_jobs_inflight",
+		"Jobs currently executing on workers.")
+	shedCounters = map[string]*obs.Counter{}
+	retriesTotal = obs.Default().Counter("droidracer_jobs_retries_total",
+		"Job attempts beyond each job's first.")
+	breakersOpen = obs.Default().Gauge("droidracer_jobs_breakers_open",
+		"Job keys whose circuit breaker is currently open.")
+	breakerTransitions = map[string]*obs.Counter{}
+)
+
+func init() {
+	for _, reason := range []string{ReasonQueueFull, ReasonShuttingDown} {
+		shedCounters[reason] = obs.Default().Counter("droidracer_jobs_shed_total",
+			"Jobs shed at admission, by rejection reason.", "reason", reason)
+	}
+	// half-open is pre-registered for exposition-format stability even
+	// though this breaker never half-opens (an input that paniced will
+	// panic again; see the breaker type comment) — it stays 0.
+	for _, state := range []string{"open", "half-open", "closed"} {
+		breakerTransitions[state] = obs.Default().Counter("droidracer_jobs_breaker_transitions_total",
+			"Circuit breaker state entries, by state entered.", "state", state)
+	}
+}

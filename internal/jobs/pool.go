@@ -16,6 +16,7 @@ package jobs
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"droidracer/internal/budget"
@@ -91,6 +92,11 @@ type Config struct {
 	// immediately, so a restarted daemon can skip completed inputs. The
 	// pool does not close it.
 	Journal *journal.Writer
+	// Events, when set, receives structured lifecycle events (job.finish,
+	// job.shed) — see obs.NewEventLog. Finish events carry the journal
+	// sequence number of the job's entry so log lines correlate with WAL
+	// records.
+	Events *slog.Logger
 }
 
 // Pool runs submitted jobs on a fixed set of workers.
@@ -107,6 +113,7 @@ type Pool struct {
 	draining bool
 	pending  int            // accepted jobs not yet finished
 	queued   map[string]int // name -> pending count (not yet started)
+	sheds    map[string]int // rejection reason -> count
 	outcomes []report.Outcome
 }
 
@@ -126,7 +133,10 @@ func NewPool(cfg Config) *Pool {
 		cancel:  cancel,
 		brk:     newBreaker(cfg.Breaker),
 		queued:  make(map[string]int),
+		sheds:   make(map[string]int),
 	}
+	queueCapacity.Set(int64(cap(p.queue)))
+	queueDepth.Set(0)
 	p.idle = sync.NewCond(&p.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
@@ -143,27 +153,54 @@ func (p *Pool) Submit(job Job) error {
 	p.mu.Lock()
 	if p.draining {
 		p.mu.Unlock()
-		rej := &RejectionError{Reason: ReasonShuttingDown, Depth: len(p.queue), Capacity: cap(p.queue)}
-		p.record(report.Outcome{Name: job.Name, JobState: report.JobShed, Err: rej})
-		return rej
+		return p.shed(job.Name, ReasonShuttingDown)
 	}
 	select {
 	case p.queue <- job:
 		p.queued[job.Name]++
 		p.pending++
 		p.mu.Unlock()
+		queueDepth.Set(int64(len(p.queue)))
 		return nil
 	default:
 		p.mu.Unlock()
-		rej := &RejectionError{Reason: ReasonQueueFull, Depth: cap(p.queue), Capacity: cap(p.queue)}
-		p.record(report.Outcome{Name: job.Name, JobState: report.JobShed, Err: rej})
-		return rej
+		return p.shed(job.Name, ReasonQueueFull)
 	}
+}
+
+// shed records a load-shedding rejection: the outcome row, the
+// per-reason tallies (local for Sheds, global for the registry), an
+// optional structured event, and the returned *RejectionError carrying
+// the queue state observed at rejection time.
+func (p *Pool) shed(name, reason string) *RejectionError {
+	rej := &RejectionError{Reason: reason, Depth: len(p.queue), Capacity: cap(p.queue)}
+	shedCounters[reason].Inc()
+	p.mu.Lock()
+	p.sheds[reason]++
+	p.outcomes = append(p.outcomes, report.Outcome{Name: name, JobState: report.JobShed, Err: rej})
+	p.mu.Unlock()
+	if p.cfg.Events != nil {
+		p.cfg.Events.Info("job.shed", "job", name, "reason", reason,
+			"depth", rej.Depth, "capacity", rej.Capacity)
+	}
+	return rej
+}
+
+// Sheds returns the number of jobs shed per rejection reason.
+func (p *Pool) Sheds() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.sheds))
+	for reason, n := range p.sheds {
+		out[reason] = n
+	}
+	return out
 }
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for job := range p.queue {
+		queueDepth.Set(int64(len(p.queue)))
 		p.mu.Lock()
 		if p.queued[job.Name]--; p.queued[job.Name] == 0 {
 			delete(p.queued, job.Name)
@@ -176,7 +213,10 @@ func (p *Pool) worker() {
 			p.finish(report.Outcome{Name: job.Name, JobState: report.JobDrained})
 			continue
 		}
-		p.finish(p.runJob(job))
+		inflight.Inc()
+		out := p.runJob(job)
+		inflight.Dec()
+		p.finish(out)
 	}
 }
 
@@ -192,6 +232,7 @@ func (p *Pool) record(out report.Outcome) {
 // and wakes Quiesce waiters.
 func (p *Pool) finish(out report.Outcome) {
 	p.record(out)
+	seq := 0
 	if p.cfg.Journal != nil && out.JobState != report.JobDrained {
 		p.cfg.Journal.Append("job", JobEntry{
 			Name:     out.Name,
@@ -199,6 +240,20 @@ func (p *Pool) finish(out report.Outcome) {
 			Attempts: out.Attempts,
 		})
 		p.cfg.Journal.Sync()
+		seq = p.cfg.Journal.Seq()
+	}
+	if p.cfg.Events != nil {
+		attrs := []any{"job", out.Name, "mode", OutcomeMode(out), "attempts", out.Attempts}
+		if out.JobState == report.JobDrained {
+			attrs = append(attrs, "drained", true)
+		}
+		if seq > 0 {
+			attrs = append(attrs, "journal_seq", seq)
+		}
+		if out.Err != nil {
+			attrs = append(attrs, "err", out.Err.Error())
+		}
+		p.cfg.Events.Info("job.finish", attrs...)
 	}
 	p.mu.Lock()
 	p.pending--
@@ -279,6 +334,9 @@ func (p *Pool) runJob(job Job) report.Outcome {
 	var lastErr error
 	for attempt := 1; attempt <= retry.MaxAttempts; attempt++ {
 		out.Attempts = attempt
+		if attempt > 1 {
+			retriesTotal.Inc()
+		}
 		if err := p.rootCtx.Err(); err != nil {
 			out.Err = &budget.Error{Stage: "jobs", Resource: budget.ResourceContext, Cause: err}
 			return out

@@ -363,3 +363,39 @@ func outcomeMode(o report.Outcome) string {
 	}
 	return ""
 }
+
+func TestShedCountsPerReasonAndRejectionDepth(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	p := NewPool(Config{Workers: 1, QueueDepth: 1})
+	if err := p.Submit(blockingJob("running", started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := p.Submit(blockingJob("queued", started, release)); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Submit(blockingJob("shed", started, release))
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("want *RejectionError, got %v", err)
+	}
+	// The rejection must report the queue as observed at rejection time,
+	// not merely its capacity.
+	if rej.Depth != 1 || rej.Capacity != 1 {
+		t.Fatalf("rejection depth/capacity = %d/%d, want 1/1", rej.Depth, rej.Capacity)
+	}
+	if !strings.Contains(rej.Error(), "1/1 queued") {
+		t.Fatalf("rejection message %q does not include queue state", rej.Error())
+	}
+	close(release)
+	p.Quiesce()
+	p.Shutdown(context.Background())
+	if err := p.Submit(blockingJob("late", started, release)); err == nil {
+		t.Fatal("submit after shutdown succeeded")
+	}
+	sheds := p.Sheds()
+	if sheds[ReasonQueueFull] != 1 || sheds[ReasonShuttingDown] != 1 {
+		t.Fatalf("sheds = %v, want one per reason", sheds)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"droidracer/internal/faultinject"
 )
@@ -49,15 +50,35 @@ func (e Entry) Decode(v any) error {
 // lose.
 const DefaultChunk = 16
 
+// RecoveryStats quantifies one journal recovery: what was kept, and
+// what the torn tail silently cost. A crash mid-append leaves a partial
+// final line that recovery must discard; without these numbers that
+// data loss is invisible to operators resuming a campaign.
+type RecoveryStats struct {
+	// Entries is the number of valid entries replayed.
+	Entries int
+	// DiscardedEntries counts torn-tail lines (usually 0 or 1) dropped
+	// after the last valid entry.
+	DiscardedEntries int
+	// DiscardedBytes is the size of the truncated torn tail.
+	DiscardedBytes int64
+}
+
+// Torn reports whether recovery discarded anything.
+func (s RecoveryStats) Torn() bool {
+	return s.DiscardedEntries > 0 || s.DiscardedBytes > 0
+}
+
 // Writer appends entries to a journal file. It is safe for concurrent
 // use; appends are serialized internally.
 type Writer struct {
-	mu      sync.Mutex
-	f       *os.File
-	bw      *bufio.Writer
-	seq     int
-	pending int
-	chunk   int
+	mu        sync.Mutex
+	f         *os.File
+	bw        *bufio.Writer
+	seq       int
+	pending   int
+	chunk     int
+	recovered RecoveryStats
 }
 
 // Create opens the journal file at path for appending, creating it (and
@@ -68,10 +89,12 @@ func Create(path string) (*Writer, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	entries, valid, err := recoverFile(path)
+	entries, valid, stats, err := recoverFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
+	tornEntriesTotal.Add(stats.DiscardedEntries)
+	tornBytesTotal.Add(int(stats.DiscardedBytes))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
@@ -84,7 +107,22 @@ func Create(path string) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f, bw: bufio.NewWriter(f), seq: len(entries), chunk: DefaultChunk}, nil
+	return &Writer{f: f, bw: bufio.NewWriter(f), seq: len(entries), chunk: DefaultChunk, recovered: stats}, nil
+}
+
+// Recovered returns the recovery statistics of the journal this writer
+// continued: entries kept and the torn tail discarded, if any.
+func (w *Writer) Recovered() RecoveryStats {
+	return w.recovered
+}
+
+// Seq returns the sequence number of the most recently appended entry
+// (or the last recovered one, before the first append). Event logs use
+// it to correlate log lines with WAL records.
+func (w *Writer) Seq() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
 }
 
 // SetChunk overrides the automatic-fsync chunk size (entries per fsync);
@@ -129,6 +167,7 @@ func (w *Writer) Append(typ string, data any) error {
 	if _, err := w.bw.Write(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	appendsTotal.Inc()
 	faultinject.Crash("journal.append")
 	w.pending++
 	if w.pending >= w.chunk {
@@ -149,9 +188,12 @@ func (w *Writer) sync() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	fsyncsTotal.Inc()
+	fsyncDur.ObserveDuration(time.Since(start))
 	w.pending = 0
 	faultinject.Crash("journal.synced")
 	return nil
@@ -173,35 +215,50 @@ func (w *Writer) Close() error {
 // resuming from a state dir that never got as far as its first sync must
 // behave like a fresh start.
 func Recover(path string) ([]Entry, error) {
-	entries, _, err := recoverFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+	entries, _, err := RecoverStats(path)
 	return entries, err
+}
+
+// RecoverStats is Recover plus the recovery statistics: how many
+// entries were kept and how many torn-tail lines and bytes were
+// discarded, so resume reporting can surface the loss instead of
+// swallowing it. A missing file is an empty journal with zero stats.
+func RecoverStats(path string) ([]Entry, RecoveryStats, error) {
+	entries, _, stats, err := recoverFile(path)
+	if os.IsNotExist(err) {
+		return nil, RecoveryStats{}, nil
+	}
+	return entries, stats, err
 }
 
 // recoverFile reads entries and also reports the byte offset of the end
 // of the last valid entry, so Create can truncate a torn tail before
-// appending. A final line without its '\n' terminator is torn by
-// definition — the writer always line-frames records — even when its
-// bytes happen to decode.
-func recoverFile(path string) ([]Entry, int64, error) {
+// appending, plus the recovery statistics. A final line without its
+// '\n' terminator is torn by definition — the writer always line-frames
+// records — even when its bytes happen to decode.
+func recoverFile(path string) ([]Entry, int64, RecoveryStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, RecoveryStats{}, err
 	}
 	defer f.Close()
 	var entries []Entry
 	var valid int64
+	var stats RecoveryStats
 	r := bufio.NewReaderSize(f, 64*1024)
 	for {
 		line, err := r.ReadString('\n')
 		if err == io.EOF {
 			// line, if non-empty, is an unterminated (torn) tail.
-			return entries, valid, nil
+			if len(line) > 0 {
+				stats.DiscardedEntries++
+				stats.DiscardedBytes += int64(len(line))
+			}
+			stats.Entries = len(entries)
+			return entries, valid, stats, nil
 		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("journal: %s: %w", path, err)
+			return nil, 0, RecoveryStats{}, fmt.Errorf("journal: %s: %w", path, err)
 		}
 		var e Entry
 		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil || e.Seq != len(entries)+1 {
@@ -209,12 +266,25 @@ func recoverFile(path string) ([]Entry, int64, error) {
 				// A decodable entry with the wrong sequence number is not a
 				// torn tail — the journal middle is corrupt and resuming
 				// from it could silently drop work.
-				return nil, 0, fmt.Errorf("journal: %s: entry out of sequence (want %d, got %d)",
+				return nil, 0, RecoveryStats{}, fmt.Errorf("journal: %s: entry out of sequence (want %d, got %d)",
 					path, len(entries)+1, e.Seq)
 			}
 			// Undecodable line: the torn tail of an interrupted append.
 			// Everything after it (normally nothing) is untrusted too.
-			return entries, valid, nil
+			stats.DiscardedEntries++
+			stats.DiscardedBytes += int64(len(line))
+			for {
+				rest, rerr := r.ReadString('\n')
+				if len(rest) > 0 {
+					stats.DiscardedEntries++
+					stats.DiscardedBytes += int64(len(rest))
+				}
+				if rerr != nil {
+					break
+				}
+			}
+			stats.Entries = len(entries)
+			return entries, valid, stats, nil
 		}
 		entries = append(entries, e)
 		valid += int64(len(line))

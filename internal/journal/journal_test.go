@@ -210,3 +210,60 @@ func TestChunkSyncBoundsUnsyncedEntries(t *testing.T) {
 		t.Fatalf("recovered %d entries after close, want 3", len(entries))
 	}
 }
+
+func TestRecoverStatsReportsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Recovered(); got.Torn() || got.Entries != 0 {
+		t.Fatalf("fresh journal recovery stats = %+v, want zero", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append("seq", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn := `{"seq":4,"type":"seq","da`
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	entries, stats, err := RecoverStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || stats.Entries != 3 {
+		t.Fatalf("recovered %d entries (stats %+v), want 3", len(entries), stats)
+	}
+	if !stats.Torn() || stats.DiscardedEntries != 1 || stats.DiscardedBytes != int64(len(torn)) {
+		t.Fatalf("stats = %+v, want 1 discarded entry of %d bytes", stats, len(torn))
+	}
+	// Continuing the journal truncates the tail and reports what was lost.
+	w2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Recovered(); got.DiscardedEntries != 1 || got.DiscardedBytes != int64(len(torn)) {
+		t.Fatalf("writer recovery stats = %+v", got)
+	}
+	if w2.Seq() != 3 {
+		t.Fatalf("resumed seq = %d, want 3", w2.Seq())
+	}
+}
+
+func TestRecoverStatsMissingFile(t *testing.T) {
+	entries, stats, err := RecoverStats(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || entries != nil || stats.Torn() {
+		t.Fatalf("got %v, %+v, %v; want empty", entries, stats, err)
+	}
+}

@@ -1,0 +1,21 @@
+package journal
+
+import "droidracer/internal/obs"
+
+// Write-ahead journal metrics. Fsync latency gets its own histogram
+// because the durability barrier after each completed unit of work is
+// the service's dominant I/O cost; torn-tail counters surface the data
+// loss recovery would otherwise discard silently.
+var (
+	appendsTotal = obs.Default().Counter("droidracer_journal_appends_total",
+		"Entries appended to the write-ahead journal.")
+	fsyncsTotal = obs.Default().Counter("droidracer_journal_fsyncs_total",
+		"Journal fsync barriers executed (explicit Sync and chunk-boundary).")
+	fsyncDur = obs.Default().Histogram("droidracer_journal_fsync_duration_seconds",
+		"Wall-clock time per journal fsync (flush + file sync).",
+		obs.DurationBuckets())
+	tornEntriesTotal = obs.Default().Counter("droidracer_journal_torn_entries_total",
+		"Torn-tail lines discarded during journal recovery.")
+	tornBytesTotal = obs.Default().Counter("droidracer_journal_torn_bytes_total",
+		"Torn-tail bytes truncated during journal recovery.")
+)

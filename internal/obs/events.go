@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// runCounter disambiguates run IDs minted within one process.
+var runCounter atomic.Uint64
+
+// NewRunID mints a short, sortable run identifier: unix-seconds, pid,
+// and a per-process counter, e.g. "1754500000-4242-1". Every event a
+// daemon incarnation emits carries it, so one grep isolates one run.
+func NewRunID() string {
+	return fmt.Sprintf("%d-%d-%d", time.Now().Unix(), os.Getpid(), runCounter.Add(1))
+}
+
+// NewEventLog returns a structured JSONL event logger writing to w.
+// Every record carries the run ID under "run"; callers add correlation
+// attributes per event (campaign name, job name, journal sequence
+// number) so events can be joined against the write-ahead journal.
+//
+// Records look like:
+//
+//	{"time":"...","level":"INFO","msg":"job.finish","run":"...",
+//	 "job":"trace1.txt","mode":"full","attempts":1,"journal_seq":7}
+func NewEventLog(w io.Writer, runID string) *slog.Logger {
+	h := slog.NewJSONHandler(w, nil)
+	return slog.New(h).With("run", runID)
+}
+
+// Nop returns a logger that discards everything — the default wiring
+// when no -events sink is configured, so instrumented code logs
+// unconditionally.
+func Nop() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

@@ -1,0 +1,21 @@
+package obs
+
+import "sync/atomic"
+
+// exporterActive flips once the process gains a metrics consumer — a
+// debug HTTP listener, a Prometheus scrape, or an expvar snapshot.
+// Publish-once-per-operation instrumentation (phase histograms, build
+// and scan summaries) checks it so a process with no exporter pays a
+// single atomic load instead of mirroring numbers nobody can read.
+// Series registration is NOT gated: families are declared at init, so
+// the first scrape still sees the complete series set at zero.
+var exporterActive atomic.Bool
+
+// MarkExporterAttached records that a metrics consumer exists; called
+// by DebugMux/ServeDebug at bind time and by the render paths as a
+// fallback. It is never unset.
+func MarkExporterAttached() { exporterActive.Store(true) }
+
+// ExporterAttached reports whether any metrics consumer has attached.
+// Instrumented code may skip batched publish work when false.
+func ExporterAttached() bool { return exporterActive.Load() }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the global expvar publication: expvar.Publish
+// panics on duplicate names, and tests build multiple muxes.
+var expvarOnce sync.Once
+
+// DebugMux returns the daemon's debug surface over reg:
+//
+//	/metrics          Prometheus text exposition
+//	/debug/vars       expvar (process stats + a registry snapshot)
+//	/debug/pprof/...  runtime profiling (net/http/pprof)
+//
+// The handlers are registered on a private mux, not
+// http.DefaultServeMux, so importing this package never adds routes to
+// a server the caller didn't ask for.
+func DebugMux(reg *Registry) *http.ServeMux {
+	MarkExporterAttached()
+	expvarOnce.Do(func() {
+		expvar.Publish("droidracer", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr and serves DebugMux(reg) in the background,
+// returning the server (for Close on shutdown) and the bound address
+// (useful with ":0"). Serve errors after Close are expected and
+// dropped; a bind failure is returned synchronously so a daemon with a
+// mistyped -metrics-addr fails fast instead of running unobservable.
+func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: DebugMux(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", "kind", "read")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("test_ops_total", "ops", "kind", "read") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Dec()
+	g.Add(2)
+	if got := g.Value(); got != 8 {
+		t.Fatalf("gauge = %d, want 8", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 8 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(20)
+	if got := g.Value(); got != 20 {
+		t.Fatalf("SetMax = %d, want 20", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "", "b", "2", "a", "1")
+	b := r.Counter("test_total", "", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering test_x as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_x", "")
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got < 5.6 || got > 5.61 {
+		t.Fatalf("sum = %g, want ~5.605", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`test_lat_seconds_bucket{le="0.01"} 1`,
+		`test_lat_seconds_bucket{le="0.1"} 3`,
+		`test_lat_seconds_bucket{le="1"} 4`,
+		`test_lat_seconds_bucket{le="+Inf"} 5`,
+		`test_lat_seconds_count 5`,
+		"# TYPE test_lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusStableAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees", "k", "1").Inc()
+	r.Counter("b_total", "bees", "k", "2").Add(2)
+	r.Gauge("a_gauge", "ays").Set(-3)
+	var b1, b2 bytes.Buffer
+	r.WritePrometheus(&b1)
+	r.WritePrometheus(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("exposition not stable across scrapes")
+	}
+	out := b1.String()
+	// Families sorted: a_gauge before b_total; HELP/TYPE present.
+	ai, bi := strings.Index(out, "a_gauge"), strings.Index(out, "b_total")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("families unsorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP a_gauge ays", "# TYPE a_gauge gauge", "a_gauge -3",
+		`b_total{k="1"} 1`, `b_total{k="2"} 2`, "# TYPE b_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); got != 4000 {
+		t.Fatalf("sum = %g, want 4000", got)
+	}
+}
+
+func TestPhasesSpans(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPhasesIn(reg)
+	sp := p.Start("parse")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatal("span duration not positive")
+	}
+	if again := sp.End(); again != 0 {
+		t.Fatal("second End re-recorded")
+	}
+	p.Record("hb", 2*time.Second)
+	ts := p.Timings()
+	if len(ts) != 2 || ts[0].Phase != "parse" || ts[1].Phase != "hb" {
+		t.Fatalf("timings = %+v", ts)
+	}
+	if Total(ts) < 2*time.Second {
+		t.Fatalf("Total = %v", Total(ts))
+	}
+	// The histogram mirror landed in reg.
+	h := reg.Histogram("droidracer_phase_duration_seconds", "", DurationBuckets(), "phase", "hb")
+	if h.Count() != 1 {
+		t.Fatalf("phase histogram count = %d, want 1", h.Count())
+	}
+	// Nil collector is a safe no-op.
+	var nilP *Phases
+	nilP.Start("x").End()
+	nilP.Record("y", time.Second)
+	if nilP.Timings() != nil {
+		t.Fatal("nil Phases returned timings")
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewEventLog(&buf, "run-1")
+	log.Info("job.finish", "job", "t1.txt", "journal_seq", 7)
+	log.Info("daemon.shutdown")
+	raw := buf.String()
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	n := 0
+	for sc.Scan() {
+		n++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		if rec["run"] != "run-1" {
+			t.Fatalf("line %d missing run id: %v", n, rec)
+		}
+	}
+	if n != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", n)
+	}
+	if !strings.Contains(raw, `"journal_seq":7`) {
+		t.Fatalf("event missing journal_seq: %s", raw)
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	if NewRunID() == NewRunID() {
+		t.Fatal("consecutive run IDs collide")
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_served_total", "").Inc()
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "test_served_total 1") {
+		t.Fatalf("/metrics = %d, %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "droidracer") {
+		t.Fatalf("/debug/vars = %d, missing droidracer snapshot: %.200s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	srv, addr, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

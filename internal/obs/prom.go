@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): one # HELP and # TYPE line
+// per family, then one line per series, families sorted by name and
+// series by label string so output is stable across scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	MarkExporterAttached()
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+			case s.hist != nil:
+				writeHistogram(&sb, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// (ending with le="+Inf"), then _sum and _count.
+func writeHistogram(sb *strings.Builder, name string, s *series) {
+	h := s.hist
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, mergeLabel(s.labels, "le", formatBound(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, mergeLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, s.labels, h.Count())
+}
+
+// mergeLabel splices one more label into an already-rendered label set.
+func mergeLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,281 @@
+// Package obs is the zero-dependency observability core of the
+// detector: an atomic metrics registry (counters, gauges, fixed-bucket
+// histograms, all labeled), a lightweight span/phase-timer API, a
+// structured JSONL event log built on log/slog, and a debug HTTP
+// surface exposing Prometheus text format, expvar, and pprof.
+//
+// The paper evaluates DroidRacer by trace statistics (Table 2),
+// happens-before edge and race counts (Table 3, §4.3), and exploration
+// progress under the bound k (§5); this package makes exactly those
+// numbers visible while the detector runs. Instrumented packages
+// declare their metrics as package-level vars against Default() so the
+// full series set is present (at zero) from process start — a scrape
+// never has to guess which metrics exist.
+//
+// Everything is stdlib-only and cheap when unobserved: counters and
+// gauges are single atomics, histograms are one atomic bucket increment
+// per observation, and nothing allocates on the hot path once a metric
+// handle is held.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric types, used for the Prometheus # TYPE line and to reject a
+// name registered twice under different types.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// SetMax raises the gauge to v if v is greater (a high-water mark,
+// e.g. the deepest DFS prefix explored).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are the
+// inclusive upper edges; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, cumulative only at render time
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (~14 bounds) and the inlined
+	// loop beats the sort.SearchFloat64s call on this hot path.
+	i := 0
+	for i < len(h.bounds) && h.bounds[i] < v {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds — the Prometheus base unit.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets returns the default latency bucket bounds, in
+// seconds: 5µs to ~10s, roughly trebling — wide enough for both an
+// fsync and a whole-trace closure.
+func DurationBuckets() []float64 {
+	return []float64{
+		0.000005, 0.000025, 0.0001, 0.0005, 0.001, 0.005,
+		0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels  string // rendered {k="v",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every labeled series of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series map[string]*series
+}
+
+// Registry holds metric families. Lookups are mutex-guarded and meant
+// for init time; the handles they return are lock-free.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented package
+// publishes into and the daemon's /metrics endpoint serves.
+func Default() *Registry { return defaultRegistry }
+
+// renderLabels validates and renders alternating key, value pairs into
+// the canonical {k="v",...} form, sorted by key so the same label set
+// always maps to the same series.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// lookup finds or creates the series for (name, labels), enforcing one
+// type and one help string per family.
+func (r *Registry) lookup(name, help, typ string, labels []string) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	s, ok := f.series[ls]
+	if !ok {
+		s = &series{labels: ls}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter for name and the
+// alternating key, value label pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.lookup(name, help, typeCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns (creating if needed) the gauge for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.lookup(name, help, typeGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating if needed) the histogram for name and
+// labels, with the given inclusive upper bucket bounds (sorted
+// ascending; a +Inf bucket is implicit). Bounds are fixed at first
+// registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	s := r.lookup(name, help, typeHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		s.hist = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}
+	return s.hist
+}
+
+// Snapshot returns every series' current value as a flat map from
+// "name{labels}" to a number (histograms contribute _count and _sum).
+// The expvar bridge publishes this.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any)
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch {
+			case s.counter != nil:
+				out[key] = s.counter.Value()
+			case s.gauge != nil:
+				out[key] = s.gauge.Value()
+			case s.hist != nil:
+				out[key+"_count"] = s.hist.Count()
+				out[key+"_sum"] = s.hist.Sum()
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package obs
+
+import "testing"
+
+func BenchmarkPhasesFiveSpans(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ph := NewPhases()
+		for _, name := range [...]string{"validate", "annotate", "happens-before", "race-scan", "degrade"} {
+			sp := ph.Start(name)
+			sp.End()
+		}
+		_ = ph.Timings()
+	}
+}

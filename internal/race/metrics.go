@@ -1,0 +1,42 @@
+package race
+
+import "droidracer/internal/obs"
+
+// Detection metrics: Table 3's per-category race counts as live
+// series. Category counters are pre-registered so a scrape sees the
+// full classification (at zero) before the first detection. Counts are
+// tallied locally per scan and published once at the end — nothing
+// atomic in the per-pair loop.
+var (
+	categoryCounters = func() (c [len(categoryNames)]*obs.Counter) {
+		for i := range categoryNames {
+			c[i] = obs.Default().Counter("droidracer_races_total",
+				"Data races detected, by paper category (§4.3).",
+				"category", categoryNames[i])
+		}
+		return
+	}()
+	scansTotal = obs.Default().Counter("droidracer_race_scans_total",
+		"Race detection scans executed.")
+	scanDur = obs.Default().Histogram("droidracer_race_scan_duration_seconds",
+		"Wall-clock time per race detection scan (detect + classify).",
+		obs.DurationBuckets())
+)
+
+// publishScan records one finished scan into the registry.
+func publishScan(races []Race, seconds float64) {
+	if !obs.ExporterAttached() {
+		return
+	}
+	scansTotal.Inc()
+	scanDur.Observe(seconds)
+	var byCat [len(categoryNames)]int
+	for _, r := range races {
+		if int(r.Category) < len(byCat) {
+			byCat[r.Category]++
+		}
+	}
+	for i, n := range byCat {
+		categoryCounters[i].Add(n)
+	}
+}

@@ -12,6 +12,7 @@ package race
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"droidracer/internal/budget"
 	"droidracer/internal/hb"
@@ -93,6 +94,7 @@ func (d *Detector) Detect() []Race {
 // sound — every entry is a real race under the supplied graph — but may
 // miss races among unscanned pairs. A nil checker reproduces Detect.
 func (d *Detector) DetectBudgeted(ck *budget.Checker) ([]Race, error) {
+	start := time.Now()
 	tr := d.info.Trace()
 	byLoc := make(map[trace.Loc][]int)
 	for i, op := range tr.Ops() {
@@ -133,6 +135,7 @@ scan:
 		}
 		return races[i].Second < races[j].Second
 	})
+	publishScan(races, time.Since(start).Seconds())
 	return races, tripErr
 }
 

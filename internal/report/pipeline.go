@@ -3,9 +3,11 @@ package report
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"droidracer/internal/budget"
 	"droidracer/internal/core"
+	"droidracer/internal/obs"
 	"droidracer/internal/race"
 )
 
@@ -96,17 +98,59 @@ func (o Outcome) detail() string {
 // Pipeline renders one row per outcome: name, mode
 // (full/degraded/partial/error), race count, and the reason. Degraded
 // and partial rows keep their (baseline or incomplete) race counts, so
-// a budget-limited batch still yields a usable report.
+// a budget-limited batch still yields a usable report. When any outcome
+// carries per-phase timings a Time column is added (total analysis
+// wall-clock per row); reports without timings render exactly as
+// before.
 func Pipeline(outcomes []Outcome) string {
-	t := &table{header: []string{"Trace", "Mode", "Races", "Reason"}}
+	timed := false
+	for _, o := range outcomes {
+		if o.Result != nil && len(o.Result.Phases) > 0 {
+			timed = true
+			break
+		}
+	}
+	header := []string{"Trace", "Mode", "Races"}
+	if timed {
+		header = append(header, "Time")
+	}
+	t := &table{header: append(header, "Reason")}
 	for _, o := range outcomes {
 		races := "-"
 		if o.Result != nil {
 			races = fmt.Sprintf("%d", len(o.Result.Races))
 		}
-		t.addRow(o.Name, o.mode(), races, o.detail())
+		row := []string{o.Name, o.mode(), races}
+		if timed {
+			cell := "-"
+			if o.Result != nil && len(o.Result.Phases) > 0 {
+				cell = formatDuration(obs.Total(o.Result.Phases))
+			}
+			row = append(row, cell)
+		}
+		t.addRow(append(row, o.detail())...)
 	}
 	return t.String()
+}
+
+// PhaseTable renders per-phase wall-clock timings (racedet
+// -phase-timings) with a trailing total row.
+func PhaseTable(timings []obs.PhaseTiming) string {
+	t := &table{header: []string{"Phase", "Time"}}
+	for _, pt := range timings {
+		t.addRow(pt.Phase, formatDuration(pt.Duration))
+	}
+	t.addRow("total", formatDuration(obs.Total(timings)))
+	return t.String()
+}
+
+// formatDuration renders a duration at millisecond-friendly precision:
+// sub-second values in fractional milliseconds, the rest in seconds.
+func formatDuration(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
 }
 
 // PipelineSummaries tallies race categories per outcome, skipping

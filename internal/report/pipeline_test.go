@@ -8,6 +8,7 @@ import (
 
 	"droidracer/internal/budget"
 	"droidracer/internal/core"
+	"droidracer/internal/obs"
 	"droidracer/internal/paper"
 	"droidracer/internal/report"
 	"droidracer/internal/trace"
@@ -137,5 +138,61 @@ func TestPipelineAnnotatesRetriedAndResumed(t *testing.T) {
 	row := report.Pipeline([]report.Outcome{{Name: "d", JobState: report.JobDrained, Resumed: false}})
 	if !strings.Contains(row, "drained") || strings.Contains(row, "+") {
 		t.Fatalf("drained row = %q", row)
+	}
+}
+
+// TestPipelineRendersPhaseTimings checks the Time column: it appears
+// only when some outcome carries per-phase timings, rows without
+// timings render "-", and timing-free reports keep the original header.
+func TestPipelineRendersPhaseTimings(t *testing.T) {
+	full, err := core.Analyze(paper.Figure4(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Phases) == 0 {
+		t.Fatal("full analysis carries no phase timings")
+	}
+	timed := &core.Result{Phases: []obs.PhaseTiming{
+		{Phase: "happens-before", Duration: 1500 * time.Millisecond},
+		{Phase: "race-scan", Duration: 250 * time.Millisecond},
+	}}
+	out := report.Pipeline([]report.Outcome{
+		{Name: "timed", Result: timed},
+		{Name: "analyzed", Result: full},
+		{Name: "shed", JobState: report.JobShed},
+	})
+	if !strings.Contains(out, "Time") {
+		t.Fatalf("report missing Time column:\n%s", out)
+	}
+	if !strings.Contains(out, "1.75s") {
+		t.Fatalf("report missing summed phase time:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	shedRow := lines[len(lines)-1]
+	if !strings.Contains(shedRow, "-") {
+		t.Fatalf("timing-less row has no placeholder: %q", shedRow)
+	}
+
+	// Without timings anywhere, the header stays as it always was.
+	plain := report.Pipeline([]report.Outcome{{Name: "q", JobState: report.JobQueued}})
+	if strings.Contains(plain, "Time") {
+		t.Fatalf("timing-free report grew a Time column:\n%s", plain)
+	}
+}
+
+// TestPhaseTable checks the racedet -phase-timings renderer: one row
+// per phase in order, plus a total.
+func TestPhaseTable(t *testing.T) {
+	out := report.PhaseTable([]obs.PhaseTiming{
+		{Phase: "validate", Duration: 2 * time.Millisecond},
+		{Phase: "happens-before", Duration: 40 * time.Millisecond},
+	})
+	for _, want := range []string{"Phase", "Time", "validate", "2.00ms", "happens-before", "40.00ms", "total", "42.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("phase table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "validate") > strings.Index(out, "happens-before") {
+		t.Fatalf("phases out of order:\n%s", out)
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
+
+	"droidracer/internal/obs"
 )
 
 // Format writes tr to w in the textual trace format, one operation per
@@ -36,6 +39,7 @@ func Format(w io.Writer, tr *Trace) error {
 // long-running daemon can parse multi-gigabyte spooled traces without
 // first loading them into memory.
 func Parse(r io.Reader) (*Trace, error) {
+	sp := time.Now()
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -48,15 +52,22 @@ func Parse(r io.Reader) (*Trace, error) {
 		}
 		op, err := ParseOp(line)
 		if err != nil {
+			parseErrors.Inc()
 			return nil, fmt.Errorf("line %d: %w", lineno, err)
 		}
 		tr.Append(op)
 	}
 	if err := sc.Err(); err != nil {
+		parseErrors.Inc()
 		if err == bufio.ErrTooLong {
 			return nil, fmt.Errorf("line %d: line exceeds the %d-byte limit", lineno+1, 16*1024*1024)
 		}
 		return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+	}
+	if obs.ExporterAttached() {
+		parseOps.Add(tr.Len())
+		parseTraces.Inc()
+		parseDur.ObserveDuration(time.Since(sp))
 	}
 	return tr, nil
 }

@@ -1,0 +1,17 @@
+package trace
+
+import "droidracer/internal/obs"
+
+// Parser metrics (Table 2's "trace length" as a live series). Counts
+// are accumulated locally per Parse call and published once at the
+// end, so the per-line hot loop carries no atomic operations.
+var (
+	parseOps = obs.Default().Counter("droidracer_trace_parse_ops_total",
+		"Operations parsed from trace input.")
+	parseTraces = obs.Default().Counter("droidracer_trace_parse_total",
+		"Traces parsed successfully.")
+	parseErrors = obs.Default().Counter("droidracer_trace_parse_errors_total",
+		"Trace parses that failed (malformed input or read error).")
+	parseDur = obs.Default().Histogram("droidracer_trace_parse_duration_seconds",
+		"Wall-clock time per trace parse.", obs.DurationBuckets())
+)

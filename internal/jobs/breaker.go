@@ -119,9 +119,11 @@ func (b *breaker) openFor(key string) (error, bool) {
 func (b *breaker) success(key string) {
 	b.mu.Lock()
 	if b.consecutive[key] > 0 {
-		// The key had been accumulating hard failures; a success re-enters
-		// the (fully) closed state.
-		breakerTransitions["closed"].Inc()
+		// A sub-threshold hard-failure streak ended in success. The
+		// breaker never opened for this key, so this is not a state
+		// transition — the closed series stays 0, like half-open —
+		// just a streak reset, counted on its own metric.
+		breakerStreakResets.Inc()
 	}
 	delete(b.consecutive, key)
 	b.mu.Unlock()

@@ -17,7 +17,9 @@ var (
 		"Job attempts beyond each job's first.")
 	breakersOpen = obs.Default().Gauge("droidracer_jobs_breakers_open",
 		"Job keys whose circuit breaker is currently open.")
-	breakerTransitions = map[string]*obs.Counter{}
+	breakerTransitions  = map[string]*obs.Counter{}
+	breakerStreakResets = obs.Default().Counter("droidracer_jobs_breaker_streak_resets_total",
+		"Sub-threshold consecutive hard-failure streaks cleared by a success before the breaker opened.")
 )
 
 func init() {
@@ -25,9 +27,11 @@ func init() {
 		shedCounters[reason] = obs.Default().Counter("droidracer_jobs_shed_total",
 			"Jobs shed at admission, by rejection reason.", "reason", reason)
 	}
-	// half-open is pre-registered for exposition-format stability even
-	// though this breaker never half-opens (an input that paniced will
-	// panic again; see the breaker type comment) — it stays 0.
+	// half-open and closed are pre-registered for exposition-format
+	// stability but stay 0: this breaker never half-opens or re-closes
+	// once open (an input that paniced will panic again; see the breaker
+	// type comment). Sub-threshold failure streaks cleared by a success
+	// are counted separately on breakerStreakResets.
 	for _, state := range []string{"open", "half-open", "closed"} {
 		breakerTransitions[state] = obs.Default().Counter("droidracer_jobs_breaker_transitions_total",
 			"Circuit breaker state entries, by state entered.", "state", state)

@@ -173,7 +173,15 @@ func (p *Pool) Submit(job Job) error {
 // optional structured event, and the returned *RejectionError carrying
 // the queue state observed at rejection time.
 func (p *Pool) shed(name, reason string) *RejectionError {
-	rej := &RejectionError{Reason: reason, Depth: len(p.queue), Capacity: cap(p.queue)}
+	depth := len(p.queue)
+	if reason == ReasonQueueFull {
+		// The failed non-blocking send observed a full queue; a worker
+		// may have drained it since, so re-reading len here could yield a
+		// "queue full" message with depth < capacity. Report the state
+		// the producer actually hit.
+		depth = cap(p.queue)
+	}
+	rej := &RejectionError{Reason: reason, Depth: depth, Capacity: cap(p.queue)}
 	shedCounters[reason].Inc()
 	p.mu.Lock()
 	p.sheds[reason]++
@@ -234,13 +242,15 @@ func (p *Pool) finish(out report.Outcome) {
 	p.record(out)
 	seq := 0
 	if p.cfg.Journal != nil && out.JobState != report.JobDrained {
-		p.cfg.Journal.Append("job", JobEntry{
+		// AppendSeq returns the number assigned under the journal's own
+		// mutex: with several workers finishing at once, re-reading Seq()
+		// here could observe another job's entry.
+		seq, _ = p.cfg.Journal.AppendSeq("job", JobEntry{
 			Name:     out.Name,
 			Mode:     OutcomeMode(out),
 			Attempts: out.Attempts,
 		})
 		p.cfg.Journal.Sync()
-		seq = p.cfg.Journal.Seq()
 	}
 	if p.cfg.Events != nil {
 		attrs := []any{"job", out.Name, "mode", OutcomeMode(out), "attempts", out.Attempts}

@@ -139,22 +139,35 @@ func (w *Writer) SetChunk(n int) {
 // Append marshals data under the given type tag and writes it as one
 // journal line. The entry becomes durable at the next chunk boundary or
 // explicit Sync, whichever comes first.
+func (w *Writer) Append(typ string, data any) error {
+	_, err := w.AppendSeq(typ, data)
+	return err
+}
+
+// AppendSeq is Append returning the sequence number assigned to this
+// entry. The number is taken under the writer's own mutex, so it
+// identifies exactly this record even with concurrent appenders — a
+// later Seq() call could observe another appender's entry. Event logs
+// use it to correlate log lines with WAL records. A marshal or write
+// error means the entry was not appended and the sequence number is 0;
+// a failed chunk-boundary fsync still returns the assigned number (the
+// entry reached the file, it is just not durable yet).
 //
 // Kill-points: "journal.append" crashes after the line is buffered but
 // before any sync; "journal.torn" crashes after flushing only half of
 // the line to the file, leaving the torn tail recovery must discard.
-func (w *Writer) Append(typ string, data any) error {
+func (w *Writer) AppendSeq(typ string, data any) (int, error) {
 	raw, err := json.Marshal(data)
 	if err != nil {
-		return fmt.Errorf("journal: marshaling %s entry: %w", typ, err)
+		return 0, fmt.Errorf("journal: marshaling %s entry: %w", typ, err)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.seq++
-	line, err := json.Marshal(Entry{Seq: w.seq, Type: typ, Data: raw})
+	line, err := json.Marshal(Entry{Seq: w.seq + 1, Type: typ, Data: raw})
 	if err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return 0, fmt.Errorf("journal: %w", err)
 	}
+	w.seq++
 	line = append(line, '\n')
 	if faultinject.Triggered("journal.torn") {
 		// Model a crash mid-write: half the line reaches the disk, the
@@ -165,15 +178,15 @@ func (w *Writer) Append(typ string, data any) error {
 		os.Exit(faultinject.KillExitCode)
 	}
 	if _, err := w.bw.Write(line); err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return 0, fmt.Errorf("journal: %w", err)
 	}
 	appendsTotal.Inc()
 	faultinject.Crash("journal.append")
 	w.pending++
 	if w.pending >= w.chunk {
-		return w.sync()
+		return w.seq, w.sync()
 	}
-	return nil
+	return w.seq, nil
 }
 
 // Sync flushes buffered entries and fsyncs the file — the durability

@@ -47,6 +47,36 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// AppendSeq must return the number assigned to this exact entry — with
+// concurrent appenders a later Seq() call could observe someone else's
+// append — and the numbers must match what recovery replays.
+func TestAppendSeqReturnsAssignedNumber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		seq, err := w.AppendSeq("seq", payload{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != i {
+			t.Fatalf("AppendSeq = %d, want %d", seq, i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[2].Seq != 3 {
+		t.Fatalf("recovered %d entries, last seq %d", len(entries), entries[len(entries)-1].Seq)
+	}
+}
+
 func TestRecoverMissingFileIsEmpty(t *testing.T) {
 	entries, err := Recover(filepath.Join(t.TempDir(), "absent.journal"))
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -116,6 +117,42 @@ func TestWritePrometheusStableAndTyped(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Series are registered at runtime (e.g. a phase histogram on first
+// sight of a new phase label), so a scrape must tolerate families
+// growing under it. Run under -race this used to catch WritePrometheus
+// iterating a family's series map outside the registry lock.
+func TestWritePrometheusConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	// Prefill so each render is long enough to be preempted mid-walk
+	// even on GOMAXPROCS=1, where the registering goroutine otherwise
+	// only runs between scrapes.
+	for i := 0; i < 20000; i++ {
+		r.Counter("test_grow_total", "grows", "i", "pre"+strconv.Itoa(i)).Inc()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			// Fresh label values each round so every lookup inserts a
+			// new series into the family maps the scraper is walking.
+			id := strconv.Itoa(i)
+			r.Counter("test_grow_total", "grows", "i", id).Inc()
+			r.Histogram("test_grow_seconds", "", []float64{1}, "i", id).Observe(0.5)
+		}
+	}()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

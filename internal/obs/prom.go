@@ -14,20 +14,20 @@ import (
 // series by label string so output is stable across scrapes.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	MarkExporterAttached()
+	// The whole render happens under r.mu: series are still registered
+	// at runtime (e.g. a phase histogram on first sight of a new phase
+	// label), so family series maps can grow concurrently with a scrape.
+	// Rendering is pure in-memory formatting of lock-free atomics; only
+	// the final write to w runs unlocked.
+	var sb strings.Builder
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for name := range r.fams {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.fams[name]
-	}
-	r.mu.Unlock()
-
-	var sb strings.Builder
-	for _, f := range fams {
+	for _, name := range names {
+		f := r.fams[name]
 		if f.help != "" {
 			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
 		}
@@ -49,6 +49,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	r.mu.Unlock()
 	_, err := io.WriteString(w, sb.String())
 	return err
 }

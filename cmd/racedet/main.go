@@ -8,12 +8,21 @@
 //	        [-deadline 5s] [-max-nodes N] [-no-degrade] [trace.txt]
 //	racedet -campaign "Paper Music Player" -state DIR [-k N] [-seed N]
 //	racedet -resume DIR
+//	racedet -submit URL [-deadline 30s] [-client-id ID] [trace.txt]
 //
 // With no file argument the trace is read from standard input. Under
 // -deadline/-max-nodes the analysis is budgeted: when the budget runs
 // out it degrades to the pure multithreaded baseline detector (or, with
 // -no-degrade, exits with the partial results printed and a structured
 // budget error).
+//
+// Submit mode (-submit URL) posts the trace to a racedetd ingestion
+// endpoint instead of analyzing it locally: retryable refusals (429,
+// 503, transport errors) are retried with jittered backoff honoring
+// Retry-After, under a content-derived idempotency key that is stable
+// across attempts — resubmitting after a timeout or daemon crash never
+// duplicates work. Exit status 0 for accepted/done submissions, 1 for
+// quarantined inputs or exhausted retries.
 //
 // Campaign mode (-campaign/-resume) runs a restartable exploration
 // campaign over an application model, journaling DFS progress and
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"droidracer"
@@ -38,6 +48,7 @@ import (
 	"droidracer/internal/jobs"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
+	"droidracer/internal/server"
 )
 
 func main() {
@@ -54,6 +65,8 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "cap on happens-before graph nodes (0 = unlimited)")
 	noDegrade := flag.Bool("no-degrade", false, "on budget exhaustion, fail with partial results instead of degrading to the pure-MT baseline")
 	phaseTimings := flag.Bool("phase-timings", false, "append a per-phase wall-clock timing table to the report")
+	submitURL := flag.String("submit", "", "submit the trace to this racedetd ingestion URL instead of analyzing locally")
+	clientID := flag.String("client-id", "", "rate-limit principal sent as X-Client-ID with -submit")
 	campaignApp := flag.String("campaign", "", "run a restartable exploration campaign over this application model")
 	stateDir := flag.String("state", "", "state directory for the campaign journal (with -campaign)")
 	resumeDir := flag.String("resume", "", "resume the campaign journaled under this state directory")
@@ -63,6 +76,10 @@ func main() {
 
 	if *campaignApp != "" || *resumeDir != "" {
 		runCampaign(*campaignApp, *stateDir, *resumeDir, *k, *seed)
+		return
+	}
+	if *submitURL != "" {
+		runSubmit(*submitURL, *clientID, *deadline)
 		return
 	}
 
@@ -163,6 +180,60 @@ func main() {
 	}
 	if partial {
 		os.Exit(1)
+	}
+}
+
+// runSubmit is the -submit entry point: it reads the trace bytes (file
+// argument or stdin) and posts them to a racedetd ingestion endpoint
+// with the retrying client. A -deadline is forwarded as the
+// X-Analysis-Deadline request header rather than applied locally.
+func runSubmit(url, clientID string, deadline time.Duration) {
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	body, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	c := &server.Client{
+		BaseURL:  strings.TrimSuffix(url, "/"),
+		Deadline: deadline,
+		ClientID: clientID,
+		Seed:     time.Now().UnixNano(),
+	}
+	resp, attempts, err := c.Submit(context.Background(), body)
+	retried := attempts
+	if n := len(retried); n > 0 {
+		retried = retried[:n-1] // the last attempt is the terminal answer
+	}
+	for _, at := range retried {
+		if at.Err != nil {
+			fmt.Fprintf(os.Stderr, "racedet: submit attempt failed (%v); retrying in %v\n", at.Err, at.Wait)
+		} else {
+			fmt.Fprintf(os.Stderr, "racedet: submit refused (%d); retrying in %v\n", at.Code, at.Wait)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	switch resp.Status {
+	case server.StatusDone:
+		fmt.Printf("job %s: done (%s, %d race(s), digest %s)\n", resp.Job, resp.Mode, resp.Races, resp.Digest)
+	case server.StatusQuarantined:
+		fmt.Printf("job %s: quarantined (%s)\n", resp.Job, resp.Reason)
+		os.Exit(1)
+	default:
+		coalesced := ""
+		if resp.Coalesced {
+			coalesced = ", coalesced onto in-flight work"
+		}
+		fmt.Printf("job %s: %s%s\n", resp.Job, resp.Status, coalesced)
 	}
 }
 

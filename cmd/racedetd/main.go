@@ -10,7 +10,8 @@
 //	racedetd -spool DIR -state DIR [-workers N] [-queue N]
 //	         [-deadline 30s] [-retries N] [-poll 2s] [-once]
 //	         [-drain-timeout 30s] [-metrics-addr HOST:PORT]
-//	         [-events PATH]
+//	         [-events PATH] [-listen HOST:PORT] [-max-body BYTES]
+//	         [-rate N] [-burst N] [-max-inflight N] [-max-deadline 2m]
 //
 // -metrics-addr starts the debug HTTP listener: Prometheus-text
 // /metrics, expvar /debug/vars, and net/http/pprof under /debug/pprof/.
@@ -19,13 +20,27 @@
 // per-incarnation run ID; job-finish events carry the journal sequence
 // number of their WAL record.
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: intake closes, in-flight
-// analyses run to completion (bounded by -drain-timeout, after which
-// they are cancelled into partial outcomes), queued jobs are recorded as
-// drained for the next incarnation, and the per-job report prints to
-// stdout. -once sweeps the spool a single time, waits for the pool to
-// quiesce, and exits — the mode batch pipelines and the CI smoke test
-// drive.
+// -listen starts the ingestion API (see internal/server and DESIGN.md
+// §11): POST /v1/jobs accepts a trace body under admission control
+// (body-size bound via -max-body, per-client token bucket via -rate and
+// -burst, global in-flight cap via -max-inflight, request deadlines
+// capped by -max-deadline), answers duplicates idempotently from the
+// journal, and spools accepted bodies durably before acknowledging
+// them. /healthz reports liveness; /readyz flips to 503 the moment a
+// shutdown signal arrives, before in-flight work finishes draining.
+//
+// Poison inputs — jobs that fail deterministically after retries with a
+// parse error or an isolated panic — are dead-lettered: a quarantine
+// journal entry is made durable and the trace file moves to
+// <state>/quarantine/, so a restart never re-ingests it.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: readiness flips false,
+// intake closes, in-flight analyses run to completion (bounded by
+// -drain-timeout, after which they are cancelled into partial
+// outcomes), queued jobs are recorded as drained for the next
+// incarnation, and the per-job report prints to stdout. -once sweeps
+// the spool a single time, waits for the pool to quiesce, and exits —
+// the mode batch pipelines and the CI smoke test drive.
 package main
 
 import (
@@ -36,6 +51,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,10 +61,14 @@ import (
 	"droidracer/internal/journal"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
+	"droidracer/internal/server"
 )
 
 // journalName is the daemon's completed-work journal inside -state.
 const journalName = "daemon.journal"
+
+// quarantineDir is the dead-letter directory inside -state.
+const quarantineDir = "quarantine"
 
 func main() {
 	spool := flag.String("spool", "", "directory of trace files to analyze")
@@ -64,6 +84,12 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight jobs")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address (empty = off)")
 	eventsPath := flag.String("events", "", "append structured JSONL lifecycle events to this file (empty = off)")
+	listen := flag.String("listen", "", "serve the trace-ingestion API on this address (empty = off)")
+	maxBody := flag.Int64("max-body", 8<<20, "largest accepted trace body in bytes")
+	rate := flag.Float64("rate", 10, "per-client submissions per second")
+	burst := flag.Int("burst", 20, "per-client submission burst")
+	maxInflight := flag.Int("max-inflight", 64, "concurrently admitted submissions")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on per-request X-Analysis-Deadline")
 	flag.Parse()
 	if *spool == "" || *state == "" {
 		fatal(fmt.Errorf("missing -spool or -state"))
@@ -102,19 +128,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "racedetd: journal recovery discarded a torn tail (%d entr(ies), %d bytes)\n",
 			rstats.DiscardedEntries, rstats.DiscardedBytes)
 	}
-	done := jobs.CompletedJobs(entries)
-	if len(done) > 0 {
-		fmt.Fprintf(os.Stderr, "racedetd: journal holds %d completed input(s); skipping them\n", len(done))
+	completed := jobs.CompletedRecords(entries)
+	quarantined := jobs.QuarantinedJobs(entries)
+	if len(completed) > 0 {
+		fmt.Fprintf(os.Stderr, "racedetd: journal holds %d completed input(s); skipping them\n", len(completed))
+	}
+	q := &jobs.Quarantine{Dir: filepath.Join(*state, quarantineDir)}
+	// Replay dead-letter moves: a crash between the quarantine journal
+	// entry and the file rename leaves the poison input in the spool;
+	// the journal is the truth, so converge the file system to it.
+	for name := range quarantined {
+		if err := q.Absorb(filepath.Join(*spool, name)); err != nil {
+			fmt.Fprintf(os.Stderr, "racedetd: quarantine replay %s: %v\n", name, err)
+		}
+	}
+	if len(quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "racedetd: journal holds %d quarantined input(s); never re-ingesting them\n", len(quarantined))
 	}
 	events.Info("daemon.start", "spool", *spool, "state", *state,
 		"recovered_entries", rstats.Entries,
 		"torn_entries", rstats.DiscardedEntries, "torn_bytes", rstats.DiscardedBytes,
-		"completed_jobs", len(done))
+		"completed_jobs", len(completed), "quarantined_jobs", len(quarantined))
 	w, err := journal.Create(jpath)
 	if err != nil {
 		fatal(err)
 	}
 
+	// The server holds the idempotency index even when -listen is off:
+	// the spool sweep claims names through it, and the pool's OnFinish
+	// hook moves them to their terminal states. The indirection through
+	// srv is safe: it is assigned before any job can be submitted.
+	var srv *server.Server
 	pool := jobs.NewPool(jobs.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
@@ -123,14 +167,50 @@ func main() {
 		Breaker:    jobs.BreakerPolicy{Threshold: *breaker},
 		Journal:    w,
 		Events:     events,
+		Quarantine: q,
+		OnFinish: func(out report.Outcome) {
+			if s := srv; s != nil {
+				s.JobFinished(out)
+			}
+		},
 	})
+	srv = server.New(server.Config{
+		Pool:        pool,
+		Spool:       *spool,
+		Analyze:     core.DefaultOptions(),
+		Workers:     *workers,
+		MaxBody:     *maxBody,
+		MaxInflight: *maxInflight,
+		Rate:        *rate,
+		Burst:       *burst,
+		MaxDeadline: *maxDeadline,
+		Completed:   completed,
+		Quarantined: quarantined,
+		Events:      events,
+	})
+	var ingestSrv interface{ Close() error }
+	if *listen != "" {
+		hs, bound, err := srv.Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		ingestSrv = hs
+		fmt.Fprintf(os.Stderr, "racedetd: ingestion listener on http://%s/v1/jobs\n", bound)
+		events.Info("daemon.ingest-listener", "addr", bound)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Readiness must flip the moment the signal lands — before the sweep
+	// loop notices, before Pool.Shutdown — so load balancers stop routing
+	// while accepted work drains.
+	go func() {
+		<-ctx.Done()
+		srv.BeginDrain()
+	}()
 
-	submitted := make(map[string]bool)
 	for {
-		if err := sweep(pool, *spool, done, submitted); err != nil {
+		if err := sweep(pool, srv, *spool); err != nil {
 			fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
 		}
 		if *once {
@@ -145,12 +225,16 @@ func main() {
 		break
 	}
 
+	srv.BeginDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	events.Info("daemon.drain", "timeout", drainTimeout.String())
 	outs := pool.Shutdown(drainCtx)
 	fmt.Print(report.Pipeline(outs))
 	events.Info("daemon.stop", "outcomes", len(outs), "journal_seq", w.Seq())
+	if ingestSrv != nil {
+		ingestSrv.Close()
+	}
 	if debugSrv != nil {
 		debugSrv.Close()
 	}
@@ -159,32 +243,35 @@ func main() {
 	}
 }
 
-// sweep submits every spool file not yet journaled as complete and not
-// already submitted this incarnation. A shed submission (saturated
-// queue) is not marked submitted, so the next sweep retries it — the
-// producer-side reaction to backpressure.
-func sweep(pool *jobs.Pool, spool string, done, submitted map[string]bool) error {
+// sweep submits every spool file not already claimed in the server's
+// idempotency index — which covers journal-completed work, quarantined
+// inputs, HTTP-accepted submissions, and earlier sweeps. A shed
+// submission (saturated queue) releases its claim, so the next sweep
+// retries it — the producer-side reaction to backpressure. Dotfiles are
+// skipped: the ingestion layer stages bodies as hidden temp files
+// before the durable rename.
+func sweep(pool *jobs.Pool, srv *server.Server, spool string) error {
 	ents, err := os.ReadDir(spool)
 	if err != nil {
 		return err
 	}
 	names := make([]string, 0, len(ents))
 	for _, e := range ents {
-		if !e.IsDir() {
+		if !e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
 			names = append(names, e.Name())
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if done[name] || submitted[name] {
+		if !srv.Claim(name) {
 			continue
 		}
 		job := jobs.TraceJob(name, filepath.Join(spool, name), core.DefaultOptions())
 		if err := pool.Submit(job); err != nil {
+			srv.Release(name)
 			fmt.Fprintf(os.Stderr, "racedetd: %s: %v\n", name, err)
 			continue
 		}
-		submitted[name] = true
 	}
 	return nil
 }

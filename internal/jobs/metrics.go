@@ -20,6 +20,8 @@ var (
 	breakerTransitions  = map[string]*obs.Counter{}
 	breakerStreakResets = obs.Default().Counter("droidracer_jobs_breaker_streak_resets_total",
 		"Sub-threshold consecutive hard-failure streaks cleared by a success before the breaker opened.")
+	quarantinedTotal = obs.Default().Counter("droidracer_jobs_quarantined_total",
+		"Poison inputs dead-lettered into the quarantine directory.")
 )
 
 func init() {

@@ -43,6 +43,10 @@ type Job struct {
 	// avoid the code that failed (e.g. core.AnalyzeBaseline instead of
 	// the full pipeline).
 	Fallback func(ctx context.Context, reason error) (*core.Result, error)
+	// Path, when set, is the job's input file on disk. The pool's
+	// quarantine (Config.Quarantine) moves it to the dead-letter
+	// directory when the job proves poisonous.
+	Path string
 }
 
 func (j Job) key() string {
@@ -93,10 +97,21 @@ type Config struct {
 	// pool does not close it.
 	Journal *journal.Writer
 	// Events, when set, receives structured lifecycle events (job.finish,
-	// job.shed) — see obs.NewEventLog. Finish events carry the journal
-	// sequence number of the job's entry so log lines correlate with WAL
-	// records.
+	// job.shed, job.quarantine) — see obs.NewEventLog. Finish events
+	// carry the journal sequence number of the job's entry so log lines
+	// correlate with WAL records.
 	Events *slog.Logger
+	// Quarantine, when set, dead-letters poison inputs: a job that fails
+	// deterministically after retries (see Poisonous) gets a quarantine
+	// journal entry instead of a job entry, its outcome is marked
+	// report.JobQuarantined, and its input file (Job.Path) is moved into
+	// the quarantine directory so a restart never re-ingests it.
+	Quarantine *Quarantine
+	// OnFinish, when set, observes every finished outcome (including
+	// drained and quarantined ones) after it is journaled. It runs on the
+	// worker goroutine; the ingestion layer uses it to answer duplicate
+	// submissions from completed work.
+	OnFinish func(report.Outcome)
 }
 
 // Pool runs submitted jobs on a fixed set of workers.
@@ -224,7 +239,32 @@ func (p *Pool) worker() {
 		inflight.Inc()
 		out := p.runJob(job)
 		inflight.Dec()
+		if p.cfg.Quarantine != nil && Poisonous(out) {
+			p.quarantine(job, &out)
+		}
 		p.finish(out)
+	}
+}
+
+// quarantine dead-letters a poison input: the quarantine journal entry
+// is made durable first, then the input file moves to the quarantine
+// directory. A crash between the two is converged by the next
+// incarnation, which replays the journal entry and re-does the move.
+func (p *Pool) quarantine(job Job, out *report.Outcome) {
+	out.JobState = report.JobQuarantined
+	if p.cfg.Journal != nil {
+		p.cfg.Journal.Append(quarantineEntryType, QuarantineEntry{
+			Name:   out.Name,
+			Reason: out.Err.Error(),
+		})
+		p.cfg.Journal.Sync()
+	}
+	if err := p.cfg.Quarantine.Absorb(job.Path); err != nil && p.cfg.Events != nil {
+		p.cfg.Events.Warn("job.quarantine-move-failed", "job", out.Name, "err", err.Error())
+	}
+	quarantinedTotal.Inc()
+	if p.cfg.Events != nil {
+		p.cfg.Events.Info("job.quarantine", "job", out.Name, "reason", out.Err.Error())
 	}
 }
 
@@ -241,15 +281,21 @@ func (p *Pool) record(out report.Outcome) {
 func (p *Pool) finish(out report.Outcome) {
 	p.record(out)
 	seq := 0
-	if p.cfg.Journal != nil && out.JobState != report.JobDrained {
+	if p.cfg.Journal != nil && out.JobState != report.JobDrained && out.JobState != report.JobQuarantined {
 		// AppendSeq returns the number assigned under the journal's own
 		// mutex: with several workers finishing at once, re-reading Seq()
-		// here could observe another job's entry.
-		seq, _ = p.cfg.Journal.AppendSeq("job", JobEntry{
+		// here could observe another job's entry. Quarantined jobs were
+		// already dead-lettered with their own entry type.
+		je := JobEntry{
 			Name:     out.Name,
 			Mode:     OutcomeMode(out),
 			Attempts: out.Attempts,
-		})
+		}
+		if out.Result != nil {
+			je.Races = len(out.Result.Races)
+			je.Digest = ResultDigest(out.Result)
+		}
+		seq, _ = p.cfg.Journal.AppendSeq("job", je)
 		p.cfg.Journal.Sync()
 	}
 	if p.cfg.Events != nil {
@@ -269,6 +315,9 @@ func (p *Pool) finish(out report.Outcome) {
 	p.pending--
 	p.idle.Broadcast()
 	p.mu.Unlock()
+	if p.cfg.OnFinish != nil {
+		p.cfg.OnFinish(out)
+	}
 }
 
 // Quiesce blocks until every accepted job has finished (or been
@@ -417,11 +466,16 @@ func (p *Pool) degrade(job Job, out report.Outcome, reason error) report.Outcome
 	return out
 }
 
-// JobEntry is the journal payload recorded per finished job.
+// JobEntry is the journal payload recorded per finished job. Races and
+// Digest fingerprint the result's race set (see ResultDigest), so a
+// duplicate submission of completed work can be answered from the
+// journal — including across restarts — without re-running the analysis.
 type JobEntry struct {
 	Name     string `json:"name"`
 	Mode     string `json:"mode"`
 	Attempts int    `json:"attempts,omitempty"`
+	Races    int    `json:"races,omitempty"`
+	Digest   string `json:"digest,omitempty"`
 }
 
 // OutcomeMode renders the outcome's analysis disposition for journaling:
@@ -445,6 +499,17 @@ func OutcomeMode(out report.Outcome) string {
 // only unfinished inputs.
 func CompletedJobs(entries []journal.Entry) map[string]bool {
 	done := make(map[string]bool)
+	for name := range CompletedRecords(entries) {
+		done[name] = true
+	}
+	return done
+}
+
+// CompletedRecords is CompletedJobs keeping the full journal record per
+// completed job (latest entry wins), so the ingestion layer can replay
+// mode, race count, and race-set digest to duplicate submissions.
+func CompletedRecords(entries []journal.Entry) map[string]JobEntry {
+	done := make(map[string]JobEntry)
 	for _, e := range entries {
 		if e.Type != "job" {
 			continue
@@ -454,10 +519,18 @@ func CompletedJobs(entries []journal.Entry) map[string]bool {
 			continue
 		}
 		if je.Mode == "full" || je.Mode == "degraded" {
-			done[je.Name] = true
+			done[je.Name] = je
 		}
 	}
 	return done
+}
+
+// BreakerOpen reports whether the per-input circuit breaker is open for
+// key, with the failure that opened it. The ingestion layer consults it
+// at admission time so a known-bad input is refused with 503 instead of
+// burning a worker on its degraded fallback.
+func (p *Pool) BreakerOpen(key string) (error, bool) {
+	return p.brk.openFor(key)
 }
 
 // TraceJob builds the supervised job that analyzes the trace file at
@@ -469,6 +542,7 @@ func TraceJob(name, path string, opts core.Options) Job {
 	return Job{
 		Name: name,
 		Key:  path,
+		Path: path,
 		Run: func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
 			tr, err := trace.ParseFile(path)
 			if err != nil {

@@ -399,3 +399,143 @@ func TestShedCountsPerReasonAndRejectionDepth(t *testing.T) {
 		t.Fatalf("sheds = %v, want one per reason", sheds)
 	}
 }
+
+// TestConcurrentSubmitVsShutdown races many producers against Shutdown:
+// every Submit must either enqueue or shed with a typed rejection, and
+// closing intake concurrently with sends must never panic (the pool
+// holds its mutex across the draining check and the channel send). Run
+// under -race, this is the regression net for send-on-closed-channel.
+func TestConcurrentSubmitVsShutdown(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := NewPool(Config{Workers: 2, QueueDepth: 4})
+		var wg sync.WaitGroup
+		errs := make(chan error, 64)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 16; i++ {
+					err := p.Submit(Job{
+						Name: fmt.Sprintf("r%d-g%d-j%d", round, g, i),
+						Run: func(context.Context, budget.Limits) (*core.Result, error) {
+							return &core.Result{}, nil
+						},
+					})
+					if err != nil {
+						errs <- err
+					}
+				}
+			}(g)
+		}
+		outs := p.Shutdown(context.Background())
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			var rej *RejectionError
+			if !errors.As(err, &rej) {
+				t.Fatalf("round %d: untyped submit error %v", round, err)
+			}
+			if rej.Reason != ReasonQueueFull && rej.Reason != ReasonShuttingDown {
+				t.Fatalf("round %d: unexpected rejection %+v", round, rej)
+			}
+		}
+		for _, out := range outs {
+			if out.JobState == "" && out.Err != nil {
+				t.Fatalf("round %d: executed job failed: %+v", round, out)
+			}
+		}
+		// After Shutdown returns, every Submit sheds with shutting-down.
+		err := p.Submit(Job{Name: "late", Run: func(context.Context, budget.Limits) (*core.Result, error) {
+			return &core.Result{}, nil
+		}})
+		var rej *RejectionError
+		if !errors.As(err, &rej) || rej.Reason != ReasonShuttingDown {
+			t.Fatalf("round %d: post-shutdown submit = %v", round, err)
+		}
+	}
+}
+
+// TestPoolQuarantinesPoisonInput proves the dead-letter path end to end
+// at the pool layer: a deterministic parse failure exhausts its
+// attempts, gets a quarantine journal entry instead of a job entry, is
+// marked report.JobQuarantined, and its input file moves into the
+// quarantine directory.
+func TestPoolQuarantinesPoisonInput(t *testing.T) {
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "spool")
+	if err := os.MkdirAll(spool, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	poison := filepath.Join(spool, "bad.trace")
+	if err := os.WriteFile(poison, []byte("this is not a trace\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "daemon.journal")
+	w, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdir := filepath.Join(dir, "quarantine")
+	p := NewPool(Config{
+		Workers:    1,
+		Journal:    w,
+		Quarantine: &Quarantine{Dir: qdir},
+	})
+	p.Submit(TraceJob("bad.trace", poison, core.DefaultOptions()))
+	p.Quiesce()
+	outs := p.Shutdown(context.Background())
+	w.Close()
+
+	out := outcomesByName(outs)["bad.trace"]
+	if out.JobState != report.JobQuarantined {
+		t.Fatalf("outcome = %+v, want quarantined", out)
+	}
+	if _, err := os.Stat(poison); !os.IsNotExist(err) {
+		t.Fatalf("poison input still in spool (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(qdir, "bad.trace")); err != nil {
+		t.Fatalf("poison input not dead-lettered: %v", err)
+	}
+	entries, err := journal.Recover(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined := QuarantinedJobs(entries)
+	if reason, ok := quarantined["bad.trace"]; !ok || reason == "" {
+		t.Fatalf("quarantine journal entries = %v", quarantined)
+	}
+	// The dead letter is not a completion: a restart must not treat the
+	// input as analyzed, it must treat it as untouchable.
+	if CompletedJobs(entries)["bad.trace"] {
+		t.Fatal("quarantined input journaled as completed")
+	}
+}
+
+// TestTransientFailureNotQuarantined pins the quarantine boundary:
+// budget exhaustion is not poison — the same input may succeed under a
+// later incarnation's budget, so its file stays in the spool.
+func TestTransientFailureNotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "slow.trace")
+	if err := os.WriteFile(input, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	qdir := filepath.Join(dir, "quarantine")
+	p := NewPool(Config{Workers: 1, Quarantine: &Quarantine{Dir: qdir}})
+	p.Submit(Job{
+		Name: "slow.trace",
+		Path: input,
+		Run: func(context.Context, budget.Limits) (*core.Result, error) {
+			return nil, &budget.Error{Stage: "test", Resource: budget.ResourceWallClock}
+		},
+	})
+	p.Quiesce()
+	outs := p.Shutdown(context.Background())
+	out := outcomesByName(outs)["slow.trace"]
+	if out.JobState == report.JobQuarantined {
+		t.Fatalf("budget exhaustion quarantined: %+v", out)
+	}
+	if _, err := os.Stat(input); err != nil {
+		t.Fatalf("transiently failed input removed from spool: %v", err)
+	}
+}

@@ -85,6 +85,10 @@ type Writer struct {
 // its parent directory) when absent. An existing journal is continued:
 // the sequence counter resumes after the last recoverable entry, and a
 // torn tail from a previous crash is truncated away first.
+//
+// Kill-point: "journal.create" crashes after the file and its directory
+// entry are durable but before the first append — the window where a
+// fresh daemon owns an empty journal.
 func Create(path string) (*Writer, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
@@ -107,7 +111,35 @@ func Create(path string) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
+	// fsync the truncation, then the parent directory: creating (or
+	// truncating) the file changes the directory entry, and data fsyncs
+	// alone do not make that durable. Without this a host crash right
+	// after daemon start can lose the journal file itself — the next
+	// incarnation would silently begin from an empty history.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	faultinject.Crash("journal.create")
 	return &Writer{f: f, bw: bufio.NewWriter(f), seq: len(entries), chunk: DefaultChunk, recovered: stats}, nil
+}
+
+// SyncDir fsyncs a directory, making renames and file creations under it
+// durable. The quarantine mover shares it with Create.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s: %w", dir, err)
+	}
+	return nil
 }
 
 // Recovered returns the recovery statistics of the journal this writer

@@ -1,7 +1,9 @@
 package journal
 
 import (
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -295,5 +297,78 @@ func TestRecoverStatsMissingFile(t *testing.T) {
 	entries, stats, err := RecoverStats(filepath.Join(t.TempDir(), "absent"))
 	if err != nil || entries != nil || stats.Torn() {
 		t.Fatalf("got %v, %+v, %v; want empty", entries, stats, err)
+	}
+}
+
+// journalHelperEnv marks the re-exec'd helper of the create kill-point
+// test.
+const journalHelperEnv = "DROIDRACER_JOURNAL_HELPER"
+
+// TestJournalCreateHelperProcess is the subprocess body of the create
+// kill-point test: it opens a fresh journal with the journal.create
+// kill-point armed by the parent, dying after the file and its directory
+// entry are durable but before any append.
+func TestJournalCreateHelperProcess(t *testing.T) {
+	dir := os.Getenv(journalHelperEnv)
+	if dir == "" {
+		t.Skip("helper subprocess only")
+	}
+	w, err := Create(filepath.Join(dir, "state", "job.journal"))
+	if err != nil {
+		t.Fatal(err) // unreachable: the kill-point fires inside Create
+	}
+	w.Append("seq", payload{N: 1})
+	w.Close()
+	os.Exit(0)
+}
+
+// TestJournalCreateKillPoint proves the create-path durability ordering:
+// a process SIGKILL'd immediately after Create returns control (modeled
+// by the journal.create kill-point, which fires after the file fsync and
+// the parent-directory fsync) leaves a journal file that exists and
+// recovers cleanly. Before Create synced the directory, this crash could
+// lose the journal file itself.
+func TestJournalCreateKillPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestJournalCreateHelperProcess$")
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, "DROIDRACER_KILLPOINT=") ||
+			strings.HasPrefix(kv, journalHelperEnv+"=") {
+			continue
+		}
+		cmd.Env = append(cmd.Env, kv)
+	}
+	cmd.Env = append(cmd.Env,
+		journalHelperEnv+"="+dir,
+		"DROIDRACER_KILLPOINT=journal.create")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 137 {
+		t.Fatalf("helper exit = %v, want kill at journal.create\n%s", err, out)
+	}
+	path := filepath.Join(dir, "state", "job.journal")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file lost across the create-time crash: %v", err)
+	}
+	entries, stats, err := RecoverStats(path)
+	if err != nil {
+		t.Fatalf("recovery after create-time crash: %v", err)
+	}
+	if len(entries) != 0 || stats.Torn() {
+		t.Fatalf("fresh journal recovered %d entries (stats %+v), want empty", len(entries), stats)
+	}
+	// The survivor is a normal journal: the next incarnation appends to it.
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("seq", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

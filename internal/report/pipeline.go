@@ -29,9 +29,11 @@ type Outcome struct {
 
 	// JobState is the supervisor's disposition for a job that never ran
 	// to an analysis verdict: JobQueued (still waiting at shutdown),
-	// JobShed (rejected by admission control), or JobDrained
-	// (checkpointed and requeued for a future resume during graceful
-	// shutdown). Empty for jobs that produced a Result or Err.
+	// JobShed (rejected by admission control), JobDrained (checkpointed
+	// and requeued for a future resume during graceful shutdown), or
+	// JobQuarantined (failed deterministically and dead-lettered — unlike
+	// every other non-terminal state, it will never be retried). Empty
+	// for jobs that produced a Result or Err.
 	JobState string
 	// Attempts counts supervised execution attempts; values above 1 mean
 	// the job was retried.
@@ -41,11 +43,15 @@ type Outcome struct {
 	Resumed bool
 }
 
-// Supervisor job states rendered in the Mode column.
+// Supervisor job states rendered in the Mode column. JobQuarantined is
+// terminal: the input was dead-lettered and a restart never re-ingests
+// it, which the report must distinguish from a plain failure that the
+// next incarnation would retry.
 const (
-	JobQueued  = "queued"
-	JobShed    = "shed"
-	JobDrained = "drained"
+	JobQueued      = "queued"
+	JobShed        = "shed"
+	JobDrained     = "drained"
+	JobQuarantined = "quarantined"
 )
 
 // mode summarizes how the outcome's analysis ended. Supervisor states

@@ -80,6 +80,8 @@ func TestPipelineRoundTripsEveryOutcome(t *testing.T) {
 		report.Outcome{Name: "job-shed", JobState: report.JobShed,
 			Err: fmt.Errorf("jobs: rejected (queue-full, 16/16 queued)")},
 		report.Outcome{Name: "job-drained", JobState: report.JobDrained},
+		report.Outcome{Name: "job-quarantined", JobState: report.JobQuarantined,
+			Err: fmt.Errorf("trace: line 3: bad op")},
 	)
 
 	out := report.Pipeline(outcomes)
@@ -91,6 +93,7 @@ func TestPipelineRoundTripsEveryOutcome(t *testing.T) {
 		"job-queued", "queued",
 		"job-shed", "shed", "queue-full",
 		"job-drained", "drained",
+		"job-quarantined", "quarantined", "bad op",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// buckets is the per-client token-bucket rate limiter of the admission
+// layer. Each client (X-Client-ID header, falling back to the remote
+// host) owns one bucket refilled at rate tokens per second up to burst.
+// A submission costs one token; an empty bucket rejects with the time
+// until the next token, which becomes the Retry-After header.
+type buckets struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client map: past this, fully refilled
+// buckets (clients idle long enough to be indistinguishable from new
+// ones) are evicted. An adversary rotating client IDs degrades to the
+// global in-flight limiter, not to unbounded memory.
+const maxBuckets = 8192
+
+func newBuckets(rate float64, burst int) *buckets {
+	if rate <= 0 {
+		rate = 10
+	}
+	if burst < 1 {
+		burst = int(2 * rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &buckets{rate: rate, burst: float64(burst), now: time.Now, m: make(map[string]*bucket)}
+}
+
+// take spends one token for client. When the bucket is empty it reports
+// false and the wait until a token becomes available.
+func (b *buckets) take(client string) (time.Duration, bool) {
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk, ok := b.m[client]
+	if !ok {
+		if len(b.m) >= maxBuckets {
+			b.evictFull(now)
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.m[client] = bk
+	}
+	bk.tokens += now.Sub(bk.last).Seconds() * b.rate
+	if bk.tokens > b.burst {
+		bk.tokens = b.burst
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - bk.tokens) / b.rate * float64(time.Second))
+	return wait, false
+}
+
+// evictFull drops buckets that have refilled completely; called with the
+// lock held.
+func (b *buckets) evictFull(now time.Time) {
+	for client, bk := range b.m {
+		if bk.tokens+now.Sub(bk.last).Seconds()*b.rate >= b.burst {
+			delete(b.m, client)
+		}
+	}
+}
+
+// estimator tracks an exponentially weighted moving average of analysis
+// service time, observed per completed job. Retry-After for a full queue
+// is derived from it: depth ahead of the client divided by the worker
+// count, times the expected service time — an honest estimate of when a
+// queue slot frees up, not a constant.
+type estimator struct {
+	mu   sync.Mutex
+	ewma time.Duration
+}
+
+// observe folds one completed job's service time into the average.
+func (e *estimator) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.ewma == 0 {
+		e.ewma = d
+	} else {
+		e.ewma = time.Duration(0.7*float64(e.ewma) + 0.3*float64(d))
+	}
+	e.mu.Unlock()
+}
+
+// service returns the current estimate, defaulting to one second before
+// any observation.
+func (e *estimator) service() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ewma == 0 {
+		return time.Second
+	}
+	return e.ewma
+}
+
+// queueWait estimates how long until the queue that just rejected a
+// submission has a free slot: the rejected depth divided across the
+// workers, at the observed service time, clamped to [1s, 5m].
+func (e *estimator) queueWait(depth, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	w := time.Duration(float64(e.service()) * (float64(depth)/float64(workers) + 1))
+	if w < time.Second {
+		w = time.Second
+	}
+	if w > 5*time.Minute {
+		w = 5 * time.Minute
+	}
+	return w
+}
+
+// keyedMutex serializes admission per idempotency key: two concurrent
+// submissions of the same body must not both write the spool file and
+// double-submit to the pool. Locks are striped by key hash, so distinct
+// traces never contend and memory stays constant.
+type keyedMutex struct {
+	stripes [64]sync.Mutex
+}
+
+func (k *keyedMutex) lock(key string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	m := &k.stripes[h%uint32(len(k.stripes))]
+	m.Lock()
+	return m
+}

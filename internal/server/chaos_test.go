@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/jobs"
+	"droidracer/internal/journal"
+	"droidracer/internal/report"
+	"droidracer/internal/trace"
+)
+
+// serverHelperEnv marks the re-exec'd daemon of the ingestion chaos
+// test; its value is the shared spool/state root.
+const serverHelperEnv = "DROIDRACER_SERVER_HELPER"
+
+// TestServerHelperProcess is the subprocess body of the ingestion chaos
+// test: a miniature racedetd — journal recovery, supervised pool,
+// ingestion server, spool sweep — that serves until the parent kills it
+// (or the armed server.accept kill-point does).
+func TestServerHelperProcess(t *testing.T) {
+	dir := os.Getenv(serverHelperEnv)
+	if dir == "" {
+		t.Skip("helper subprocess only")
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	spool := filepath.Join(dir, "spool")
+	state := filepath.Join(dir, "state")
+	if err := os.MkdirAll(spool, 0o777); err != nil {
+		die(err)
+	}
+	if err := os.MkdirAll(state, 0o777); err != nil {
+		die(err)
+	}
+	jpath := filepath.Join(state, "daemon.journal")
+	entries, err := journal.Recover(jpath)
+	if err != nil {
+		die(err)
+	}
+	w, err := journal.Create(jpath)
+	if err != nil {
+		die(err)
+	}
+	var srv *Server
+	pool := jobs.NewPool(jobs.Config{
+		Workers:    1,
+		QueueDepth: 8,
+		Journal:    w,
+		Quarantine: &jobs.Quarantine{Dir: filepath.Join(state, "quarantine")},
+		OnFinish: func(out report.Outcome) {
+			if s := srv; s != nil {
+				s.JobFinished(out)
+			}
+		},
+	})
+	srv = New(Config{
+		Pool:        pool,
+		Spool:       spool,
+		Analyze:     core.DefaultOptions(),
+		Workers:     1,
+		Completed:   jobs.CompletedRecords(entries),
+		Quarantined: jobs.QuarantinedJobs(entries),
+	})
+	_, bound, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		die(err)
+	}
+	// Publish the bound address atomically so the parent never reads a
+	// half-written file.
+	addrPath := filepath.Join(dir, "addr")
+	if err := os.WriteFile(addrPath+".tmp", []byte(bound), 0o666); err != nil {
+		die(err)
+	}
+	if err := os.Rename(addrPath+".tmp", addrPath); err != nil {
+		die(err)
+	}
+	for {
+		ents, err := os.ReadDir(spool)
+		if err == nil {
+			for _, e := range ents {
+				if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+					continue
+				}
+				if !srv.Claim(e.Name()) {
+					continue
+				}
+				job := jobs.TraceJob(e.Name(), filepath.Join(spool, e.Name()), core.DefaultOptions())
+				if err := pool.Submit(job); err != nil {
+					srv.Release(e.Name())
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// helperCmd re-execs the test binary as the helper daemon over dir,
+// optionally arming the server.accept kill-point.
+func helperCmd(t *testing.T, dir string, arm bool) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestServerHelperProcess$", "-test.v")
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, faultinject.EnvKillpoint+"=") ||
+			strings.HasPrefix(kv, serverHelperEnv+"=") {
+			continue
+		}
+		cmd.Env = append(cmd.Env, kv)
+	}
+	cmd.Env = append(cmd.Env, serverHelperEnv+"="+dir)
+	if arm {
+		cmd.Env = append(cmd.Env, faultinject.EnvKillpoint+"=server.accept")
+	}
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	return cmd, &out
+}
+
+// waitAddr polls for the helper's published listen address.
+func waitAddr(t *testing.T, dir string, log *bytes.Buffer) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("helper never published its address\n%s", log.String())
+	return ""
+}
+
+// TestServerKilledMidAccept is the acceptance chaos test of the
+// ingestion layer: SIGKILL the daemon mid-request — after the trace is
+// durably spooled, before the pool accepted it or the client heard 202 —
+// then restart it and resubmit the same body under the same content-
+// derived idempotency key. The converged state must hold exactly one
+// journal record for the job, with the same race-set digest a local
+// analysis of the trace produces: accepted work is never lost and never
+// duplicated.
+func TestServerKilledMidAccept(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	body := figure4Body(t)
+	id := IdempotencyKey(body)
+	name := jobName(id)
+
+	// Incarnation 1: die at the server.accept kill-point.
+	cmd, log := helperCmd(t, dir, true)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := waitAddr(t, dir, log)
+	if _, err := http.Post("http://"+addr+"/v1/jobs", "text/plain", bytes.NewReader(body)); err == nil {
+		t.Fatalf("submission against an armed kill-point returned a response\n%s", log.String())
+	}
+	werr := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(werr, &ee) || ee.ExitCode() != faultinject.KillExitCode {
+		t.Fatalf("helper exit = %v, want kill at server.accept\n%s", werr, log.String())
+	}
+	// The durability promise: the trace reached the spool before the
+	// crash, even though no acknowledgement ever left the process.
+	if _, err := os.Stat(filepath.Join(dir, "spool", name)); err != nil {
+		t.Fatalf("accepted trace not durable across SIGKILL: %v", err)
+	}
+
+	// Incarnation 2: clean restart. The sweep re-ingests the spooled
+	// trace; the client retries the same body under the same key.
+	if err := os.Remove(filepath.Join(dir, "addr")); err != nil {
+		t.Fatal(err)
+	}
+	cmd2, log2 := helperCmd(t, dir, false)
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	addr2 := waitAddr(t, dir, log2)
+	c := &Client{BaseURL: "http://" + addr2, BaseBackoff: 10 * time.Millisecond, MaxAttempts: 8, Seed: 7}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	resp, _, err := c.Submit(ctx, body)
+	if err != nil {
+		t.Fatalf("resubmission failed: %v\n%s", err, log2.String())
+	}
+	if resp.Job != id {
+		t.Fatalf("resubmission job = %q, want %q", resp.Job, id)
+	}
+	var done *SubmitResponse
+	pollDeadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(pollDeadline) {
+		done, err = c.Status(ctx, id)
+		if err == nil && done.Status == StatusDone {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if done == nil || done.Status != StatusDone {
+		t.Fatalf("job never completed after restart: %+v\n%s", done, log2.String())
+	}
+	cmd2.Process.Kill()
+	cmd2.Wait()
+
+	// Convergence proof, part 1: exactly one journal record — the retry
+	// coalesced instead of re-running.
+	entries, err := journal.Recover(filepath.Join(dir, "state", "daemon.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []jobs.JobEntry
+	for _, e := range entries {
+		if e.Type != "job" {
+			continue
+		}
+		var je jobs.JobEntry
+		if err := e.Decode(&je); err != nil {
+			t.Fatal(err)
+		}
+		if je.Name == name {
+			records = append(records, je)
+		}
+	}
+	if len(records) != 1 {
+		t.Fatalf("journal has %d records for %s, want exactly 1: %+v", len(records), name, records)
+	}
+	// Part 2: the race set matches an independent local analysis of the
+	// same trace — the crash changed nothing about the answer.
+	tr, err := trace.ParseBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := core.AnalyzeContext(context.Background(), tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jobs.ResultDigest(localRes)
+	if records[0].Digest != want || records[0].Digest == "" {
+		t.Fatalf("journaled digest %q != local digest %q", records[0].Digest, want)
+	}
+	if done.Digest != want {
+		t.Fatalf("replayed digest %q != local digest %q", done.Digest, want)
+	}
+}

@@ -1,0 +1,60 @@
+package server
+
+import "droidracer/internal/obs"
+
+// Ingestion metrics. Status codes and rejection reasons are
+// pre-registered per label value so a scrape sees the complete series
+// set (at zero) from process start.
+var (
+	requestsTotal = map[string]*obs.Counter{}
+	rejectsTotal  = map[string]*obs.Counter{}
+	inflightGauge = obs.Default().Gauge("droidracer_server_inflight",
+		"Ingestion requests currently being admitted.")
+	requestDur = obs.Default().Histogram("droidracer_server_request_duration_seconds",
+		"Ingestion request latency.", obs.DurationBuckets())
+	replaysTotal = map[string]*obs.Counter{}
+)
+
+// Admission rejection reasons (the reason label of
+// droidracer_server_admission_rejected_total and the "reason" field of
+// rejected SubmitResponses).
+const (
+	RejectBodyTooLarge = "body-too-large"
+	RejectEmptyBody    = "empty-body"
+	RejectKeyMismatch  = "key-mismatch"
+	RejectRateLimited  = "rate-limited"
+	RejectInflight     = "inflight-exceeded"
+	RejectQueueFull    = "queue-full"
+	RejectShuttingDown = "shutting-down"
+	RejectBreakerOpen  = "breaker-open"
+)
+
+func init() {
+	for _, code := range []string{"200", "202", "400", "404", "413", "422", "429", "503"} {
+		requestsTotal[code] = obs.Default().Counter("droidracer_server_requests_total",
+			"Ingestion HTTP responses, by status code.", "code", code)
+	}
+	for _, reason := range []string{
+		RejectBodyTooLarge, RejectEmptyBody, RejectKeyMismatch, RejectRateLimited,
+		RejectInflight, RejectQueueFull, RejectShuttingDown, RejectBreakerOpen,
+	} {
+		rejectsTotal[reason] = obs.Default().Counter("droidracer_server_admission_rejected_total",
+			"Submissions refused at admission, by reason.", "reason", reason)
+	}
+	// Duplicate submissions answered without re-running the analysis:
+	// from the journal (completed work), by coalescing onto queued or
+	// in-flight work, or from the dead-letter record of a quarantined
+	// input.
+	for _, source := range []string{"journal", "pending", "quarantine"} {
+		replaysTotal[source] = obs.Default().Counter("droidracer_server_replays_total",
+			"Duplicate submissions answered idempotently, by answer source.", "source", source)
+	}
+}
+
+// countCode bumps the per-code request counter, tolerating codes outside
+// the pre-registered set.
+func countCode(code string) {
+	if c, ok := requestsTotal[code]; ok {
+		c.Inc()
+	}
+}

@@ -1,0 +1,619 @@
+// Package server is the network ingestion and admission layer of the
+// resilient analysis service: an HTTP surface that accepts execution
+// traces, derives a content-hash idempotency key per submission, and
+// feeds the supervised job pool — while shedding load it cannot absorb
+// with honest Retry-After hints instead of queueing without bound.
+//
+// The deployment shape follows the paper's §5 architecture: the Race
+// Detector runs as a separate offline phase fed by generated traces, so
+// many producers (device farms, CI fleets) push traces to one analysis
+// service that must stay up, refuse what it cannot take, and never lose
+// work it acknowledged.
+//
+// Admission control layers, in order: a drain check (a daemon that got
+// SIGTERM stops accepting immediately), a global in-flight cap, a
+// per-client token bucket, a body-size bound, idempotent replay
+// (duplicates of completed work answer from the journal; duplicates of
+// queued or in-flight work coalesce), a per-input circuit-breaker check,
+// and finally the pool's own bounded queue. An accepted trace is durably
+// spooled — file fsync'd, then its directory — before the 202 goes out,
+// which is what makes the acceptance a promise: a SIGKILL after the
+// response loses nothing, because the next incarnation sweeps the spool.
+//
+// Poison inputs (deterministic failures after retries: parse errors,
+// isolated panics) are dead-lettered by the pool's quarantine; the
+// server answers their duplicates with 422 from the dead-letter record
+// so clients stop resubmitting work that will never succeed.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/jobs"
+	"droidracer/internal/journal"
+	"droidracer/internal/obs"
+	"droidracer/internal/report"
+)
+
+// Submission status values (the "status" field of SubmitResponse).
+const (
+	StatusAccepted    = "accepted"
+	StatusPending     = "pending"
+	StatusDone        = "done"
+	StatusQuarantined = "quarantined"
+	StatusRejected    = "rejected"
+)
+
+// SubmitResponse is the JSON body of every /v1/jobs response, shared
+// with the retrying client.
+type SubmitResponse struct {
+	// Job is the content-derived job ID (the idempotency key).
+	Job string `json:"job,omitempty"`
+	// Status is one of the Status* values.
+	Status string `json:"status"`
+	// Coalesced marks a duplicate answered from queued/in-flight work.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Mode, Races, and Digest replay the journal record of completed
+	// work: analysis mode (full/degraded), race count, and the stable
+	// race-set fingerprint (jobs.ResultDigest).
+	Mode   string `json:"mode,omitempty"`
+	Races  int    `json:"races,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	// Reason explains a rejection or quarantine.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// Config configures the ingestion server.
+type Config struct {
+	// Pool executes accepted jobs. Required.
+	Pool *jobs.Pool
+	// Spool is the directory accepted trace bodies are durably written
+	// to; the daemon's restart sweep re-ingests unfinished ones from
+	// here. Required.
+	Spool string
+	// Analyze is the base analysis configuration for accepted jobs; a
+	// request's X-Analysis-Deadline can only tighten its wall budget.
+	Analyze core.Options
+	// Workers is the pool's worker count, used to derive Retry-After
+	// from queue depth (default 1).
+	Workers int
+	// MaxBody bounds the request body in bytes (default 8 MiB).
+	MaxBody int64
+	// MaxInflight caps concurrently admitted submissions (default 64).
+	MaxInflight int
+	// Rate and Burst configure the per-client token bucket (default 10
+	// tokens/s, burst 20).
+	Rate  float64
+	Burst int
+	// MaxDeadline caps the per-request X-Analysis-Deadline (default 2m).
+	MaxDeadline time.Duration
+	// DrainRetryAfter is the Retry-After hint while shutting down
+	// (default 10s) — roughly when a replacement should be serving.
+	DrainRetryAfter time.Duration
+	// BreakerRetryAfter is the Retry-After hint for breaker-open inputs
+	// (default 60s): the breaker never re-closes within one incarnation,
+	// so this is the restart horizon, not a backoff.
+	BreakerRetryAfter time.Duration
+	// Completed seeds the idempotency index with journal records
+	// recovered at startup (jobs.CompletedRecords).
+	Completed map[string]jobs.JobEntry
+	// Quarantined seeds the dead-letter index (jobs.QuarantinedJobs).
+	Quarantined map[string]string
+	// Events, when set, receives request.accept / request.reject /
+	// server.drain lifecycle events.
+	Events *slog.Logger
+}
+
+// jobState is one entry of the idempotency index.
+type jobState struct {
+	status string // StatusPending, StatusDone, StatusQuarantined
+	entry  jobs.JobEntry
+	reason string
+}
+
+// Server is the HTTP ingestion and admission layer over a job pool.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	draining atomic.Bool
+	sem      chan struct{}
+	buckets  *buckets
+	est      *estimator
+	keys     keyedMutex
+
+	mu    sync.Mutex
+	state map[string]*jobState
+}
+
+// New builds a server over cfg, seeding the idempotency index from the
+// recovered journal records. Wire JobFinished as the pool's OnFinish
+// hook so completions (and quarantines) update the index.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 2 * time.Minute
+	}
+	if cfg.DrainRetryAfter <= 0 {
+		cfg.DrainRetryAfter = 10 * time.Second
+	}
+	if cfg.BreakerRetryAfter <= 0 {
+		cfg.BreakerRetryAfter = time.Minute
+	}
+	if cfg.Events == nil {
+		cfg.Events = obs.Nop()
+	}
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		buckets: newBuckets(cfg.Rate, cfg.Burst),
+		est:     &estimator{},
+		state:   make(map[string]*jobState),
+	}
+	for name, je := range cfg.Completed {
+		s.state[name] = &jobState{status: StatusDone, entry: je}
+	}
+	for name, reason := range cfg.Quarantined {
+		s.state[name] = &jobState{status: StatusQuarantined, reason: reason}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.handleStatus))
+	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument(s.handleReadyz))
+	return s
+}
+
+// Handler returns the ingestion mux (a private mux, so embedding it in a
+// larger server never inherits unexpected routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve binds addr and serves the ingestion API in the background,
+// returning the http.Server (for Close on shutdown) and the bound
+// address (useful with ":0"). A bind failure is returned synchronously.
+func (s *Server) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// BeginDrain flips readiness off: /readyz answers 503 and new
+// submissions are refused with shutting-down from this moment — before
+// Pool.Shutdown starts draining in-flight work — so load balancers stop
+// routing while the daemon finishes what it already accepted.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.cfg.Events.Info("server.drain")
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// IdempotencyKey derives the content-hash job ID for a trace body. The
+// client sends it as the Idempotency-Key header; the server recomputes
+// it from the bytes it received, so a body corrupted in transit is
+// refused (400) instead of being analyzed under the wrong identity.
+func IdempotencyKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:8])
+}
+
+// jobName maps a job ID to its spool file name.
+func jobName(id string) string { return id + ".trace" }
+
+// Claim marks name as submitted this incarnation, returning false when
+// it is already known (accepted over HTTP, swept earlier, completed, or
+// quarantined). The daemon's spool sweep shares the idempotency index
+// through it so HTTP-accepted files are not double-submitted.
+func (s *Server) Claim(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.state[name]; ok {
+		return false
+	}
+	s.state[name] = &jobState{status: StatusPending}
+	return true
+}
+
+// Release drops a pending claim (a swept submission the pool shed), so
+// the next sweep retries it.
+func (s *Server) Release(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.state[name]; ok && st.status == StatusPending {
+		delete(s.state, name)
+	}
+}
+
+// JobFinished is the pool OnFinish hook: it moves the idempotency index
+// entry for the finished job to its terminal state, so duplicates are
+// answered from memory in this incarnation and from the journal in the
+// next.
+func (s *Server) JobFinished(out report.Outcome) {
+	name := out.Name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case out.JobState == report.JobQuarantined:
+		reason := ""
+		if out.Err != nil {
+			reason = out.Err.Error()
+		}
+		s.state[name] = &jobState{status: StatusQuarantined, reason: reason}
+	case out.JobState == report.JobDrained:
+		// Checkpointed for the next incarnation: still pending.
+	case out.JobState != "":
+		// Shed or queued placeholders never reach finish; ignore.
+	default:
+		mode := jobs.OutcomeMode(out)
+		if mode == "full" || mode == "degraded" {
+			je := jobs.JobEntry{Name: name, Mode: mode, Attempts: out.Attempts}
+			if out.Result != nil {
+				je.Races = len(out.Result.Races)
+				je.Digest = jobs.ResultDigest(out.Result)
+			}
+			s.state[name] = &jobState{status: StatusDone, entry: je}
+			return
+		}
+		// Transient failure (budget exhaustion, shutdown cancellation):
+		// drop the claim so a resubmission — or the next sweep — retries.
+		delete(s.state, name)
+	}
+}
+
+// lookup answers a duplicate submission from the idempotency index.
+func (s *Server) lookup(name string) (*SubmitResponse, int, bool) {
+	s.mu.Lock()
+	st, ok := s.state[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	id := strings.TrimSuffix(name, ".trace")
+	switch st.status {
+	case StatusDone:
+		return &SubmitResponse{
+			Job: id, Status: StatusDone,
+			Mode: st.entry.Mode, Races: st.entry.Races, Digest: st.entry.Digest,
+		}, http.StatusOK, true
+	case StatusQuarantined:
+		return &SubmitResponse{Job: id, Status: StatusQuarantined, Reason: st.reason},
+			http.StatusUnprocessableEntity, true
+	default:
+		return &SubmitResponse{Job: id, Status: StatusPending, Coalesced: true},
+			http.StatusAccepted, true
+	}
+}
+
+// codeWriter captures the response status for metrics.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request metrics: per-code counts,
+// a latency histogram, and the in-flight gauge.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflightGauge.Inc()
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		h(cw, r)
+		inflightGauge.Dec()
+		countCode(strconv.Itoa(cw.code))
+		requestDur.ObserveDuration(time.Since(start))
+	}
+}
+
+// respond writes a SubmitResponse as JSON, mirroring RetryAfterSeconds
+// into the Retry-After header.
+func respond(w http.ResponseWriter, code int, resp *SubmitResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	if resp.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterSeconds))
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// reject refuses a submission: metrics, event, and the structured
+// rejection body with its Retry-After hint (0 = no hint: the client
+// should fix the request, not retry it).
+func (s *Server) reject(w http.ResponseWriter, code int, reason string, retryAfter time.Duration) {
+	if c, ok := rejectsTotal[reason]; ok {
+		c.Inc()
+	}
+	resp := &SubmitResponse{Status: StatusRejected, Reason: reason}
+	if retryAfter > 0 {
+		secs := int(retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		resp.RetryAfterSeconds = secs
+	}
+	s.cfg.Events.Info("request.reject", "reason", reason, "code", code,
+		"retry_after_s", resp.RetryAfterSeconds)
+	respond(w, code, resp)
+}
+
+// clientID identifies the rate-limit principal: the X-Client-ID header
+// when present, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// DeadlineHeader carries the per-request analysis wall budget (a Go
+// duration). It can only tighten the server's configured budget, and is
+// capped by Config.MaxDeadline.
+const DeadlineHeader = "X-Analysis-Deadline"
+
+// requestOptions derives the analysis options for one submission from
+// the base options and the deadline header.
+func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
+	opts := s.cfg.Analyze
+	req := time.Duration(0)
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			return opts, fmt.Errorf("bad %s %q", DeadlineHeader, h)
+		}
+		req = d
+	}
+	if req > s.cfg.MaxDeadline {
+		req = s.cfg.MaxDeadline
+	}
+	if req > 0 && (opts.Budget.Wall == 0 || req < opts.Budget.Wall) {
+		opts.Budget.Wall = req
+	}
+	return opts, nil
+}
+
+// handleSubmit is POST /v1/jobs: the full admission pipeline.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, RejectShuttingDown, s.cfg.DrainRetryAfter)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.reject(w, http.StatusTooManyRequests, RejectInflight, time.Second)
+		return
+	}
+	if wait, ok := s.buckets.take(clientID(r)); !ok {
+		s.reject(w, http.StatusTooManyRequests, RejectRateLimited, wait)
+		return
+	}
+	body, err := readBody(w, r, s.cfg.MaxBody)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reject(w, http.StatusRequestEntityTooLarge, RejectBodyTooLarge, 0)
+		} else {
+			s.reject(w, http.StatusBadRequest, RejectEmptyBody, 0)
+		}
+		return
+	}
+	id := IdempotencyKey(body)
+	if key := r.Header.Get("Idempotency-Key"); key != "" && key != id {
+		// The client hashed different bytes than we received: transit
+		// corruption. Refusing (instead of analyzing under our hash)
+		// lets the retrying client resubmit the intact body.
+		s.reject(w, http.StatusBadRequest, RejectKeyMismatch, 0)
+		return
+	}
+	name := jobName(id)
+
+	// Fast path: duplicates answered from the index without touching
+	// the spool.
+	if resp, code, ok := s.lookup(name); ok {
+		s.countReplay(resp)
+		respond(w, code, resp)
+		return
+	}
+
+	// Admission critical section per idempotency key: two concurrent
+	// submissions of the same body must not both spool and submit.
+	defer s.keys.lock(name).Unlock()
+	if resp, code, ok := s.lookup(name); ok {
+		s.countReplay(resp)
+		respond(w, code, resp)
+		return
+	}
+
+	path := filepath.Join(s.cfg.Spool, name)
+	if _, open := s.cfg.Pool.BreakerOpen(path); open {
+		// The breaker never re-closes within one incarnation: full-
+		// fidelity service for this input is gone until a restart, so
+		// refuse instead of burning a worker on the degraded fallback.
+		s.reject(w, http.StatusServiceUnavailable, RejectBreakerOpen, s.cfg.BreakerRetryAfter)
+		return
+	}
+	opts, err := s.requestOptions(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, RejectEmptyBody, 0)
+		return
+	}
+
+	// Durability point: body fsync'd, then the spool directory. Only
+	// after this may the job be acknowledged — a crash later never loses
+	// it, because the restart sweep re-ingests the spool.
+	if err := writeDurable(path, body); err != nil {
+		s.cfg.Events.Warn("request.spool-failed", "job", id, "err", err.Error())
+		respond(w, http.StatusInternalServerError,
+			&SubmitResponse{Status: StatusRejected, Reason: "spool-write-failed", RetryAfterSeconds: 1})
+		return
+	}
+	// Kill-point: process death after the trace is durable but before
+	// the pool accepted it or the client heard 202 — the window the
+	// restart sweep and client retry must converge over.
+	faultinject.Crash("server.accept")
+
+	job := jobs.TraceJob(name, path, opts)
+	run := job.Run
+	job.Run = func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
+		t0 := time.Now()
+		res, rerr := run(ctx, lim)
+		s.est.observe(time.Since(t0))
+		return res, rerr
+	}
+
+	s.mu.Lock()
+	s.state[name] = &jobState{status: StatusPending}
+	s.mu.Unlock()
+	if err := s.cfg.Pool.Submit(job); err != nil {
+		s.Release(name)
+		os.Remove(path) // not accepted; admission control must not leak spool growth
+		var rej *jobs.RejectionError
+		if errors.As(err, &rej) && rej.Reason == jobs.ReasonShuttingDown {
+			s.reject(w, http.StatusServiceUnavailable, RejectShuttingDown, s.cfg.DrainRetryAfter)
+			return
+		}
+		retry := s.est.queueWait(queueDepth(err), s.cfg.Workers)
+		s.reject(w, http.StatusTooManyRequests, RejectQueueFull, retry)
+		return
+	}
+	s.cfg.Events.Info("request.accept", "job", id, "bytes", len(body))
+	respond(w, http.StatusAccepted, &SubmitResponse{Job: id, Status: StatusAccepted})
+}
+
+// countReplay bumps the idempotent-replay counter for an index answer.
+func (s *Server) countReplay(resp *SubmitResponse) {
+	source := "pending"
+	switch resp.Status {
+	case StatusDone:
+		source = "journal"
+	case StatusQuarantined:
+		source = "quarantine"
+	}
+	if c, ok := replaysTotal[source]; ok {
+		c.Inc()
+	}
+}
+
+// queueDepth extracts the rejected depth from a pool rejection (falling
+// back to 1 for unexpected error shapes).
+func queueDepth(err error) int {
+	var rej *jobs.RejectionError
+	if errors.As(err, &rej) {
+		return rej.Depth
+	}
+	return 1
+}
+
+// readBody reads at most max bytes, rejecting empty bodies.
+func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+	if err != nil {
+		return nil, err
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		return nil, fmt.Errorf("empty body")
+	}
+	return body, nil
+}
+
+// writeDurable writes body to path via a hidden temp file (the restart
+// sweep skips dotfiles), fsyncs it, renames it into place, and fsyncs
+// the directory — the full accepted-work durability chain.
+func writeDurable(path string, body []byte) error {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return journal.SyncDir(dir)
+}
+
+// handleStatus is GET /v1/jobs/{id}: the index entry for one job.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSuffix(r.PathValue("id"), ".trace")
+	if resp, _, ok := s.lookup(jobName(id)); ok {
+		respond(w, http.StatusOK, resp)
+		return
+	}
+	respond(w, http.StatusNotFound, &SubmitResponse{Job: id, Status: "unknown"})
+}
+
+// handleHealthz reports liveness: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: false from the moment a drain starts,
+// so routing stops before in-flight work finishes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}

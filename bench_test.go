@@ -19,6 +19,7 @@
 package droidracer_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -50,8 +51,8 @@ var (
 	repCache = map[string]*explorer.Test{}
 )
 
-func representative(b *testing.B, name string) *explorer.Test {
-	b.Helper()
+func representative(tb testing.TB, name string) *explorer.Test {
+	tb.Helper()
 	repMu.Lock()
 	defer repMu.Unlock()
 	if t, ok := repCache[name]; ok {
@@ -59,21 +60,21 @@ func representative(b *testing.B, name string) *explorer.Test {
 	}
 	app, err := apps.New(name)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	t, err := apps.RepresentativeTest(app)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	repCache[name] = t
 	return t
 }
 
-func analyzeInfo(b *testing.B, tr *trace.Trace) *trace.Info {
-	b.Helper()
+func analyzeInfo(tb testing.TB, tr *trace.Trace) *trace.Info {
+	tb.Helper()
 	info, err := trace.Analyze(tr)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return info
 }
@@ -192,6 +193,56 @@ func BenchmarkTable3Detection(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelHB measures the column-sharded happens-before closure
+// against the serial engine on the closure-heaviest Table 2 trace (K-9
+// Mail: ~3.5k nodes, ~4.3M pairs). The serial/workers=N ratio is the
+// wall-clock speedup; outputs are byte-identical (TestParallelEquivalence).
+func BenchmarkParallelHB(b *testing.B) {
+	info := analyzeInfo(b, representative(b, "K-9 Mail").Trace)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(workerLabel(workers), func(b *testing.B) {
+			cfg := hb.DefaultConfig()
+			cfg.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hb.Build(info, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDetect measures the sharded conflict scan on the
+// detection-heaviest Table 2 trace (Flipkart: ~157k ops, 314 racing
+// pairs).
+func BenchmarkParallelDetect(b *testing.B) {
+	info := analyzeInfo(b, representative(b, "Flipkart").Trace)
+	g := hb.Build(info, hb.DefaultConfig())
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(workerLabel(workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := race.NewDetector(g)
+				d.Parallelism = workers
+				races := d.Detect()
+				b.ReportMetric(float64(len(races)), "racing-pairs")
+			}
+		})
+	}
+}
+
+// workerLabel names the sub-benchmark for a worker count. The = form
+// (not workers-N) keeps the trailing digits distinguishable from the
+// -GOMAXPROCS suffix `go test` appends on multi-core machines, which
+// the benchcmp gate strips to compare runs across machines.
+func workerLabel(workers int) string {
+	if workers == 1 {
+		return "serial"
+	}
+	return fmt.Sprintf("workers=%d", workers)
 }
 
 func BenchmarkNodeMerging(b *testing.B) {

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark-regression gate (-benchcmp): compare a fresh `go test -bench
+// -json` run against a committed baseline and fail on a geometric-mean
+// slowdown past the threshold. CI runs the gate benchmarks with
+// -benchtime=5x -count=6; the per-benchmark median over the six counts
+// damps scheduler noise, and the geomean over benchmarks keeps one noisy
+// microbenchmark from failing (or masking) the gate.
+
+// benchLine matches one `go test -bench` result line:
+// "BenchmarkName-8   5   123456 ns/op ...". The -N GOMAXPROCS suffix is
+// stripped so runs from machines with different core counts compare.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+?)?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// testEvent is the subset of the `go test -json` (test2json) event
+// stream the parser needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// parseBench reads benchmark results from r, accepting both the
+// test2json event stream (`go test -json -bench ...`) and the plain
+// text format, and returns every ns/op sample per benchmark name.
+//
+// test2json splits a benchmark result across output events — the name
+// is printed before the run, the timing after — so output fragments
+// are reassembled into lines per package before matching.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	scan := func(text string) error {
+		m := benchLine.FindStringSubmatch(text)
+		if m == nil {
+			return nil
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op in %q: %w", text, err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+		return nil
+	}
+	pending := make(map[string]string) // package → unterminated output
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) > 0 && line[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return nil, fmt.Errorf("bad test2json line %q: %w", string(line), err)
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			buf := pending[ev.Package] + ev.Output
+			for {
+				nl := strings.IndexByte(buf, '\n')
+				if nl < 0 {
+					break
+				}
+				if err := scan(buf[:nl]); err != nil {
+					return nil, err
+				}
+				buf = buf[nl+1:]
+			}
+			pending[ev.Package] = buf
+			continue
+		}
+		if err := scan(string(line)); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, buf := range pending {
+		if err := scan(buf); err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// median reduces each benchmark's samples to their median, the robust
+// center for -count runs (one descheduled iteration moves the mean, not
+// the median).
+func median(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		sorted := append([]float64(nil), s...)
+		sort.Float64s(sorted)
+		n := len(sorted)
+		if n%2 == 1 {
+			out[name] = sorted[n/2]
+		} else {
+			out[name] = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+	}
+	return out
+}
+
+// cmpRow is one benchmark's baseline-versus-current comparison.
+type cmpRow struct {
+	name     string
+	old, new float64
+	ratio    float64 // new/old; > 1 is a slowdown
+}
+
+// compareBench pairs the benchmarks present in both runs and computes
+// the geometric mean of their new/old ratios. Benchmarks present in
+// only one run are returned separately — a renamed benchmark must not
+// silently drop out of the gate.
+func compareBench(base, cur map[string]float64) (rows []cmpRow, unmatched []string, geomean float64) {
+	for name, old := range base {
+		if now, ok := cur[name]; ok && old > 0 {
+			rows = append(rows, cmpRow{name: name, old: old, new: now, ratio: now / old})
+		} else if !ok {
+			unmatched = append(unmatched, name+" (baseline only)")
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			unmatched = append(unmatched, name+" (current only)")
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(unmatched)
+	if len(rows) == 0 {
+		return rows, unmatched, 1
+	}
+	logSum := 0.0
+	for _, r := range rows {
+		logSum += math.Log(r.ratio)
+	}
+	return rows, unmatched, math.Exp(logSum / float64(len(rows)))
+}
+
+// runBenchCmp executes the gate: parse both files, compare, render the
+// table to w, and report whether the geomean regression stays within
+// threshold percent. A missing baseline is tolerated with a warning —
+// the first run on a new branch has nothing to compare against — but a
+// missing current file is an error.
+func runBenchCmp(w io.Writer, baselinePath, currentPath string, thresholdPct float64) (ok bool, err error) {
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchtables: no baseline at %s; skipping the regression gate\n", baselinePath)
+			return true, nil
+		}
+		return false, err
+	}
+	defer bf.Close()
+	cf, err := os.Open(currentPath)
+	if err != nil {
+		return false, err
+	}
+	defer cf.Close()
+
+	baseSamples, err := parseBench(bf)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	curSamples, err := parseBench(cf)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", currentPath, err)
+	}
+	if len(curSamples) == 0 {
+		return false, fmt.Errorf("%s: no benchmark results", currentPath)
+	}
+	rows, unmatched, geomean := compareBench(median(baseSamples), median(curSamples))
+
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%\n", r.name, r.old, r.new, 100*(r.ratio-1))
+	}
+	for _, name := range unmatched {
+		fmt.Fprintf(w, "%-60s %s\n", name, "unmatched, excluded from the gate")
+	}
+	ok = geomean <= 1+thresholdPct/100
+	verdict := "within"
+	if !ok {
+		verdict = "EXCEEDS"
+	}
+	fmt.Fprintf(w, "\ngeomean delta %+.1f%% over %d benchmark(s): %s the %.0f%% regression threshold\n",
+		100*(geomean-1), len(rows), verdict, thresholdPct)
+	return ok, nil
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchJSON renders one test2json output event carrying a benchmark
+// result line, the format `go test -json -bench` emits.
+func benchJSON(name string, nsop float64) string {
+	return `{"Time":"2024-01-01T00:00:00Z","Action":"output","Package":"droidracer","Output":"` +
+		name + `-8 \t       5\t  ` + strconv.FormatFloat(nsop, 'f', -1, 64) + ` ns/op\n"}` + "\n"
+}
+
+func writeBench(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBenchBothFormats(t *testing.T) {
+	in := benchJSON("BenchmarkHB", 1000) +
+		`{"Action":"run","Test":"BenchmarkHB"}` + "\n" +
+		"BenchmarkScan/workers-4-8 \t 5\t 2500 ns/op\n" +
+		"ok \tdroidracer\t1.2s\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkHB"]) != 1 || got["BenchmarkHB"][0] != 1000 {
+		t.Errorf("BenchmarkHB samples = %v, want [1000]", got["BenchmarkHB"])
+	}
+	if len(got["BenchmarkScan/workers-4"]) != 1 || got["BenchmarkScan/workers-4"][0] != 2500 {
+		t.Errorf("sub-benchmark samples = %v, want [2500] (GOMAXPROCS suffix stripped)", got["BenchmarkScan/workers-4"])
+	}
+}
+
+func TestParseBenchSplitEvents(t *testing.T) {
+	// test2json emits the benchmark name before the run and the timing
+	// after, as separate output events — possibly interleaved across
+	// packages. The parser must reassemble lines per package.
+	in := `{"Action":"output","Package":"a","Output":"BenchmarkHB/workers=2 \t"}` + "\n" +
+		`{"Action":"output","Package":"b","Output":"BenchmarkOther-8 \t 5\t 7 ns/op\n"}` + "\n" +
+		`{"Action":"output","Package":"a","Output":"       5\t 1234 ns/op\n"}` + "\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkHB/workers=2"]) != 1 || got["BenchmarkHB/workers=2"][0] != 1234 {
+		t.Errorf("split-event samples = %v, want [1234]", got["BenchmarkHB/workers=2"])
+	}
+	if len(got["BenchmarkOther"]) != 1 || got["BenchmarkOther"][0] != 7 {
+		t.Errorf("interleaved package samples = %v, want [7]", got["BenchmarkOther"])
+	}
+}
+
+func TestParseBenchWorkerLabelSurvivesGOMAXPROCS1(t *testing.T) {
+	// At GOMAXPROCS=1 go test appends no -N suffix; the stripper must
+	// not eat a worker count, which is why the labels use workers=N.
+	in := "BenchmarkHB/workers=8 \t 5\t 99 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkHB/workers=8"]) != 1 {
+		t.Errorf("parsed names = %v, want BenchmarkHB/workers=8", got)
+	}
+}
+
+func TestMedianDampsOutlier(t *testing.T) {
+	m := median(map[string][]float64{
+		"BenchmarkX": {100, 100, 100, 100, 100, 9000}, // one descheduled run
+	})
+	if m["BenchmarkX"] != 100 {
+		t.Errorf("median = %v, want 100", m["BenchmarkX"])
+	}
+}
+
+func TestBenchCmpRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeBench(t, base, benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkScan", 1000))
+	// 30% slower on both: geomean +30%, past the 20% gate.
+	writeBench(t, cur, benchJSON("BenchmarkHB", 1300), benchJSON("BenchmarkScan", 1300))
+	var out bytes.Buffer
+	ok, err := runBenchCmp(&out, base, cur, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("30%% regression passed the 20%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "EXCEEDS") {
+		t.Errorf("verdict missing from output:\n%s", out.String())
+	}
+}
+
+func TestBenchCmpImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeBench(t, base, benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkScan", 1000))
+	writeBench(t, cur, benchJSON("BenchmarkHB", 500), benchJSON("BenchmarkScan", 900))
+	var out bytes.Buffer
+	ok, err := runBenchCmp(&out, base, cur, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("improvement failed the gate:\n%s", out.String())
+	}
+}
+
+func TestBenchCmpMixedWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	// One 15% slower, one 10% faster: geomean ≈ +1.7%, inside the gate.
+	writeBench(t, base, benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkScan", 1000))
+	writeBench(t, cur, benchJSON("BenchmarkHB", 1150), benchJSON("BenchmarkScan", 900))
+	var out bytes.Buffer
+	ok, err := runBenchCmp(&out, base, cur, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("small mixed delta failed the gate:\n%s", out.String())
+	}
+}
+
+func TestBenchCmpMedianOverCounts(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeBench(t, base, benchJSON("BenchmarkHB", 1000))
+	// Five steady counts and one 10x outlier: the median (1000) passes
+	// where the mean (2500) would fail the gate.
+	writeBench(t, cur,
+		benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkHB", 1000),
+		benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkHB", 1000),
+		benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkHB", 10000))
+	var out bytes.Buffer
+	ok, err := runBenchCmp(&out, base, cur, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("one outlier count failed the gate:\n%s", out.String())
+	}
+}
+
+func TestBenchCmpMissingBaselineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.json")
+	writeBench(t, cur, benchJSON("BenchmarkHB", 1000))
+	var out bytes.Buffer
+	ok, err := runBenchCmp(&out, filepath.Join(dir, "missing.json"), cur, 20)
+	if err != nil {
+		t.Fatalf("missing baseline should warn, not error: %v", err)
+	}
+	if !ok {
+		t.Fatal("missing baseline should pass the gate")
+	}
+}
+
+func TestBenchCmpMissingCurrentErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeBench(t, base, benchJSON("BenchmarkHB", 1000))
+	var out bytes.Buffer
+	if _, err := runBenchCmp(&out, base, filepath.Join(dir, "missing.json"), 20); err == nil {
+		t.Fatal("missing current run should be an error")
+	}
+}
+
+func TestBenchCmpUnmatchedReported(t *testing.T) {
+	dir := t.TempDir()
+	base, cur := filepath.Join(dir, "base.json"), filepath.Join(dir, "cur.json")
+	writeBench(t, base, benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkGone", 1000))
+	writeBench(t, cur, benchJSON("BenchmarkHB", 1000), benchJSON("BenchmarkNew", 1000))
+	var out bytes.Buffer
+	if _, err := runBenchCmp(&out, base, cur, 20); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BenchmarkGone (baseline only)", "BenchmarkNew (current only)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

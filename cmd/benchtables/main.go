@@ -7,6 +7,13 @@
 // Usage:
 //
 //	benchtables [-table 2|3|perf|overhead|baselines|triage|all] [-apps name,name]
+//	benchtables -compare BENCH_5.json [-baseline BENCH_baseline.json] [-regress 20]
+//
+// The second form is the CI benchmark-regression gate: it parses two
+// `go test -json -bench` outputs, reduces each benchmark to its median
+// ns/op, prints a benchstat-style comparison, and exits 1 when the
+// geometric-mean slowdown exceeds -regress percent. A missing baseline
+// file skips the gate with a warning.
 package main
 
 import (
@@ -25,7 +32,21 @@ import (
 func main() {
 	tableFlag := flag.String("table", "all", "which table to regenerate: 2, 3, perf, overhead, baselines, triage, all")
 	appsFlag := flag.String("apps", "", "comma-separated app names (default: all Table 2 apps)")
+	compareFlag := flag.String("compare", "", "regression gate: compare this 'go test -json -bench' output against -baseline and exit")
+	baselineFlag := flag.String("baseline", "BENCH_baseline.json", "baseline benchmark output for -compare")
+	regressFlag := flag.Float64("regress", 20, "tolerated geomean slowdown in percent for -compare")
 	flag.Parse()
+
+	if *compareFlag != "" {
+		ok, err := runBenchCmp(os.Stdout, *baselineFlag, *compareFlag, *regressFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	list := apps.All()
 	if *appsFlag != "" {

@@ -74,6 +74,7 @@ func main() {
 	spool := flag.String("spool", "", "directory of trace files to analyze")
 	state := flag.String("state", "", "state directory for the completed-work journal")
 	workers := flag.Int("workers", 2, "concurrent analysis workers")
+	parallelism := flag.Int("parallelism", 0, "per-job worker goroutines for the closure and race scan (0 = GOMAXPROCS/workers, 1 = serial)")
 	queue := flag.Int("queue", 16, "admission queue depth; a full queue sheds new work")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget per analysis attempt (0 = unlimited)")
 	retries := flag.Int("retries", 1, "extra attempts per job after a transient failure")
@@ -160,24 +161,30 @@ func main() {
 	// srv is safe: it is assigned before any job can be submitted.
 	var srv *server.Server
 	pool := jobs.NewPool(jobs.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Budget:     budget.Limits{Wall: *deadline},
-		Retry:      jobs.RetryPolicy{MaxAttempts: 1 + *retries, BaseBackoff: *backoff},
-		Breaker:    jobs.BreakerPolicy{Threshold: *breaker},
-		Journal:    w,
-		Events:     events,
-		Quarantine: q,
+		Workers:     *workers,
+		Parallelism: *parallelism,
+		QueueDepth:  *queue,
+		Budget:      budget.Limits{Wall: *deadline},
+		Retry:       jobs.RetryPolicy{MaxAttempts: 1 + *retries, BaseBackoff: *backoff},
+		Breaker:     jobs.BreakerPolicy{Threshold: *breaker},
+		Journal:     w,
+		Events:      events,
+		Quarantine:  q,
 		OnFinish: func(out report.Outcome) {
 			if s := srv; s != nil {
 				s.JobFinished(out)
 			}
 		},
 	})
+	// Each analysis gets the pool's resolved per-job worker budget, so
+	// -workers jobs running their closures in parallel never oversubscribe
+	// the machine.
+	aopts := core.DefaultOptions()
+	aopts.Parallelism = pool.JobParallelism()
 	srv = server.New(server.Config{
 		Pool:        pool,
 		Spool:       *spool,
-		Analyze:     core.DefaultOptions(),
+		Analyze:     aopts,
 		Workers:     *workers,
 		MaxBody:     *maxBody,
 		MaxInflight: *maxInflight,
@@ -210,7 +217,7 @@ func main() {
 	}()
 
 	for {
-		if err := sweep(pool, srv, *spool); err != nil {
+		if err := sweep(pool, srv, *spool, aopts); err != nil {
 			fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
 		}
 		if *once {
@@ -250,7 +257,7 @@ func main() {
 // retries it — the producer-side reaction to backpressure. Dotfiles are
 // skipped: the ingestion layer stages bodies as hidden temp files
 // before the durable rename.
-func sweep(pool *jobs.Pool, srv *server.Server, spool string) error {
+func sweep(pool *jobs.Pool, srv *server.Server, spool string, opts core.Options) error {
 	ents, err := os.ReadDir(spool)
 	if err != nil {
 		return err
@@ -266,7 +273,7 @@ func sweep(pool *jobs.Pool, srv *server.Server, spool string) error {
 		if !srv.Claim(name) {
 			continue
 		}
-		job := jobs.TraceJob(name, filepath.Join(spool, name), core.DefaultOptions())
+		job := jobs.TraceJob(name, filepath.Join(spool, name), opts)
 		if err := pool.Submit(job); err != nil {
 			srv.Release(name)
 			fmt.Fprintf(os.Stderr, "racedetd: %s: %v\n", name, err)

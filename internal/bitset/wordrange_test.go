@@ -1,0 +1,147 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The word-range operations back the column-sharded parallel closure:
+// disjoint [lo, hi) word windows must behave exactly like the whole-set
+// operations restricted to bits [lo*64, hi*64).
+
+func TestWordLen(t *testing.T) {
+	for _, tc := range []struct{ n, words int }{
+		{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	} {
+		if got := New(tc.n).WordLen(); got != tc.words {
+			t.Errorf("New(%d).WordLen() = %d, want %d", tc.n, got, tc.words)
+		}
+	}
+}
+
+func TestUnionWordRange(t *testing.T) {
+	s, u := New(200), New(200)
+	u.Set(3)   // word 0
+	u.Set(70)  // word 1
+	u.Set(130) // word 2
+	u.Set(199) // word 3
+
+	if !s.UnionWordRange(u, 1, 3) {
+		t.Fatal("union into empty range reported no change")
+	}
+	for i, want := range map[int]bool{3: false, 70: true, 130: true, 199: false} {
+		if got := s.Has(i); got != want {
+			t.Errorf("after UnionWordRange(1,3): Has(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if s.UnionWordRange(u, 1, 3) {
+		t.Error("idempotent union reported a change")
+	}
+	if s.UnionWordRange(u, 2, 2) {
+		t.Error("empty word range reported a change")
+	}
+}
+
+func TestCountAndResetWordRange(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 63, 64, 100, 128, 199} {
+		s.Set(i)
+	}
+	if got := s.CountWordRange(0, s.WordLen()); got != s.Count() {
+		t.Errorf("full-range count %d != Count %d", got, s.Count())
+	}
+	if got := s.CountWordRange(1, 2); got != 2 { // bits 64, 100
+		t.Errorf("CountWordRange(1,2) = %d, want 2", got)
+	}
+	s.ResetWordRange(1, 2)
+	for i, want := range map[int]bool{0: true, 63: true, 64: false, 100: false, 128: true, 199: true} {
+		if got := s.Has(i); got != want {
+			t.Errorf("after ResetWordRange(1,2): Has(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s, u := New(130), New(130)
+	s.Set(5)
+	u.Set(99)
+	s.CopyFrom(u)
+	if s.Has(5) || !s.Has(99) || !s.Equal(u) {
+		t.Errorf("CopyFrom did not overwrite: %v vs %v", s, u)
+	}
+	u.Set(1)
+	if s.Has(1) {
+		t.Error("CopyFrom aliased the source words")
+	}
+}
+
+func TestUnionCount(t *testing.T) {
+	s, u := New(130), New(130)
+	s.Set(0)
+	s.Set(64)
+	u.Set(64)
+	u.Set(129)
+	if got := s.UnionCount(u); got != 3 {
+		t.Errorf("UnionCount = %d, want 3", got)
+	}
+	// And it must not modify either operand.
+	if s.Count() != 2 || u.Count() != 2 {
+		t.Errorf("UnionCount mutated operands: %d, %d bits", s.Count(), u.Count())
+	}
+}
+
+func TestWordRangeCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionWordRange on mismatched capacities did not panic")
+		}
+	}()
+	New(64).UnionWordRange(New(128), 0, 1)
+}
+
+// TestQuickShardedUnionMatchesWhole is the sharding property the
+// parallel engine rests on: unioning each word shard separately is the
+// whole-set union, and the per-shard change verdicts OR to the
+// whole-set verdict.
+func TestQuickShardedUnionMatchesWhole(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		mk := func() *Set {
+			s := New(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					s.Set(i)
+				}
+			}
+			return s
+		}
+		base, add := mk(), mk()
+		whole := base.Clone()
+		wantChanged := whole.UnionWith(add)
+
+		sharded := base.Clone()
+		workers := 1 + rng.Intn(5)
+		words := sharded.WordLen()
+		gotChanged := false
+		for w := 0; w < workers; w++ {
+			lo, hi := w*words/workers, (w+1)*words/workers
+			if sharded.UnionWordRange(add, lo, hi) {
+				gotChanged = true
+			}
+		}
+		if !sharded.Equal(whole) || gotChanged != wantChanged {
+			t.Logf("seed %d: sharded union diverges (changed %v vs %v)", seed, gotChanged, wantChanged)
+			return false
+		}
+		if whole.Count() != base.UnionCount(add) {
+			t.Logf("seed %d: UnionCount %d, union has %d", seed, base.UnionCount(add), whole.Count())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"droidracer/internal/bitset"
 	"droidracer/internal/budget"
+	"droidracer/internal/obs"
 	"droidracer/internal/trace"
 )
 
@@ -57,6 +58,13 @@ type Config struct {
 	// programs (§4.1 specializations), used by the event-only baseline.
 	// Cross-thread interference becomes invisible (false positives).
 	STOnly bool
+	// Parallelism is the number of worker goroutines the closure
+	// fixpoint shards its passes across. Values ≤ 1 run the serial
+	// engine. The parallel engine is pass-for-pass identical to the
+	// serial one (see parallel.go), so the resulting relation, edge
+	// counts, and rule attribution are byte-identical at any setting;
+	// only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration of the full analysis as
@@ -109,6 +117,11 @@ type Graph struct {
 	baseST    int
 	baseMT    int
 
+	// edgeCount caches EdgeCount for completed builds (-1 = not yet
+	// computed; budget-tripped builds leave it unset and EdgeCount
+	// recomputes on demand, still allocation-free).
+	edgeCount int
+
 	// Budget enforcement during Build; both are nil/zero afterwards on
 	// the unbudgeted path.
 	ck       *budget.Checker
@@ -133,7 +146,7 @@ func Build(info *trace.Info, cfg Config) *Graph {
 // checker reproduces Build exactly.
 func BuildBudgeted(info *trace.Info, cfg Config, ck *budget.Checker) (*Graph, error) {
 	start := time.Now()
-	g := &Graph{cfg: cfg, info: info, ck: ck}
+	g := &Graph{cfg: cfg, info: info, ck: ck, edgeCount: -1}
 	g.buildNodes()
 	n := len(g.nodes)
 	if err := ck.Nodes(n); err != nil {
@@ -150,7 +163,14 @@ func BuildBudgeted(info *trace.Info, cfg Config, ck *budget.Checker) (*Graph, er
 	}
 	if g.buildErr == nil {
 		g.addBaseEdges()
-		g.fixpoint()
+		fx := time.Now()
+		workers := g.closureWorkers()
+		if workers > 1 {
+			g.fixpointParallel(workers)
+		} else {
+			g.fixpoint()
+		}
+		obs.ParallelPhaseObserve("hb-closure", workers, time.Since(fx))
 	}
 	err := g.buildErr
 	g.ck, g.buildErr = nil, nil
@@ -247,13 +267,17 @@ func (g *Graph) Info() *trace.Info { return g.info }
 func (g *Graph) Skipped() int { return g.skipped }
 
 // EdgeCount returns the number of recorded ≼ pairs (st plus mt, counting a
-// pair once if present in both).
+// pair once if present in both). Completed builds answer from a count
+// cached during finalization; partial (budget-tripped) graphs recompute
+// on demand. Either way the count is allocation-free — metrics publish
+// calls this per scrape, so it must not clone a bitset per row.
 func (g *Graph) EdgeCount() int {
+	if g.edgeCount >= 0 {
+		return g.edgeCount
+	}
 	total := 0
 	for i := range g.nodes {
-		u := g.st[i].Clone()
-		u.UnionWith(g.mt[i])
-		total += u.Count()
+		total += g.st[i].UnionCount(g.mt[i])
 	}
 	return total
 }

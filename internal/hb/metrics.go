@@ -114,11 +114,13 @@ func (g *Graph) RuleEdges() map[string]int {
 // are the TRANS-ST and TRANS-MT contributions. One Count pass per row —
 // O(nodes²/64) words, a small constant next to the fixpoint itself.
 func (g *Graph) finalizeRuleCounts() {
-	stTotal, mtTotal := 0, 0
+	stTotal, mtTotal, pairs := 0, 0, 0
 	for i := range g.nodes {
 		stTotal += g.st[i].Count()
 		mtTotal += g.mt[i].Count()
+		pairs += g.st[i].UnionCount(g.mt[i])
 	}
+	g.edgeCount = pairs
 	if d := stTotal - g.baseST; d > 0 {
 		g.ruleEdges[RuleTransST] = d
 	}

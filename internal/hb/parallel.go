@@ -1,0 +1,396 @@
+package hb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"droidracer/internal/bitset"
+)
+
+// This file implements the parallel closure engine (Config.Parallelism).
+//
+// The serial fixpoint (rules.go) is a Gauss-Seidel sweep: every edge
+// points forward in trace order, so one descending pass over the rows
+// closes the relation — when row i is processed, the rows of all its
+// successors (higher indices) are already final for this pass. That
+// dependency chain runs through the whole graph (program order alone
+// chains a thread's nodes end to end), so sharding the sweep by *node
+// ranges* yields wavefronts only as wide as the thread count.
+//
+// Instead the engine shards by *columns*: each worker owns a contiguous
+// range of the 64-bit words that back every row's bitset and performs
+// the same descending sweep over its own words. Bits never move between
+// word ranges during a union, so workers share no mutable state:
+// worker w reads successor rows' w-columns (which w itself finalized —
+// all workers descend) and writes row i's w-columns (which only w
+// touches). The successor *list* of a row spans all columns, so the
+// planning step extracts it behind a barrier before workers start: into
+// a plain index slice (per-successor iteration cost is the one part of
+// the sweep that does not shard, so it is paid once in the plan, not
+// once per worker), plus — for the TRANS-MT pass, which must also test
+// membership — an immutable pass-start row snapshot.
+//
+// Determinism is stronger than "bitset unions commute": each pass
+// reproduces the serial pass's output exactly. The planning step marks
+// every row that can reach a changed row through pass-start edges
+// (work[i]); rows the serial sweep would have processed beyond that set
+// can only perform no-op unions (their successors' rows are unchanged,
+// hence already absorbed), so both engines leave identical rows, edge
+// counts, and change sets after every pass — and therefore identical
+// rule attribution, since the FIFO/NOPRE step between passes sees
+// identical state. TestParallelMatchesSerial anchors this bit-for-bit.
+//
+// The transitive work[i] set over-approximates serial needsWork, so
+// each worker prunes it back per shard (anyChanged): skip a row unless
+// it is seeded or some successor is in the seed or in the worker's own
+// change set — which, because w is the only writer of its columns, is
+// a precise record of the successor rows whose w-columns changed this
+// pass. The pruned rows are exactly no-ops in w's shard, so the
+// pass-exact argument is untouched, and the engine performs the same
+// row/successor union work as the serial sweep.
+//
+// Budget: workers poll the shared checker behind a mutex every
+// parPollRows processed rows and bail out through an atomic stop flag.
+// A tripped parallel build, like a tripped serial one, leaves a sound
+// under-approximation of ≼ (workers only ever add valid closure bits),
+// but which bits made it in before the trip depends on timing — only
+// completed builds are guaranteed byte-identical across engines.
+
+// parPollRows is how many processed rows a worker handles between
+// wall-clock/context polls of the shared budget checker.
+const parPollRows = 64
+
+// closureWorkers resolves Config.Parallelism against the graph shape:
+// there is no point in more workers than 64-bit words per row.
+func (g *Graph) closureWorkers() int {
+	w := g.cfg.Parallelism
+	if w <= 1 {
+		return 1
+	}
+	if words := (len(g.nodes) + 63) / 64; w > words {
+		w = words
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fixpointParallel mirrors fixpoint with the closure passes executed by
+// the column-sharded worker pool. The FIFO/NOPRE step between passes
+// stays serial — it is O(tasks²), trivial next to the closures.
+func (g *Graph) fixpointParallel(workers int) {
+	n := len(g.nodes)
+	pc := newParCloser(g, workers)
+	dirty := bitset.New(n)
+	for i := 0; i < n; i++ {
+		dirty.Set(i)
+	}
+	for dirty.Any() && g.check() {
+		next := bitset.New(n)
+		pc.closeST(dirty, next)
+		if g.buildErr == nil && !g.cfg.STOnly {
+			pc.closeMT(dirty, next)
+		}
+		if g.buildErr == nil && (g.cfg.FIFO || g.cfg.NoPre) {
+			g.applyTaskRules(next)
+		}
+		dirty = next
+	}
+}
+
+// parCloser owns the scratch state of one parallel fixpoint: the word
+// shards, the per-pass work plan with its extracted successor lists,
+// the closeMT row snapshots, and the per-worker change/edge
+// accumulators that keep the hot loops free of shared writes.
+type parCloser struct {
+	g      *Graph
+	n      int
+	lo, hi []int // word range [lo[w], hi[w]) per worker
+
+	work    []bool        // rows to process this pass
+	reach   *bitset.Set   // rows reaching the pass's seed set (planning)
+	succ    [][]int32     // per work row: successors > row, pass-start
+	succBuf []int32       // backing store for succ, reused across passes
+	snap    []*bitset.Set // closeMT pass-start row snapshots (Has checks)
+
+	changed []*bitset.Set  // per-worker rows whose shard words changed
+	edges   []atomic.Int64 // per-worker edge deltas, readable by poll
+	acc     []*bitset.Set  // per-worker closeMT accumulators
+
+	stop    atomic.Bool
+	pollMu  sync.Mutex
+	pollErr error
+}
+
+func newParCloser(g *Graph, workers int) *parCloser {
+	n := len(g.nodes)
+	words := (n + 63) / 64
+	pc := &parCloser{
+		g:       g,
+		n:       n,
+		work:    make([]bool, n),
+		reach:   bitset.New(n),
+		succ:    make([][]int32, n),
+		snap:    make([]*bitset.Set, n),
+		changed: make([]*bitset.Set, workers),
+		edges:   make([]atomic.Int64, workers),
+		acc:     make([]*bitset.Set, workers),
+	}
+	for w := 0; w < workers; w++ {
+		pc.lo = append(pc.lo, w*words/workers)
+		pc.hi = append(pc.hi, (w+1)*words/workers)
+		pc.changed[w] = bitset.New(n)
+		pc.acc[w] = bitset.New(n)
+	}
+	return pc
+}
+
+// run executes fn once per worker shard and waits for all of them; the
+// WaitGroup barrier orders each phase's writes before the next phase's
+// reads.
+func (pc *parCloser) run(fn func(w int)) {
+	var wg sync.WaitGroup
+	for w := range pc.lo {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// poll consults the shared budget checker; false stops the pass. It is
+// called by workers, so the non-concurrency-safe checker sits behind a
+// mutex and the verdict fans out through the atomic stop flag. Besides
+// the wall clock and context it enforces MaxClosureEdges against the
+// merged count plus every worker's in-flight delta — the same bound the
+// serial sweep checks per row, at per-poll granularity.
+func (pc *parCloser) poll() bool {
+	if pc.stop.Load() {
+		return false
+	}
+	pc.pollMu.Lock()
+	defer pc.pollMu.Unlock()
+	if pc.stop.Load() {
+		return false
+	}
+	err := pc.g.ck.CheckNow()
+	if err == nil {
+		total := pc.g.edges
+		for w := range pc.edges {
+			total += int(pc.edges[w].Load())
+		}
+		err = pc.g.ck.Edges(total)
+	}
+	if err != nil {
+		pc.pollErr = err
+		pc.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// merge folds the per-worker results of one pass into the shared state
+// on the coordinating goroutine: changed rows into next, edge deltas
+// into the budgeted counter, and a budget trip into buildErr.
+func (pc *parCloser) merge(next *bitset.Set) {
+	for w := range pc.lo {
+		next.UnionWith(pc.changed[w])
+		pc.changed[w].Reset()
+		pc.g.edges += int(pc.edges[w].Swap(0))
+	}
+	if pc.pollErr != nil && pc.g.buildErr == nil {
+		pc.g.buildErr = pc.pollErr
+		pc.pollErr = nil
+	}
+}
+
+// plan computes the pass's work set: row i is processed when it changed
+// last pass (seed) or reaches — through pass-start edges — a row that
+// did. reach is built in one descending sweep: successors are visited
+// before their predecessors, so membership propagates backward along
+// edges in a single pass. Work rows get their pass-start successor list
+// (the bits above the diagonal) extracted into an index slice;
+// includeMT widens rows to st ∪ mt for the TRANS-MT pass and also keeps
+// the snapshot bitset closeMT's membership filter needs. Serial and
+// cheap: one O(n²/64) scan plus one iteration per successor, a small
+// constant next to the per-worker sweeps it saves that work.
+func (pc *parCloser) plan(seed *bitset.Set, includeMT bool) {
+	g := pc.g
+	r := pc.reach
+	r.CopyFrom(seed)
+	pc.succBuf = pc.succBuf[:0]
+	for i := pc.n - 1; i >= 0; i-- {
+		reaches := g.st[i].IntersectsWith(r)
+		if !reaches && includeMT {
+			reaches = g.mt[i].IntersectsWith(r)
+		}
+		if reaches {
+			r.Set(i)
+		}
+		pc.work[i] = reaches || seed.Has(i)
+		if !pc.work[i] {
+			continue
+		}
+		row := g.st[i]
+		if includeMT {
+			if pc.snap[i] == nil {
+				pc.snap[i] = bitset.New(pc.n)
+			}
+			pc.snap[i].CopyFrom(g.st[i])
+			pc.snap[i].UnionWith(g.mt[i])
+			row = pc.snap[i]
+		}
+		// Appends may grow succBuf away from earlier rows' backing
+		// array; their slices keep the already-written data, and the
+		// next pass's truncation only recycles the final array.
+		start := len(pc.succBuf)
+		for k := row.NextSet(i + 1); k != -1; k = row.NextSet(k + 1) {
+			pc.succBuf = append(pc.succBuf, int32(k))
+		}
+		pc.succ[i] = pc.succBuf[start:len(pc.succBuf):len(pc.succBuf)]
+	}
+}
+
+// anyChanged reports whether any successor row may have changed in
+// worker w's columns since row i last absorbed them: changed last pass
+// in any column (in seed) or changed this pass in w's columns (in
+// changed[w], which w itself maintains — and, sweeping descending, has
+// already finalized for every row above i). When it returns false the
+// union for row i is provably a no-op in w's shard and can be skipped,
+// recovering the serial needsWork pruning that plan()'s transitive
+// reach over-approximates.
+func (pc *parCloser) anyChanged(succ []int32, seed *bitset.Set, w int) bool {
+	ch := pc.changed[w]
+	for _, k := range succ {
+		if seed.Has(int(k)) || ch.Has(int(k)) {
+			return true
+		}
+	}
+	return false
+}
+
+// closeST is the parallel TRANS-ST pass: the serial closeST sweep with
+// each worker unioning successor rows into its own word range.
+func (pc *parCloser) closeST(dirty, next *bitset.Set) {
+	pc.plan(dirty, false)
+	budgeted := pc.g.ck != nil
+	pc.run(func(w int) {
+		g := pc.g
+		lo, hi := pc.lo[w], pc.hi[w]
+		polled := 0
+		for i := pc.n - 1; i >= 0; i-- {
+			if !pc.work[i] {
+				continue
+			}
+			if budgeted {
+				if pc.stop.Load() {
+					return
+				}
+				if polled++; polled%parPollRows == 0 && !pc.poll() {
+					return
+				}
+			}
+			succ := pc.succ[i]
+			// Rows in dirty gained successors last pass that were never
+			// absorbed; everything else only needs reprocessing when a
+			// successor's shard columns actually changed.
+			if !dirty.Has(i) && !pc.anyChanged(succ, dirty, w) {
+				continue
+			}
+			row := g.st[i]
+			before := 0
+			if budgeted {
+				before = row.CountWordRange(lo, hi)
+			}
+			rowChanged := false
+			for _, k := range succ {
+				if row.UnionWordRange(g.st[k], lo, hi) {
+					rowChanged = true
+				}
+			}
+			if rowChanged {
+				pc.changed[w].Set(i)
+				if budgeted {
+					pc.edges[w].Add(int64(row.CountWordRange(lo, hi) - before))
+				}
+			}
+		}
+	})
+	pc.merge(next)
+}
+
+// closeMT is the parallel TRANS-MT pass. Each worker accumulates the
+// combined ≼ rows of row i's successors into its word range of a
+// private scratch set, then applies the different-thread filter to the
+// accumulated bits it owns — exactly the serial loop, restricted to one
+// column shard.
+func (pc *parCloser) closeMT(dirty, next *bitset.Set) {
+	// The serial sweep consults rows changed earlier in this iteration
+	// (closeST's output) as well as last iteration's; seed with both.
+	seed := dirty.Clone()
+	seed.UnionWith(next)
+	pc.plan(seed, true)
+	budgeted := pc.g.ck != nil
+	pc.run(func(w int) {
+		g := pc.g
+		lo, hi := pc.lo[w], pc.hi[w]
+		hiBit := hi * 64
+		if hiBit > pc.n {
+			hiBit = pc.n
+		}
+		acc := pc.acc[w]
+		polled := 0
+		for i := pc.n - 1; i >= 0; i-- {
+			if !pc.work[i] {
+				continue
+			}
+			if budgeted {
+				if pc.stop.Load() {
+					return
+				}
+				if polled++; polled%parPollRows == 0 && !pc.poll() {
+					return
+				}
+			}
+			succ := pc.succ[i]
+			if len(succ) == 0 {
+				continue
+			}
+			// seed covers rows whose own relation grew (new successors);
+			// otherwise skip unless a successor changed in this shard.
+			if !seed.Has(i) && !pc.anyChanged(succ, seed, w) {
+				continue
+			}
+			sn := pc.snap[i]
+			acc.ResetWordRange(lo, hi)
+			for _, k := range succ {
+				acc.UnionWordRange(g.st[k], lo, hi)
+				acc.UnionWordRange(g.mt[k], lo, hi)
+			}
+			ti := g.nodes[i].Thread
+			mti := g.mt[i]
+			start := lo * 64
+			if i+1 > start {
+				start = i + 1
+			}
+			rowEdges := 0
+			for j := acc.NextSet(start); j != -1 && j < hiBit; j = acc.NextSet(j + 1) {
+				if sn.Has(j) || mti.Has(j) {
+					continue
+				}
+				if g.cfg.Naive || g.nodes[j].Thread != ti {
+					mti.Set(j)
+					rowEdges++
+				}
+			}
+			if rowEdges > 0 {
+				pc.changed[w].Set(i)
+				pc.edges[w].Add(int64(rowEdges))
+			}
+		}
+	})
+	pc.merge(next)
+}

@@ -1,0 +1,200 @@
+package hb
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"droidracer/internal/budget"
+	"droidracer/internal/paper"
+	"droidracer/internal/semantics"
+	"droidracer/internal/trace"
+)
+
+// requireEngineMatch builds tr serially and with the given worker count
+// and asserts the two graphs are indistinguishable: the same relation
+// bit for bit, the same rule attribution, the same edge and skip counts.
+// This is the contract the parallel engine promises — not merely the
+// same fixpoint, but the serial engine's exact output.
+func requireEngineMatch(t *testing.T, tr *trace.Trace, cfg Config, workers int) {
+	t.Helper()
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	parCfg := cfg
+	parCfg.Parallelism = workers
+	want := Build(info, serialCfg)
+	got := Build(info, parCfg)
+
+	if g, w := got.NodeCount(), want.NodeCount(); g != w {
+		t.Fatalf("workers=%d: node count %d, serial %d", workers, g, w)
+	}
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if g, w := got.STHas(i, j), want.STHas(i, j); g != w {
+				t.Fatalf("workers=%d: st(%d,%d) = %v, serial %v", workers, i, j, g, w)
+			}
+			if g, w := got.MTHas(i, j), want.MTHas(i, j); g != w {
+				t.Fatalf("workers=%d: mt(%d,%d) = %v, serial %v", workers, i, j, g, w)
+			}
+		}
+	}
+	if g, w := got.EdgeCount(), want.EdgeCount(); g != w {
+		t.Errorf("workers=%d: EdgeCount %d, serial %d", workers, g, w)
+	}
+	if g, w := got.Skipped(), want.Skipped(); g != w {
+		t.Errorf("workers=%d: Skipped %d, serial %d", workers, g, w)
+	}
+	if g, w := got.RuleEdges(), want.RuleEdges(); !reflect.DeepEqual(g, w) {
+		t.Errorf("workers=%d: RuleEdges %v, serial %v", workers, g, w)
+	}
+}
+
+// TestParallelMatchesSerial anchors the parallel closure's bit-for-bit
+// equivalence on the paper figures and on the configurations the
+// ablations exercise, at worker counts below, at, and far above the
+// word-shard limit.
+func TestParallelMatchesSerial(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"figure3": paper.Figure3(),
+		"figure4": paper.Figure4(),
+		"locks":   lockTrace(),
+	}
+	configs := map[string]func() Config{
+		"default": DefaultConfig,
+		"naive": func() Config {
+			c := DefaultConfig()
+			c.Naive = true
+			return c
+		},
+		"no-fifo": func() Config {
+			c := DefaultConfig()
+			c.FIFO = false
+			return c
+		},
+		"st-only": func() Config {
+			c := DefaultConfig()
+			c.STOnly = true
+			return c
+		},
+		"unmerged": func() Config {
+			c := DefaultConfig()
+			c.MergeAccesses = false
+			return c
+		},
+	}
+	for tname, tr := range traces {
+		for cname, mk := range configs {
+			for _, workers := range []int{2, 3, 8, 64} {
+				requireEngineMatch(t, tr, mk(), workers)
+			}
+			_ = tname
+			_ = cname
+		}
+	}
+}
+
+// TestQuickParallelMatchesSerial compares the engines on random valid
+// traces. Unlike the O(n⁴) brute-force reference this compares two fast
+// engines, so the traces can be full-sized.
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	cfg := semantics.DefaultGenConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := semantics.RandomTrace(rng, cfg)
+		for _, workers := range []int{2, 7} {
+			requireEngineMatch(t, tr, DefaultConfig(), workers)
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelBudgetTrip verifies a budget trip mid-closure surfaces the
+// *budget.Error and leaves a sound under-approximation: every pair the
+// tripped parallel build relates is related by the completed serial
+// closure.
+func TestParallelBudgetTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := semantics.RandomTrace(rng, semantics.DefaultGenConfig())
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Build(info, DefaultConfig())
+
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+	ck := budget.NewChecker(context.Background(), budget.Limits{MaxClosureEdges: 50})
+	g, err := BuildBudgeted(info, cfg, ck)
+	var be *budget.Error
+	if !errors.As(err, &be) {
+		t.Fatalf("BuildBudgeted error = %v, want *budget.Error", err)
+	}
+	if g == nil {
+		t.Fatal("tripped build returned nil graph")
+	}
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if g.STHas(i, j) && !full.STHas(i, j) {
+				t.Fatalf("tripped build has st(%d,%d) not in the full closure", i, j)
+			}
+			if g.MTHas(i, j) && !full.MTHas(i, j) {
+				t.Fatalf("tripped build has mt(%d,%d) not in the full closure", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelWallBudgetTrip exercises the workers' mid-pass poll path:
+// an already-expired wall budget must stop the parallel closure with a
+// *budget.Error rather than hang or panic.
+func TestParallelWallBudgetTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := semantics.RandomTrace(rng, semantics.DefaultGenConfig())
+	info, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+	ck := budget.NewChecker(context.Background(), budget.Limits{Wall: time.Nanosecond})
+	_, err = BuildBudgeted(info, cfg, ck)
+	var be *budget.Error
+	if !errors.As(err, &be) {
+		t.Fatalf("BuildBudgeted error = %v, want *budget.Error", err)
+	}
+}
+
+// TestClosureWorkersClamp pins the Parallelism resolution: serial for
+// values ≤ 1, clamped to the per-row word count above it.
+func TestClosureWorkersClamp(t *testing.T) {
+	g := &Graph{cfg: Config{Parallelism: 0}, nodes: make([]Node, 100)}
+	if w := g.closureWorkers(); w != 1 {
+		t.Errorf("Parallelism 0: workers = %d, want 1", w)
+	}
+	g.cfg.Parallelism = 1
+	if w := g.closureWorkers(); w != 1 {
+		t.Errorf("Parallelism 1: workers = %d, want 1", w)
+	}
+	g.cfg.Parallelism = 8
+	// 100 nodes → 2 words per row: no point in more than 2 workers.
+	if w := g.closureWorkers(); w != 2 {
+		t.Errorf("Parallelism 8 on 100 nodes: workers = %d, want 2", w)
+	}
+	g.nodes = make([]Node, 1000)
+	if w := g.closureWorkers(); w != 8 {
+		t.Errorf("Parallelism 8 on 1000 nodes: workers = %d, want 8", w)
+	}
+}

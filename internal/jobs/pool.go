@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 
 	"droidracer/internal/budget"
@@ -88,6 +89,15 @@ type Config struct {
 	// Budget bounds each execution attempt; composed with the job's
 	// context (the earlier deadline wins, see budget.NewChecker).
 	Budget budget.Limits
+	// Parallelism is the per-job analysis worker budget: how many
+	// goroutines one job's happens-before closure and race scan may
+	// shard across (core.Options.Parallelism). 0 divides GOMAXPROCS
+	// evenly among the pool's workers (minimum 1), so an 8-worker pool
+	// on 8 cores runs 8 serial analyses instead of oversubscribing the
+	// machine 8×8. The resolved value is exposed as JobParallelism for
+	// the layer that builds analysis options (racedetd, the ingestion
+	// server).
+	Parallelism int
 	// Retry bounds re-execution of failed attempts.
 	Retry RetryPolicy
 	// Breaker configures the per-input circuit breaker.
@@ -140,6 +150,12 @@ func NewPool(cfg Config) *Pool {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 16
 	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0) / cfg.Workers
+		if cfg.Parallelism < 1 {
+			cfg.Parallelism = 1
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
 		cfg:     cfg,
@@ -159,6 +175,12 @@ func NewPool(cfg Config) *Pool {
 	}
 	return p
 }
+
+// JobParallelism returns the resolved per-job analysis worker budget
+// (Config.Parallelism after defaulting against GOMAXPROCS and the
+// worker count). The layer that builds core.Options for submitted jobs
+// copies it into Options.Parallelism.
+func (p *Pool) JobParallelism() int { return p.cfg.Parallelism }
 
 // Submit enqueues a job. It never blocks: when the queue is full or the
 // pool is shutting down it sheds the job, recording a shed outcome and

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Parallel-phase metrics: the analysis engine's shardable phases (the
+// happens-before closure, the race scan) record their wall-clock time
+// labeled by the worker count they ran with, so a dashboard can read
+// the speedup directly — the same phase shows up as one series per
+// parallelism level:
+//
+//	droidracer_parallel_phase_duration_seconds{phase="hb-closure",workers="8"}
+//
+// Serial runs publish under workers="1", giving the comparison
+// baseline for free.
+
+// parallelHists caches the labeled series per (phase, workers): these
+// observations come from the analysis hot path, once per build/scan,
+// and re-resolving labels through the registry on each would cost more
+// than a small trace's whole closure.
+var parallelHists sync.Map // "phase|workers" -> *Histogram
+
+// ParallelPhaseObserve records one parallel-phase duration into the
+// default registry, labeled by phase and worker count. Like every
+// default-registry publish it is gated on an attached exporter, so
+// unexported processes pay only the gate check.
+func ParallelPhaseObserve(phase string, workers int, d time.Duration) {
+	if !ExporterAttached() {
+		return
+	}
+	w := strconv.Itoa(workers)
+	key := phase + "|" + w
+	h, ok := parallelHists.Load(key)
+	if !ok {
+		h, _ = parallelHists.LoadOrStore(key, Default().Histogram(
+			"droidracer_parallel_phase_duration_seconds",
+			"Wall-clock time per shardable analysis phase, by worker count.",
+			DurationBuckets(), "phase", phase, "workers", w))
+	}
+	h.(*Histogram).ObserveDuration(d)
+}

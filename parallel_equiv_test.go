@@ -1,0 +1,54 @@
+// TestParallelEquivalence is the determinism gate for the parallel
+// analysis engine: on every Table 2 application trace, the parallel
+// happens-before closure and the sharded race scan must reproduce the
+// serial engines' output exactly — the same rule attribution, the same
+// pair count, the same races in the same order. CI runs it under -race
+// at GOMAXPROCS 1, 2, and 8.
+package droidracer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"droidracer/internal/apps"
+	"droidracer/internal/hb"
+	"droidracer/internal/race"
+	"droidracer/internal/trace"
+)
+
+func TestParallelEquivalence(t *testing.T) {
+	for _, app := range apps.All() {
+		name := app.Name()
+		t.Run(name, func(t *testing.T) {
+			tr := representative(t, name).Trace
+			info, err := trace.Analyze(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialG := hb.Build(info, hb.DefaultConfig())
+			serialRaces := race.NewDetector(serialG).Detect()
+
+			for _, workers := range []int{2, 8} {
+				cfg := hb.DefaultConfig()
+				cfg.Parallelism = workers
+				g := hb.Build(info, cfg)
+				if got, want := g.EdgeCount(), serialG.EdgeCount(); got != want {
+					t.Errorf("workers=%d: EdgeCount %d, serial %d", workers, got, want)
+				}
+				if got, want := g.RuleEdges(), serialG.RuleEdges(); !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: RuleEdges diverge\n got %v\nwant %v", workers, got, want)
+				}
+				if got, want := g.Skipped(), serialG.Skipped(); got != want {
+					t.Errorf("workers=%d: Skipped %d, serial %d", workers, got, want)
+				}
+				d := race.NewDetector(g)
+				d.Parallelism = workers
+				races := d.Detect()
+				if !reflect.DeepEqual(races, serialRaces) {
+					t.Errorf("workers=%d: race set diverges: %d races, serial %d",
+						workers, len(races), len(serialRaces))
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,8 @@
 //	racedet -campaign "Paper Music Player" -state DIR [-k N] [-seed N]
 //	racedet -resume DIR
 //	racedet -submit URL [-deadline 30s] [-client-id ID] [trace.txt]
+//	racedet -flood URL [-requests N] [-rps N] [-dup 0.5] [-corpus N]
+//	        [-flood-apps "Music Player,..."] [-seed N] [-client-id ID]
 //
 // With no file argument the trace is read from standard input. Under
 // -deadline/-max-nodes the analysis is budgeted: when the budget runs
@@ -36,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +50,7 @@ import (
 	"droidracer"
 	"droidracer/internal/apps"
 	"droidracer/internal/core"
+	"droidracer/internal/flood"
 	"droidracer/internal/jobs"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
@@ -69,12 +73,18 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the happens-before closure and race scan (0 = GOMAXPROCS, 1 = serial)")
 	phaseTimings := flag.Bool("phase-timings", false, "append a per-phase wall-clock timing table to the report")
 	submitURL := flag.String("submit", "", "submit the trace to this racedetd ingestion URL instead of analyzing locally")
-	clientID := flag.String("client-id", "", "rate-limit principal sent as X-Client-ID with -submit")
+	clientID := flag.String("client-id", "", "rate-limit principal sent as X-Client-ID with -submit/-flood")
+	floodURL := flag.String("flood", "", "flood this ingestion URL (a backend or the racedetgw gateway) with generated traces and print a JSON summary")
+	floodRequests := flag.Int("requests", 100, "total submissions for -flood")
+	floodRPS := flag.Float64("rps", 0, "target submissions per second for -flood (0 = unpaced)")
+	floodDup := flag.Float64("dup", 0, "duplicate ratio in [0,1] for -flood: fraction of sends that repeat an earlier body")
+	floodCorpus := flag.Int("corpus", 20, "distinct trace bodies to generate for -flood")
+	floodApps := flag.String("flood-apps", "Music Player,Aard Dictionary,Messenger", "comma-separated Table 2 app models the -flood corpus draws from")
 	campaignApp := flag.String("campaign", "", "run a restartable exploration campaign over this application model")
 	stateDir := flag.String("state", "", "state directory for the campaign journal (with -campaign)")
 	resumeDir := flag.String("resume", "", "resume the campaign journaled under this state directory")
 	k := flag.Int("k", 0, "event-sequence bound for -campaign (0 = the app's default)")
-	seed := flag.Int64("seed", 0, "scheduling seed for -campaign (0 = round-robin)")
+	seed := flag.Int64("seed", 0, "scheduling seed for -campaign (0 = round-robin); also seeds the -flood corpus and jitter")
 	flag.Parse()
 
 	if *campaignApp != "" || *resumeDir != "" {
@@ -83,6 +93,10 @@ func main() {
 	}
 	if *submitURL != "" {
 		runSubmit(*submitURL, *clientID, *deadline)
+		return
+	}
+	if *floodURL != "" {
+		runFlood(*floodURL, *clientID, *floodApps, *floodRequests, *floodCorpus, *floodRPS, *floodDup, *seed)
 		return
 	}
 
@@ -227,6 +241,13 @@ func runSubmit(url, clientID string, deadline time.Duration) {
 		}
 	}
 	if err != nil {
+		// Terminal failure: replay the full attempt history so the
+		// operator sees what each try got — status code, structured
+		// rejection reason, and the backoff actually slept.
+		fmt.Fprintf(os.Stderr, "racedet: submission failed after %d attempt(s):\n", len(attempts))
+		for i, at := range attempts {
+			fmt.Fprintf(os.Stderr, "  attempt %d: %s\n", i+1, formatAttempt(at))
+		}
 		fatal(err)
 	}
 	switch resp.Status {
@@ -241,6 +262,59 @@ func runSubmit(url, clientID string, deadline time.Duration) {
 			coalesced = ", coalesced onto in-flight work"
 		}
 		fmt.Printf("job %s: %s%s\n", resp.Job, resp.Status, coalesced)
+	}
+}
+
+// formatAttempt renders one submission attempt for the terminal-failure
+// history: "HTTP 429 (rate-limited), slept 1s" or "transport error
+// (connection refused)".
+func formatAttempt(at server.Attempt) string {
+	var b strings.Builder
+	switch {
+	case at.Err != nil:
+		fmt.Fprintf(&b, "transport error (%v)", at.Err)
+	case at.Reason != "":
+		fmt.Fprintf(&b, "HTTP %d (%s)", at.Code, at.Reason)
+	default:
+		fmt.Fprintf(&b, "HTTP %d", at.Code)
+	}
+	if at.Wait > 0 {
+		fmt.Fprintf(&b, ", slept %v", at.Wait)
+	}
+	return b.String()
+}
+
+// runFlood is the -flood entry point: generate a distinct-trace corpus
+// from Table 2 app models, push it at the target rate with the
+// duplicate-ratio knob, and print the JSON summary (latency histogram,
+// per-code counts, accepted keys, cache hits).
+func runFlood(url, clientID, appList string, requests, corpus int, rps, dup float64, seed int64) {
+	var names []string
+	for _, n := range strings.Split(appList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	bodies, err := flood.BuildCorpus(names, corpus, seed)
+	if err != nil {
+		fatal(err)
+	}
+	sum, err := flood.Run(context.Background(), flood.Config{
+		BaseURL:  strings.TrimSuffix(url, "/"),
+		Requests: requests,
+		RPS:      rps,
+		DupRatio: dup,
+		Corpus:   bodies,
+		Seed:     seed,
+		ClientID: clientID,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fatal(err)
 	}
 }
 

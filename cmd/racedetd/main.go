@@ -91,6 +91,8 @@ func main() {
 	burst := flag.Int("burst", 20, "per-client submission burst")
 	maxInflight := flag.Int("max-inflight", 64, "concurrently admitted submissions")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on per-request X-Analysis-Deadline")
+	maxRetryAfter := flag.Duration("max-retry-after", 5*time.Minute, "ceiling on queue-derived Retry-After hints")
+	sweepGrace := flag.Duration("sweep-grace", 0, "hold the restart spool sweep until a gateway reconcile arrives or this grace expires (0 = sweep immediately)")
 	flag.Parse()
 	if *spool == "" || *state == "" {
 		fatal(fmt.Errorf("missing -spool or -state"))
@@ -182,18 +184,20 @@ func main() {
 	aopts := core.DefaultOptions()
 	aopts.Parallelism = pool.JobParallelism()
 	srv = server.New(server.Config{
-		Pool:        pool,
-		Spool:       *spool,
-		Analyze:     aopts,
-		Workers:     *workers,
-		MaxBody:     *maxBody,
-		MaxInflight: *maxInflight,
-		Rate:        *rate,
-		Burst:       *burst,
-		MaxDeadline: *maxDeadline,
-		Completed:   completed,
-		Quarantined: quarantined,
-		Events:      events,
+		Pool:          pool,
+		Spool:         *spool,
+		Analyze:       aopts,
+		Workers:       *workers,
+		MaxBody:       *maxBody,
+		MaxInflight:   *maxInflight,
+		Rate:          *rate,
+		Burst:         *burst,
+		MaxDeadline:   *maxDeadline,
+		MaxRetryAfter: *maxRetryAfter,
+		SweepGrace:    *sweepGrace,
+		Completed:     completed,
+		Quarantined:   quarantined,
+		Events:        events,
 	})
 	var ingestSrv interface{ Close() error }
 	if *listen != "" {
@@ -217,8 +221,13 @@ func main() {
 	}()
 
 	for {
-		if err := sweep(pool, srv, *spool, aopts); err != nil {
-			fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
+		// Behind a gateway, the restart sweep waits for the reconcile
+		// handshake (or the grace deadline): spooled orphans the fleet
+		// completed elsewhere must be reclaimed, not re-analyzed.
+		if srv.SweepReady() {
+			if err := sweep(pool, srv, *spool, aopts); err != nil {
+				fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
+			}
 		}
 		if *once {
 			pool.Quiesce()

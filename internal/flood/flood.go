@@ -1,0 +1,262 @@
+// Package flood is the fleet load generator behind racedet -flood: it
+// pushes a mixed corpus of real app traces at a target rate through the
+// retrying client, with a duplicate-ratio knob that exercises the
+// idempotent-replay paths (backend coalescing, gateway result cache),
+// and reports a latency histogram plus a JSON summary the chaos tests
+// and CI assert against.
+package flood
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"droidracer/internal/android"
+	"droidracer/internal/apps"
+	"droidracer/internal/explorer"
+	"droidracer/internal/server"
+	"droidracer/internal/trace"
+)
+
+// BuildCorpus generates n distinct trace bodies from the named Table 2
+// app models. Bodies vary by app and by click-sequence length (every
+// profile app registers co-enabled <name>-action1/<name>-action2
+// buttons), so each corpus entry hashes to a distinct idempotency key —
+// duplicates in a flood come only from the duplicate knob.
+func BuildCorpus(appNames []string, n int, seed int64) ([][]byte, error) {
+	if len(appNames) == 0 {
+		return nil, fmt.Errorf("flood: no apps")
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		name := appNames[i%len(appNames)]
+		app, err := apps.New(name)
+		if err != nil {
+			return nil, err
+		}
+		// Round r uses r+2 alternating clicks: longer sequences produce
+		// strictly longer traces, so (app, round) pairs never collide.
+		round := i / len(appNames)
+		clicks := make([]android.UIEvent, 0, round+2)
+		for c := 0; c < round+2; c++ {
+			widget := name + "-action1"
+			if c%2 == 1 {
+				widget = name + "-action2"
+			}
+			clicks = append(clicks, android.UIEvent{Kind: android.EvClick, Widget: widget})
+		}
+		tr, err := explorer.Replay(apps.Factory(app), seed, clicks)
+		if err != nil {
+			return nil, fmt.Errorf("flood: replaying %s: %w", name, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Format(&buf, tr); err != nil {
+			return nil, err
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out, nil
+}
+
+// Config configures one flood run.
+type Config struct {
+	// BaseURL is the submission endpoint (a backend or the gateway).
+	BaseURL string
+	// Requests is the total submission count. Required.
+	Requests int
+	// RPS is the target pace; 0 floods without pacing.
+	RPS float64
+	// DupRatio in [0,1] is the fraction of submissions that re-send an
+	// already-sent body instead of a fresh corpus entry. 1.0 makes a
+	// pure-duplicate wave (the cache-replay measurement).
+	DupRatio float64
+	// Corpus is the body pool (BuildCorpus). Fresh submissions draw from
+	// it in order, wrapping — wrapped sends are duplicates too. Required.
+	Corpus [][]byte
+	// Seed drives duplicate selection and client backoff jitter.
+	Seed int64
+	// ClientID is sent as the rate-limit principal.
+	ClientID string
+	// Timeout bounds one submission including retries (default 30s).
+	Timeout time.Duration
+	// MaxAttempts per submission (default 3).
+	MaxAttempts int
+	// Concurrency caps in-flight submissions (default 64).
+	Concurrency int
+}
+
+// Summary is the JSON result of a flood run.
+type Summary struct {
+	Sent           int            `json:"sent"`
+	DuplicatesSent int            `json:"duplicates_sent"`
+	Codes          map[string]int `json:"codes"`
+	// Accepted counts submissions the fleet took responsibility for
+	// (202 accepted, 202 coalesced-pending, or 200 already-done).
+	Accepted int `json:"accepted"`
+	// AcceptedKeys are the distinct idempotency keys behind Accepted —
+	// the set the chaos proof checks for exactly-one journal record.
+	AcceptedKeys []string `json:"accepted_keys"`
+	// CacheHits counts responses marked Cached by the gateway.
+	CacheHits int `json:"cache_hits"`
+	Errors    int `json:"errors"`
+	// Latency histogram (milliseconds) plus percentiles over terminal
+	// response times.
+	LatencyBucketsMS map[string]int `json:"latency_buckets_ms"`
+	P50MS            float64        `json:"p50_ms"`
+	P90MS            float64        `json:"p90_ms"`
+	P99MS            float64        `json:"p99_ms"`
+	MaxMS            float64        `json:"max_ms"`
+	DurationSeconds  float64        `json:"duration_seconds"`
+	AchievedRPS      float64        `json:"achieved_rps"`
+}
+
+var latencyBounds = []float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Run executes the flood and aggregates the summary.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("flood: requests must be positive")
+	}
+	if len(cfg.Corpus) == 0 {
+		return nil, fmt.Errorf("flood: empty corpus")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sum := &Summary{
+		Codes:            make(map[string]int),
+		LatencyBucketsMS: make(map[string]int),
+	}
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		latencies []float64
+		keys      = make(map[string]bool)
+	)
+	sem := make(chan struct{}, cfg.Concurrency)
+	var interval time.Duration
+	if cfg.RPS > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.RPS)
+	}
+	start := time.Now()
+	fresh := 0 // next unsent corpus index
+	for i := 0; i < cfg.Requests; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		var body []byte
+		dup := false
+		if fresh > 0 && (fresh >= len(cfg.Corpus) || rng.Float64() < cfg.DupRatio) {
+			body = cfg.Corpus[rng.Intn(min(fresh, len(cfg.Corpus)))]
+			dup = true
+		} else {
+			body = cfg.Corpus[fresh%len(cfg.Corpus)]
+			fresh++
+		}
+		sum.Sent++
+		if dup {
+			sum.DuplicatesSent++
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(body []byte, seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cl := server.Client{
+				BaseURL:     cfg.BaseURL,
+				MaxAttempts: cfg.MaxAttempts,
+				Seed:        seed,
+				ClientID:    cfg.ClientID,
+			}
+			sctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			resp, attempts, err := cl.Submit(sctx, body)
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			code := 0
+			if len(attempts) > 0 {
+				code = attempts[len(attempts)-1].Code
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, ms)
+			if code > 0 {
+				sum.Codes[fmt.Sprintf("%d", code)]++
+			}
+			if err != nil && resp == nil {
+				sum.Errors++
+				return
+			}
+			if resp != nil {
+				if resp.Cached {
+					sum.CacheHits++
+				}
+				if code == 200 || code == 202 {
+					sum.Accepted++
+					if resp.Job != "" && !keys[resp.Job] {
+						keys[resp.Job] = true
+						sum.AcceptedKeys = append(sum.AcceptedKeys, resp.Job)
+					}
+				}
+			}
+			if err != nil {
+				sum.Errors++
+			}
+		}(body, cfg.Seed+int64(i))
+		if interval > 0 {
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+			}
+		}
+	}
+	wg.Wait()
+	sum.DurationSeconds = time.Since(start).Seconds()
+	if sum.DurationSeconds > 0 {
+		sum.AchievedRPS = float64(sum.Sent) / sum.DurationSeconds
+	}
+	sort.Strings(sum.AcceptedKeys)
+	fillLatency(sum, latencies)
+	return sum, nil
+}
+
+// fillLatency computes the histogram and percentiles.
+func fillLatency(sum *Summary, latencies []float64) {
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Float64s(latencies)
+	for _, ms := range latencies {
+		placed := false
+		for _, b := range latencyBounds {
+			if ms <= b {
+				sum.LatencyBucketsMS[fmt.Sprintf("le_%g", b)]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			sum.LatencyBucketsMS["le_inf"]++
+		}
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	sum.P50MS = pct(0.50)
+	sum.P90MS = pct(0.90)
+	sum.P99MS = pct(0.99)
+	sum.MaxMS = latencies[len(latencies)-1]
+}

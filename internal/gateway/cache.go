@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"container/list"
+	"sync"
+
+	"droidracer/internal/server"
+)
+
+// resultCache is the gateway's bounded LRU of terminal analysis answers,
+// keyed by idempotency key. Only terminal responses (done, quarantined)
+// are cached — they are immutable facts derived from the trace content,
+// so a cache hit can answer a duplicate submission without touching any
+// backend, even one whose home backend is down. Pending answers are
+// never cached: they would go stale the moment the job finishes.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp server.SubmitResponse
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns a copy of the cached terminal response for key and marks
+// it most-recently-used.
+func (c *resultCache) get(key string) (server.SubmitResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return server.SubmitResponse{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// add stores a terminal response, evicting the least-recently-used entry
+// past capacity.
+func (c *resultCache) add(key string, resp server.SubmitResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		cacheEvictions.Inc()
+	}
+	cacheEntriesGauge.Set(int64(c.order.Len()))
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

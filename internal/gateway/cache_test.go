@@ -1,0 +1,53 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"droidracer/internal/server"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 4; i++ {
+		c.add(fmt.Sprintf("k%d", i), server.SubmitResponse{Job: fmt.Sprintf("k%d", i), Status: server.StatusDone})
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Fatal("k0 should have been evicted as least-recently-used")
+	}
+	if _, ok := c.get("k3"); !ok {
+		t.Fatal("k3 should be present")
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", server.SubmitResponse{Job: "a", Status: server.StatusDone})
+	c.add("b", server.SubmitResponse{Job: "b", Status: server.StatusDone})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.add("c", server.SubmitResponse{Job: "c", Status: server.StatusDone})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been the LRU victim")
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", server.SubmitResponse{Job: "a", Status: server.StatusDone, Races: 1})
+	c.add("a", server.SubmitResponse{Job: "a", Status: server.StatusDone, Races: 2})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	got, _ := c.get("a")
+	if got.Races != 2 {
+		t.Fatalf("Races = %d, want the updated 2", got.Races)
+	}
+}

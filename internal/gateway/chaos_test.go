@@ -1,0 +1,646 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/flood"
+	"droidracer/internal/jobs"
+	"droidracer/internal/journal"
+	"droidracer/internal/obs"
+	"droidracer/internal/report"
+	"droidracer/internal/server"
+	"droidracer/internal/trace"
+)
+
+// backendHelperEnv marks the re-exec'd backend of the fleet chaos tests;
+// its value is the backend's spool/state root.
+const backendHelperEnv = "DROIDRACER_GW_BACKEND"
+
+// backendGraceEnv optionally sets the backend's restart sweep grace.
+const backendGraceEnv = "DROIDRACER_GW_GRACE"
+
+// TestGatewayBackendProcess is the subprocess body of the fleet chaos
+// tests: a miniature racedetd — journal recovery, pool, ingestion server
+// with the fleet reconcile handshake, sweep-grace-gated spool sweep —
+// that serves until the parent (or an armed kill-point) kills it.
+func TestGatewayBackendProcess(t *testing.T) {
+	dir := os.Getenv(backendHelperEnv)
+	if dir == "" {
+		t.Skip("helper subprocess only")
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "backend helper:", err)
+		os.Exit(1)
+	}
+	grace := time.Duration(0)
+	if g := os.Getenv(backendGraceEnv); g != "" {
+		d, err := time.ParseDuration(g)
+		if err != nil {
+			die(err)
+		}
+		grace = d
+	}
+	spool := filepath.Join(dir, "spool")
+	state := filepath.Join(dir, "state")
+	if err := os.MkdirAll(spool, 0o777); err != nil {
+		die(err)
+	}
+	if err := os.MkdirAll(state, 0o777); err != nil {
+		die(err)
+	}
+	jpath := filepath.Join(state, "daemon.journal")
+	entries, err := journal.Recover(jpath)
+	if err != nil {
+		die(err)
+	}
+	w, err := journal.Create(jpath)
+	if err != nil {
+		die(err)
+	}
+	var srv *server.Server
+	pool := jobs.NewPool(jobs.Config{
+		Workers:    1,
+		QueueDepth: 16,
+		Journal:    w,
+		Quarantine: &jobs.Quarantine{Dir: filepath.Join(state, "quarantine")},
+		OnFinish: func(out report.Outcome) {
+			if s := srv; s != nil {
+				s.JobFinished(out)
+			}
+		},
+	})
+	srv = server.New(server.Config{
+		Pool:    pool,
+		Spool:   spool,
+		Analyze: core.DefaultOptions(),
+		Workers: 1,
+		Events:  obs.NewEventLog(os.Stderr, filepath.Base(dir)),
+		// The chaos floods hammer from one client; admission rate limits
+		// are someone else's test.
+		Rate:        10000,
+		Burst:       10000,
+		MaxInflight: 256,
+		SweepGrace:  grace,
+		Completed:   jobs.CompletedRecords(entries),
+		Quarantined: jobs.QuarantinedJobs(entries),
+	})
+	// A restarted incarnation must rebind its previous address — the
+	// gateway's static backend list points there.
+	addrPath := filepath.Join(dir, "addr")
+	listen := "127.0.0.1:0"
+	if b, rerr := os.ReadFile(addrPath); rerr == nil && len(b) > 0 {
+		listen = string(b)
+	}
+	var bound string
+	bindDeadline := time.Now().Add(10 * time.Second)
+	for {
+		_, bound, err = srv.Serve(listen)
+		if err == nil {
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			die(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := os.WriteFile(addrPath+".tmp", []byte(bound), 0o666); err != nil {
+		die(err)
+	}
+	if err := os.Rename(addrPath+".tmp", addrPath); err != nil {
+		die(err)
+	}
+	for {
+		// The restart sweep honors the reconcile grace: spooled orphans
+		// the fleet completed elsewhere must be reclaimed, not analyzed.
+		if srv.SweepReady() {
+			if ents, err := os.ReadDir(spool); err == nil {
+				for _, e := range ents {
+					if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+						continue
+					}
+					if !srv.Claim(e.Name()) {
+						continue
+					}
+					job := jobs.TraceJob(e.Name(), filepath.Join(spool, e.Name()), core.DefaultOptions())
+					if err := pool.Submit(job); err != nil {
+						srv.Release(e.Name())
+					}
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for gateway event logs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// backendCmd re-execs the test binary as a backend over dir.
+func backendCmd(t *testing.T, dir, grace string, arm bool) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestGatewayBackendProcess$", "-test.v")
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, faultinject.EnvKillpoint+"=") ||
+			strings.HasPrefix(kv, backendHelperEnv+"=") ||
+			strings.HasPrefix(kv, backendGraceEnv+"=") {
+			continue
+		}
+		cmd.Env = append(cmd.Env, kv)
+	}
+	cmd.Env = append(cmd.Env, backendHelperEnv+"="+dir)
+	if grace != "" {
+		cmd.Env = append(cmd.Env, backendGraceEnv+"="+grace)
+	}
+	if arm {
+		cmd.Env = append(cmd.Env, faultinject.EnvKillpoint+"=server.accept")
+	}
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	return cmd, &out
+}
+
+// waitBackendAddr polls for a backend's published listen address.
+func waitBackendAddr(t *testing.T, dir string, log *bytes.Buffer) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("backend never published its address\n%s", log.String())
+	return ""
+}
+
+// waitLive polls the gateway until exactly n backends are live.
+func waitLive(t *testing.T, g *Gateway, n int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(g.LiveBackends()) == n {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s: live backends = %v, want %d", what, g.LiveBackends(), n)
+}
+
+// fleetRecord is one "job" journal record plus the backend directory
+// whose journal holds it.
+type fleetRecord struct {
+	dir string
+	jobs.JobEntry
+}
+
+// fleetRecords counts "job" journal records per job name across every
+// backend state directory.
+func fleetRecords(t *testing.T, dirs []string) map[string][]fleetRecord {
+	t.Helper()
+	out := make(map[string][]fleetRecord)
+	for _, dir := range dirs {
+		entries, err := journal.Recover(filepath.Join(dir, "state", "daemon.journal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Type != "job" {
+				continue
+			}
+			var je jobs.JobEntry
+			if err := e.Decode(&je); err != nil {
+				t.Fatal(err)
+			}
+			out[je.Name] = append(out[je.Name], fleetRecord{dir: filepath.Base(dir), JobEntry: je})
+		}
+	}
+	return out
+}
+
+// localDigest analyzes a trace body in-process — the independent answer
+// the fleet's journaled digest must match.
+func localDigest(t *testing.T, body []byte) string {
+	t.Helper()
+	tr, err := trace.ParseBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AnalyzeContext(context.Background(), tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs.ResultDigest(res)
+}
+
+// TestGatewayFleetChaos is the fleet convergence proof: flood a
+// three-backend fleet through the gateway, SIGKILL one backend mid-
+// flood, restart it, and require that every accepted key converges to
+// exactly one journal record across the fleet with the digest an
+// independent local analysis produces — then that a pure-duplicate wave
+// replays from the gateway cache, and that a fully dead fleet gets an
+// honest 503.
+func TestGatewayFleetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	root := t.TempDir()
+	const nBackends = 3
+	dirs := make([]string, nBackends)
+	cmds := make([]*exec.Cmd, nBackends)
+	logs := make([]*bytes.Buffer, nBackends)
+	addrs := make([]string, nBackends)
+	for i := range dirs {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("b%d", i))
+		if err := os.MkdirAll(dirs[i], 0o777); err != nil {
+			t.Fatal(err)
+		}
+		cmds[i], logs[i] = backendCmd(t, dirs[i], "30s", false)
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = "http://" + waitBackendAddr(t, dirs[i], logs[i])
+	}
+	defer func() {
+		for _, c := range cmds {
+			if c.Process != nil {
+				c.Process.Kill()
+				c.Wait()
+			}
+		}
+	}()
+
+	gwLog := &syncBuffer{}
+	g, err := New(Config{
+		Backends:       addrs,
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   2 * time.Second,
+		EjectThreshold: 2,
+		RetryAfter:     5 * time.Second,
+		Seed:           1,
+		Events:         obs.NewEventLog(gwLog, "gw"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.StartProbing(ctx)
+	waitLive(t, g, nBackends, "startup")
+	gwSrv, gwAddr, err := g.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+	gwURL := "http://" + gwAddr
+
+	// Seven bodies: six for the flood, one held back so the fleet-down
+	// probe below is guaranteed not to be answerable from the cache.
+	all, err := flood.BuildCorpus([]string{"Music Player", "Aard Dictionary"}, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, fresh := all[:6], all[6]
+	keyToBody := make(map[string][]byte, len(corpus))
+	for _, b := range corpus {
+		keyToBody[server.IdempotencyKey(b)] = b
+	}
+
+	// Pass 1: paced flood with duplicates; SIGKILL backend 0 mid-run.
+	floodDone := make(chan struct {
+		sum *flood.Summary
+		err error
+	}, 1)
+	go func() {
+		sum, err := flood.Run(ctx, flood.Config{
+			BaseURL:     gwURL,
+			Requests:    40,
+			RPS:         100,
+			DupRatio:    0.5,
+			Corpus:      corpus,
+			Seed:        2,
+			MaxAttempts: 4,
+			Timeout:     20 * time.Second,
+		})
+		floodDone <- struct {
+			sum *flood.Summary
+			err error
+		}{sum, err}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	if err := cmds[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmds[0].Wait()
+	res := <-floodDone
+	if res.err != nil {
+		t.Fatalf("flood: %v", res.err)
+	}
+	sum := res.sum
+	if len(sum.AcceptedKeys) == 0 {
+		t.Fatalf("flood accepted nothing: %+v", sum)
+	}
+	waitLive(t, g, nBackends-1, "after kill")
+
+	// Restart the killed backend (it rebinds its old address). Its sweep
+	// is grace-gated: the prober's reconcile handshake lands first and
+	// reclaims in-doubt orphans.
+	cmds[0], logs[0] = backendCmd(t, dirs[0], "30s", false)
+	if err := cmds[0].Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitLive(t, g, nBackends, "after restart")
+
+	// Converge: every accepted key must reach done through the gateway
+	// (polling also warms the result cache).
+	cl := &server.Client{BaseURL: gwURL}
+	pollCtx, pollCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer pollCancel()
+	for _, key := range sum.AcceptedKeys {
+		for {
+			resp, err := cl.Status(pollCtx, key)
+			if err == nil && resp.Status == server.StatusDone {
+				break
+			}
+			if err == nil && resp.Status == server.StatusQuarantined {
+				t.Fatalf("key %s quarantined (%s)", key, resp.Reason)
+			}
+			if pollCtx.Err() != nil {
+				t.Fatalf("key %s never completed\nb0:\n%s", key, logs[0].String())
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	// Pass 2: a pure-duplicate wave replays from the cache — zero fresh
+	// acceptances, every answer marked Cached.
+	hitsBefore := cacheHits.Value()
+	sum2, err := flood.Run(context.Background(), flood.Config{
+		BaseURL:  gwURL,
+		Requests: len(sum.AcceptedKeys),
+		DupRatio: 1,
+		Corpus:   acceptedBodies(t, sum.AcceptedKeys, keyToBody),
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Codes["202"] != 0 {
+		t.Fatalf("duplicate wave produced %d fresh acceptances: %+v", sum2.Codes["202"], sum2)
+	}
+	if sum2.CacheHits < sum2.Sent*9/10 {
+		t.Fatalf("cache served %d/%d duplicate replays, want >= 90%%", sum2.CacheHits, sum2.Sent)
+	}
+	if cacheHits.Value() == hitsBefore {
+		t.Fatal("gateway cache-hit counter did not move during the duplicate wave")
+	}
+
+	// Kill the whole fleet: readiness flips and submissions get an
+	// honest 503 with a Retry-After hint.
+	for _, c := range cmds {
+		c.Process.Kill()
+		c.Wait()
+	}
+	waitLive(t, g, 0, "fleet down")
+	rz, err := http.Get(gwURL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d with the fleet down, want 503", rz.StatusCode)
+	}
+	// A cached body would (correctly) still answer 200 here; a fresh one
+	// must get the honest refusal.
+	pr, err := http.Post(gwURL+"/v1/jobs", "text/plain", bytes.NewReader(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusServiceUnavailable || pr.Header.Get("Retry-After") == "" {
+		t.Fatalf("fleet-down submit = %d (Retry-After %q), want 503 with a hint",
+			pr.StatusCode, pr.Header.Get("Retry-After"))
+	}
+
+	// The convergence proof: exactly one journal record per accepted key
+	// across the fleet, with the independently computed digest.
+	records := fleetRecords(t, dirs)
+	for _, key := range sum.AcceptedKeys {
+		name := key + ".trace"
+		recs := records[name]
+		if len(recs) != 1 {
+			t.Errorf("key %s: %d journal records across the fleet, want exactly 1: %+v", key, len(recs), recs)
+			continue
+		}
+		if want := localDigest(t, keyToBody[key]); recs[0].Digest != want {
+			t.Errorf("key %s: fleet digest %q != local digest %q", key, recs[0].Digest, want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("gateway:\n%s", gwLog.String())
+		for i, l := range logs {
+			t.Logf("b%d:\n%s", i, l.String())
+		}
+	}
+}
+
+// acceptedBodies maps accepted keys back to their corpus bodies.
+func acceptedBodies(t *testing.T, keys []string, keyToBody map[string][]byte) [][]byte {
+	t.Helper()
+	out := make([][]byte, 0, len(keys))
+	for _, k := range keys {
+		body, ok := keyToBody[k]
+		if !ok {
+			t.Fatalf("accepted key %s not in the corpus", k)
+		}
+		out = append(out, body)
+	}
+	return out
+}
+
+// TestGatewayFailoverReclaim is the deterministic in-doubt proof: the
+// home backend is killed at the server.accept kill-point — after the
+// trace is durably spooled, before any acknowledgement — so the gateway
+// fails the submission over to the peer. The orphaned spool file on the
+// dead backend must be reclaimed by the reconcile handshake at restart,
+// leaving exactly one journal record across the fleet.
+func TestGatewayFailoverReclaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	root := t.TempDir()
+	dirs := []string{filepath.Join(root, "b0"), filepath.Join(root, "b1")}
+	cmds := make([]*exec.Cmd, 2)
+	logs := make([]*bytes.Buffer, 2)
+	addrs := make([]string, 2)
+	for i, d := range dirs {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		cmds[i], logs[i] = backendCmd(t, d, "30s", false)
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = "http://" + waitBackendAddr(t, d, logs[i])
+	}
+	defer func() {
+		for _, c := range cmds {
+			if c.Process != nil {
+				c.Process.Kill()
+				c.Wait()
+			}
+		}
+	}()
+
+	gwLog := &syncBuffer{}
+	g, err := New(Config{
+		Backends:       addrs,
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   2 * time.Second,
+		EjectThreshold: 1,
+		Seed:           1,
+		Events:         obs.NewEventLog(gwLog, "gw"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.StartProbing(ctx)
+	waitLive(t, g, 2, "startup")
+
+	// A real (analyzable) corpus body; whichever backend the ring homes
+	// it to is restarted ARMED (it rebinds its address), so the kill-point
+	// deterministically fires on the submission's first hop.
+	corpus, err := flood.BuildCorpus([]string{"Music Player", "Aard Dictionary"}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := corpus[0]
+	key := server.IdempotencyKey(body)
+	name := key + ".trace"
+	home := 0
+	if g.ring.Order(key)[0] != addrs[0] {
+		home = 1
+	}
+	peer := 1 - home
+	cmds[home].Process.Kill()
+	cmds[home].Wait()
+	cmds[home], logs[home] = backendCmd(t, dirs[home], "30s", true)
+	if err := cmds[home].Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitLive(t, g, 2, "armed home restart")
+
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("failover submit = %d, want 202 from the surviving peer\n%s", rec.Code, rec.Body.String())
+	}
+	var resp server.SubmitResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Job != key {
+		t.Fatalf("job %s, want %s", resp.Job, key)
+	}
+	if failoversTotal.Value() == 0 {
+		t.Fatal("failover counter did not move")
+	}
+	werr := cmds[home].Wait()
+	var ee *exec.ExitError
+	if !errors.As(werr, &ee) || ee.ExitCode() != faultinject.KillExitCode {
+		t.Fatalf("home backend exit = %v, want kill at server.accept\n%s", werr, logs[home].String())
+	}
+	// The in-doubt window is real: the home backend durably spooled the
+	// trace before dying, without ever answering.
+	if _, err := os.Stat(filepath.Join(dirs[home], "spool", name)); err != nil {
+		t.Fatalf("no orphaned spool file on the killed home backend: %v", err)
+	}
+
+	// Restart the home backend cleanly (it rebinds its old address).
+	// Reinstatement runs the reconcile handshake before routing resumes;
+	// the orphan must disappear without ever being analyzed.
+	cmds[home], logs[home] = backendCmd(t, dirs[home], "30s", false)
+	if err := cmds[home].Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitLive(t, g, 2, "after restart")
+	orphanDeadline := time.Now().Add(20 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dirs[home], "spool", name)); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(orphanDeadline) {
+			t.Fatalf("orphaned spool file never reclaimed\ngateway:\n%s\nhome:\n%s", gwLog.String(), logs[home].String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The failed-over job completes on the peer; the fleet holds exactly
+	// one record with the independent digest.
+	gwSrv, gwAddr, err := g.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+	scl := &server.Client{BaseURL: "http://" + gwAddr}
+	pollCtx, pollCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer pollCancel()
+	for {
+		st, err := scl.Status(pollCtx, key)
+		if err == nil && st.Status == server.StatusDone {
+			break
+		}
+		if err == nil && st.Status == server.StatusQuarantined {
+			t.Fatalf("failed-over job quarantined (%s)\npeer:\n%s", st.Reason, logs[peer].String())
+		}
+		if pollCtx.Err() != nil {
+			t.Fatalf("failed-over job never completed\npeer:\n%s", logs[peer].String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for _, c := range cmds {
+		c.Process.Kill()
+		c.Wait()
+	}
+	records := fleetRecords(t, dirs)
+	recs := records[name]
+	if len(recs) != 1 {
+		t.Fatalf("fleet holds %d records for %s, want exactly 1: %+v\ngateway:\n%s\nhome:\n%s\npeer:\n%s",
+			len(recs), name, recs, gwLog.String(), logs[home].String(), logs[peer].String())
+	}
+	if want := localDigest(t, body); recs[0].Digest != want {
+		t.Fatalf("fleet digest %q != local digest %q", recs[0].Digest, want)
+	}
+}

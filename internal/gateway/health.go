@@ -1,0 +1,131 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// StartProbing launches one prober goroutine per backend. Backends start
+// not-live and join routing on their first passing probe (which, like
+// every reinstatement, runs the reconcile handshake first). Probing
+// stops when ctx is cancelled.
+func (g *Gateway) StartProbing(ctx context.Context) {
+	for i, b := range g.cfg.Backends {
+		go g.probeLoop(ctx, g.backends[b], g.cfg.Seed+int64(i))
+	}
+}
+
+// probeLoop drives one backend's health state machine. Live backends are
+// probed at a fixed interval, feeding the same consecutive-failure
+// breaker as forwards — EjectThreshold straight failures eject. Ejected
+// (and initial) backends are probed with seeded-jitter exponential
+// backoff; a passing probe runs the reconcile handshake and reinstates.
+func (g *Gateway) probeLoop(ctx context.Context, b *backendState, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	backoff := g.cfg.ProbeInterval
+	for ctx.Err() == nil {
+		if b.live.Load() {
+			if !sleepCtx(ctx, g.cfg.ProbeInterval) {
+				return
+			}
+			if !b.live.Load() {
+				continue // ejected by a forward failure while we slept
+			}
+			if err := g.probe(ctx, b.url); err != nil {
+				g.brk.Failure(b.url, err) // OnOpen ejects at threshold
+			} else {
+				g.brk.Success(b.url)
+			}
+			continue
+		}
+		if err := g.probe(ctx, b.url); err == nil && g.reinstate(ctx, b) {
+			backoff = g.cfg.ProbeInterval
+			continue
+		}
+		// Full jitter over an exponentially growing window, capped at
+		// 16× the probe interval: a dead backend is checked less and
+		// less often, and N gateways probing it decorrelate.
+		wait := time.Duration(rng.Float64() * float64(backoff))
+		if wait < g.cfg.ProbeInterval/4 {
+			wait = g.cfg.ProbeInterval / 4
+		}
+		if !sleepCtx(ctx, wait) {
+			return
+		}
+		if backoff < 16*g.cfg.ProbeInterval {
+			backoff *= 2
+		}
+	}
+}
+
+// probe checks one backend's readiness endpoint.
+func (g *Gateway) probe(ctx context.Context, url string) error {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("probe: %s not ready (%d)", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// eject removes a backend from routing; installed as the breaker's
+// OnOpen hook, so it fires on EjectThreshold consecutive failures from
+// any mix of probes and forwards.
+func (g *Gateway) eject(url string, err error) {
+	b, ok := g.backends[url]
+	if !ok || !b.live.CompareAndSwap(true, false) {
+		return
+	}
+	b.wasEjected.Store(true)
+	ejectionsTotal(url).Inc()
+	backendsLiveGauge.Set(int64(g.liveCount()))
+	g.cfg.Events.Warn("gateway.eject", "backend", url, "err", err.Error())
+}
+
+// reinstate brings a probed-healthy backend back into routing. The
+// reconcile handshake runs first — before any traffic can land there —
+// so the backend reclaims in-doubt spool orphans and releases its
+// restart sweep knowing the fleet's view. A failed handshake keeps the
+// backend ejected (the next probe cycle retries).
+func (g *Gateway) reinstate(ctx context.Context, b *backendState) bool {
+	if err := g.reconcile(ctx, b.url); err != nil {
+		g.cfg.Events.Warn("gateway.reconcile-failed", "backend", b.url, "err", err.Error())
+		return false
+	}
+	g.brk.Reset(b.url)
+	if !b.live.CompareAndSwap(false, true) {
+		return true
+	}
+	backendsLiveGauge.Set(int64(g.liveCount()))
+	if b.wasEjected.Load() {
+		reinstatementsTotal(b.url).Inc()
+		g.cfg.Events.Info("gateway.reinstate", "backend", b.url)
+	} else {
+		g.cfg.Events.Info("gateway.backend-live", "backend", b.url)
+	}
+	return true
+}
+
+// sleepCtx sleeps for d, reporting false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,58 @@
+package gateway
+
+import "droidracer/internal/obs"
+
+// Gateway metrics. Status codes are pre-registered so scrapes see the
+// complete series set from process start; per-backend series (forwards,
+// ejections, reinstatements) register at first use because the backend
+// list is runtime configuration.
+var (
+	gwRequestsTotal = map[string]*obs.Counter{}
+	cacheHits       = obs.Default().Counter("droidracer_gateway_cache_hits_total",
+		"Duplicate submissions answered from the gateway result cache.")
+	cacheMisses = obs.Default().Counter("droidracer_gateway_cache_misses_total",
+		"Submissions not answerable from the gateway result cache.")
+	cacheEvictions = obs.Default().Counter("droidracer_gateway_cache_evictions_total",
+		"Terminal results evicted from the bounded gateway cache.")
+	cacheEntriesGauge = obs.Default().Gauge("droidracer_gateway_cache_entries",
+		"Terminal results currently held by the gateway cache.")
+	failoversTotal = obs.Default().Counter("droidracer_gateway_failovers_total",
+		"Submissions rehashed onto the next live ring peer after a backend failure.")
+	backendsLiveGauge = obs.Default().Gauge("droidracer_gateway_backends_live",
+		"Backends currently passing health probes.")
+	fleetUnavailableTotal = obs.Default().Counter("droidracer_gateway_fleet_unavailable_total",
+		"Submissions refused because every backend was down or ejected.")
+	ledgerDroppedTotal = obs.Default().Counter("droidracer_gateway_ledger_dropped_total",
+		"In-doubt keys dropped from the bounded reconcile ledger under overflow.")
+)
+
+func init() {
+	for _, code := range []string{"200", "202", "400", "404", "405", "413", "422", "429", "502", "503"} {
+		gwRequestsTotal[code] = obs.Default().Counter("droidracer_gateway_requests_total",
+			"Gateway HTTP responses, by status code.", "code", code)
+	}
+}
+
+// countGatewayCode bumps the per-code request counter, tolerating codes
+// outside the pre-registered set.
+func countGatewayCode(code string) {
+	if c, ok := gwRequestsTotal[code]; ok {
+		c.Inc()
+	}
+}
+
+func forwardsTotal(backend, outcome string) *obs.Counter {
+	return obs.Default().Counter("droidracer_gateway_forwards_total",
+		"Forward attempts per backend, by outcome (ok, rejected, failed).",
+		"backend", backend, "outcome", outcome)
+}
+
+func ejectionsTotal(backend string) *obs.Counter {
+	return obs.Default().Counter("droidracer_gateway_backend_ejections_total",
+		"Health-probe or forward-failure ejections, per backend.", "backend", backend)
+}
+
+func reinstatementsTotal(backend string) *obs.Counter {
+	return obs.Default().Counter("droidracer_gateway_backend_reinstatements_total",
+		"Previously ejected backends reinstated after passing probes.", "backend", backend)
+}

@@ -83,77 +83,145 @@ type BreakerPolicy struct {
 	Threshold int
 }
 
-// breaker tracks consecutive hard failures per key. Once open for a key
-// it stays open for the life of the pool: the same input deterministically
-// re-fed to the code that paniced will panic again, so there is nothing
-// a half-open probe would learn that costs less than the crash.
-type breaker struct {
+// Breaker is a keyed consecutive-failure circuit breaker, the shared
+// mechanism behind two deployments with different recovery stories:
+//
+//   - The pool's per-input breaker (keys are trace paths). It never
+//     calls Reset: the same input deterministically re-fed to the code
+//     that paniced will panic again, so an open key stays open for the
+//     life of the pool and work degrades to the fallback.
+//   - The gateway's per-backend breaker (keys are backend URLs).
+//     Backends do recover — a crashed daemon restarts — so the health
+//     prober acts as the half-open probe: a successful /readyz check
+//     calls Reset and the backend takes traffic again.
+//
+// The zero value is usable; fields must not change after first use.
+type Breaker struct {
+	// Threshold is the consecutive counted-failure count that opens the
+	// breaker for a key (default 3; negative disables the breaker).
+	Threshold int
+	// Counts classifies errors that count toward the threshold. Nil
+	// counts every error.
+	Counts func(error) bool
+	// OnOpen, OnStreakReset, and OnReset observe state transitions (for
+	// metrics); they are called outside the breaker lock.
+	OnOpen        func(key string, err error)
+	OnStreakReset func(key string)
+	OnReset       func(key string)
+
 	mu          sync.Mutex
-	threshold   int
 	consecutive map[string]int
 	open        map[string]error
 }
 
-func newBreaker(p BreakerPolicy) *breaker {
-	t := p.Threshold
-	if t == 0 {
-		t = 3
+// threshold resolves the effective threshold.
+func (b *Breaker) threshold() int {
+	if b.Threshold == 0 {
+		return 3
 	}
-	return &breaker{
-		threshold:   t,
-		consecutive: make(map[string]int),
-		open:        make(map[string]error),
-	}
+	return b.Threshold
 }
 
-// openFor reports whether the breaker is open for key, with the failure
+// OpenFor reports whether the breaker is open for key, with the failure
 // that opened it.
-func (b *breaker) openFor(key string) (error, bool) {
+func (b *Breaker) OpenFor(key string) (error, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	err, ok := b.open[key]
 	return err, ok
 }
 
-// success resets the consecutive-failure count for key.
-func (b *breaker) success(key string) {
-	b.mu.Lock()
-	if b.consecutive[key] > 0 {
-		// A sub-threshold hard-failure streak ended in success. The
-		// breaker never opened for this key, so this is not a state
-		// transition — the closed series stays 0, like half-open —
-		// just a streak reset, counted on its own metric.
-		breakerStreakResets.Inc()
-	}
-	delete(b.consecutive, key)
-	b.mu.Unlock()
-}
-
-// failure records a failed attempt; hard failures (panic, budget
-// exhaustion) count toward the threshold. It reports whether this
-// failure opened the breaker.
-func (b *breaker) failure(key string, err error) bool {
-	if b.threshold < 0 || !hardFailure(err) {
-		return false
-	}
+// OpenCount returns the number of keys the breaker is open for.
+func (b *Breaker) OpenCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, already := b.open[key]; already {
-		return false
-	}
-	b.consecutive[key]++
-	if b.consecutive[key] >= b.threshold {
-		b.open[key] = err
-		breakerTransitions["open"].Inc()
-		breakersOpen.Set(int64(len(b.open)))
-		return true
-	}
-	return false
+	return len(b.open)
 }
 
-// hardFailure reports whether err is the kind of failure the breaker
-// counts: a recovered panic or exhausted budget (wall clock, graph
-// nodes, closure edges, sequences) — not cancellation, not plain errors.
+// Success resets the consecutive-failure count for key. It does not
+// close an open breaker — that is Reset, and only a caller with
+// out-of-band evidence of recovery (a health probe) may claim it.
+func (b *Breaker) Success(key string) {
+	b.mu.Lock()
+	streak := b.consecutive[key] > 0
+	delete(b.consecutive, key)
+	b.mu.Unlock()
+	if streak && b.OnStreakReset != nil {
+		// A sub-threshold failure streak ended in success. The breaker
+		// never opened for this key, so this is not a state transition —
+		// just a streak reset, observed on its own hook.
+		b.OnStreakReset(key)
+	}
+}
+
+// Failure records a failed attempt; counted failures accumulate toward
+// the threshold. It reports whether this failure opened the breaker.
+func (b *Breaker) Failure(key string, err error) bool {
+	if b.threshold() < 0 || (b.Counts != nil && !b.Counts(err)) {
+		return false
+	}
+	b.mu.Lock()
+	if _, already := b.open[key]; already {
+		b.mu.Unlock()
+		return false
+	}
+	if b.consecutive == nil {
+		b.consecutive = make(map[string]int)
+	}
+	b.consecutive[key]++
+	opened := b.consecutive[key] >= b.threshold()
+	if opened {
+		if b.open == nil {
+			b.open = make(map[string]error)
+		}
+		b.open[key] = err
+	}
+	b.mu.Unlock()
+	if opened && b.OnOpen != nil {
+		b.OnOpen(key, err)
+	}
+	return opened
+}
+
+// Reset closes an open breaker for key and clears its failure streak.
+// It is the half-open-probe success path: callers invoke it only after
+// independently verifying the key recovered (the gateway's health
+// prober saw /readyz answer 200). It reports whether the breaker was
+// open.
+func (b *Breaker) Reset(key string) bool {
+	b.mu.Lock()
+	_, wasOpen := b.open[key]
+	delete(b.open, key)
+	delete(b.consecutive, key)
+	b.mu.Unlock()
+	if wasOpen && b.OnReset != nil {
+		b.OnReset(key)
+	}
+	return wasOpen
+}
+
+// newBreaker builds the pool's per-input breaker: hard failures only
+// (panics, exhausted budgets), jobs-namespaced transition metrics, and
+// no reset path.
+func newBreaker(p BreakerPolicy) *Breaker {
+	b := &Breaker{
+		Threshold: p.Threshold,
+		Counts:    hardFailure,
+		OnStreakReset: func(string) {
+			breakerStreakResets.Inc()
+		},
+	}
+	b.OnOpen = func(string, error) {
+		breakerTransitions["open"].Inc()
+		breakersOpen.Set(int64(b.OpenCount()))
+	}
+	return b
+}
+
+// hardFailure reports whether err is the kind of failure the pool's
+// breaker counts: a recovered panic or exhausted budget (wall clock,
+// graph nodes, closure edges, sequences) — not cancellation, not plain
+// errors.
 func hardFailure(err error) bool {
 	var pe *budget.PanicError
 	if errors.As(err, &pe) {

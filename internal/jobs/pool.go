@@ -131,7 +131,7 @@ type Pool struct {
 	rootCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
-	brk     *breaker
+	brk     *Breaker
 
 	mu       sync.Mutex
 	idle     *sync.Cond
@@ -408,7 +408,7 @@ func (p *Pool) Shutdown(ctx context.Context) []report.Outcome {
 func (p *Pool) runJob(job Job) report.Outcome {
 	out := report.Outcome{Name: job.Name}
 	key := job.key()
-	if reason, open := p.brk.openFor(key); open {
+	if reason, open := p.brk.OpenFor(key); open {
 		return p.degrade(job, out, reason)
 	}
 	retry := p.cfg.Retry.withDefaults()
@@ -424,7 +424,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 		}
 		res, err := p.runAttempt(job)
 		if err == nil {
-			p.brk.success(key)
+			p.brk.Success(key)
 			out.Result = res
 			return out
 		}
@@ -436,7 +436,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 			out.Err = err
 			return out
 		}
-		if opened := p.brk.failure(key, err); opened {
+		if opened := p.brk.Failure(key, err); opened {
 			// The breaker opened on this failure; stop burning attempts
 			// on an input that keeps killing the full pipeline.
 			return p.degrade(job, out, err)
@@ -451,7 +451,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 			}
 		}
 	}
-	if reason, open := p.brk.openFor(key); open {
+	if reason, open := p.brk.OpenFor(key); open {
 		return p.degrade(job, out, reason)
 	}
 	out.Err = lastErr
@@ -552,7 +552,7 @@ func CompletedRecords(entries []journal.Entry) map[string]JobEntry {
 // at admission time so a known-bad input is refused with 503 instead of
 // burning a worker on its degraded fallback.
 func (p *Pool) BreakerOpen(key string) (error, bool) {
-	return p.brk.openFor(key)
+	return p.brk.OpenFor(key)
 }
 
 // TraceJob builds the supervised job that analyzes the trace file at

@@ -117,33 +117,41 @@ func (e *estimator) service() time.Duration {
 
 // queueWait estimates how long until the queue that just rejected a
 // submission has a free slot: the rejected depth divided across the
-// workers, at the observed service time, clamped to [1s, 5m].
-func (e *estimator) queueWait(depth, workers int) time.Duration {
+// workers, at the observed service time, clamped to [1s, max]. The
+// ceiling matters as much as the estimate: one pathologically slow job
+// pollutes the EWMA for a while, and an unclamped hint would tell every
+// client to stay away for the full inflated estimate.
+func (e *estimator) queueWait(depth, workers int, max time.Duration) time.Duration {
 	if workers < 1 {
 		workers = 1
 	}
 	if depth < 1 {
 		depth = 1
 	}
+	if max <= 0 {
+		max = 5 * time.Minute
+	}
 	w := time.Duration(float64(e.service()) * (float64(depth)/float64(workers) + 1))
 	if w < time.Second {
 		w = time.Second
 	}
-	if w > 5*time.Minute {
-		w = 5 * time.Minute
+	if w > max {
+		w = max
 	}
 	return w
 }
 
-// keyedMutex serializes admission per idempotency key: two concurrent
+// KeyedMutex serializes work per idempotency key: two concurrent
 // submissions of the same body must not both write the spool file and
-// double-submit to the pool. Locks are striped by key hash, so distinct
+// double-submit to the pool (and, at the gateway, must not both forward
+// and race the result cache). Locks are striped by key hash, so distinct
 // traces never contend and memory stays constant.
-type keyedMutex struct {
+type KeyedMutex struct {
 	stripes [64]sync.Mutex
 }
 
-func (k *keyedMutex) lock(key string) *sync.Mutex {
+// Lock acquires the stripe for key and returns it for unlocking.
+func (k *KeyedMutex) Lock(key string) *sync.Mutex {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint32(key[i])) * 16777619

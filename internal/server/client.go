@@ -35,13 +35,25 @@ type Client struct {
 	// ClientID, when set, is sent as X-Client-ID (the rate-limit
 	// principal).
 	ClientID string
+	// RetryableStatus decides which HTTP status codes are worth another
+	// attempt. Nil uses the default: 429, every 5xx, and anything below
+	// 400. The gateway overrides it to 5xx-only so a backend's 429 (with
+	// its honest Retry-After) passes through to the submitting client
+	// instead of stalling a forward.
+	RetryableStatus func(code int) bool
+	// Sleep replaces the interruptible backoff pause in tests.
+	Sleep func(time.Duration)
 }
 
-// Attempt records one submission attempt for diagnostics.
+// Attempt records one submission attempt for diagnostics: the status
+// code (0 for a transport error), the structured rejection reason the
+// server sent, the transport error if any, and the backoff actually
+// slept before the next attempt (0 on the terminal attempt).
 type Attempt struct {
-	Code int
-	Err  error
-	Wait time.Duration
+	Code   int
+	Reason string
+	Err    error
+	Wait   time.Duration
 }
 
 // Submit posts body to /v1/jobs until it gets a terminal answer.
@@ -62,6 +74,12 @@ func (c *Client) Submit(ctx context.Context, body []byte) (*SubmitResponse, []At
 	if base <= 0 {
 		base = 200 * time.Millisecond
 	}
+	retryable := c.RetryableStatus
+	if retryable == nil {
+		retryable = func(code int) bool {
+			return code == http.StatusTooManyRequests || code < 400 || code >= 500
+		}
+	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	key := IdempotencyKey(body)
 	var history []Attempt
@@ -81,20 +99,20 @@ func (c *Client) Submit(ctx context.Context, body []byte) (*SubmitResponse, []At
 		}
 		resp, code, retryAfter, err := doSubmit(hc, req)
 		at := Attempt{Code: code, Err: err}
+		if resp != nil {
+			at.Reason = resp.Reason
+		}
 		switch {
 		case err == nil && (code == http.StatusOK || code == http.StatusAccepted ||
 			code == http.StatusUnprocessableEntity):
 			history = append(history, at)
 			return resp, history, nil
-		case err == nil && code >= 400 && code < 500 && code != http.StatusTooManyRequests:
+		case err == nil && !retryable(code):
 			history = append(history, at)
-			reason := ""
-			if resp != nil {
-				reason = resp.Reason
-			}
-			return resp, history, fmt.Errorf("server: rejected (%d %s)", code, reason)
+			return resp, history, fmt.Errorf("server: rejected (%d %s)", code, at.Reason)
 		}
-		// Retryable: 429, 503, other 5xx, or a transport error.
+		// Retryable: a refused status (429, 503, other 5xx by default) or
+		// a transport error.
 		if attempt >= max {
 			history = append(history, at)
 			if err != nil {
@@ -114,6 +132,10 @@ func (c *Client) Submit(ctx context.Context, body []byte) (*SubmitResponse, []At
 		}
 		at.Wait = wait
 		history = append(history, at)
+		if c.Sleep != nil {
+			c.Sleep(wait)
+			continue
+		}
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():

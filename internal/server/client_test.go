@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptTransport is a no-network http.RoundTripper that plays back a
+// fixed sequence of responses (repeating the last one when exhausted).
+type scriptTransport struct {
+	responses []scriptedResponse
+	calls     int
+}
+
+type scriptedResponse struct {
+	code       int
+	retryAfter int // seconds; 0 omits the header
+	body       string
+	err        error
+}
+
+func (s *scriptTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := s.calls
+	if i >= len(s.responses) {
+		i = len(s.responses) - 1
+	}
+	s.calls++
+	r := s.responses[i]
+	if r.err != nil {
+		return nil, r.err
+	}
+	body := r.body
+	if body == "" {
+		body = `{"status":"rejected"}`
+	}
+	resp := &http.Response{
+		StatusCode: r.code,
+		Header:     make(http.Header),
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Request:    req,
+	}
+	if r.retryAfter > 0 {
+		resp.Header.Set("Retry-After", strconv.Itoa(r.retryAfter))
+	}
+	return resp, nil
+}
+
+// TestClientBackoffSchedule drives the retrying client against scripted
+// refusals — no sockets — and checks the waits it chose.
+func TestClientBackoffSchedule(t *testing.T) {
+	const base = 100 * time.Millisecond
+	refuse := func(n int, code, retryAfter int) []scriptedResponse {
+		out := make([]scriptedResponse, n)
+		for i := range out {
+			out[i] = scriptedResponse{code: code, retryAfter: retryAfter}
+		}
+		return out
+	}
+	cases := []struct {
+		name      string
+		responses []scriptedResponse
+		attempts  int
+		// checkWait validates the recorded wait of retry attempt n
+		// (1-based, only non-terminal attempts have one).
+		checkWait func(n int, wait time.Duration) error
+	}{
+		{
+			name:      "seeded jitter stays within the exponential envelope",
+			responses: refuse(5, http.StatusServiceUnavailable, 0),
+			attempts:  5,
+			checkWait: func(n int, wait time.Duration) error {
+				hi := base << (n - 1)
+				if wait < base/4 || wait > hi {
+					return fmt.Errorf("wait %v outside [%v, %v]", wait, base/4, hi)
+				}
+				return nil
+			},
+		},
+		{
+			name:      "Retry-After overrides the backoff schedule",
+			responses: refuse(3, http.StatusTooManyRequests, 2),
+			attempts:  3,
+			checkWait: func(n int, wait time.Duration) error {
+				if wait != 2*time.Second {
+					return fmt.Errorf("wait %v, want the server's 2s hint", wait)
+				}
+				return nil
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := &scriptTransport{responses: tc.responses}
+			var slept []time.Duration
+			c := &Client{
+				BaseURL:     "http://fake",
+				HTTPClient:  &http.Client{Transport: st},
+				MaxAttempts: tc.attempts,
+				BaseBackoff: base,
+				Seed:        42,
+				Sleep:       func(d time.Duration) { slept = append(slept, d) },
+			}
+			_, attempts, err := c.Submit(context.Background(), []byte("post(t0,X,t1)\n"))
+			if err == nil {
+				t.Fatal("want a terminal error after exhausted retries")
+			}
+			if len(attempts) != tc.attempts {
+				t.Fatalf("%d attempts recorded, want %d", len(attempts), tc.attempts)
+			}
+			if len(slept) != tc.attempts-1 {
+				t.Fatalf("slept %d times, want %d", len(slept), tc.attempts-1)
+			}
+			for i, w := range slept {
+				if err := tc.checkWait(i+1, w); err != nil {
+					t.Errorf("retry %d: %v", i+1, err)
+				}
+				if attempts[i].Wait != w {
+					t.Errorf("retry %d: Attempt.Wait %v != slept %v", i+1, attempts[i].Wait, w)
+				}
+			}
+			// The jitter is seeded: a second run must sleep identically.
+			st2 := &scriptTransport{responses: tc.responses}
+			var slept2 []time.Duration
+			c2 := *c
+			c2.HTTPClient = &http.Client{Transport: st2}
+			c2.Sleep = func(d time.Duration) { slept2 = append(slept2, d) }
+			c2.Submit(context.Background(), []byte("post(t0,X,t1)\n"))
+			for i := range slept {
+				if slept2[i] != slept[i] {
+					t.Fatalf("seeded backoff not reproducible: %v vs %v", slept2, slept)
+				}
+			}
+		})
+	}
+}
+
+// TestClientAttemptHistory checks the diagnostic fields the CLI prints
+// on terminal failure: code, structured reason, and slept backoff.
+func TestClientAttemptHistory(t *testing.T) {
+	st := &scriptTransport{responses: []scriptedResponse{
+		{code: http.StatusServiceUnavailable, body: `{"status":"rejected","reason":"shutting-down"}`},
+		{code: http.StatusBadRequest, body: `{"status":"rejected","reason":"key-mismatch"}`},
+	}}
+	c := &Client{
+		BaseURL:     "http://fake",
+		HTTPClient:  &http.Client{Transport: st},
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	}
+	_, attempts, err := c.Submit(context.Background(), []byte("post(t0,X,t1)\n"))
+	if err == nil {
+		t.Fatal("want the 400 surfaced as an error")
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("%d attempts, want 2 (503 retried, 400 terminal)", len(attempts))
+	}
+	if attempts[0].Code != 503 || attempts[0].Reason != "shutting-down" || attempts[0].Wait <= 0 {
+		t.Fatalf("attempt 1 = %+v, want 503/shutting-down with a recorded wait", attempts[0])
+	}
+	if attempts[1].Code != 400 || attempts[1].Reason != "key-mismatch" || attempts[1].Wait != 0 {
+		t.Fatalf("attempt 2 = %+v, want terminal 400/key-mismatch with no wait", attempts[1])
+	}
+}
+
+// TestClientCancelDuringBackoff cancels the context while the client is
+// sleeping on a long Retry-After and requires a prompt return.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	st := &scriptTransport{responses: []scriptedResponse{
+		{code: http.StatusServiceUnavailable, retryAfter: 30},
+	}}
+	c := &Client{
+		BaseURL:     "http://fake",
+		HTTPClient:  &http.Client{Transport: st},
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := c.Submit(ctx, []byte("post(t0,X,t1)\n"))
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("returned after %v — did not abandon the 30s Retry-After sleep", elapsed)
+	}
+}
+
+// TestClientRetryableStatusOverride checks the gateway's 5xx-only
+// override: a 429 becomes terminal instead of retrying.
+func TestClientRetryableStatusOverride(t *testing.T) {
+	st := &scriptTransport{responses: []scriptedResponse{
+		{code: http.StatusTooManyRequests, retryAfter: 9,
+			body: `{"status":"rejected","reason":"rate-limited","retry_after_seconds":9}`},
+	}}
+	c := &Client{
+		BaseURL:         "http://fake",
+		HTTPClient:      &http.Client{Transport: st},
+		MaxAttempts:     4,
+		BaseBackoff:     time.Millisecond,
+		RetryableStatus: func(code int) bool { return code >= 500 },
+		Sleep:           func(time.Duration) { t.Fatal("must not sleep: 429 is terminal under the override") },
+	}
+	resp, attempts, err := c.Submit(context.Background(), []byte("post(t0,X,t1)\n"))
+	if err == nil {
+		t.Fatal("want the 429 surfaced as a rejection error")
+	}
+	if len(attempts) != 1 || st.calls != 1 {
+		t.Fatalf("attempts=%d calls=%d, want exactly one", len(attempts), st.calls)
+	}
+	if resp == nil || resp.RetryAfterSeconds != 9 {
+		t.Fatalf("resp = %+v, want the backend's rate-limit answer passed back", resp)
+	}
+}

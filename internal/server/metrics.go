@@ -13,6 +13,18 @@ var (
 	requestDur = obs.Default().Histogram("droidracer_server_request_duration_seconds",
 		"Ingestion request latency.", obs.DurationBuckets())
 	replaysTotal = map[string]*obs.Counter{}
+	// retryAfterHist distributes every Retry-After hint the server sends,
+	// so operators see when the EWMA-derived estimate drifts toward the
+	// configured ceiling (one slow job polluting the estimator shows up
+	// as mass in the top buckets).
+	retryAfterHist = obs.Default().Histogram("droidracer_server_retry_after_seconds",
+		"Retry-After hints sent with 429/503 refusals, in seconds.",
+		[]float64{1, 2, 5, 10, 30, 60, 120, 300, 600})
+	// reclaimedTotal counts spooled orphans deleted by the gateway's
+	// reconcile handshake: submissions this backend durably spooled but
+	// never acknowledged, which the fleet completed elsewhere.
+	reclaimedTotal = obs.Default().Counter("droidracer_server_reclaimed_total",
+		"In-doubt spool orphans reclaimed by the fleet reconcile handshake.")
 )
 
 // Admission rejection reasons (the reason label of

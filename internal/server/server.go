@@ -82,6 +82,24 @@ type SubmitResponse struct {
 	Reason string `json:"reason,omitempty"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Cached marks a replay served from the gateway's result cache
+	// without touching any backend.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// ReconcileRequest is the body of POST /v1/reconcile: the gateway's
+// in-doubt reclamation handshake. Reclaim lists idempotency keys whose
+// submissions were forwarded to this backend but never acknowledged —
+// the gateway failed them over to another ring peer, so a spooled orphan
+// here must not be analyzed into a duplicate fleet record.
+type ReconcileRequest struct {
+	Reclaim []string `json:"reclaim,omitempty"`
+}
+
+// ReconcileResponse reports how many orphaned spool files the handshake
+// removed.
+type ReconcileResponse struct {
+	Reclaimed int `json:"reclaimed"`
 }
 
 // Config configures the ingestion server.
@@ -115,6 +133,18 @@ type Config struct {
 	// (default 60s): the breaker never re-closes within one incarnation,
 	// so this is the restart horizon, not a backoff.
 	BreakerRetryAfter time.Duration
+	// MaxRetryAfter caps the queue-derived Retry-After estimate (EWMA
+	// service time × queue depth ÷ workers), default 5m. One pathological
+	// job polluting the EWMA must not tell every client to go away for
+	// the full estimate.
+	MaxRetryAfter time.Duration
+	// SweepGrace holds the restart spool sweep until either the gateway's
+	// reconcile handshake (POST /v1/reconcile) arrives or the grace
+	// elapses. Zero (the default) sweeps immediately — the standalone
+	// daemon behavior. Fleet backends run with a grace so in-doubt
+	// orphans the gateway failed over elsewhere are reclaimed before the
+	// sweep can analyze them into duplicate records.
+	SweepGrace time.Duration
 	// Completed seeds the idempotency index with journal records
 	// recovered at startup (jobs.CompletedRecords).
 	Completed map[string]jobs.JobEntry
@@ -134,13 +164,15 @@ type jobState struct {
 
 // Server is the HTTP ingestion and admission layer over a job pool.
 type Server struct {
-	cfg      Config
-	mux      *http.ServeMux
-	draining atomic.Bool
-	sem      chan struct{}
-	buckets  *buckets
-	est      *estimator
-	keys     keyedMutex
+	cfg        Config
+	mux        *http.ServeMux
+	draining   atomic.Bool
+	reconciled atomic.Bool
+	boot       time.Time
+	sem        chan struct{}
+	buckets    *buckets
+	est        *estimator
+	keys       KeyedMutex
 
 	mu    sync.Mutex
 	state map[string]*jobState
@@ -168,11 +200,15 @@ func New(cfg Config) *Server {
 	if cfg.BreakerRetryAfter <= 0 {
 		cfg.BreakerRetryAfter = time.Minute
 	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 5 * time.Minute
+	}
 	if cfg.Events == nil {
 		cfg.Events = obs.Nop()
 	}
 	s := &Server{
 		cfg:     cfg,
+		boot:    time.Now(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		buckets: newBuckets(cfg.Rate, cfg.Burst),
 		est:     &estimator{},
@@ -187,6 +223,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.instrument(s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.handleStatus))
+	s.mux.HandleFunc("POST /v1/reconcile", s.instrument(s.handleReconcile))
 	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument(s.handleReadyz))
 	return s
@@ -237,8 +274,13 @@ func jobName(id string) string { return id + ".trace" }
 // Claim marks name as submitted this incarnation, returning false when
 // it is already known (accepted over HTTP, swept earlier, completed, or
 // quarantined). The daemon's spool sweep shares the idempotency index
-// through it so HTTP-accepted files are not double-submitted.
+// through it so HTTP-accepted files are not double-submitted. It takes
+// the per-key admission lock: a concurrent handleSubmit durably spools
+// the body before registering it in the index, and a sweep that lists
+// the spool directory inside that window must not submit the file a
+// second time.
 func (s *Server) Claim(name string) bool {
+	defer s.keys.Lock(name).Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.state[name]; ok {
@@ -349,6 +391,7 @@ func respond(w http.ResponseWriter, code int, resp *SubmitResponse) {
 	w.Header().Set("Content-Type", "application/json")
 	if resp.RetryAfterSeconds > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterSeconds))
+		retryAfterHist.Observe(float64(resp.RetryAfterSeconds))
 	}
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resp)
@@ -460,7 +503,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Admission critical section per idempotency key: two concurrent
 	// submissions of the same body must not both spool and submit.
-	defer s.keys.lock(name).Unlock()
+	defer s.keys.Lock(name).Unlock()
 	if resp, code, ok := s.lookup(name); ok {
 		s.countReplay(resp)
 		respond(w, code, resp)
@@ -515,7 +558,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.reject(w, http.StatusServiceUnavailable, RejectShuttingDown, s.cfg.DrainRetryAfter)
 			return
 		}
-		retry := s.est.queueWait(queueDepth(err), s.cfg.Workers)
+		retry := s.est.queueWait(queueDepth(err), s.cfg.Workers, s.cfg.MaxRetryAfter)
 		s.reject(w, http.StatusTooManyRequests, RejectQueueFull, retry)
 		return
 	}
@@ -588,6 +631,63 @@ func writeDurable(path string, body []byte) error {
 		return err
 	}
 	return journal.SyncDir(dir)
+}
+
+// handleReconcile is POST /v1/reconcile: the gateway's reinstatement
+// handshake. Listed keys whose submissions this backend never got to
+// acknowledge (the gateway failed them over to another peer) have their
+// spooled orphans deleted, and the restart sweep is released — the fleet
+// has told this backend everything it needs to know about its in-doubt
+// window.
+func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+		respond(w, http.StatusBadRequest, &SubmitResponse{Status: StatusRejected, Reason: "bad-reconcile-body"})
+		return
+	}
+	reclaimed := 0
+	for _, id := range req.Reclaim {
+		name := jobName(strings.TrimSuffix(id, ".trace"))
+		unlock := s.keys.Lock(name)
+		s.mu.Lock()
+		_, known := s.state[name]
+		s.mu.Unlock()
+		// A known key was acknowledged (HTTP accept), already swept, or
+		// finished — its record legitimately belongs to this backend, so
+		// the conservative reclaim list leaves it alone.
+		if known {
+			s.cfg.Events.Info("request.reclaim-skipped", "job", strings.TrimSuffix(name, ".trace"))
+		} else if err := os.Remove(filepath.Join(s.cfg.Spool, name)); err == nil {
+			reclaimed++
+			reclaimedTotal.Inc()
+			s.cfg.Events.Info("request.reclaim", "job", strings.TrimSuffix(name, ".trace"))
+		} else if !os.IsNotExist(err) {
+			s.cfg.Events.Warn("request.reclaim-failed", "job", strings.TrimSuffix(name, ".trace"), "err", err.Error())
+		}
+		unlock.Unlock()
+	}
+	wasHeld := !s.reconciled.Swap(true)
+	if wasHeld && s.cfg.SweepGrace > 0 {
+		s.cfg.Events.Info("server.reconciled", "reclaim_listed", len(req.Reclaim), "reclaimed", reclaimed)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(&ReconcileResponse{Reclaimed: reclaimed})
+}
+
+// SweepReady reports whether the restart spool sweep may run: always for
+// a standalone daemon (no SweepGrace), otherwise only once the gateway's
+// reconcile handshake arrived or the grace period expired.
+func (s *Server) SweepReady() bool {
+	if s.cfg.SweepGrace <= 0 || s.reconciled.Load() {
+		return true
+	}
+	if time.Since(s.boot) >= s.cfg.SweepGrace {
+		s.reconciled.Store(true)
+		s.cfg.Events.Warn("server.sweep-grace-expired", "grace", s.cfg.SweepGrace.String())
+		return true
+	}
+	return false
 }
 
 // handleStatus is GET /v1/jobs/{id}: the index entry for one job.

@@ -482,15 +482,18 @@ func TestClientDoesNotRetryClientErrors(t *testing.T) {
 
 func TestEstimatorQueueWait(t *testing.T) {
 	e := &estimator{}
-	if w := e.queueWait(4, 2); w != 3*time.Second {
+	if w := e.queueWait(4, 2, 0); w != 3*time.Second {
 		t.Fatalf("default service queueWait = %v, want 3s", w)
 	}
 	e.observe(10 * time.Second)
-	if w := e.queueWait(4, 2); w < 20*time.Second {
+	if w := e.queueWait(4, 2, 0); w < 20*time.Second {
 		t.Fatalf("observed-service queueWait = %v, want ≥ 20s", w)
 	}
-	if w := e.queueWait(1000, 1); w != 5*time.Minute {
-		t.Fatalf("clamped queueWait = %v, want 5m", w)
+	if w := e.queueWait(1000, 1, 0); w != 5*time.Minute {
+		t.Fatalf("default-ceiling queueWait = %v, want 5m", w)
+	}
+	if w := e.queueWait(1000, 1, 30*time.Second); w != 30*time.Second {
+		t.Fatalf("configured-ceiling queueWait = %v, want 30s", w)
 	}
 }
 

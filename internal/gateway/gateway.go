@@ -111,7 +111,7 @@ type Gateway struct {
 	backends map[string]*backendState
 	brk      *jobs.Breaker
 	cache    *resultCache
-	keys     server.KeyedMutex
+	keys     keyedLocks
 	draining atomic.Bool
 
 	mu sync.Mutex
@@ -293,8 +293,11 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Serialize per key so concurrent duplicates don't race the cache
-	// and double-forward.
-	defer g.keys.Lock(key).Unlock()
+	// and double-forward. The lock is per exact key (not striped): the
+	// critical section spans the whole failover walk — up to MaxFailover
+	// forwards at ForwardTimeout each — and unrelated keys must not queue
+	// behind one slow backend.
+	defer g.keys.lock(key)()
 
 	if resp, ok := g.cache.get(key); ok {
 		cacheHits.Inc()
@@ -313,7 +316,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// finish when the backend returns.
 	if target, ok := g.pendingFor(key); ok {
 		if g.backends[target].live.Load() {
-			resp, code, _, ferr := g.forward(r.Context(), target, body, deadline, clientID)
+			resp, code, _, ferr := g.forward(r.Context(), target, key, body, deadline, clientID)
 			if ferr == nil || (resp != nil && code >= 400 && code < 500) {
 				g.finishForward(w, key, target, resp, code, ferr)
 				return
@@ -322,7 +325,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// sweep own the work, so a dead duplicate forward is NOT in
 			// doubt — ledgering it would reclaim (delete) acknowledged
 			// work at the reconcile handshake.
-			g.forwardFailed(target, key, false, ferr)
+			g.forwardFailed(r.Context(), target, key, false, ferr)
 		}
 		respond(w, http.StatusAccepted, &server.SubmitResponse{
 			Job: key, Status: server.StatusPending, Coalesced: true,
@@ -344,12 +347,18 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				"from", walked[len(walked)-1], "to", target)
 		}
 		walked = append(walked, target)
-		resp, code, inDoubt, ferr := g.forward(r.Context(), target, body, deadline, clientID)
+		resp, code, inDoubt, ferr := g.forward(r.Context(), target, key, body, deadline, clientID)
 		if ferr == nil || (resp != nil && code >= 400 && code < 500) {
 			g.finishForward(w, key, target, resp, code, ferr)
 			return
 		}
-		g.forwardFailed(target, key, inDoubt, ferr)
+		g.forwardFailed(r.Context(), target, key, inDoubt, ferr)
+		if r.Context().Err() != nil {
+			// The inbound client is gone: further forwards would fail on
+			// the same canceled context, and there is nobody to answer.
+			// Don't let the walk masquerade as fleet unavailability.
+			return
+		}
 	}
 	fleetUnavailableTotal.Inc()
 	g.cfg.Events.Warn("gateway.fleet-unavailable", "job", key, "walked", len(walked))
@@ -364,16 +373,19 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // 429 passes through with its honest Retry-After instead of stalling the
 // forward). The inDoubt result reports whether any attempt died in
 // flight — the backend may have spooled the trace without answering.
-func (g *Gateway) forward(ctx context.Context, target string, body []byte,
+func (g *Gateway) forward(ctx context.Context, target, key string, body []byte,
 	deadline time.Duration, clientID string) (*server.SubmitResponse, int, bool, error) {
 	fctx, cancel := context.WithTimeout(ctx, g.cfg.ForwardTimeout)
 	defer cancel()
 	cl := server.Client{
-		BaseURL:         target,
-		HTTPClient:      g.httpc,
-		MaxAttempts:     2,
-		BaseBackoff:     50 * time.Millisecond,
-		Seed:            g.cfg.Seed,
+		BaseURL:     target,
+		HTTPClient:  g.httpc,
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Millisecond,
+		// Mixing the key into the seed keeps jitter deterministic for a
+		// fixed config seed (tests) while decorrelating the retry sleeps
+		// of concurrent requests against a struggling backend.
+		Seed:            g.cfg.Seed ^ int64(fnv64a(key)),
 		Deadline:        deadline,
 		ClientID:        clientID,
 		RetryableStatus: func(code int) bool { return code >= 500 },
@@ -406,6 +418,12 @@ func (g *Gateway) finishForward(w http.ResponseWriter, key, target string,
 		return
 	}
 	forwardsTotal(target, "ok").Inc()
+	// The backend answered decisively for this key, so its own spool,
+	// journal, and restart sweep own the work from here: an in-doubt
+	// ledger entry left over from an earlier dead forward must not
+	// survive, or a later reconcile handshake would reclaim (delete) the
+	// spool of acknowledged, unfinished work.
+	g.ledgerRemove(target, key)
 	switch resp.Status {
 	case server.StatusDone, server.StatusQuarantined:
 		g.cache.add(key, *resp)
@@ -418,7 +436,16 @@ func (g *Gateway) finishForward(w http.ResponseWriter, key, target string,
 
 // forwardFailed records a failed forward: the in-doubt ledger entry, the
 // shared failure streak (which may eject the backend), and the metric.
-func (g *Gateway) forwardFailed(target, key string, inDoubt bool, err error) {
+// A forward that died because the inbound client disconnected says
+// nothing about the backend: it is neither ledgered (nothing fails over,
+// so a spooled trace is simply the backend's to finish) nor counted
+// toward ejection (a burst of client disconnects must not eject a
+// healthy backend).
+func (g *Gateway) forwardFailed(reqCtx context.Context, target, key string, inDoubt bool, err error) {
+	if reqCtx.Err() != nil {
+		forwardsTotal(target, "canceled").Inc()
+		return
+	}
 	forwardsTotal(target, "failed").Inc()
 	if inDoubt {
 		g.ledgerAdd(target, key)
@@ -543,6 +570,27 @@ func (g *Gateway) ledgerAdd(target, key string) {
 	}
 	set[key] = struct{}{}
 	g.ledgerOrder[target] = append(g.ledgerOrder[target], key)
+}
+
+// ledgerRemove drops one key from a backend's in-doubt ledger. Called
+// when that backend answers decisively for the key: it has acknowledged
+// the work, and asking it to reclaim the spool at the next reconcile
+// would destroy an accepted job.
+func (g *Gateway) ledgerRemove(target, key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	set := g.ledger[target]
+	if _, ok := set[key]; !ok {
+		return
+	}
+	delete(set, key)
+	order := g.ledgerOrder[target]
+	for i, k := range order {
+		if k == key {
+			g.ledgerOrder[target] = append(order[:i], order[i+1:]...)
+			break
+		}
+	}
 }
 
 // ledgerTake removes and returns the in-doubt keys for a backend.

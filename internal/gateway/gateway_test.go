@@ -1,8 +1,10 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -303,6 +305,99 @@ func TestGatewayStatusWarmsCache(t *testing.T) {
 	}
 	if b.submits.Load() != before {
 		t.Fatal("cached replay touched the backend")
+	}
+}
+
+func TestGatewayAcceptanceClearsInDoubtLedger(t *testing.T) {
+	b := newFakeBackend(t)
+	var dieInFlight atomic.Bool
+	dieInFlight.Store(true)
+	b.onSubmit = func(w http.ResponseWriter, r *http.Request) {
+		if dieInFlight.Load() {
+			// Die in flight: the backend may have spooled the trace, so
+			// the gateway must treat the key as in doubt.
+			if conn, _, err := w.(http.Hijacker).Hijack(); err == nil {
+				conn.Close()
+			}
+			return
+		}
+		key := r.Header.Get("Idempotency-Key")
+		writeJSON(w, http.StatusAccepted, &server.SubmitResponse{Job: key, Status: server.StatusAccepted})
+	}
+	g := newTestGateway(t, Config{EjectThreshold: 100}, b)
+
+	body := "post(t0,LAUNCH_ACTIVITY,t1)\n"
+	key := server.IdempotencyKey([]byte(body))
+	if _, code := postBody(t, g, body); code != http.StatusServiceUnavailable {
+		t.Fatalf("in-flight death on the only backend: %d, want 503", code)
+	}
+	g.mu.Lock()
+	_, ledgered := g.ledger[b.srv.URL][key]
+	g.mu.Unlock()
+	if !ledgered {
+		t.Fatal("in-flight death did not ledger the key in doubt")
+	}
+	// The client retries and the backend acknowledges the key it had
+	// spooled: the backend now owns the work, so the in-doubt entry must
+	// die with the acknowledgment — a later reconcile asking the backend
+	// to reclaim this key would delete an accepted, unfinished job.
+	dieInFlight.Store(false)
+	if _, code := postBody(t, g, body); code != http.StatusAccepted {
+		t.Fatalf("retry after recovery: %d, want 202", code)
+	}
+	g.backends[b.srv.URL].live.Store(false)
+	if !g.reinstate(context.Background(), g.backends[b.srv.URL]) {
+		t.Fatal("reinstate failed")
+	}
+	select {
+	case keys := <-b.reclaimed:
+		for _, k := range keys {
+			if k == key {
+				t.Fatal("reconcile asked the backend to reclaim an acknowledged key")
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reconcile never reached the backend")
+	}
+}
+
+func TestGatewayClientDisconnectNotCountedAgainstBackend(t *testing.T) {
+	b := newFakeBackend(t)
+	b.onSubmit = func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first (as the real daemon does): the server only
+		// detects a dropped peer once the request body is consumed.
+		io.ReadAll(r.Body)
+		<-r.Context().Done() // hold the forward until the inbound client gives up
+	}
+	// Threshold 1: a single counted failure would eject, so survival
+	// proves the disconnect was not counted.
+	g := newTestGateway(t, Config{EjectThreshold: 1}, b)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs",
+		strings.NewReader("post(t0,LAUNCH_ACTIVITY,t1)\n")).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Handler().ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.submits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("backend never saw the forward")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if len(g.LiveBackends()) != 1 {
+		t.Fatal("a client disconnect ejected a healthy backend")
+	}
+	g.mu.Lock()
+	inDoubt := len(g.ledger[b.srv.URL])
+	g.mu.Unlock()
+	if inDoubt != 0 {
+		t.Fatalf("client disconnect ledgered %d in-doubt keys; a reconcile could reclaim live work", inDoubt)
 	}
 }
 

@@ -41,13 +41,19 @@ func (g *Gateway) probeLoop(ctx context.Context, b *backendState, seed int64) {
 			}
 			continue
 		}
-		if err := g.probe(ctx, b.url); err == nil && g.reinstate(ctx, b) {
+		err := g.probe(ctx, b.url)
+		if err == nil && g.reinstate(ctx, b) {
 			backoff = g.cfg.ProbeInterval
 			continue
 		}
 		// Full jitter over an exponentially growing window, capped at
 		// 16× the probe interval: a dead backend is checked less and
-		// less often, and N gateways probing it decorrelate.
+		// less often, and N gateways probing it decorrelate. The window
+		// grows only when the probe itself failed — a backend that
+		// answers /readyz is demonstrably back, so a transiently failed
+		// reconcile handshake retries at the base cadence instead of
+		// waiting out a dead-backend backoff.
+		backoff = nextBackoff(backoff, g.cfg.ProbeInterval, err == nil)
 		wait := time.Duration(rng.Float64() * float64(backoff))
 		if wait < g.cfg.ProbeInterval/4 {
 			wait = g.cfg.ProbeInterval / 4
@@ -55,10 +61,19 @@ func (g *Gateway) probeLoop(ctx context.Context, b *backendState, seed int64) {
 		if !sleepCtx(ctx, wait) {
 			return
 		}
-		if backoff < 16*g.cfg.ProbeInterval {
-			backoff *= 2
-		}
 	}
+}
+
+// nextBackoff advances the ejected-backend probe backoff: reset to the
+// base interval on a passing probe, double up to 16× on a failing one.
+func nextBackoff(cur, interval time.Duration, probeOK bool) time.Duration {
+	if probeOK {
+		return interval
+	}
+	if cur >= 16*interval {
+		return 16 * interval
+	}
+	return cur * 2
 }
 
 // probe checks one backend's readiness endpoint.

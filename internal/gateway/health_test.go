@@ -1,0 +1,31 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextBackoff(t *testing.T) {
+	const iv = time.Second
+	cases := []struct {
+		name    string
+		cur     time.Duration
+		probeOK bool
+		want    time.Duration
+	}{
+		{"failure doubles", iv, false, 2 * iv},
+		{"failure reaches cap", 8 * iv, false, 16 * iv},
+		{"failure holds cap", 16 * iv, false, 16 * iv},
+		{"failure clamps overshoot", 30 * iv, false, 16 * iv},
+		// A passing probe resets to the base cadence even when the
+		// reconcile handshake failed: a backend answering /readyz must
+		// not wait out a dead-backend backoff for reinstatement.
+		{"success resets from cap", 16 * iv, true, iv},
+		{"success resets early", 2 * iv, true, iv},
+	}
+	for _, c := range cases {
+		if got := nextBackoff(c.cur, iv, c.probeOK); got != c.want {
+			t.Errorf("%s: nextBackoff(%v, ok=%v) = %v, want %v", c.name, c.cur, c.probeOK, got, c.want)
+		}
+	}
+}

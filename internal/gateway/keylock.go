@@ -1,0 +1,47 @@
+package gateway
+
+import "sync"
+
+// keyedLocks serializes work per exact key with refcounted mutexes. The
+// gateway's per-key critical section spans a whole failover walk — up to
+// MaxFailover forwards at ForwardTimeout each — so striped locks (as the
+// backend's admission path uses for its fast, local sections) would let
+// one slow backend stall every unrelated key sharing a stripe. Here only
+// true duplicates contend, which is exactly the coalescing the gateway
+// wants, and memory is bounded by the number of in-flight keys.
+type keyedLocks struct {
+	mu    sync.Mutex
+	locks map[string]*keyLock
+}
+
+type keyLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lock acquires the mutex for key, creating it on first use, and returns
+// the unlock function. The entry is dropped once the last holder or
+// waiter releases, so idle keys cost nothing.
+func (l *keyedLocks) lock(key string) (unlock func()) {
+	l.mu.Lock()
+	if l.locks == nil {
+		l.locks = make(map[string]*keyLock)
+	}
+	kl := l.locks[key]
+	if kl == nil {
+		kl = &keyLock{}
+		l.locks[key] = kl
+	}
+	kl.refs++
+	l.mu.Unlock()
+	kl.mu.Lock()
+	return func() {
+		kl.mu.Unlock()
+		l.mu.Lock()
+		kl.refs--
+		if kl.refs == 0 {
+			delete(l.locks, key)
+		}
+		l.mu.Unlock()
+	}
+}

@@ -1,0 +1,51 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// A holder of one key must not block an acquirer of a different key:
+// the gateway holds a key's lock across an entire failover walk, and
+// striped locks here once collapsed throughput for unrelated keys
+// queued behind a single slow backend.
+func TestKeyedLocksDistinctKeysDoNotContend(t *testing.T) {
+	var kl keyedLocks
+	unlockA := kl.lock("a")
+	defer unlockA()
+	done := make(chan struct{})
+	go func() {
+		kl.lock("b")()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("holding key a blocked an acquirer of key b")
+	}
+}
+
+func TestKeyedLocksSameKeySerializesAndDrains(t *testing.T) {
+	var kl keyedLocks
+	n := 0 // unsynchronized on purpose: -race flags any mutual-exclusion gap
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			unlock := kl.lock("k")
+			n++
+			unlock()
+		}()
+	}
+	wg.Wait()
+	if n != 32 {
+		t.Fatalf("n = %d after 32 serialized increments, want 32", n)
+	}
+	kl.mu.Lock()
+	defer kl.mu.Unlock()
+	if len(kl.locks) != 0 {
+		t.Fatalf("%d lock entries leaked after every holder released", len(kl.locks))
+	}
+}

@@ -43,7 +43,7 @@ func countGatewayCode(code string) {
 
 func forwardsTotal(backend, outcome string) *obs.Counter {
 	return obs.Default().Counter("droidracer_gateway_forwards_total",
-		"Forward attempts per backend, by outcome (ok, rejected, failed).",
+		"Forward attempts per backend, by outcome (ok, rejected, failed, canceled).",
 		"backend", backend, "outcome", outcome)
 }
 

@@ -12,6 +12,7 @@
 //	racedet -submit URL [-deadline 30s] [-client-id ID] [trace.txt]
 //	racedet -flood URL [-requests N] [-rps N] [-dup 0.5] [-corpus N]
 //	        [-flood-apps "Music Player,..."] [-seed N] [-client-id ID]
+//	racedet -fsck STATEDIR [-spool DIR] [-repair]
 //
 // With no file argument the trace is read from standard input. Under
 // -deadline/-max-nodes the analysis is budgeted: when the budget runs
@@ -34,6 +35,14 @@
 // produces the same race report as an uninterrupted run. The race
 // report goes to stdout; progress and resume statistics go to stderr,
 // so reports diff cleanly across kill/resume schedules.
+//
+// Fsck mode (-fsck STATEDIR) runs the offline storage-integrity scanner
+// over a racedetd state directory (and, with -spool DIR, its spool):
+// journal checksums and sequence continuity, spool and quarantine
+// content digests, stale staging files. Without -repair it only prints
+// the repair plan. Exit status: 0 when the directories are clean (or
+// every finding was repaired), 1 when findings remain, 2 when the scan
+// itself failed — CI can gate on it directly.
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"droidracer/internal/apps"
 	"droidracer/internal/core"
 	"droidracer/internal/flood"
+	"droidracer/internal/fsck"
 	"droidracer/internal/jobs"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
@@ -80,6 +90,9 @@ func main() {
 	floodDup := flag.Float64("dup", 0, "duplicate ratio in [0,1] for -flood: fraction of sends that repeat an earlier body")
 	floodCorpus := flag.Int("corpus", 20, "distinct trace bodies to generate for -flood")
 	floodApps := flag.String("flood-apps", "Music Player,Aard Dictionary,Messenger", "comma-separated Table 2 app models the -flood corpus draws from")
+	fsckDir := flag.String("fsck", "", "scan this racedetd state directory for storage damage and print a repair plan")
+	fsckSpool := flag.String("spool", "", "spool directory to digest-verify alongside -fsck")
+	fsckRepair := flag.Bool("repair", false, "with -fsck, execute the repair plan instead of only printing it")
 	campaignApp := flag.String("campaign", "", "run a restartable exploration campaign over this application model")
 	stateDir := flag.String("state", "", "state directory for the campaign journal (with -campaign)")
 	resumeDir := flag.String("resume", "", "resume the campaign journaled under this state directory")
@@ -87,6 +100,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "scheduling seed for -campaign (0 = round-robin); also seeds the -flood corpus and jitter")
 	flag.Parse()
 
+	if *fsckDir != "" {
+		runFsck(*fsckDir, *fsckSpool, *fsckRepair)
+		return
+	}
 	if *campaignApp != "" || *resumeDir != "" {
 		runCampaign(*campaignApp, *stateDir, *resumeDir, *k, *seed)
 		return
@@ -323,6 +340,28 @@ func runFlood(url, clientID, appList string, requests, corpus int, rps, dup floa
 func printPhases(res *droidracer.Result, parse time.Duration) {
 	timings := append([]obs.PhaseTiming{{Phase: "parse", Duration: parse}}, res.Phases...)
 	fmt.Print("\n" + report.PhaseTable(timings))
+}
+
+// runFsck is the -fsck entry point: scan the state (and optionally
+// spool) directory, print the plan or the repairs, exit 0 clean /
+// 1 findings / 2 scan failure.
+func runFsck(state, spool string, repair bool) {
+	rep, err := fsck.Run(fsck.Options{State: state, Spool: spool, Repair: repair, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racedet:", err)
+		os.Exit(2)
+	}
+	switch {
+	case rep.Clean():
+		fmt.Printf("fsck: clean (%d journal record(s), %d spool bod%s, %d quarantined bod%s verified)\n",
+			rep.JournalEntries, rep.SpoolChecked, plural(rep.SpoolChecked, "y", "ies"),
+			rep.QuarantineChecked, plural(rep.QuarantineChecked, "y", "ies"))
+	case repair && rep.Repaired():
+		fmt.Printf("fsck: repaired %d finding(s); state directory is consistent\n", len(rep.Findings))
+	default:
+		fmt.Printf("fsck: %d finding(s); run with -repair to fix\n", len(rep.Findings))
+		os.Exit(1)
+	}
 }
 
 // runCampaign is the -campaign/-resume entry point: it builds (or

@@ -62,6 +62,7 @@ import (
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
 	"droidracer/internal/server"
+	"droidracer/internal/storage"
 )
 
 // journalName is the daemon's completed-work journal inside -state.
@@ -123,6 +124,13 @@ func main() {
 	jpath := filepath.Join(*state, journalName)
 	entries, rstats, err := journal.RecoverStats(jpath)
 	if err != nil {
+		if storage.IsCorrupt(err) {
+			// Acknowledged, fsync'd history changed under us. Truncating
+			// it away silently would drop work a client was promised, so
+			// the daemon refuses to start; the operator decides.
+			fatal(fmt.Errorf("%w\nthe journal is corrupt; inspect it with `racedet -fsck %s` and repair with `racedet -fsck %s -repair`",
+				err, *state, *state))
+		}
 		fatal(err)
 	}
 	if rstats.Torn() {
@@ -198,6 +206,11 @@ func main() {
 		Completed:     completed,
 		Quarantined:   quarantined,
 		Events:        events,
+		// A poisoned journal writer (failed fsync — fsyncgate) flips the
+		// daemon storage-degraded: /readyz 503 "storage", submissions
+		// refused 503 storage-degraded until a restart re-proves what is
+		// actually on disk.
+		StorageErr: w.Err,
 	})
 	var ingestSrv interface{ Close() error }
 	if *listen != "" {

@@ -1,0 +1,248 @@
+package faultinject
+
+// Storage faults model disk-level failures — ENOSPC mid-append, EIO on
+// fsync, a short write, a bit flip on read, a failed rename — at the
+// storage.FS seam the journal and spool do their I/O through. Like
+// kill-points they are armed from the environment, so subprocess chaos
+// tests drive them without test hooks in production code:
+//
+//	DROIDRACER_STORAGE_FAULT=journal.sync:enospc:2 racedetd ...
+//
+// The spec is a comma-separated list of <scope>.<op>:<kind>[:N[-M]]
+// clauses. scope is the consumer ("journal", "spool"); op is one of
+// write, sync, read, rename; kind is one of enospc, eio, short, flip,
+// fail. A clause activates on the N-th hit of its (scope, op) pair
+// (default 1) and — unlike kill-points, which fire exactly once — stays
+// active from then on: a full disk does not heal between retries, and a
+// fault that healed under retry would make injected corruption
+// invisible. An optional -M bound deactivates it after the M-th hit,
+// for tests that model a fault clearing (space freed) without a
+// process restart.
+//
+// Production binaries pay one environment lookup per Storage call when
+// the variable is unset.
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"droidracer/internal/storage"
+)
+
+// EnvStorageFault is the environment variable that arms storage faults.
+const EnvStorageFault = "DROIDRACER_STORAGE_FAULT"
+
+// StorageFault is one armed disk-fault clause.
+type StorageFault struct {
+	// Scope and Op select the injection point: the consumer's FS scope
+	// ("journal", "spool") and the file operation (write, sync, read,
+	// rename).
+	Scope, Op string
+	// Kind is the failure injected: enospc, eio, short (half write),
+	// flip (one bit flipped on read), fail (generic EIO, for rename).
+	Kind string
+	// From is the 1-based hit of (Scope, Op) the fault activates on;
+	// Until, when non-zero, is the last hit it stays active for.
+	From, Until int
+}
+
+// ParseStorageFaults parses a DROIDRACER_STORAGE_FAULT spec. Malformed
+// clauses are ignored rather than fatal: a chaos harness with a typo'd
+// fault should look like no fault, the same way an unknown kill-point
+// name never fires.
+func ParseStorageFaults(spec string) []StorageFault {
+	var out []StorageFault
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		dot := strings.IndexByte(parts[0], '.')
+		if len(parts) < 2 || dot <= 0 || dot == len(parts[0])-1 {
+			continue
+		}
+		f := StorageFault{Scope: parts[0][:dot], Op: parts[0][dot+1:], Kind: parts[1], From: 1}
+		if len(parts) >= 3 {
+			rng := parts[2]
+			if i := strings.IndexByte(rng, '-'); i >= 0 {
+				if m, err := strconv.Atoi(rng[i+1:]); err == nil && m > 0 {
+					f.Until = m
+				}
+				rng = rng[:i]
+			}
+			if n, err := strconv.Atoi(rng); err == nil && n > 0 {
+				f.From = n
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Storage returns the file layer for the named scope: the real file
+// system, or a fault-injecting wrapper when EnvStorageFault arms a
+// fault for this scope.
+func Storage(scope string) storage.FS {
+	spec := os.Getenv(EnvStorageFault)
+	if spec == "" {
+		return storage.OS
+	}
+	var faults []StorageFault
+	for _, f := range ParseStorageFaults(spec) {
+		if f.Scope == scope {
+			faults = append(faults, f)
+		}
+	}
+	if len(faults) == 0 {
+		return storage.OS
+	}
+	return NewFaultFS(storage.OS, scope, faults)
+}
+
+// Hit counters are package-global, keyed by "<scope>.<op>", so the
+// N-th-hit arithmetic survives the short-lived FS handles consumers
+// build (one per Create call, say) — mirroring killHits.
+var (
+	storageMu   sync.Mutex
+	storageHits = map[string]int{}
+)
+
+// ResetStorageHits clears the hit counters (tests only).
+func ResetStorageHits() {
+	storageMu.Lock()
+	defer storageMu.Unlock()
+	storageHits = map[string]int{}
+}
+
+// FaultFS is a storage.FS that injects the armed faults of one scope
+// and passes everything else through to its base.
+type FaultFS struct {
+	base   storage.FS
+	scope  string
+	faults []StorageFault
+}
+
+// NewFaultFS wraps base with the given fault clauses (tests construct
+// it directly; production goes through Storage and the environment).
+func NewFaultFS(base storage.FS, scope string, faults []StorageFault) *FaultFS {
+	return &FaultFS{base: base, scope: scope, faults: faults}
+}
+
+// active consumes one hit of (scope, op) and reports the fault clause
+// in effect for it, if any.
+func (f *FaultFS) active(op string) (StorageFault, bool) {
+	var armed []StorageFault
+	for _, ft := range f.faults {
+		if ft.Op == op {
+			armed = append(armed, ft)
+		}
+	}
+	if len(armed) == 0 {
+		return StorageFault{}, false
+	}
+	key := f.scope + "." + op
+	storageMu.Lock()
+	storageHits[key]++
+	hit := storageHits[key]
+	storageMu.Unlock()
+	for _, ft := range armed {
+		if hit >= ft.From && (ft.Until == 0 || hit <= ft.Until) {
+			return ft, true
+		}
+	}
+	return StorageFault{}, false
+}
+
+// errFor materializes a fault clause as an error carrying the matching
+// errno, so storage.Kind classifies it exactly like the real failure.
+func errFor(ft StorageFault, op string) error {
+	errno := syscall.EIO
+	if ft.Kind == "enospc" {
+		errno = syscall.ENOSPC
+	}
+	return fmt.Errorf("faultinject: injected %s on %s.%s: %w", ft.Kind, ft.Scope, op, errno)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (storage.File, error) {
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	data, err := f.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if ft, ok := f.active("read"); ok {
+		switch ft.Kind {
+		case "flip":
+			if len(data) > 0 {
+				data[len(data)/2] ^= 0x01
+			}
+		default:
+			return nil, errFor(ft, "read")
+		}
+	}
+	return data, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if ft, ok := f.active("rename"); ok {
+		return errFor(ft, "rename")
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.base.Remove(name) }
+
+// faultFile injects write/sync/read faults on one open file.
+type faultFile struct {
+	storage.File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if ft, ok := f.fs.active("write"); ok {
+		if ft.Kind == "short" {
+			// Half the bytes land, then the device gives up — the torn
+			// state a real short write leaves behind.
+			n, _ := f.File.Write(p[:len(p)/2])
+			return n, fmt.Errorf("faultinject: injected short write on %s.write (%d of %d bytes): %w",
+				ft.Scope, n, len(p), io.ErrShortWrite)
+		}
+		return 0, errFor(ft, "write")
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if ft, ok := f.fs.active("sync"); ok {
+		return errFor(ft, "sync")
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	n, err := f.File.Read(p)
+	if n > 0 {
+		if ft, ok := f.fs.active("read"); ok {
+			switch ft.Kind {
+			case "flip":
+				p[n/2] ^= 0x01
+			default:
+				return 0, errFor(ft, "read")
+			}
+		}
+	}
+	return n, err
+}

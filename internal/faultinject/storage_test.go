@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"droidracer/internal/storage"
+)
+
+func TestParseStorageFaults(t *testing.T) {
+	got := ParseStorageFaults("journal.sync:enospc:2, spool.read:flip ,bogus,x:y,spool.write:short:3-5")
+	want := []StorageFault{
+		{Scope: "journal", Op: "sync", Kind: "enospc", From: 2},
+		{Scope: "spool", Op: "read", Kind: "flip", From: 1},
+		{Scope: "spool", Op: "write", Kind: "short", From: 3, Until: 5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestStorageUnarmedIsPassthrough(t *testing.T) {
+	t.Setenv(EnvStorageFault, "")
+	if Storage("journal") != storage.OS {
+		t.Fatal("unarmed scope did not return the OS layer")
+	}
+	t.Setenv(EnvStorageFault, "spool.read:flip")
+	if Storage("journal") != storage.OS {
+		t.Fatal("fault for another scope leaked")
+	}
+	if Storage("spool") == storage.OS {
+		t.Fatal("armed scope returned the OS layer")
+	}
+}
+
+func TestFaultFSSyncENOSPCFromNthHit(t *testing.T) {
+	ResetStorageHits()
+	fsys := NewFaultFS(storage.OS, "journal", []StorageFault{
+		{Scope: "journal", Op: "sync", Kind: "enospc", From: 2},
+	})
+	f, err := fsys.OpenFile(filepath.Join(t.TempDir(), "j"), os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("hit 1 should pass: %v", err)
+	}
+	// From hit 2 the fault is persistent: a full disk does not heal
+	// between retries.
+	for hit := 2; hit <= 4; hit++ {
+		err := f.Sync()
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("hit %d: want ENOSPC, got %v", hit, err)
+		}
+		if storage.Kind(err) != "enospc" {
+			t.Fatalf("hit %d misclassified: %v", hit, err)
+		}
+	}
+}
+
+func TestFaultFSBoundedWindowHeals(t *testing.T) {
+	ResetStorageHits()
+	fsys := NewFaultFS(storage.OS, "spool", []StorageFault{
+		{Scope: "spool", Op: "sync", Kind: "enospc", From: 1, Until: 2},
+	})
+	f, err := fsys.OpenFile(filepath.Join(t.TempDir(), "s"), os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for hit := 1; hit <= 2; hit++ {
+		if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("hit %d: want ENOSPC, got %v", hit, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fault should have cleared after its window: %v", err)
+	}
+}
+
+func TestFaultFSBitFlipOnReadFile(t *testing.T) {
+	ResetStorageHits()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	body := []byte("begin(t1)\nend(t1)\n")
+	if err := os.WriteFile(path, body, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewFaultFS(storage.OS, "spool", []StorageFault{
+		{Scope: "spool", Op: "read", Kind: "flip", From: 2},
+	})
+	clean, err := fsys.ReadFile(path)
+	if err != nil || string(clean) != string(body) {
+		t.Fatalf("hit 1 should read clean: %q, %v", clean, err)
+	}
+	flipped, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(flipped) == string(body) {
+		t.Fatal("hit 2 read back unflipped bytes")
+	}
+	if storage.VerifyBody(storage.Key(body)+".trace", flipped) == nil {
+		t.Fatal("flip not caught by content verification")
+	}
+	// The on-disk file is untouched: the flip models a read-path fault,
+	// not a write.
+	disk, _ := os.ReadFile(path)
+	if string(disk) != string(body) {
+		t.Fatal("flip leaked to disk")
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	ResetStorageHits()
+	fsys := NewFaultFS(storage.OS, "journal", []StorageFault{
+		{Scope: "journal", Op: "write", Kind: "short", From: 1, Until: 1},
+	})
+	path := filepath.Join(t.TempDir(), "j")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, io.ErrShortWrite) || n != 5 {
+		t.Fatalf("want short write of 5, got n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk, _ := os.ReadFile(path)
+	if string(disk) != "01234" {
+		t.Fatalf("disk has %q, want the torn half", disk)
+	}
+}
+
+func TestFaultFSFailedRename(t *testing.T) {
+	ResetStorageHits()
+	dir := t.TempDir()
+	src := filepath.Join(dir, ".x.tmp")
+	if err := os.WriteFile(src, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewFaultFS(storage.OS, "spool", []StorageFault{
+		{Scope: "spool", Op: "rename", Kind: "fail", From: 1},
+	})
+	if err := fsys.Rename(src, filepath.Join(dir, "x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want injected EIO, got %v", err)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatal("failed rename moved the file anyway")
+	}
+}

@@ -1,0 +1,352 @@
+// Package fsck is the offline storage-integrity scanner behind
+// `racedet -fsck`: it walks a daemon state directory (journal,
+// quarantine) and optionally its spool, verifies every integrity
+// commitment the persistence stack makes — journal record checksums and
+// sequence continuity, content-key digests of spool and quarantine
+// bodies, no stale staging litter — and produces a repair plan. With
+// repair enabled it executes the plan: the torn journal tail is
+// truncated, a corrupt record and its untrusted suffix are moved into a
+// quarantine sidecar before truncation, corrupt bodies move out of the
+// sweep's reach, stale temp files are removed.
+//
+// Unlike journal recovery, which stops at the first problem (a daemon
+// must not trust anything past it), the scanner keeps going: an
+// operator deciding whether to repair wants the full extent of the
+// damage, not its first symptom.
+//
+// Repair is deliberately conservative about work, not about bytes:
+// truncating a corrupt journal suffix forgets completions, but the
+// spool still holds those inputs and the restart sweep re-analyzes them
+// idempotently (same content, same digest) — whereas trusting a rotted
+// record could replay a wrong result forever.
+package fsck
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"droidracer/internal/journal"
+	"droidracer/internal/storage"
+)
+
+// Finding kinds.
+const (
+	KindJournalTorn      = "journal-torn-tail"
+	KindJournalCorrupt   = "journal-corrupt"
+	KindSpoolCorrupt     = "spool-corrupt"
+	KindQuarantineRotted = "quarantine-corrupt"
+	KindStaleTmp         = "stale-tmp"
+)
+
+// Finding is one integrity violation with its planned repair.
+type Finding struct {
+	Kind   string
+	Path   string
+	Detail string
+	// Repair describes the planned (or, after a repair run, executed)
+	// fix.
+	Repair string
+	// Repaired reports whether the fix was executed.
+	Repaired bool
+}
+
+// Report is the outcome of one scan.
+type Report struct {
+	Findings []Finding
+	// JournalEntries counts valid records across scanned journals;
+	// JournalV1 of them carry no checksum (pre-v2) and verify by
+	// sequence only.
+	JournalEntries int
+	JournalV1      int
+	// SpoolChecked / SpoolSkipped count content-verified spool bodies
+	// and files whose names commit to no key (unverifiable, left alone).
+	SpoolChecked      int
+	SpoolSkipped      int
+	QuarantineChecked int
+}
+
+// Clean reports whether the scan found nothing wrong.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Repaired reports whether every finding's repair was executed.
+func (r *Report) Repaired() bool {
+	for _, f := range r.Findings {
+		if !f.Repaired {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures a scan.
+type Options struct {
+	// State is the daemon state directory: its *.journal files and
+	// quarantine/ subdirectory are scanned.
+	State string
+	// Spool, when set, is the spool directory to digest-verify.
+	Spool string
+	// Repair executes the repair plan instead of only printing it.
+	Repair bool
+	// Log receives the human-readable plan and actions (nil = discard).
+	Log io.Writer
+}
+
+// Run scans per opts and returns the report. An error means the scan
+// itself could not proceed (unreadable directory), not that damage was
+// found — damage is findings.
+func Run(opts Options) (*Report, error) {
+	log := opts.Log
+	if log == nil {
+		log = io.Discard
+	}
+	rep := &Report{}
+	ents, err := os.ReadDir(opts.State)
+	if err != nil {
+		return nil, fmt.Errorf("fsck: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".journal") {
+			continue
+		}
+		if err := scanJournal(filepath.Join(opts.State, e.Name()), opts, rep, log); err != nil {
+			return nil, err
+		}
+	}
+	qdir := filepath.Join(opts.State, "quarantine")
+	if err := scanBodies(qdir, true, opts, rep, log); err != nil {
+		return nil, err
+	}
+	if opts.Spool != "" {
+		if err := scanBodies(opts.Spool, false, opts, rep, log); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// scanJournal verifies one journal file: decodability, sequence
+// continuity, and per-record checksums, scanning past the first damage
+// to report the full extent. Repair truncates at the first bad offset;
+// a corrupt (non-tail) suffix is preserved in a ".corrupt@<offset>"
+// sidecar first, because unlike a torn tail it once held acknowledged
+// records an operator may want to examine.
+func scanJournal(path string, opts Options, rep *Report, log io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	defer f.Close()
+	var (
+		offset   int64
+		wantSeq  = 1
+		firstBad = int64(-1)
+		tornOnly = false
+		details  []string
+	)
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, rerr := r.ReadString('\n')
+		if rerr == io.EOF {
+			if len(line) > 0 && firstBad < 0 {
+				firstBad = offset
+				tornOnly = true
+				details = append(details, fmt.Sprintf("unterminated torn tail (%d bytes) at offset %d", len(line), offset))
+			}
+			break
+		}
+		if rerr != nil {
+			return fmt.Errorf("fsck: %s: %w", path, rerr)
+		}
+		var e journal.Entry
+		uerr := json.Unmarshal([]byte(line), &e)
+		switch {
+		case uerr != nil:
+			if firstBad < 0 {
+				firstBad = offset
+				details = append(details, fmt.Sprintf("undecodable record at offset %d", offset))
+			}
+		case firstBad < 0 && e.Seq != wantSeq:
+			firstBad = offset
+			details = append(details, fmt.Sprintf("out-of-sequence record at offset %d (want seq %d, got %d)", offset, wantSeq, e.Seq))
+		case !e.ChecksumOK():
+			if firstBad < 0 {
+				firstBad = offset
+			}
+			details = append(details, fmt.Sprintf("checksum mismatch at offset %d (seq %d: recorded %s, computed %s)",
+				offset, e.Seq, e.CRC, e.Checksum()))
+		default:
+			if firstBad < 0 {
+				rep.JournalEntries++
+				if e.CRC == "" {
+					rep.JournalV1++
+				}
+				wantSeq++
+			}
+		}
+		offset += int64(len(line))
+	}
+	if firstBad < 0 {
+		fmt.Fprintf(log, "fsck: %s: %d record(s) ok (%d unchecksummed v1)\n", path, rep.JournalEntries, rep.JournalV1)
+		return nil
+	}
+	// An undecodable or unterminated final line is the ordinary torn
+	// tail; anything else is corruption.
+	kind := KindJournalCorrupt
+	if tornOnly {
+		kind = KindJournalTorn
+	}
+	fnd := Finding{
+		Kind:   kind,
+		Path:   path,
+		Detail: strings.Join(details, "; "),
+	}
+	if kind == KindJournalTorn {
+		fnd.Repair = fmt.Sprintf("truncate to %d bytes", firstBad)
+	} else {
+		fnd.Repair = fmt.Sprintf("preserve bytes %d.. in %s.corrupt@%d, then truncate to %d bytes "+
+			"(forgotten completions re-analyze idempotently from the spool)",
+			firstBad, filepath.Base(path), firstBad, firstBad)
+	}
+	if opts.Repair {
+		if err := repairJournal(path, firstBad, kind); err != nil {
+			return fmt.Errorf("fsck: repairing %s: %w", path, err)
+		}
+		fnd.Repaired = true
+		fmt.Fprintf(log, "fsck: %s: repaired: %s\n", path, fnd.Repair)
+	} else {
+		fmt.Fprintf(log, "fsck: %s: %s\n  plan: %s\n", path, fnd.Detail, fnd.Repair)
+	}
+	rep.Findings = append(rep.Findings, fnd)
+	return nil
+}
+
+// repairJournal executes the journal repair: sidecar the untrusted
+// suffix (corruption only — a torn tail carries nothing acknowledged),
+// truncate, fsync file and directory.
+func repairJournal(path string, cut int64, kind string) error {
+	if kind == KindJournalCorrupt {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sidecar := fmt.Sprintf("%s.corrupt@%d", path, cut)
+		if err := os.WriteFile(sidecar, data[cut:], 0o666); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(cut); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return journal.SyncDir(filepath.Dir(path))
+}
+
+// scanBodies digest-verifies the content-named files of a spool or
+// quarantine directory. In a spool, corrupt bodies and stale staging
+// dotfiles are repairable (moved aside / removed) so a restarted daemon
+// sweeps only verifiable work; in the quarantine, corrupt bodies are
+// renamed inert — they are already dead letters, the rename only stops
+// them masquerading as faithful evidence of the original poison input.
+func scanBodies(dir string, isQuarantine bool, opts Options, rep *Report, log io.Writer) error {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		if strings.HasPrefix(name, ".") {
+			if !strings.HasSuffix(name, ".tmp") {
+				continue
+			}
+			// Pre-rename staging litter from a crash mid-accept: the
+			// body was never acknowledged (the rename is what makes it
+			// real), so removal loses nothing.
+			fnd := Finding{Kind: KindStaleTmp, Path: path,
+				Detail: "staging temp file left by an interrupted durable write",
+				Repair: "remove"}
+			if opts.Repair {
+				if err := os.Remove(path); err != nil {
+					return fmt.Errorf("fsck: %w", err)
+				}
+				fnd.Repaired = true
+				fmt.Fprintf(log, "fsck: %s: removed stale temp file\n", path)
+			} else {
+				fmt.Fprintf(log, "fsck: %s: stale temp file\n  plan: remove\n", path)
+			}
+			rep.Findings = append(rep.Findings, fnd)
+			continue
+		}
+		if strings.Contains(name, ".corrupt") {
+			// Already marked inert by an earlier repair.
+			continue
+		}
+		if _, keyed := storage.ContentKey(name); !keyed {
+			rep.SpoolSkipped++
+			continue
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		verr := storage.VerifyBody(name, body)
+		if isQuarantine {
+			rep.QuarantineChecked++
+		} else {
+			rep.SpoolChecked++
+		}
+		if verr == nil {
+			continue
+		}
+		fnd := Finding{Path: path, Detail: verr.Error()}
+		var dst string
+		if isQuarantine {
+			fnd.Kind = KindQuarantineRotted
+			dst = path + ".corrupt"
+			fnd.Repair = fmt.Sprintf("rename to %s (inert)", filepath.Base(dst))
+		} else {
+			fnd.Kind = KindSpoolCorrupt
+			qdir := filepath.Join(opts.State, "quarantine")
+			dst = filepath.Join(qdir, name+".corrupt")
+			fnd.Repair = fmt.Sprintf("move to %s", dst)
+		}
+		if opts.Repair {
+			if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
+				return fmt.Errorf("fsck: %w", err)
+			}
+			if err := os.Rename(path, dst); err != nil {
+				return fmt.Errorf("fsck: %w", err)
+			}
+			if err := journal.SyncDir(filepath.Dir(dst)); err != nil {
+				return err
+			}
+			if err := journal.SyncDir(dir); err != nil {
+				return err
+			}
+			fnd.Repaired = true
+			fmt.Fprintf(log, "fsck: %s: %s: moved aside\n", path, fnd.Kind)
+		} else {
+			fmt.Fprintf(log, "fsck: %s: %s\n  plan: %s\n", path, fnd.Detail, fnd.Repair)
+		}
+		rep.Findings = append(rep.Findings, fnd)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package fsck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"droidracer/internal/journal"
+	"droidracer/internal/storage"
+)
+
+type payload struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+// writeJournal creates a valid checksummed journal with n records at
+// <state>/daemon.journal and returns its path.
+func writeJournal(t *testing.T, state string, n int) string {
+	t.Helper()
+	path := filepath.Join(state, "daemon.journal")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := w.AppendSeq("job", payload{Key: "k", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func findings(rep *Report, kind string) []Finding {
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestFsckCleanStateDir(t *testing.T) {
+	state := t.TempDir()
+	writeJournal(t, state, 3)
+	spool := t.TempDir()
+	body := []byte("post(t0,LAUNCH_ACTIVITY,t1)\n")
+	if err := os.WriteFile(filepath.Join(spool, storage.Key(body)+".trace"), body, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{State: state, Spool: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean directories produced findings: %+v", rep.Findings)
+	}
+	if rep.JournalEntries != 3 || rep.SpoolChecked != 1 {
+		t.Fatalf("counts: %d entries, %d spool checked; want 3, 1", rep.JournalEntries, rep.SpoolChecked)
+	}
+}
+
+// TestFsckDetectsAndRepairsCorruptJournal: a bit-flipped middle record
+// is reported with its offset, and -repair sidecars the untrusted
+// suffix and truncates so journal recovery succeeds afterwards.
+func TestFsckDetectsAndRepairsCorruptJournal(t *testing.T) {
+	state := t.TempDir()
+	path := writeJournal(t, state, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := strings.Replace(string(raw), `"n":2`, `"n":7`, 1)
+	if rotted == string(raw) {
+		t.Fatal("corruption did not apply")
+	}
+	if err := os.WriteFile(path, []byte(rotted), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(Options{State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := findings(rep, KindJournalCorrupt)
+	if len(fs) != 1 {
+		t.Fatalf("findings: %+v, want one %s", rep.Findings, KindJournalCorrupt)
+	}
+	if !strings.Contains(fs[0].Detail, "checksum mismatch") {
+		t.Fatalf("detail %q does not name the checksum mismatch", fs[0].Detail)
+	}
+	if rep.JournalEntries != 1 {
+		t.Fatalf("trusted prefix %d records, want 1", rep.JournalEntries)
+	}
+
+	rep, err = Run(Options{State: state, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired() {
+		t.Fatalf("repair left findings standing: %+v", rep.Findings)
+	}
+	// The suffix is preserved in a sidecar, and recovery now trusts the
+	// truncated journal.
+	sidecars, _ := filepath.Glob(path + ".corrupt@*")
+	if len(sidecars) != 1 {
+		t.Fatalf("sidecars %v, want exactly one", sidecars)
+	}
+	entries, stats, err := journal.RecoverStats(path)
+	if err != nil {
+		t.Fatalf("recovery after repair: %v", err)
+	}
+	if len(entries) != 1 || stats.Corrupt != 0 {
+		t.Fatalf("recovered %d entries, %d corrupt; want 1, 0", len(entries), stats.Corrupt)
+	}
+	// A second scan is clean: repair converged.
+	rep, err = Run(Options{State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("post-repair scan not clean: %+v", rep.Findings)
+	}
+}
+
+// TestFsckRepairsTornTail: an unterminated final line is the ordinary
+// crash artifact — truncated without a sidecar.
+func TestFsckRepairsTornTail(t *testing.T) {
+	state := t.TempDir()
+	path := writeJournal(t, state, 2)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"type":"job","da`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{State: state, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings(rep, KindJournalTorn)) != 1 || !rep.Repaired() {
+		t.Fatalf("findings: %+v, want one repaired torn tail", rep.Findings)
+	}
+	if sidecars, _ := filepath.Glob(path + ".corrupt@*"); len(sidecars) != 0 {
+		t.Fatalf("torn tail produced sidecars %v; tears carry nothing acknowledged", sidecars)
+	}
+	entries, _, err := journal.RecoverStats(path)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("recovery after repair: %d entries, %v; want 2, nil", len(entries), err)
+	}
+}
+
+// TestFsckSpoolAndQuarantineBodies: a corrupt spool body moves to the
+// quarantine with a .corrupt suffix, a corrupt quarantine body is
+// renamed inert, stale staging tmps are removed, and unkeyed names are
+// skipped untouched.
+func TestFsckSpoolAndQuarantineBodies(t *testing.T) {
+	state := t.TempDir()
+	writeJournal(t, state, 1)
+	spool := t.TempDir()
+	qdir := filepath.Join(state, "quarantine")
+	if err := os.MkdirAll(qdir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	good := []byte("post(t0,LAUNCH_ACTIVITY,t1)\n")
+	bad := []byte("read(t9,f1)\n")
+	for name, body := range map[string][]byte{
+		storage.Key(good) + ".trace": good, // intact keyed body
+		"music.trace":                bad,  // unkeyed: skipped
+		".1234.trace.98765.tmp":      bad,  // stale staging litter
+	} {
+		if err := os.WriteFile(filepath.Join(spool, name), body, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A spool body whose content no longer matches its name, and a
+	// quarantined body rotted after the fact.
+	corruptName := storage.Key(bad) + ".trace"
+	if err := os.WriteFile(filepath.Join(spool, corruptName), []byte("read(t9,f2)\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	qName := storage.Key([]byte("fork(t1,t2)\n")) + ".trace"
+	if err := os.WriteFile(filepath.Join(qdir, qName), []byte("fork(t1,t3)\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(Options{State: state, Spool: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(findings(rep, KindSpoolCorrupt)); n != 1 {
+		t.Fatalf("%d spool-corrupt findings, want 1 (%+v)", n, rep.Findings)
+	}
+	if n := len(findings(rep, KindQuarantineRotted)); n != 1 {
+		t.Fatalf("%d quarantine-corrupt findings, want 1", n)
+	}
+	if n := len(findings(rep, KindStaleTmp)); n != 1 {
+		t.Fatalf("%d stale-tmp findings, want 1", n)
+	}
+	if rep.SpoolSkipped != 1 {
+		t.Fatalf("skipped %d unkeyed files, want 1", rep.SpoolSkipped)
+	}
+
+	rep, err = Run(Options{State: state, Spool: spool, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired() {
+		t.Fatalf("repair left findings standing: %+v", rep.Findings)
+	}
+	if _, err := os.Stat(filepath.Join(qdir, corruptName+".corrupt")); err != nil {
+		t.Fatalf("corrupt spool body not moved to quarantine: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(qdir, qName+".corrupt")); err != nil {
+		t.Fatalf("rotted quarantine body not renamed inert: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(spool, ".1234.trace.98765.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp not removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(spool, "music.trace")); err != nil {
+		t.Fatalf("unkeyed file must be left alone: %v", err)
+	}
+
+	rep, err = Run(Options{State: state, Spool: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("post-repair scan not clean: %+v", rep.Findings)
+	}
+}
+
+// TestFsckReportsAllDamage: unlike recovery, the scanner keeps going
+// past the first corrupt record and reports every checksum mismatch.
+func TestFsckReportsAllDamage(t *testing.T) {
+	state := t.TempDir()
+	path := writeJournal(t, state, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := strings.Replace(string(raw), `"n":2`, `"n":6`, 1)
+	rotted = strings.Replace(rotted, `"n":4`, `"n":8`, 1)
+	if err := os.WriteFile(path, []byte(rotted), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := findings(rep, KindJournalCorrupt)
+	if len(fs) != 1 {
+		t.Fatalf("findings: %+v", rep.Findings)
+	}
+	if got := strings.Count(fs[0].Detail, "checksum mismatch"); got != 2 {
+		t.Fatalf("detail reports %d mismatches, want both: %q", got, fs[0].Detail)
+	}
+}

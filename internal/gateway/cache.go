@@ -69,6 +69,19 @@ func (c *resultCache) add(key string, resp server.SubmitResponse) {
 	cacheEntriesGauge.Set(int64(c.order.Len()))
 }
 
+// remove evicts key, if cached. The digest cross-check uses it when two
+// backends answer the same key with contradictory digests: neither side
+// may keep serving from the cache.
+func (c *resultCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		cacheEntriesGauge.Set(int64(c.order.Len()))
+	}
+}
+
 // len reports the current entry count.
 func (c *resultCache) len() int {
 	c.mu.Lock()

@@ -96,6 +96,7 @@ func TestGatewayBackendProcess(t *testing.T) {
 		Burst:       10000,
 		MaxInflight: 256,
 		SweepGrace:  grace,
+		StorageErr:  w.Err, // mirror racedetd: a poisoned journal refuses work
 		Completed:   jobs.CompletedRecords(entries),
 		Quarantined: jobs.QuarantinedJobs(entries),
 	})
@@ -165,12 +166,15 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-// backendCmd re-execs the test binary as a backend over dir.
-func backendCmd(t *testing.T, dir, grace string, arm bool) (*exec.Cmd, *bytes.Buffer) {
+// backendCmd re-execs the test binary as a backend over dir. Extra
+// environment entries (e.g. a DROIDRACER_STORAGE_FAULT spec) apply to
+// this backend only — the parent's chaos variables are stripped.
+func backendCmd(t *testing.T, dir, grace string, arm bool, extraEnv ...string) (*exec.Cmd, *bytes.Buffer) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestGatewayBackendProcess$", "-test.v")
 	for _, kv := range os.Environ() {
 		if strings.HasPrefix(kv, faultinject.EnvKillpoint+"=") ||
+			strings.HasPrefix(kv, faultinject.EnvStorageFault+"=") ||
 			strings.HasPrefix(kv, backendHelperEnv+"=") ||
 			strings.HasPrefix(kv, backendGraceEnv+"=") {
 			continue
@@ -178,6 +182,7 @@ func backendCmd(t *testing.T, dir, grace string, arm bool) (*exec.Cmd, *bytes.Bu
 		cmd.Env = append(cmd.Env, kv)
 	}
 	cmd.Env = append(cmd.Env, backendHelperEnv+"="+dir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	if grace != "" {
 		cmd.Env = append(cmd.Env, backendGraceEnv+"="+grace)
 	}

@@ -1,0 +1,64 @@
+package gateway
+
+import (
+	"net/http"
+	"testing"
+
+	"droidracer/internal/server"
+)
+
+// TestCacheFillRejectsMalformedDigest: a done answer whose digest is
+// not a well-formed jobs.ResultDigest is relayed to its client but must
+// never take a cache slot — the cache serves duplicates forever, and an
+// unverifiable entry is unfalsifiable forever.
+func TestCacheFillRejectsMalformedDigest(t *testing.T) {
+	b := newFakeBackend(t)
+	b.onSubmit = func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, &server.SubmitResponse{
+			Job: r.Header.Get("Idempotency-Key"), Status: server.StatusDone,
+			Mode: "full", Races: 1, Digest: "not-a-digest",
+		})
+	}
+	g := newTestGateway(t, Config{}, b)
+	body := "post(t0,LAUNCH_ACTIVITY,t1)\n"
+	resp, code := postBody(t, g, body)
+	if code != http.StatusOK || resp.Status != server.StatusDone {
+		t.Fatalf("relay of unverifiable answer: %d %s, want 200 done", code, resp.Status)
+	}
+	if g.cache.len() != 0 {
+		t.Fatal("malformed digest admitted to the cache")
+	}
+	// The duplicate goes back to the backend instead of replaying a
+	// fact the gateway could not verify the shape of.
+	before := b.submits.Load()
+	if resp, _ := postBody(t, g, body); resp.Cached {
+		t.Fatal("duplicate served from a cache that should be empty")
+	}
+	if b.submits.Load() != before+1 {
+		t.Fatal("duplicate did not re-consult the backend")
+	}
+}
+
+// TestCacheFillEvictsOnDigestMismatch: two backends answering one
+// content key with different digests is fleet-level corruption — the
+// cache must stop serving either side rather than pick one.
+func TestCacheFillEvictsOnDigestMismatch(t *testing.T) {
+	g := newTestGateway(t, Config{}, newFakeBackend(t))
+	key := "00000000000000aa"
+	first := server.SubmitResponse{Job: key, Status: server.StatusDone, Mode: "full", Digest: "1111111111111111"}
+	g.cacheFill(key, "b1", first)
+	if g.cache.len() != 1 {
+		t.Fatal("well-formed digest refused a cache slot")
+	}
+	conflicting := first
+	conflicting.Digest = "2222222222222222"
+	g.cacheFill(key, "b2", conflicting)
+	if g.cache.len() != 0 {
+		t.Fatal("contradictory digests left a cache entry standing")
+	}
+	// Re-agreement is allowed to refill.
+	g.cacheFill(key, "b1", first)
+	if got, ok := g.cache.get(key); !ok || got.Digest != first.Digest {
+		t.Fatal("cache did not refill after eviction")
+	}
+}

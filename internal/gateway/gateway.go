@@ -426,12 +426,55 @@ func (g *Gateway) finishForward(w http.ResponseWriter, key, target string,
 	g.ledgerRemove(target, key)
 	switch resp.Status {
 	case server.StatusDone, server.StatusQuarantined:
-		g.cache.add(key, *resp)
+		g.cacheFill(key, target, *resp)
 		g.clearPending(key)
 	default:
 		g.setPending(key, target)
 	}
 	respond(w, statusCode(resp), resp)
+}
+
+// cacheFill admits a terminal answer into the result cache after an
+// integrity cross-check on the backend's digest field. The cache serves
+// duplicates for the lifetime of the gateway, so a wrong entry is wrong
+// forever: a done answer without a well-formed result digest
+// (jobs.ResultDigest, 16 hex chars) is relayed to its client but never
+// cached, and a done answer whose digest contradicts an already-cached
+// one for the same content key evicts the cached entry instead of
+// silently keeping either side — one of the two backends served rotted
+// state, and the next poll re-derives the answer from a backend rather
+// than from the cache.
+func (g *Gateway) cacheFill(key, target string, resp server.SubmitResponse) {
+	if resp.Status == server.StatusDone && !wellFormedDigest(resp.Digest) {
+		digestRejectsTotal.Inc()
+		g.cfg.Events.Warn("gateway.digest-reject", "job", key, "backend", target, "digest", resp.Digest)
+		return
+	}
+	if prev, ok := g.cache.get(key); ok &&
+		prev.Status == server.StatusDone && resp.Status == server.StatusDone &&
+		prev.Digest != resp.Digest {
+		digestMismatchTotal.Inc()
+		g.cfg.Events.Error("gateway.digest-mismatch", "job", key, "backend", target,
+			"cached", prev.Digest, "got", resp.Digest)
+		g.cache.remove(key)
+		return
+	}
+	g.cache.add(key, resp)
+}
+
+// wellFormedDigest reports whether d looks like a jobs.ResultDigest:
+// exactly 16 lowercase hex characters.
+func wellFormedDigest(d string) bool {
+	if len(d) != 16 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // forwardFailed records a failed forward: the in-doubt ledger entry, the
@@ -485,7 +528,7 @@ func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if resp.Status == server.StatusDone || resp.Status == server.StatusQuarantined {
-			g.cache.add(id, *resp)
+			g.cacheFill(id, target, *resp)
 			g.clearPending(id)
 		}
 		respond(w, http.StatusOK, resp)

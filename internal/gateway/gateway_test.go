@@ -138,7 +138,7 @@ func TestGatewayCacheServesTerminalReplays(t *testing.T) {
 	b.onSubmit = func(w http.ResponseWriter, r *http.Request) {
 		key := r.Header.Get("Idempotency-Key")
 		writeJSON(w, http.StatusOK, &server.SubmitResponse{
-			Job: key, Status: server.StatusDone, Mode: "full", Races: 3, Digest: "abc",
+			Job: key, Status: server.StatusDone, Mode: "full", Races: 3, Digest: "00000000000000ab",
 		})
 	}
 	g := newTestGateway(t, Config{}, b)
@@ -289,7 +289,7 @@ func TestGatewayStatusWarmsCache(t *testing.T) {
 	// fills the cache on the way through.
 	doneHandler := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, &server.SubmitResponse{
-			Job: r.PathValue("id"), Status: server.StatusDone, Mode: "full", Races: 2, Digest: "xyz",
+			Job: r.PathValue("id"), Status: server.StatusDone, Mode: "full", Races: 2, Digest: "00000000000000cd",
 		})
 	}
 	b.onStatus.Store(&doneHandler)

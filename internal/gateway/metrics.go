@@ -24,6 +24,14 @@ var (
 		"Submissions refused because every backend was down or ejected.")
 	ledgerDroppedTotal = obs.Default().Counter("droidracer_gateway_ledger_dropped_total",
 		"In-doubt keys dropped from the bounded reconcile ledger under overflow.")
+	// Digest cross-check guards on cache fills: a done answer without a
+	// well-formed result digest is served but never cached; conflicting
+	// digests for one content key evict the cache entry. Either counter
+	// moving means a backend served state that fails integrity checks.
+	digestRejectsTotal = obs.Default().Counter("droidracer_gateway_digest_rejects_total",
+		"Terminal answers refused a cache slot for lacking a well-formed result digest.")
+	digestMismatchTotal = obs.Default().Counter("droidracer_gateway_digest_mismatch_total",
+		"Cache evictions from backends answering one content key with contradictory digests.")
 )
 
 func init() {

@@ -17,6 +17,8 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -25,6 +27,7 @@ import (
 	"droidracer/internal/faultinject"
 	"droidracer/internal/journal"
 	"droidracer/internal/report"
+	"droidracer/internal/storage"
 	"droidracer/internal/trace"
 )
 
@@ -275,11 +278,20 @@ func (p *Pool) worker() {
 func (p *Pool) quarantine(job Job, out *report.Outcome) {
 	out.JobState = report.JobQuarantined
 	if p.cfg.Journal != nil {
-		p.cfg.Journal.Append(quarantineEntryType, QuarantineEntry{
+		jerr := p.cfg.Journal.Append(quarantineEntryType, QuarantineEntry{
 			Name:   out.Name,
 			Reason: out.Err.Error(),
 		})
-		p.cfg.Journal.Sync()
+		if jerr == nil {
+			jerr = p.cfg.Journal.Sync()
+		}
+		if jerr != nil && p.cfg.Events != nil {
+			// The dead-letter entry is not durable: a restart may
+			// re-ingest this poison input once more. Surface it — the
+			// poisoned writer also flips the daemon unready, so the
+			// re-ingestion loop cannot run unobserved.
+			p.cfg.Events.Error("job.quarantine-journal-failed", "job", out.Name, "err", jerr.Error())
+		}
 	}
 	if err := p.cfg.Quarantine.Absorb(job.Path); err != nil && p.cfg.Events != nil {
 		p.cfg.Events.Warn("job.quarantine-move-failed", "job", out.Name, "err", err.Error())
@@ -317,8 +329,22 @@ func (p *Pool) finish(out report.Outcome) {
 			je.Races = len(out.Result.Races)
 			je.Digest = ResultDigest(out.Result)
 		}
-		seq, _ = p.cfg.Journal.AppendSeq("job", je)
-		p.cfg.Journal.Sync()
+		var jerr error
+		seq, jerr = p.cfg.Journal.AppendSeq("job", je)
+		if jerr == nil {
+			jerr = p.cfg.Journal.Sync()
+		}
+		if jerr != nil {
+			// The outcome is correct but not durably recorded: a restart
+			// will re-analyze this input (idempotent — same digest). The
+			// error must not vanish: the writer is now poisoned and the
+			// server's storage check turns submissions away, but the job
+			// that crossed the failure is logged here.
+			seq = 0
+			if p.cfg.Events != nil {
+				p.cfg.Events.Error("job.journal-failed", "job", out.Name, "err", jerr.Error())
+			}
+		}
 	}
 	if p.cfg.Events != nil {
 		attrs := []any{"job", out.Name, "mode", OutcomeMode(out), "attempts", out.Attempts}
@@ -555,18 +581,50 @@ func (p *Pool) BreakerOpen(key string) (error, bool) {
 	return p.brk.OpenFor(key)
 }
 
+// parseSpoolFile reads and parses the spool file at path through the
+// spool's storage layer (so chaos tests can inject read faults), with
+// read-back verification for content-named files: a <key>.trace name
+// commits to the sha256-derived key of the bytes it was written with,
+// and a mismatch returns a *storage.CorruptError instead of a parsed
+// trace — analyzing rotted bytes would produce a confidently wrong
+// result under the original body's idempotency key. Verified files are
+// read whole, which is bounded by the ingestion body cap that produced
+// them; foreign names (no content key) still stream.
+func parseSpoolFile(path string) (*trace.Trace, error) {
+	fsys := faultinject.Storage("spool")
+	base := filepath.Base(path)
+	if _, keyed := storage.ContentKey(base); !keyed {
+		f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+		if err != nil {
+			return nil, storage.CountError("spool.read", err)
+		}
+		defer f.Close()
+		return trace.Parse(f)
+	}
+	body, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, storage.CountError("spool.read", err)
+	}
+	if err := storage.VerifyBody(base, body); err != nil {
+		return nil, storage.CountError("spool.read", err)
+	}
+	return trace.ParseBytes(body)
+}
+
 // TraceJob builds the supervised job that analyzes the trace file at
 // path: the full pipeline under the pool budget, with the pure-MT
-// baseline as the breaker fallback. The file is re-parsed per attempt —
-// streaming, so a multi-gigabyte spool file never lives in memory whole
-// — and the parse itself is inside the supervised boundary.
+// baseline as the breaker fallback. The file is re-read and re-verified
+// per attempt (see parseSpoolFile) — a corrupt read fails the attempt
+// with a deterministic error, which exhausts retries and dead-letters
+// the file through the quarantine with its `corrupt` reason — and the
+// parse itself is inside the supervised boundary.
 func TraceJob(name, path string, opts core.Options) Job {
 	return Job{
 		Name: name,
 		Key:  path,
 		Path: path,
 		Run: func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
-			tr, err := trace.ParseFile(path)
+			tr, err := parseSpoolFile(path)
 			if err != nil {
 				return nil, err
 			}
@@ -577,7 +635,7 @@ func TraceJob(name, path string, opts core.Options) Job {
 			return core.AnalyzeContext(ctx, tr, o)
 		},
 		Fallback: func(ctx context.Context, reason error) (*core.Result, error) {
-			tr, err := trace.ParseFile(path)
+			tr, err := parseSpoolFile(path)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,234 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"droidracer/internal/faultinject"
+	"droidracer/internal/storage"
+)
+
+// armStorageFault arms a storage-fault spec for this test and resets
+// the global hit counters so earlier tests' I/O does not shift the
+// N-th-hit arithmetic.
+func armStorageFault(t *testing.T, spec string) {
+	t.Helper()
+	faultinject.ResetStorageHits()
+	t.Setenv(faultinject.EnvStorageFault, spec)
+	t.Cleanup(faultinject.ResetStorageHits)
+}
+
+func TestAppendWritesChecksummedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append("seq", payload{Key: "k", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.CRC == "" {
+			t.Fatalf("entry %d written without a checksum", e.Seq)
+		}
+		if !e.ChecksumOK() {
+			t.Fatalf("entry %d checksum does not verify", e.Seq)
+		}
+	}
+}
+
+// TestBitFlippedMiddleRecordDetected is the WAL v2 regression test: a
+// corrupted record that is still valid JSON with an intact sequence
+// number — invisible to decode- and seq-based recovery — must be caught
+// by the checksum, stop recovery at the prefix, and make Create refuse
+// the journal.
+func TestBitFlippedMiddleRecordDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append("seq", payload{Key: "k", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rot one digit inside the middle record's payload: "n":1 becomes
+	// "n":9. The line still decodes, seq is still 2 — only the CRC
+	// knows.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(raw), `"n":1`, `"n":9`, 1)
+	if mutated == string(raw) {
+		t.Fatal("test setup: payload pattern not found")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	entries, stats, err := RecoverStats(path)
+	if err == nil {
+		t.Fatal("bit-flipped middle record recovered without error")
+	}
+	var ce *storage.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *storage.CorruptError, got %T: %v", err, err)
+	}
+	if ce.Seq != 2 {
+		t.Fatalf("corruption located at seq %d, want 2", ce.Seq)
+	}
+	if stats.Corrupt != 1 || stats.Entries != 1 || len(entries) != 1 {
+		t.Fatalf("stats %+v entries %d: want the 1-entry prefix and Corrupt=1", stats, len(entries))
+	}
+	// A daemon must not open (and silently truncate) a corrupt journal:
+	// everything from seq 2 on was acknowledged, durable history.
+	if _, err := Create(path); err == nil {
+		t.Fatal("Create opened a corrupt journal")
+	}
+}
+
+func TestUndecodableMiddleIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	body := `{"seq":1,"type":"a"}` + "\n" + "####garbage####\n" + `{"seq":3,"type":"c"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := RecoverStats(path)
+	var ce *storage.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("undecodable middle with a valid suffix must be corrupt, got %v", err)
+	}
+	if stats.Corrupt != 1 || stats.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 valid entry and Corrupt=1", stats)
+	}
+}
+
+// TestV1V2MixedJournalReplay proves backward compatibility: a journal
+// begun before checksums (no crc field) continues under a v2 writer and
+// replays end to end, verifying only the records that carry a CRC.
+func TestV1V2MixedJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.journal")
+	v1 := `{"seq":1,"type":"seq","data":{"key":"k","n":0}}` + "\n" +
+		`{"seq":2,"type":"seq","data":{"key":"k","n":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := w.AppendSeq("seq", payload{Key: "k", N: 2}); err != nil || seq != 3 {
+		t.Fatalf("append after v1 prefix: seq=%d err=%v", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(entries))
+	}
+	if entries[0].CRC != "" || entries[1].CRC != "" {
+		t.Fatal("v1 records grew checksums they were not written with")
+	}
+	if entries[2].CRC == "" || !entries[2].ChecksumOK() {
+		t.Fatal("v2 record appended after a v1 prefix is unchecksummed")
+	}
+	var p payload
+	if err := entries[2].Decode(&p); err != nil || p.N != 2 {
+		t.Fatalf("payload %+v err %v", p, err)
+	}
+}
+
+// TestSyncFailurePoisonsWriter pins the fsyncgate rule: one failed
+// fsync and the writer never claims durability again.
+func TestSyncFailurePoisonsWriter(t *testing.T) {
+	// Hit 1 is Create's own truncation sync; the fault bites from the
+	// first post-open barrier on.
+	armStorageFault(t, "journal.sync:eio:2")
+	w, err := Create(filepath.Join(t.TempDir(), "job.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append("seq", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want injected EIO from sync, got %v", err)
+	}
+	if err := w.Err(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("writer not poisoned after failed sync: %v", err)
+	}
+	seq, err := w.AppendSeq("seq", payload{N: 1})
+	if seq != 0 || !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned writer: seq=%d err=%v", seq, err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync on poisoned writer: %v", err)
+	}
+}
+
+// TestChunkBoundarySyncFailureReturnsSeqAndError audits the AppendSeq
+// contract: the assigned number comes back (the entry reached the
+// file), but so does the error — and the writer is poisoned, so the
+// caller cannot mistake the entry for durable.
+func TestChunkBoundarySyncFailureReturnsSeqAndError(t *testing.T) {
+	armStorageFault(t, "journal.sync:eio:2")
+	w, err := Create(filepath.Join(t.TempDir(), "job.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetChunk(1)
+	seq, err := w.AppendSeq("seq", payload{N: 0})
+	if seq != 1 {
+		t.Fatalf("assigned seq = %d, want 1", seq)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("chunk-boundary sync failure not reported: %v", err)
+	}
+	if w.Err() == nil {
+		t.Fatal("writer usable after failed chunk-boundary fsync")
+	}
+}
+
+// TestCloseReportsSyncError: the final sync failure surfaces from Close
+// (distinct from a close failure), so shutdown logs say "your last
+// entries are not durable" rather than nothing.
+func TestCloseReportsSyncError(t *testing.T) {
+	armStorageFault(t, "journal.sync:eio:2")
+	w, err := Create(filepath.Join(t.TempDir(), "job.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("seq", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Close()
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Close swallowed the final sync error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("error %q does not identify the failing sync", err)
+	}
+}

@@ -11,12 +11,32 @@
 // order until the first undecodable line, which is treated as the torn
 // tail of an interrupted append and discarded — everything before it was
 // fsync'd and is trusted.
+//
+// Trust is earned, not assumed: every v2 record carries a CRC32C over
+// (seq, type, data), written by AppendSeq and verified on replay, so a
+// record the disk quietly rotted — still a complete, decodable JSON
+// line — is detected as corruption rather than replayed as history.
+// Corruption is strictly distinguished from tearing: a torn tail is the
+// expected residue of a crash mid-append and is truncated away, while a
+// corrupt record means fsync'd, acknowledged state changed under us, so
+// recovery stops, keeps only the prefix, and refuses to let a daemon
+// resume until an operator (or racedet -fsck) decides what to do.
+//
+// Durability errors are equally unforgiving: a failed flush or fsync
+// poisons the Writer permanently (ErrPoisoned). After a failed fsync
+// the kernel may have dropped the dirty pages while clearing the error
+// state, so a later "successful" fsync proves nothing about the earlier
+// write — the only honest answer is to stop claiming durability until
+// the process restarts and recovers from what actually reached the
+// disk.
 package journal
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -24,6 +44,7 @@ import (
 	"time"
 
 	"droidracer/internal/faultinject"
+	"droidracer/internal/storage"
 )
 
 // Entry is one journal record: a type tag and an opaque payload the
@@ -34,6 +55,10 @@ type Entry struct {
 	Seq  int             `json:"seq"`
 	Type string          `json:"type"`
 	Data json.RawMessage `json:"data,omitempty"`
+	// CRC is the hex CRC32C over (seq, type, data) — WAL v2. Empty on
+	// v1 records, which replay unverified for compatibility; AppendSeq
+	// always writes it.
+	CRC string `json:"crc,omitempty"`
 }
 
 // Decode unmarshals the entry payload into v.
@@ -44,11 +69,38 @@ func (e Entry) Decode(v any) error {
 	return nil
 }
 
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the entry's CRC32C over (seq, type, data) in a
+// canonical framing — the value AppendSeq stores in CRC and recovery
+// (and racedet -fsck) verifies. The raw payload bytes are covered, not
+// a re-marshaling, so the check is byte-exact against what was written.
+func (e Entry) Checksum() string {
+	h := crc32.New(castagnoli)
+	fmt.Fprintf(h, "%d\x00%s\x00", e.Seq, e.Type)
+	h.Write(e.Data)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// ChecksumOK reports whether the entry's stored CRC matches its
+// content. v1 records (no CRC) vacuously pass.
+func (e Entry) ChecksumOK() bool {
+	return e.CRC == "" || e.CRC == e.Checksum()
+}
+
 // DefaultChunk is the number of appended entries between automatic
 // fsyncs. Callers mark durability barriers explicitly with Sync; the
 // chunk bound caps how much unsynced work a crash between barriers can
 // lose.
 const DefaultChunk = 16
+
+// ErrPoisoned marks a Writer that suffered a flush or fsync failure.
+// The error is sticky (fsyncgate semantics): after a failed fsync the
+// kernel may have dropped the dirty pages, so no later operation on
+// this writer can honestly claim durability. Every subsequent Append,
+// Sync, and Close fails with an error wrapping ErrPoisoned; recovery
+// is a process restart that replays what actually reached the disk.
+var ErrPoisoned = errors.New("journal: writer poisoned by an earlier storage failure")
 
 // RecoveryStats quantifies one journal recovery: what was kept, and
 // what the torn tail silently cost. A crash mid-append leaves a partial
@@ -62,9 +114,18 @@ type RecoveryStats struct {
 	DiscardedEntries int
 	// DiscardedBytes is the size of the truncated torn tail.
 	DiscardedBytes int64
+	// Corrupt counts corrupt records found before recovery stopped —
+	// complete, terminated lines whose checksum no longer matches their
+	// content or whose sequence number breaks the chain. Always 0 or 1:
+	// nothing after the first corrupt record is trusted, including any
+	// valid-looking suffix.
+	Corrupt int
+	// CorruptOffset is the byte offset of the corrupt record, when
+	// Corrupt > 0 — where racedet -fsck -repair would cut.
+	CorruptOffset int64
 }
 
-// Torn reports whether recovery discarded anything.
+// Torn reports whether recovery discarded a torn tail.
 func (s RecoveryStats) Torn() bool {
 	return s.DiscardedEntries > 0 || s.DiscardedBytes > 0
 }
@@ -73,18 +134,23 @@ func (s RecoveryStats) Torn() bool {
 // use; appends are serialized internally.
 type Writer struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         storage.File
 	bw        *bufio.Writer
 	seq       int
 	pending   int
 	chunk     int
 	recovered RecoveryStats
+	poisoned  error
 }
 
 // Create opens the journal file at path for appending, creating it (and
 // its parent directory) when absent. An existing journal is continued:
 // the sequence counter resumes after the last recoverable entry, and a
-// torn tail from a previous crash is truncated away first.
+// torn tail from a previous crash is truncated away first. A corrupt
+// journal — a checksum-mismatched or out-of-sequence record in the
+// durable middle — refuses to open: truncating acknowledged history
+// would silently drop work, so the *storage.CorruptError is returned
+// for the operator (or racedet -fsck) to resolve.
 //
 // Kill-point: "journal.create" crashes after the file and its directory
 // entry are durable but before the first append — the window where a
@@ -93,13 +159,14 @@ func Create(path string) (*Writer, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	entries, valid, stats, err := recoverFile(path)
+	fsys := faultinject.Storage("journal")
+	entries, valid, stats, err := recoverFile(fsys, path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
 	tornEntriesTotal.Add(stats.DiscardedEntries)
 	tornBytesTotal.Add(int(stats.DiscardedBytes))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -118,7 +185,7 @@ func Create(path string) (*Writer, error) {
 	// incarnation would silently begin from an empty history.
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("journal: %w", err)
+		return nil, fmt.Errorf("journal: %w", storage.CountError("journal.sync", err))
 	}
 	if err := SyncDir(filepath.Dir(path)); err != nil {
 		f.Close()
@@ -157,6 +224,25 @@ func (w *Writer) Seq() int {
 	return w.seq
 }
 
+// Err returns the writer's poison state: nil while the journal is
+// healthy, an error wrapping ErrPoisoned after a durability failure.
+// The server's readiness probe consults it so a daemon that can no
+// longer journal stops advertising itself as ready.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.poisoned
+}
+
+// poison records the writer's first durability failure and returns err.
+// Callers must hold w.mu.
+func (w *Writer) poison(err error) error {
+	if w.poisoned == nil {
+		w.poisoned = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	}
+	return err
+}
+
 // SetChunk overrides the automatic-fsync chunk size (entries per fsync);
 // n <= 1 syncs every append.
 func (w *Writer) SetChunk(n int) {
@@ -180,10 +266,16 @@ func (w *Writer) Append(typ string, data any) error {
 // entry. The number is taken under the writer's own mutex, so it
 // identifies exactly this record even with concurrent appenders — a
 // later Seq() call could observe another appender's entry. Event logs
-// use it to correlate log lines with WAL records. A marshal or write
-// error means the entry was not appended and the sequence number is 0;
-// a failed chunk-boundary fsync still returns the assigned number (the
-// entry reached the file, it is just not durable yet).
+// use it to correlate log lines with WAL records.
+//
+// The error contract is durability-honest: a marshal or write error
+// means the entry was not appended, the sequence number is 0, and a
+// write failure poisons the writer (a partial line in the buffer would
+// corrupt every later record). A failed chunk-boundary fsync returns
+// the assigned number *and* a non-nil error: the entry reached the
+// file, but it is not durable and never will be provably so — the
+// writer is poisoned, and the caller must not acknowledge the unit of
+// work this entry records.
 //
 // Kill-points: "journal.append" crashes after the line is buffered but
 // before any sync; "journal.torn" crashes after flushing only half of
@@ -195,7 +287,12 @@ func (w *Writer) AppendSeq(typ string, data any) (int, error) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	line, err := json.Marshal(Entry{Seq: w.seq + 1, Type: typ, Data: raw})
+	if w.poisoned != nil {
+		return 0, w.poisoned
+	}
+	e := Entry{Seq: w.seq + 1, Type: typ, Data: raw}
+	e.CRC = e.Checksum()
+	line, err := json.Marshal(e)
 	if err != nil {
 		return 0, fmt.Errorf("journal: %w", err)
 	}
@@ -203,14 +300,23 @@ func (w *Writer) AppendSeq(typ string, data any) (int, error) {
 	line = append(line, '\n')
 	if faultinject.Triggered("journal.torn") {
 		// Model a crash mid-write: half the line reaches the disk, the
-		// rest is lost with the process.
-		w.bw.Write(line[:len(line)/2])
-		w.bw.Flush()
-		w.f.Sync()
+		// rest is lost with the process. The errors cannot reach a
+		// caller (the process dies here), but a failed half-write means
+		// the chaos premise — a torn tail on disk — did not hold, so it
+		// must not vanish silently.
+		if _, err := w.bw.Write(line[:len(line)/2]); err != nil {
+			fmt.Fprintf(os.Stderr, "journal: torn kill-point half-write failed: %v\n", err)
+		}
+		if err := w.bw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "journal: torn kill-point flush failed: %v\n", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "journal: torn kill-point sync failed: %v\n", err)
+		}
 		os.Exit(faultinject.KillExitCode)
 	}
 	if _, err := w.bw.Write(line); err != nil {
-		return 0, fmt.Errorf("journal: %w", err)
+		return 0, w.poison(fmt.Errorf("journal: %w", storage.CountError("journal.write", err)))
 	}
 	appendsTotal.Inc()
 	faultinject.Crash("journal.append")
@@ -230,12 +336,15 @@ func (w *Writer) Sync() error {
 }
 
 func (w *Writer) sync() error {
+	if w.poisoned != nil {
+		return w.poisoned
+	}
 	if err := w.bw.Flush(); err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return w.poison(fmt.Errorf("journal: %w", storage.CountError("journal.write", err)))
 	}
 	start := time.Now()
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return w.poison(fmt.Errorf("journal: fsync: %w", storage.CountError("journal.sync", err)))
 	}
 	fsyncsTotal.Inc()
 	fsyncDur.ObserveDuration(time.Since(start))
@@ -244,15 +353,19 @@ func (w *Writer) sync() error {
 	return nil
 }
 
-// Close syncs and closes the journal file.
+// Close syncs and closes the journal file. The final sync error and the
+// close error are reported distinctly, joined with errors.Join, so a
+// caller (or its logs) can tell "your last entries are not durable"
+// from "the descriptor leaked".
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.sync(); err != nil {
-		w.f.Close()
-		return err
+	syncErr := w.sync()
+	closeErr := w.f.Close()
+	if closeErr != nil {
+		closeErr = fmt.Errorf("journal: close: %w", closeErr)
 	}
-	return w.f.Close()
+	return errors.Join(syncErr, closeErr)
 }
 
 // Recover reads the journal at path, returning every entry before the
@@ -268,8 +381,13 @@ func Recover(path string) ([]Entry, error) {
 // entries were kept and how many torn-tail lines and bytes were
 // discarded, so resume reporting can surface the loss instead of
 // swallowing it. A missing file is an empty journal with zero stats.
+//
+// On corruption (stats.Corrupt > 0) the entries before the corrupt
+// record and meaningful stats are returned together with the
+// *storage.CorruptError — callers that refuse to proceed still get to
+// report exactly what was lost.
 func RecoverStats(path string) ([]Entry, RecoveryStats, error) {
-	entries, _, stats, err := recoverFile(path)
+	entries, _, stats, err := recoverFile(faultinject.Storage("journal"), path)
 	if os.IsNotExist(err) {
 		return nil, RecoveryStats{}, nil
 	}
@@ -278,11 +396,19 @@ func RecoverStats(path string) ([]Entry, RecoveryStats, error) {
 
 // recoverFile reads entries and also reports the byte offset of the end
 // of the last valid entry, so Create can truncate a torn tail before
-// appending, plus the recovery statistics. A final line without its
-// '\n' terminator is torn by definition — the writer always line-frames
-// records — even when its bytes happen to decode.
-func recoverFile(path string) ([]Entry, int64, RecoveryStats, error) {
-	f, err := os.Open(path)
+// appending, plus the recovery statistics.
+//
+// The framing rules draw a hard line between tearing and corruption. A
+// final line without its '\n' terminator is torn by definition — the
+// writer always line-frames records — even when its bytes happen to
+// decode; so is a terminated but undecodable last line. A *terminated,
+// decodable* line whose checksum mismatches its content or whose
+// sequence number breaks the chain is corruption: that line was fully
+// written and fsync'd once, and now reads back different. Recovery
+// stops there with a *storage.CorruptError; everything after the
+// corrupt record — however valid it looks — is untrusted.
+func recoverFile(fsys storage.FS, path string) ([]Entry, int64, RecoveryStats, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, 0, RecoveryStats{}, err
 	}
@@ -290,6 +416,13 @@ func recoverFile(path string) ([]Entry, int64, RecoveryStats, error) {
 	var entries []Entry
 	var valid int64
 	var stats RecoveryStats
+	corrupt := func(ce *storage.CorruptError) ([]Entry, int64, RecoveryStats, error) {
+		stats.Entries = len(entries)
+		stats.Corrupt = 1
+		stats.CorruptOffset = valid
+		corruptRecordsTotal.Inc()
+		return entries, valid, stats, ce
+	}
 	r := bufio.NewReaderSize(f, 64*1024)
 	for {
 		line, err := r.ReadString('\n')
@@ -303,35 +436,45 @@ func recoverFile(path string) ([]Entry, int64, RecoveryStats, error) {
 			return entries, valid, stats, nil
 		}
 		if err != nil {
-			return nil, 0, RecoveryStats{}, fmt.Errorf("journal: %s: %w", path, err)
+			return nil, 0, RecoveryStats{}, fmt.Errorf("journal: %s: %w", path, storage.CountError("journal.read", err))
 		}
 		var e Entry
-		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil || e.Seq != len(entries)+1 {
-			if uerr == nil && e.Seq != 0 {
-				// A decodable entry with the wrong sequence number is not a
-				// torn tail — the journal middle is corrupt and resuming
-				// from it could silently drop work.
-				return nil, 0, RecoveryStats{}, fmt.Errorf("journal: %s: entry out of sequence (want %d, got %d)",
-					path, len(entries)+1, e.Seq)
+		uerr := json.Unmarshal([]byte(line), &e)
+		switch {
+		case uerr == nil && e.Seq == len(entries)+1 && e.ChecksumOK():
+			entries = append(entries, e)
+			valid += int64(len(line))
+		case uerr == nil && e.Seq == len(entries)+1:
+			// Right position, wrong checksum: the record was completely
+			// written (it has its terminator) and has since changed —
+			// bit rot, not a torn append.
+			return corrupt(&storage.CorruptError{
+				Path: path, Seq: e.Seq, Offset: valid,
+				Want: e.CRC, Got: e.Checksum(),
+			})
+		case uerr == nil && e.Seq != 0:
+			// A decodable entry with the wrong sequence number is not a
+			// torn tail — the journal middle is corrupt and resuming
+			// from it could silently drop work.
+			return corrupt(&storage.CorruptError{
+				Path: path, Seq: e.Seq, Offset: valid,
+				Reason: fmt.Sprintf("out-of-sequence (want %d)", len(entries)+1),
+			})
+		default:
+			// Undecodable line. If it is the last line it is the torn
+			// tail of an interrupted append and is discarded; if data
+			// follows it, it cannot be a tear — appends are strictly
+			// sequential, so a mangled middle is corruption.
+			if _, perr := r.Peek(1); perr == nil {
+				return corrupt(&storage.CorruptError{
+					Path: path, Seq: len(entries) + 1, Offset: valid,
+					Reason: "undecodable record in journal middle",
+				})
 			}
-			// Undecodable line: the torn tail of an interrupted append.
-			// Everything after it (normally nothing) is untrusted too.
 			stats.DiscardedEntries++
 			stats.DiscardedBytes += int64(len(line))
-			for {
-				rest, rerr := r.ReadString('\n')
-				if len(rest) > 0 {
-					stats.DiscardedEntries++
-					stats.DiscardedBytes += int64(len(rest))
-				}
-				if rerr != nil {
-					break
-				}
-			}
 			stats.Entries = len(entries)
 			return entries, valid, stats, nil
 		}
-		entries = append(entries, e)
-		valid += int64(len(line))
 	}
 }

@@ -18,4 +18,6 @@ var (
 		"Torn-tail lines discarded during journal recovery.")
 	tornBytesTotal = obs.Default().Counter("droidracer_journal_torn_bytes_total",
 		"Torn-tail bytes truncated during journal recovery.")
+	corruptRecordsTotal = obs.Default().Counter("droidracer_journal_corrupt_records_total",
+		"Corrupt (checksum-mismatched or out-of-sequence) records that stopped journal recovery.")
 )

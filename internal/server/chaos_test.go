@@ -72,6 +72,7 @@ func TestServerHelperProcess(t *testing.T) {
 		Spool:       spool,
 		Analyze:     core.DefaultOptions(),
 		Workers:     1,
+		StorageErr:  w.Err, // mirror racedetd: a poisoned journal refuses work
 		Completed:   jobs.CompletedRecords(entries),
 		Quarantined: jobs.QuarantinedJobs(entries),
 	})
@@ -109,18 +110,22 @@ func TestServerHelperProcess(t *testing.T) {
 }
 
 // helperCmd re-execs the test binary as the helper daemon over dir,
-// optionally arming the server.accept kill-point.
-func helperCmd(t *testing.T, dir string, arm bool) (*exec.Cmd, *bytes.Buffer) {
+// optionally arming the server.accept kill-point. Extra environment
+// entries (e.g. a DROIDRACER_STORAGE_FAULT spec) apply to the helper
+// only — the parent's copies of both chaos variables are stripped.
+func helperCmd(t *testing.T, dir string, arm bool, extraEnv ...string) (*exec.Cmd, *bytes.Buffer) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestServerHelperProcess$", "-test.v")
 	for _, kv := range os.Environ() {
 		if strings.HasPrefix(kv, faultinject.EnvKillpoint+"=") ||
+			strings.HasPrefix(kv, faultinject.EnvStorageFault+"=") ||
 			strings.HasPrefix(kv, serverHelperEnv+"=") {
 			continue
 		}
 		cmd.Env = append(cmd.Env, kv)
 	}
 	cmd.Env = append(cmd.Env, serverHelperEnv+"="+dir)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	if arm {
 		cmd.Env = append(cmd.Env, faultinject.EnvKillpoint+"=server.accept")
 	}

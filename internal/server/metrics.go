@@ -39,6 +39,10 @@ const (
 	RejectQueueFull    = "queue-full"
 	RejectShuttingDown = "shutting-down"
 	RejectBreakerOpen  = "breaker-open"
+	// RejectStorageDegraded refuses submissions while the persistence
+	// stack cannot deliver durability: a poisoned journal writer or a
+	// failing spool. A 202 would promise what storage cannot keep.
+	RejectStorageDegraded = "storage-degraded"
 )
 
 func init() {
@@ -49,6 +53,7 @@ func init() {
 	for _, reason := range []string{
 		RejectBodyTooLarge, RejectEmptyBody, RejectKeyMismatch, RejectRateLimited,
 		RejectInflight, RejectQueueFull, RejectShuttingDown, RejectBreakerOpen,
+		RejectStorageDegraded,
 	} {
 		rejectsTotal[reason] = obs.Default().Counter("droidracer_server_admission_rejected_total",
 			"Submissions refused at admission, by reason.", "reason", reason)

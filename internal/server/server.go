@@ -28,8 +28,6 @@ package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -52,6 +50,7 @@ import (
 	"droidracer/internal/journal"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
+	"droidracer/internal/storage"
 )
 
 // Submission status values (the "status" field of SubmitResponse).
@@ -153,6 +152,19 @@ type Config struct {
 	// Events, when set, receives request.accept / request.reject /
 	// server.drain lifecycle events.
 	Events *slog.Logger
+	// StorageErr, when set, reports the persistence stack's health —
+	// typically the journal writer's poison state (journal.Writer.Err).
+	// A non-nil return means completed work can no longer be durably
+	// recorded: /readyz answers 503 "storage" and submissions are
+	// refused 503 storage-degraded while in-flight work finishes in
+	// memory. The condition is sticky for the life of the process
+	// (fsyncgate semantics); recovery is a restart.
+	StorageErr func() error
+	// StorageRetryAfter is the Retry-After hint on storage-degraded
+	// refusals (default 30s): long enough for an operator or supervisor
+	// to restart the backend, short enough that clients re-probe a
+	// recovered one.
+	StorageRetryAfter time.Duration
 }
 
 // jobState is one entry of the idempotency index.
@@ -168,6 +180,12 @@ type Server struct {
 	mux        *http.ServeMux
 	draining   atomic.Bool
 	reconciled atomic.Bool
+	// spoolFailing remembers that the last spool write failed. Unlike a
+	// poisoned journal it is recoverable in-process: a full disk gets
+	// space freed. While set, /readyz answers 503 "storage" but probes
+	// the spool with a tiny durable write, and submissions still attempt
+	// their spool write — either success clears the flag.
+	spoolFailing atomic.Bool
 	boot       time.Time
 	sem        chan struct{}
 	buckets    *buckets
@@ -202,6 +220,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxRetryAfter <= 0 {
 		cfg.MaxRetryAfter = 5 * time.Minute
+	}
+	if cfg.StorageRetryAfter <= 0 {
+		cfg.StorageRetryAfter = 30 * time.Second
 	}
 	if cfg.Events == nil {
 		cfg.Events = obs.Nop()
@@ -262,10 +283,20 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // IdempotencyKey derives the content-hash job ID for a trace body. The
 // client sends it as the Idempotency-Key header; the server recomputes
 // it from the bytes it received, so a body corrupted in transit is
-// refused (400) instead of being analyzed under the wrong identity.
+// refused (400) instead of being analyzed under the wrong identity. It
+// is storage.Key: the same commitment the spool verifies on every read
+// back, making the integrity check end to end — wire to disk to
+// re-analysis.
 func IdempotencyKey(body []byte) string {
-	sum := sha256.Sum256(body)
-	return hex.EncodeToString(sum[:8])
+	return storage.Key(body)
+}
+
+// storageErr reports the sticky persistence-stack failure, if any.
+func (s *Server) storageErr() error {
+	if s.cfg.StorageErr == nil {
+		return nil
+	}
+	return s.cfg.StorageErr()
 }
 
 // jobName maps a job ID to its spool file name.
@@ -462,6 +493,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusServiceUnavailable, RejectShuttingDown, s.cfg.DrainRetryAfter)
 		return
 	}
+	if err := s.storageErr(); err != nil {
+		// The journal can no longer record completions durably, so a
+		// 202 here would promise durability the backend cannot deliver.
+		// In-flight work still finishes in memory and /v1/jobs/{id}
+		// still answers; only new acceptances stop.
+		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded, s.cfg.StorageRetryAfter)
+		return
+	}
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -528,10 +567,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// after this may the job be acknowledged — a crash later never loses
 	// it, because the restart sweep re-ingests the spool.
 	if err := writeDurable(path, body); err != nil {
+		// The body is not durable, so 202 is a lie the restart sweep
+		// cannot make true. Refuse honestly and mark the spool degraded;
+		// /readyz flips to 503 "storage" so the gateway routes around
+		// this backend until a probe (or a later submission's write)
+		// proves the spool recovered.
+		if s.spoolFailing.CompareAndSwap(false, true) {
+			s.cfg.Events.Error("server.storage-degraded", "op", "spool.write", "err", err.Error())
+		}
 		s.cfg.Events.Warn("request.spool-failed", "job", id, "err", err.Error())
-		respond(w, http.StatusInternalServerError,
-			&SubmitResponse{Status: StatusRejected, Reason: "spool-write-failed", RetryAfterSeconds: 1})
+		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded, s.cfg.StorageRetryAfter)
 		return
+	}
+	if s.spoolFailing.CompareAndSwap(true, false) {
+		s.cfg.Events.Info("server.storage-recovered", "op", "spool.write")
 	}
 	// Kill-point: process death after the trace is durable but before
 	// the pool accepted it or the client heard 202 — the window the
@@ -604,33 +653,59 @@ func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error)
 
 // writeDurable writes body to path via a hidden temp file (the restart
 // sweep skips dotfiles), fsyncs it, renames it into place, and fsyncs
-// the directory — the full accepted-work durability chain.
+// the directory — the full accepted-work durability chain. I/O goes
+// through the spool's storage layer so chaos tests can inject disk
+// faults (ENOSPC, EIO, short writes, failed renames) at every link of
+// the chain; failures are classified into
+// droidracer_storage_errors_total before they propagate.
 func writeDurable(path string, body []byte) error {
+	fsys := faultinject.Storage("spool")
 	dir := filepath.Dir(path)
 	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
 	if err != nil {
-		return err
+		return storage.CountError("spool.write", err)
 	}
 	if _, err := f.Write(body); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return storage.CountError("spool.write", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return storage.CountError("spool.sync", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return storage.CountError("spool.write", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return storage.CountError("spool.rename", err)
 	}
 	return journal.SyncDir(dir)
+}
+
+// probeSpool attempts a tiny durable write in the spool directory — the
+// readiness probe's independent evidence for whether a failing spool
+// has recovered (space freed) without waiting for a client to volunteer
+// a submission as the probe.
+func (s *Server) probeSpool() error {
+	fsys := faultinject.Storage("spool")
+	tmp := filepath.Join(s.cfg.Spool, ".readyz-probe.tmp")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return storage.CountError("spool.write", err)
+	}
+	_, werr := f.Write([]byte("probe\n"))
+	serr := f.Sync()
+	f.Close()
+	fsys.Remove(tmp)
+	if werr != nil {
+		return storage.CountError("spool.write", werr)
+	}
+	return storage.CountError("spool.sync", serr)
 }
 
 // handleReconcile is POST /v1/reconcile: the gateway's reinstatement
@@ -706,13 +781,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz reports readiness: false from the moment a drain starts,
-// so routing stops before in-flight work finishes.
+// handleReadyz reports readiness: false from the moment a drain starts
+// (so routing stops before in-flight work finishes) and false with
+// reason "storage" while the persistence stack is degraded — a poisoned
+// journal (sticky until restart) or a failing spool (re-probed here
+// with a tiny durable write, so readiness returns by itself once space
+// does).
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return
+	}
+	if err := s.storageErr(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "storage")
+		return
+	}
+	if s.spoolFailing.Load() {
+		if err := s.probeSpool(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "storage")
+			return
+		}
+		if s.spoolFailing.CompareAndSwap(true, false) {
+			s.cfg.Events.Info("server.storage-recovered", "op", "spool.probe")
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ready")

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"droidracer/internal/core"
+	"droidracer/internal/faultinject"
+	"droidracer/internal/jobs"
+	"droidracer/internal/journal"
+	"droidracer/internal/trace"
+)
+
+// armStorageFault arms a disk-fault spec for this test and resets the
+// package-global hit counters so every test starts its own arithmetic.
+func armStorageFault(t *testing.T, spec string) {
+	t.Helper()
+	faultinject.ResetStorageHits()
+	t.Setenv(faultinject.EnvStorageFault, spec)
+	t.Cleanup(faultinject.ResetStorageHits)
+}
+
+// TestStorageErrRejectsAndUnreadies: a poisoned journal (sticky
+// Config.StorageErr) turns every fresh submission away with an honest
+// 503 storage-degraded + Retry-After — never a 202 whose completion
+// record could not be made durable — and flips /readyz to 503 so the
+// gateway routes around the backend.
+func TestStorageErrRejectsAndUnreadies(t *testing.T) {
+	poison := errors.New("journal: fsync: no space left on device")
+	h := newHarness(t, jobs.Config{Workers: 1}, Config{StorageErr: func() error { return poison }})
+	body := figure4Body(t)
+	resp, httpResp := h.post(t, body, nil)
+	if httpResp.StatusCode != http.StatusServiceUnavailable || resp.Reason != RejectStorageDegraded {
+		t.Fatalf("submit on poisoned storage = %d %+v, want 503 %s", httpResp.StatusCode, resp, RejectStorageDegraded)
+	}
+	if httpResp.Header.Get("Retry-After") == "" || resp.RetryAfterSeconds < 1 {
+		t.Fatalf("storage rejection without honest Retry-After: header=%q body=%+v",
+			httpResp.Header.Get("Retry-After"), resp)
+	}
+	// The refusal happens before the spool write: nothing for a restart
+	// sweep to resurrect.
+	if _, err := os.Stat(filepath.Join(h.spool, jobName(IdempotencyKey(body)))); !os.IsNotExist(err) {
+		t.Fatalf("refused submission reached the spool (err=%v)", err)
+	}
+	rz, err := http.Get(h.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, _ := io.ReadAll(rz.Body)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable || string(reason) != "storage\n" {
+		t.Fatalf("readyz = %d %q, want 503 storage", rz.StatusCode, reason)
+	}
+}
+
+// TestSpoolFaultDegradesThenSelfHeals: an ENOSPC window on spool fsync
+// degrades the backend (503 storage-degraded, readyz 503 storage), and
+// once space returns the readiness probe's tiny durable write detects
+// recovery in-process — no restart — after which the same body is
+// accepted and analyzed.
+func TestSpoolFaultDegradesThenSelfHeals(t *testing.T) {
+	h := newHarness(t, jobs.Config{Workers: 1}, Config{})
+	// Hit 1 is this submission's writeDurable fsync; hit 2 the first
+	// readiness probe; hit 3 onward the disk has space again.
+	armStorageFault(t, "spool.sync:enospc:1-2")
+	body := figure4Body(t)
+	resp, httpResp := h.post(t, body, nil)
+	if httpResp.StatusCode != http.StatusServiceUnavailable || resp.Reason != RejectStorageDegraded {
+		t.Fatalf("submit into ENOSPC = %d %+v, want 503 %s", httpResp.StatusCode, resp, RejectStorageDegraded)
+	}
+	if resp.RetryAfterSeconds < 1 {
+		t.Fatalf("ENOSPC rejection without Retry-After: %+v", resp)
+	}
+	rz, err := http.Get(h.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while degraded = %d, want 503", rz.StatusCode)
+	}
+	// Space returns: the next probe succeeds and clears the degradation
+	// without a restart.
+	rz, err = http.Get(h.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after heal = %d, want 200", rz.StatusCode)
+	}
+	resp, httpResp = h.post(t, body, nil)
+	if httpResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmission after heal = %d %+v, want 202", httpResp.StatusCode, resp)
+	}
+	done := h.waitStatus(t, resp.Job, StatusDone)
+	if done.Digest == "" {
+		t.Fatalf("healed submission finished without a digest: %+v", done)
+	}
+}
+
+// TestServerJournalENOSPC is the ENOSPC acceptance proof at the daemon
+// level: the journal device fills (fsync ENOSPC) while a job is being
+// recorded. The writer poisons itself, the in-flight job still
+// completes in memory and answers its client, every later submission is
+// refused 503 storage-degraded with Retry-After — never acknowledged
+// non-durably — and the on-disk journal stays uncorrupted. A restart
+// with space available recovers cleanly and accepts again.
+func TestServerJournalENOSPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	bodyA := figure4Body(t)
+	// Same trace under a comment line: identical analysis, distinct
+	// content key.
+	bodyB := append([]byte("# enospc variant\n"), bodyA...)
+	keyA, keyB := IdempotencyKey(bodyA), IdempotencyKey(bodyB)
+
+	// Incarnation 1: journal fsync hits ENOSPC from hit 2 onward — hit 1
+	// is Create's truncation sync, hit 2 the first job record's Sync.
+	cmd, log := helperCmd(t, dir, false,
+		faultinject.EnvStorageFault+"=journal.sync:enospc:2")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	base := "http://" + waitAddr(t, dir, log)
+	c := &Client{BaseURL: base, BaseBackoff: 10 * time.Millisecond, MaxAttempts: 4, Seed: 11}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, _, err := c.Submit(ctx, bodyA)
+	if err != nil {
+		t.Fatalf("pre-fault submission refused: %v\n%s", err, log.String())
+	}
+	if resp.Job != keyA {
+		t.Fatalf("job %q, want %q", resp.Job, keyA)
+	}
+	// The in-flight job completes in memory and answers, even though its
+	// completion record could not be fsync'd.
+	var done *SubmitResponse
+	for deadline := time.Now().Add(20 * time.Second); time.Now().Before(deadline); {
+		if done, err = c.Status(ctx, keyA); err == nil && done.Status == StatusDone {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if done == nil || done.Status != StatusDone {
+		t.Fatalf("in-flight job never completed in memory: %+v\n%s", done, log.String())
+	}
+
+	// The poisoned daemon must refuse fresh work honestly: 503 with a
+	// retry hint, never a 202 it cannot make durable.
+	pr, err := http.Post(base+"/v1/jobs", "text/plain", bytes.NewReader(bodyB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rej SubmitResponse
+	if err := json.NewDecoder(pr.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusServiceUnavailable || rej.Reason != RejectStorageDegraded {
+		t.Fatalf("submit on poisoned journal = %d %+v, want 503 %s\n%s",
+			pr.StatusCode, rej, RejectStorageDegraded, log.String())
+	}
+	if pr.Header.Get("Retry-After") == "" {
+		t.Fatalf("storage rejection without Retry-After header: %+v", rej)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spool", jobName(keyB))); !os.IsNotExist(err) {
+		t.Fatalf("refused submission reached the spool (err=%v)", err)
+	}
+	rz, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on poisoned journal = %d, want 503", rz.StatusCode)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// The disk-full journal is degraded, never corrupted: recovery reads
+	// a clean (possibly shorter) prefix.
+	jpath := filepath.Join(dir, "state", "daemon.journal")
+	if _, stats, err := journal.RecoverStats(jpath); err != nil || stats.Corrupt != 0 {
+		t.Fatalf("journal after ENOSPC: corrupt=%d err=%v, want intact", stats.Corrupt, err)
+	}
+
+	// Incarnation 2: space is back (no fault). The daemon recovers and
+	// accepts again; the refused body analyzes to the independent answer.
+	if err := os.Remove(filepath.Join(dir, "addr")); err != nil {
+		t.Fatal(err)
+	}
+	cmd2, log2 := helperCmd(t, dir, false)
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	base2 := "http://" + waitAddr(t, dir, log2)
+	c2 := &Client{BaseURL: base2, BaseBackoff: 10 * time.Millisecond, MaxAttempts: 8, Seed: 12}
+	if _, _, err := c2.Submit(ctx, bodyB); err != nil {
+		t.Fatalf("post-restart submission refused: %v\n%s", err, log2.String())
+	}
+	for deadline := time.Now().Add(20 * time.Second); ; {
+		if done, err = c2.Status(ctx, keyB); err == nil && done.Status == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-restart job never completed: %+v\n%s", done, log2.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cmd2.Process.Kill()
+	cmd2.Wait()
+
+	// Converged journal: uncorrupted, exactly one record per key, digest
+	// matching an independent local analysis.
+	entries, stats, err := journal.RecoverStats(jpath)
+	if err != nil || stats.Corrupt != 0 {
+		t.Fatalf("journal after recovery: corrupt=%d err=%v", stats.Corrupt, err)
+	}
+	perKey := map[string]int{}
+	var digestB string
+	for _, e := range entries {
+		if e.Type != "job" {
+			continue
+		}
+		var je jobs.JobEntry
+		if err := e.Decode(&je); err != nil {
+			t.Fatal(err)
+		}
+		perKey[je.Name]++
+		if je.Name == jobName(keyB) {
+			digestB = je.Digest
+		}
+	}
+	if perKey[jobName(keyB)] != 1 {
+		t.Fatalf("journal records per key = %v, want exactly one for %s", perKey, keyB)
+	}
+	tr, err := trace.ParseBytes(bodyB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := core.AnalyzeContext(context.Background(), tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := jobs.ResultDigest(localRes); digestB != want || want == "" {
+		t.Fatalf("journaled digest %q != local digest %q\n%s", digestB, want, fmt.Sprint(perKey))
+	}
+}

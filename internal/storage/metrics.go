@@ -1,0 +1,29 @@
+package storage
+
+import "droidracer/internal/obs"
+
+// Storage failures are classified into one labeled counter family so a
+// single alert ("storage errors > 0") covers the whole persistence
+// stack; the op label localizes the failing layer and the kind label
+// separates disk-full (operator-actionable) from bit rot
+// (integrity-critical).
+const errorsTotalName = "droidracer_storage_errors_total"
+
+func errorsTotal(op, kind string) *obs.Counter {
+	return obs.Default().Counter(errorsTotalName,
+		"Storage-layer failures by operation and kind.",
+		"op", op, "kind", kind)
+}
+
+func init() {
+	// Pre-register the expected series so scrapes see the full matrix at
+	// zero from process start, matching the registry convention.
+	for _, op := range []string{
+		"journal.write", "journal.sync", "journal.read",
+		"spool.write", "spool.sync", "spool.read", "spool.rename",
+	} {
+		for _, kind := range []string{"enospc", "eio", "corrupt", "other"} {
+			errorsTotal(op, kind)
+		}
+	}
+}

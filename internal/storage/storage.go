@@ -1,0 +1,174 @@
+// Package storage is the thin file-system seam of the persistence
+// stack: the journal and the server spool do their disk I/O through the
+// FS interface so chaos tests can slide a fault-injecting layer (see
+// faultinject.Storage) underneath without touching production code
+// paths. The package also owns the content-integrity vocabulary the
+// stack shares — the sha256-derived content key that names spool files,
+// read-back verification against that key, and the corruption error
+// type — plus the droidracer_storage_errors_total metric every storage
+// failure is classified into.
+//
+// The integrity rule is end-to-end: a name (spool file) or record
+// (journal entry) commits to a digest of its content at write time, and
+// every read back recomputes and compares. Storage that lies — bit rot,
+// torn sectors, a misdirected write — surfaces as a *CorruptError
+// instead of being analyzed or replayed as if it were the original
+// bytes.
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"syscall"
+)
+
+// File is the slice of *os.File the journal and spool need. *os.File
+// implements it; fault layers wrap it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the file-system surface of the persistence stack. OS is the
+// real thing; faultinject.Storage returns a wrapper that injects disk
+// faults when armed.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the passthrough FS over the real file system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+// KeyLen is the length of a content key in hex characters: the first 8
+// bytes of a sha256, the same truncation jobs.ResultDigest uses.
+const KeyLen = 16
+
+// Key derives the content key of a body: hex of the first 8 bytes of
+// its sha256. It is simultaneously the submit API's idempotency key and
+// the spool file stem — which is what makes spool reads verifiable: the
+// file name commits to the content it was written with.
+func Key(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ContentKey extracts the content key a spool-style file name commits
+// to: a bare 16-hex-char stem, optionally suffixed ".trace". Names that
+// carry no key (operator-dropped files like "music.trace", dotfiles,
+// repair artifacts) return ok=false and are exempt from verification.
+func ContentKey(name string) (key string, ok bool) {
+	stem := strings.TrimSuffix(name, ".trace")
+	if len(stem) != KeyLen {
+		return "", false
+	}
+	for i := 0; i < len(stem); i++ {
+		c := stem[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", false
+		}
+	}
+	return stem, true
+}
+
+// VerifyBody checks body against the content key its file name commits
+// to. Names without a key verify trivially; a mismatch returns a
+// *CorruptError.
+func VerifyBody(name string, body []byte) error {
+	key, ok := ContentKey(name)
+	if !ok {
+		return nil
+	}
+	if got := Key(body); got != key {
+		return &CorruptError{Path: name, Want: key, Got: got}
+	}
+	return nil
+}
+
+// CorruptError reports a content-integrity failure: bytes read back
+// from storage no longer match the digest their file name or journal
+// record committed to at write time.
+type CorruptError struct {
+	// Path is the file the corrupt bytes came from (journal path or
+	// spool file name).
+	Path string
+	// Seq is the journal sequence number of the corrupt record; 0 for
+	// spool files.
+	Seq int
+	// Offset is the byte offset of the corrupt record in a journal.
+	Offset int64
+	// Want is the committed digest (stored CRC or name-derived key);
+	// Got is what the bytes actually hash to.
+	Want, Got string
+	// Reason refines the classification when the mismatch is not a
+	// plain digest failure (e.g. "out-of-sequence").
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	what := "corrupt content"
+	if e.Seq > 0 {
+		what = fmt.Sprintf("corrupt record seq=%d offset=%d", e.Seq, e.Offset)
+	}
+	msg := fmt.Sprintf("storage: %s: %s", e.Path, what)
+	if e.Reason != "" {
+		msg += " (" + e.Reason + ")"
+	}
+	if e.Want != "" || e.Got != "" {
+		msg += fmt.Sprintf(": want %s, got %s", e.Want, e.Got)
+	}
+	return msg
+}
+
+// IsCorrupt reports whether err is (or wraps) a CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Kind classifies a storage error for the kind label of
+// droidracer_storage_errors_total: enospc, corrupt, eio, or other.
+func Kind(err error) string {
+	switch {
+	case IsCorrupt(err):
+		return "corrupt"
+	case errors.Is(err, syscall.ENOSPC):
+		return "enospc"
+	case errors.Is(err, syscall.EIO):
+		return "eio"
+	default:
+		return "other"
+	}
+}
+
+// CountError records a non-nil err under
+// droidracer_storage_errors_total{op,kind} and returns err unchanged,
+// so call sites can wrap it inline. op names the failed operation as
+// "<scope>.<verb>" (journal.sync, spool.write, spool.read, ...).
+func CountError(op string, err error) error {
+	if err != nil {
+		errorsTotal(op, Kind(err)).Inc()
+	}
+	return err
+}

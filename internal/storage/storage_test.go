@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestKeyIsStable(t *testing.T) {
+	body := []byte("begin(t1)\n")
+	k := Key(body)
+	if len(k) != KeyLen {
+		t.Fatalf("key length = %d, want %d", len(k), KeyLen)
+	}
+	if k != Key(body) {
+		t.Fatal("key not deterministic")
+	}
+	if k == Key([]byte("begin(t2)\n")) {
+		t.Fatal("distinct bodies share a key")
+	}
+}
+
+func TestContentKey(t *testing.T) {
+	key := Key([]byte("x"))
+	cases := []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		{key + ".trace", key, true},
+		{key, key, true},
+		{"music.trace", "", false},
+		{".(" + key + ").tmp", "", false},
+		{strings.ToUpper(key) + ".trace", "", false},
+		{key + "0.trace", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := ContentKey(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ContentKey(%q) = %q, %v; want %q, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestVerifyBody(t *testing.T) {
+	body := []byte("begin(t1)\nend(t1)\n")
+	name := Key(body) + ".trace"
+	if err := VerifyBody(name, body); err != nil {
+		t.Fatalf("pristine body: %v", err)
+	}
+	// One flipped bit must be caught and classified as corruption.
+	flipped := append([]byte(nil), body...)
+	flipped[len(flipped)/2] ^= 0x01
+	err := VerifyBody(name, flipped)
+	if err == nil {
+		t.Fatal("flipped body verified")
+	}
+	if !IsCorrupt(err) {
+		t.Fatalf("want CorruptError, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %q does not mention corruption", err)
+	}
+	// A name that carries no key is exempt — operators drop arbitrary
+	// files into spools.
+	if err := VerifyBody("music.trace", flipped); err != nil {
+		t.Fatalf("keyless name verified: %v", err)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&CorruptError{Path: "x"}, "corrupt"},
+		{fmt.Errorf("wrap: %w", &CorruptError{Path: "x"}), "corrupt"},
+		{syscall.ENOSPC, "enospc"},
+		{fmt.Errorf("journal: %w", syscall.ENOSPC), "enospc"},
+		{syscall.EIO, "eio"},
+		{errors.New("plain"), "other"},
+	}
+	for _, c := range cases {
+		if got := Kind(c.err); got != c.want {
+			t.Errorf("Kind(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestCountErrorPassesThrough(t *testing.T) {
+	if CountError("spool.write", nil) != nil {
+		t.Fatal("nil error changed")
+	}
+	err := syscall.ENOSPC
+	before := errorsTotal("spool.write", "enospc").Value()
+	if got := CountError("spool.write", err); got != error(err) {
+		t.Fatalf("error changed: %v", got)
+	}
+	if after := errorsTotal("spool.write", "enospc").Value(); after != before+1 {
+		t.Fatalf("counter %d -> %d, want +1", before, after)
+	}
+}

@@ -9,7 +9,8 @@
 //	        [-parallelism N] [trace.txt]
 //	racedet -campaign "Paper Music Player" -state DIR [-k N] [-seed N]
 //	racedet -resume DIR
-//	racedet -submit URL [-deadline 30s] [-client-id ID] [trace.txt]
+//	racedet -submit URL [-deadline 30s] [-client-id ID] [-trace-out FILE] [trace.txt]
+//	racedet -trace ID URL_OR_FILE...
 //	racedet -flood URL [-requests N] [-rps N] [-dup 0.5] [-corpus N]
 //	        [-flood-apps "Music Player,..."] [-seed N] [-client-id ID]
 //	racedet -fsck STATEDIR [-spool DIR] [-repair]
@@ -26,7 +27,18 @@
 // Retry-After, under a content-derived idempotency key that is stable
 // across attempts — resubmitting after a timeout or daemon crash never
 // duplicates work. Exit status 0 for accepted/done submissions, 1 for
-// quarantined inputs or exhausted retries.
+// quarantined inputs or exhausted retries. Every submission mints a
+// W3C traceparent so the fleet records a distributed trace under the
+// printed trace ID; -trace-out FILE additionally writes the client-side
+// span as JSON, mergeable into `racedet -trace`.
+//
+// Trace mode (-trace ID SOURCE...) stitches one distributed trace back
+// together: each SOURCE is either a process base URL (its
+// /debug/traces/ID endpoint is queried — gateway and backends each hold
+// their own fragment) or a local span-JSON file (such as a -trace-out
+// file). The merged tree renders as a waterfall with per-hop and
+// per-phase durations. Unreachable sources warn and are skipped; exit
+// status 1 when no source knows the trace.
 //
 // Campaign mode (-campaign/-resume) runs a restartable exploration
 // campaign over an application model, journaling DFS progress and
@@ -84,6 +96,8 @@ func main() {
 	phaseTimings := flag.Bool("phase-timings", false, "append a per-phase wall-clock timing table to the report")
 	submitURL := flag.String("submit", "", "submit the trace to this racedetd ingestion URL instead of analyzing locally")
 	clientID := flag.String("client-id", "", "rate-limit principal sent as X-Client-ID with -submit/-flood")
+	traceOut := flag.String("trace-out", "", "with -submit, write the client-side span of the distributed trace to this JSON file")
+	stitchID := flag.String("trace", "", "stitch and print the distributed trace with this ID from the /debug/traces sources (URLs or span-JSON files) given as arguments")
 	floodURL := flag.String("flood", "", "flood this ingestion URL (a backend or the racedetgw gateway) with generated traces and print a JSON summary")
 	floodRequests := flag.Int("requests", 100, "total submissions for -flood")
 	floodRPS := flag.Float64("rps", 0, "target submissions per second for -flood (0 = unpaced)")
@@ -100,6 +114,11 @@ func main() {
 	seed := flag.Int64("seed", 0, "scheduling seed for -campaign (0 = round-robin); also seeds the -flood corpus and jitter")
 	flag.Parse()
 
+	if *phaseTimings {
+		// Attach a metrics consumer so the per-phase histogram mirror
+		// runs and the timing table can show quantile columns.
+		obs.MarkExporterAttached()
+	}
 	if *fsckDir != "" {
 		runFsck(*fsckDir, *fsckSpool, *fsckRepair)
 		return
@@ -108,8 +127,12 @@ func main() {
 		runCampaign(*campaignApp, *stateDir, *resumeDir, *k, *seed)
 		return
 	}
+	if *stitchID != "" {
+		runTrace(*stitchID, flag.Args())
+		return
+	}
 	if *submitURL != "" {
-		runSubmit(*submitURL, *clientID, *deadline)
+		runSubmit(*submitURL, *clientID, *traceOut, *deadline)
 		return
 	}
 	if *floodURL != "" {
@@ -225,7 +248,12 @@ func main() {
 // argument or stdin) and posts them to a racedetd ingestion endpoint
 // with the retrying client. A -deadline is forwarded as the
 // X-Analysis-Deadline request header rather than applied locally.
-func runSubmit(url, clientID string, deadline time.Duration) {
+//
+// Each submission mints a trace context and sends it as the W3C
+// traceparent header, which makes the fleet keep the distributed trace
+// (client-sampled traces always commit); the trace ID prints to stderr
+// so the operator can stitch it later with `racedet -trace`.
+func runSubmit(url, clientID, traceOut string, deadline time.Duration) {
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -239,13 +267,18 @@ func runSubmit(url, clientID string, deadline time.Duration) {
 	if err != nil {
 		fatal(err)
 	}
+	sc := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}
 	c := &server.Client{
-		BaseURL:  strings.TrimSuffix(url, "/"),
-		Deadline: deadline,
-		ClientID: clientID,
-		Seed:     time.Now().UnixNano(),
+		BaseURL:     strings.TrimSuffix(url, "/"),
+		Deadline:    deadline,
+		ClientID:    clientID,
+		Seed:        time.Now().UnixNano(),
+		Traceparent: sc.Traceparent(),
 	}
+	start := time.Now()
 	resp, attempts, err := c.Submit(context.Background(), body)
+	writeClientSpan(sc, url, traceOut, start, time.Since(start), len(attempts), err)
+	fmt.Fprintf(os.Stderr, "racedet: trace %s\n", sc.TraceID)
 	retried := attempts
 	if n := len(retried); n > 0 {
 		retried = retried[:n-1] // the last attempt is the terminal answer
@@ -336,10 +369,17 @@ func runFlood(url, clientID, appList string, requests, corpus int, rps, dup floa
 }
 
 // printPhases appends the -phase-timings table to the report: the trace
-// parse, then the pipeline's per-phase spans in completion order.
+// parse, then the pipeline's per-phase spans in completion order, with
+// p50/p90/p99 columns for phases the process-wide histogram has
+// observed (a single analysis observes each phase once; a daemon
+// embedding the pipeline accumulates a real distribution).
 func printPhases(res *droidracer.Result, parse time.Duration) {
+	// The file parse happens before the pipeline's collector exists;
+	// mirror it into the process-wide histogram so its quantile cells
+	// render like every other phase's.
+	obs.NewPhases().Record("parse", parse)
 	timings := append([]obs.PhaseTiming{{Phase: "parse", Duration: parse}}, res.Phases...)
-	fmt.Print("\n" + report.PhaseTable(timings))
+	fmt.Print("\n" + report.PhaseTableQuantiles(timings, obs.PhaseQuantiles))
 }
 
 // runFsck is the -fsck entry point: scan the state (and optionally

@@ -1,0 +1,282 @@
+// Trace stitching for the racedet CLI: fetch one distributed trace's
+// fragments from every process that recorded a piece of it — the
+// gateway, each backend, and optionally a local -trace-out file — and
+// render the merged parent/child tree as a waterfall. Each process only
+// ever holds its own spans (there is no central collector), so the CLI
+// is where the cross-process picture comes together.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"droidracer/internal/obs"
+)
+
+// writeClientSpan persists (and records) the client's side of a
+// submission trace: the span covering the whole retrying Submit call,
+// rooted at the SpanID the traceparent header carried, so the server's
+// spans hang under it when the trace is stitched.
+func writeClientSpan(sc obs.SpanContext, url, path string, start time.Time, d time.Duration, attempts int, submitErr error) {
+	if path == "" {
+		return
+	}
+	span := obs.TraceSpan{
+		TraceID: sc.TraceID,
+		SpanID:  sc.SpanID,
+		Name:    "client.submit",
+		Service: "racedet",
+		Start:   start, Duration: d,
+		Attrs: map[string]string{
+			"url":      url,
+			"attempts": fmt.Sprintf("%d", attempts),
+		},
+	}
+	if submitErr != nil {
+		span.Err = submitErr.Error()
+	}
+	data, err := json.MarshalIndent([]obs.TraceSpan{span}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o666); err != nil {
+		fatal(err)
+	}
+}
+
+// runTrace is the -trace entry point: collect the trace's spans from
+// every source, dedup, and print the waterfall. Sources that are
+// unreachable or do not know the trace warn to stderr and are skipped;
+// if nothing knows the trace the exit status is 1.
+func runTrace(id string, sources []string) {
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("-trace requires at least one source: a process base URL or a span-JSON file"))
+	}
+	var spans []obs.TraceSpan
+	seen := make(map[string]bool)
+	found := 0
+	for _, src := range sources {
+		frag, err := fetchSpans(id, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "racedet: %s: %v\n", src, err)
+			continue
+		}
+		if len(frag) == 0 {
+			fmt.Fprintf(os.Stderr, "racedet: %s: trace %s not found\n", src, id)
+			continue
+		}
+		found++
+		for _, sp := range frag {
+			if sp.TraceID != "" && sp.TraceID != id {
+				continue
+			}
+			if sp.SpanID == "" || seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			spans = append(spans, sp)
+		}
+	}
+	if found == 0 || len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "racedet: trace %s not found at any source\n", id)
+		os.Exit(1)
+	}
+	fmt.Print(renderWaterfall(id, spans))
+}
+
+// fetchSpans loads one source's fragment of the trace. URLs are queried
+// at /debug/traces/<id>; anything else is read as a local JSON file
+// holding either a bare span array or a {"spans": [...]} document.
+func fetchSpans(id, src string) ([]obs.TraceSpan, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		return fetchRemote(id, src)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSpans(data)
+}
+
+func fetchRemote(id, base string) ([]obs.TraceSpan, error) {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(strings.TrimSuffix(base, "/") + "/debug/traces/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var doc struct {
+		Spans []obs.TraceSpan `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Spans, nil
+}
+
+func decodeSpans(data []byte) ([]obs.TraceSpan, error) {
+	var bare []obs.TraceSpan
+	if err := json.Unmarshal(data, &bare); err == nil {
+		return bare, nil
+	}
+	var doc struct {
+		Spans []obs.TraceSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Spans, nil
+}
+
+// renderWaterfall builds the parent/child tree (orphans — spans whose
+// parent lives in a process that was not queried — become roots) and
+// renders one line per span: service, indented name with attributes,
+// start offset from the earliest span, duration, and a proportional
+// bar positioned on the trace's time axis.
+func renderWaterfall(id string, spans []obs.TraceSpan) string {
+	byID := make(map[string]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.SpanID] = i
+	}
+	children := make(map[string][]int)
+	var roots []int
+	for i, sp := range spans {
+		if sp.Parent != "" {
+			if _, ok := byID[sp.Parent]; ok {
+				children[sp.Parent] = append(children[sp.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return spans[idx[a]].Start.Before(spans[idx[b]].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	t0 := spans[roots[0]].Start
+	var tEnd time.Time
+	services := make(map[string]bool)
+	for _, sp := range spans {
+		if sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+		if e := sp.Start.Add(sp.Duration); e.After(tEnd) {
+			tEnd = e
+		}
+		services[sp.Service] = true
+	}
+	total := tEnd.Sub(t0)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+
+	type line struct {
+		service, label string
+		span           obs.TraceSpan
+	}
+	var lines []line
+	var walk func(idx []int, depth int)
+	walk = func(idx []int, depth int) {
+		for _, i := range idx {
+			sp := spans[i]
+			label := strings.Repeat("  ", depth) + sp.Name
+			if a := formatAttrs(sp.Attrs); a != "" {
+				label += " " + a
+			}
+			lines = append(lines, line{service: sp.Service, label: label, span: sp})
+			walk(children[sp.SpanID], depth+1)
+		}
+	}
+	walk(roots, 0)
+
+	wService, wLabel := len("service"), 0
+	for _, l := range lines {
+		if len(l.service) > wService {
+			wService = len(l.service)
+		}
+		if len(l.label) > wLabel {
+			wLabel = len(l.label)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d span(s) across %d service(s), %s total\n",
+		id, len(lines), len(services), formatDur(total))
+	for _, l := range lines {
+		sp := l.span
+		mark := " "
+		if sp.Err != "" {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%s %-*s  %-*s  %9s  %9s  %s\n",
+			mark, wService, l.service, wLabel, l.label,
+			"+"+formatDur(sp.Start.Sub(t0)), formatDur(sp.Duration),
+			bar(sp.Start.Sub(t0), sp.Duration, total))
+		if sp.Err != "" {
+			fmt.Fprintf(&b, "%*serr: %s\n", wService+4, "", sp.Err)
+		}
+	}
+	return b.String()
+}
+
+// formatAttrs renders span attributes as a stable "[k=v k=v]" suffix.
+func formatAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// bar renders the span's position on the trace time axis: dots for the
+// lead-in, blocks for the span's extent (at least one).
+func bar(offset, d, total time.Duration) string {
+	const width = 28
+	lead := int(float64(offset) / float64(total) * width)
+	span := int(float64(d) / float64(total) * width)
+	if lead >= width {
+		lead = width - 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	if lead+span > width {
+		span = width - lead
+	}
+	return strings.Repeat("·", lead) + strings.Repeat("■", span) + strings.Repeat(" ", width-lead-span)
+}
+
+// formatDur renders durations at microsecond-to-second friendliness.
+func formatDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -94,7 +94,10 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "cap on per-request X-Analysis-Deadline")
 	maxRetryAfter := flag.Duration("max-retry-after", 5*time.Minute, "ceiling on queue-derived Retry-After hints")
 	sweepGrace := flag.Duration("sweep-grace", 0, "hold the restart spool sweep until a gateway reconcile arrives or this grace expires (0 = sweep immediately)")
+	traceSlow := flag.Duration("trace-slow", time.Second, "tail-capture threshold: unsampled jobs slower than this keep their trace in /debug/traces (0 = only failures)")
+	eventsMaxBytes := flag.Int64("events-max-bytes", obs.DefaultEventsMaxBytes, "rotate the -events file after this many bytes (kept as <file>.1)")
 	flag.Parse()
+	obs.SetServiceName("racedetd")
 	if *spool == "" || *state == "" {
 		fatal(fmt.Errorf("missing -spool or -state"))
 	}
@@ -102,7 +105,7 @@ func main() {
 	events := obs.Nop()
 	runID := obs.NewRunID()
 	if *eventsPath != "" {
-		ef, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o666)
+		ef, err := obs.OpenRotatingFile(*eventsPath, *eventsMaxBytes)
 		if err != nil {
 			fatal(err)
 		}
@@ -180,6 +183,7 @@ func main() {
 		Journal:     w,
 		Events:      events,
 		Quarantine:  q,
+		TraceSlow:   *traceSlow,
 		OnFinish: func(out report.Outcome) {
 			if s := srv; s != nil {
 				s.JobFinished(out)

@@ -50,7 +50,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "jitter seed for probe backoff and forward retries")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address (empty = off)")
 	eventsPath := flag.String("events", "", "append structured JSONL lifecycle events to this file (empty = off)")
+	traceSlow := flag.Duration("trace-slow", time.Second, "tail-capture threshold: unsampled submissions routed slower than this keep their trace in /debug/traces (0 = only failures)")
+	eventsMaxBytes := flag.Int64("events-max-bytes", obs.DefaultEventsMaxBytes, "rotate the -events file after this many bytes (kept as <file>.1)")
 	flag.Parse()
+	obs.SetServiceName("racedetgw")
 	if *backends == "" {
 		fatal(fmt.Errorf("missing -backends"))
 	}
@@ -63,7 +66,7 @@ func main() {
 
 	events := obs.Nop()
 	if *eventsPath != "" {
-		ef, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o666)
+		ef, err := obs.OpenRotatingFile(*eventsPath, *eventsMaxBytes)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,6 +97,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		Seed:           *seed,
 		Events:         events,
+		TraceSlow:      *traceSlow,
 	})
 	if err != nil {
 		fatal(err)

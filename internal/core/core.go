@@ -135,6 +135,12 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (res *Re
 // whatever result (full, degraded, or partial) comes back.
 func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error) {
 	ph := obs.NewPhases()
+	// When the request carries a distributed-trace recorder, each phase
+	// timing doubles as a trace span. One context lookup per analysis;
+	// untraced callers (benchmarks, CLI) pay only a nil check per phase.
+	if rec, parent := obs.TraceFromContext(ctx); rec != nil {
+		ph.AttachTrace(rec, parent)
+	}
 	res, err := analyzePhased(ctx, tr, opts, ph)
 	if res != nil {
 		res.Phases = ph.Timings()

@@ -92,6 +92,12 @@ type Config struct {
 	// Events receives gateway lifecycle events (eject, reinstate,
 	// failover, reconcile, fleet-unavailable).
 	Events *slog.Logger
+	// TraceSlow is the tail-capture threshold for gateway traces: an
+	// unsampled submission whose routing (cache, coalescing, and the
+	// whole failover walk) exceeds it commits its trace to the span
+	// store. Failed and failed-over submissions always commit; 0
+	// disables only the slowness trigger.
+	TraceSlow time.Duration
 }
 
 // backendState is the per-backend routing state. The URL set is fixed at
@@ -262,9 +268,33 @@ func statusCode(resp *server.SubmitResponse) int {
 	}
 }
 
-// handleSubmit routes one submission: cache, then pending coalescing,
-// then the bounded live-ring walk.
+// handleSubmit is the trace shell around routing: every submission runs
+// under a "gateway.submit" span (each forward attempt gets a child span
+// naming its backend), continuing the client's traceparent when present.
+// Unsampled traces are kept only when routing failed over, failed
+// outright, or blew the TraceSlow threshold — the tail worth keeping.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sc, sampled := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	traceID := sc.TraceID
+	if !sampled {
+		traceID = obs.NewTraceID()
+	}
+	rec := obs.Traces().Begin(traceID, sampled)
+	gsp := rec.StartSpan("gateway.submit", sc.SpanID)
+	start := time.Now()
+	var forced bool
+	defer func() {
+		gsp.End()
+		rec.Commit(forced || (g.cfg.TraceSlow > 0 && time.Since(start) > g.cfg.TraceSlow))
+	}()
+	g.routeSubmit(w, r, rec, gsp, &forced)
+}
+
+// routeSubmit routes one submission: cache, then pending coalescing,
+// then the bounded live-ring walk. forced flips when the trace must be
+// tail-captured regardless of sampling (a forward failed or the whole
+// fleet was unavailable).
+func (g *Gateway) routeSubmit(w http.ResponseWriter, r *http.Request, rec *obs.TraceRec, gsp *obs.TSpan, forced *bool) {
 	if g.draining.Load() {
 		respond(w, http.StatusServiceUnavailable, &server.SubmitResponse{
 			Status: server.StatusRejected, Reason: server.RejectShuttingDown,
@@ -286,6 +316,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := server.IdempotencyKey(body)
+	gsp.SetAttr("job", key)
 	if hdr := r.Header.Get("Idempotency-Key"); hdr != "" && hdr != key {
 		respond(w, http.StatusBadRequest, &server.SubmitResponse{
 			Status: server.StatusRejected, Reason: server.RejectKeyMismatch,
@@ -302,6 +333,13 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if resp, ok := g.cache.get(key); ok {
 		cacheHits.Inc()
 		resp.Cached = true
+		// The cached answer names the trace that analyzed it; the replay
+		// span points there so a p99 exemplar chased through the cache
+		// still lands on the spans that did the work.
+		gsp.SetAttr("cached", "true")
+		if resp.TraceID != "" {
+			gsp.SetAttr("analyzed_trace_id", resp.TraceID)
+		}
 		respond(w, statusCode(&resp), &resp)
 		return
 	}
@@ -315,17 +353,25 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// — coalesce locally. The work is durably spooled there; it will
 	// finish when the backend returns.
 	if target, ok := g.pendingFor(key); ok {
+		gsp.SetAttr("coalesced", "true")
 		if g.backends[target].live.Load() {
-			resp, code, _, ferr := g.forward(r.Context(), target, key, body, deadline, clientID)
+			fsp := g.startForwardSpan(rec, gsp, target)
+			resp, code, _, ferr := g.forward(r.Context(), target, key, body, deadline, clientID, fsp.Context().Traceparent())
 			if ferr == nil || (resp != nil && code >= 400 && code < 500) {
+				fsp.SetAttr("outcome", forwardOutcome(ferr))
+				fsp.End()
 				g.finishForward(w, key, target, resp, code, ferr)
 				return
 			}
+			fsp.SetAttr("outcome", "failed")
+			fsp.SetErr(ferr)
+			fsp.End()
 			// The acceptor acknowledged this key: its spool and restart
 			// sweep own the work, so a dead duplicate forward is NOT in
 			// doubt — ledgering it would reclaim (delete) acknowledged
 			// work at the reconcile handshake.
 			g.forwardFailed(r.Context(), target, key, false, ferr)
+			*forced = true
 		}
 		respond(w, http.StatusAccepted, &server.SubmitResponse{
 			Job: key, Status: server.StatusPending, Coalesced: true,
@@ -344,14 +390,23 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if len(walked) > 0 {
 			failoversTotal.Inc()
 			g.cfg.Events.Info("gateway.failover", "job", key,
-				"from", walked[len(walked)-1], "to", target)
+				"from", walked[len(walked)-1], "to", target, "trace_id", rec.TraceID())
 		}
 		walked = append(walked, target)
-		resp, code, inDoubt, ferr := g.forward(r.Context(), target, key, body, deadline, clientID)
+		fsp := g.startForwardSpan(rec, gsp, target)
+		resp, code, inDoubt, ferr := g.forward(r.Context(), target, key, body, deadline, clientID, fsp.Context().Traceparent())
 		if ferr == nil || (resp != nil && code >= 400 && code < 500) {
+			fsp.SetAttr("outcome", forwardOutcome(ferr))
+			fsp.End()
 			g.finishForward(w, key, target, resp, code, ferr)
 			return
 		}
+		fsp.SetAttr("outcome", "failed")
+		if inDoubt {
+			fsp.SetAttr("in_doubt", "true")
+		}
+		fsp.SetErr(ferr)
+		fsp.End()
 		g.forwardFailed(r.Context(), target, key, inDoubt, ferr)
 		if r.Context().Err() != nil {
 			// The inbound client is gone: further forwards would fail on
@@ -359,9 +414,11 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Don't let the walk masquerade as fleet unavailability.
 			return
 		}
+		*forced = true
 	}
 	fleetUnavailableTotal.Inc()
-	g.cfg.Events.Warn("gateway.fleet-unavailable", "job", key, "walked", len(walked))
+	*forced = true
+	g.cfg.Events.Warn("gateway.fleet-unavailable", "job", key, "walked", len(walked), "trace_id", rec.TraceID())
 	respond(w, http.StatusServiceUnavailable, &server.SubmitResponse{
 		Job: key, Status: server.StatusRejected, Reason: "fleet-unavailable",
 		RetryAfterSeconds: retrySeconds(g.cfg.RetryAfter),
@@ -374,7 +431,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // forward). The inDoubt result reports whether any attempt died in
 // flight — the backend may have spooled the trace without answering.
 func (g *Gateway) forward(ctx context.Context, target, key string, body []byte,
-	deadline time.Duration, clientID string) (*server.SubmitResponse, int, bool, error) {
+	deadline time.Duration, clientID, traceparent string) (*server.SubmitResponse, int, bool, error) {
 	fctx, cancel := context.WithTimeout(ctx, g.cfg.ForwardTimeout)
 	defer cancel()
 	cl := server.Client{
@@ -388,6 +445,7 @@ func (g *Gateway) forward(ctx context.Context, target, key string, body []byte,
 		Seed:            g.cfg.Seed ^ int64(fnv64a(key)),
 		Deadline:        deadline,
 		ClientID:        clientID,
+		Traceparent:     traceparent,
 		RetryableStatus: func(code int) bool { return code >= 500 },
 	}
 	resp, attempts, err := cl.Submit(fctx, body)
@@ -399,6 +457,26 @@ func (g *Gateway) forward(ctx context.Context, target, key string, body []byte,
 		}
 	}
 	return resp, code, inDoubt, err
+}
+
+// forwardOutcome labels a decisive forward: "ok" for an acceptance or
+// terminal answer, "rejected" for a relayed 4xx refusal.
+func forwardOutcome(err error) string {
+	if err != nil {
+		return "rejected"
+	}
+	return "ok"
+}
+
+// startForwardSpan opens the child span for one forward attempt. The
+// span's own context becomes the traceparent sent to the backend, so
+// the backend's admission span hangs under exactly the hop that reached
+// it — a failed-over submission shows one failed and one successful
+// forward span with distinct backend attributes.
+func (g *Gateway) startForwardSpan(rec *obs.TraceRec, gsp *obs.TSpan, target string) *obs.TSpan {
+	fsp := rec.StartSpan("gateway.forward", gsp.ID())
+	fsp.SetAttr("backend", target)
+	return fsp
 }
 
 // finishForward turns a decisive backend answer into the gateway

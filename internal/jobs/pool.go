@@ -21,11 +21,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"droidracer/internal/budget"
 	"droidracer/internal/core"
 	"droidracer/internal/faultinject"
 	"droidracer/internal/journal"
+	"droidracer/internal/obs"
 	"droidracer/internal/report"
 	"droidracer/internal/storage"
 	"droidracer/internal/trace"
@@ -51,6 +53,16 @@ type Job struct {
 	// quarantine (Config.Quarantine) moves it to the dead-letter
 	// directory when the job proves poisonous.
 	Path string
+	// Trace, when set, is the distributed-trace recorder the job's spans
+	// (queue-wait, job.run, analysis phases) buffer into; the pool makes
+	// the commit decision at finish time (see Config.TraceSlow). When
+	// nil, the pool mints an unsampled recorder so slow, failed, and
+	// quarantined jobs from any intake path (spool sweep, CLI) are still
+	// tail-captured.
+	Trace *obs.TraceRec
+	// TraceParent is the span ID the job's spans hang under — typically
+	// the ingestion server's admission span.
+	TraceParent string
 }
 
 func (j Job) key() string {
@@ -125,12 +137,25 @@ type Config struct {
 	// worker goroutine; the ingestion layer uses it to answer duplicate
 	// submissions from completed work.
 	OnFinish func(report.Outcome)
+	// TraceSlow is the tail-capture threshold: an unsampled job whose
+	// execution (queue wait included) exceeds it commits its trace to the
+	// span store even though no client asked for it. Failed and
+	// quarantined jobs always commit. 0 disables the slowness trigger
+	// (failure capture stays on).
+	TraceSlow time.Duration
+}
+
+// queuedJob pairs a job with its admission time so the worker can
+// reconstruct the queue-wait span without widening the Job API.
+type queuedJob struct {
+	Job
+	enqueued time.Time
 }
 
 // Pool runs submitted jobs on a fixed set of workers.
 type Pool struct {
 	cfg     Config
-	queue   chan Job
+	queue   chan queuedJob
 	rootCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -162,7 +187,7 @@ func NewPool(cfg Config) *Pool {
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
 		cfg:     cfg,
-		queue:   make(chan Job, cfg.QueueDepth),
+		queue:   make(chan queuedJob, cfg.QueueDepth),
 		rootCtx: ctx,
 		cancel:  cancel,
 		brk:     newBreaker(cfg.Breaker),
@@ -196,7 +221,7 @@ func (p *Pool) Submit(job Job) error {
 		return p.shed(job.Name, ReasonShuttingDown)
 	}
 	select {
-	case p.queue <- job:
+	case p.queue <- queuedJob{Job: job, enqueued: time.Now()}:
 		p.queued[job.Name]++
 		p.pending++
 		p.mu.Unlock()
@@ -247,7 +272,8 @@ func (p *Pool) Sheds() map[string]int {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for job := range p.queue {
+	for qj := range p.queue {
+		job := qj.Job
 		queueDepth.Set(int64(len(p.queue)))
 		p.mu.Lock()
 		if p.queued[job.Name]--; p.queued[job.Name] == 0 {
@@ -258,16 +284,34 @@ func (p *Pool) worker() {
 		if draining {
 			// Jobs still queued at shutdown are checkpointed, not run:
 			// they will be resubmitted by the next incarnation.
-			p.finish(report.Outcome{Name: job.Name, JobState: report.JobDrained})
+			p.finish(report.Outcome{Name: job.Name, JobState: report.JobDrained, TraceID: job.Trace.TraceID()})
+			job.Trace.Commit(false)
 			continue
 		}
+		if job.Trace == nil {
+			// Untraced intake (spool sweep, direct Submit): record under a
+			// fresh unsampled trace so tail capture still sees slow and
+			// failed work nobody asked to watch.
+			job.Trace = obs.Traces().Begin(obs.NewTraceID(), false)
+		}
+		job.Trace.AddSpan("queue-wait", job.TraceParent, qj.enqueued, time.Since(qj.enqueued))
+		sp := job.Trace.StartSpan("job.run", job.TraceParent)
 		inflight.Inc()
-		out := p.runJob(job)
+		out := p.runJob(job, obs.ContextWithTrace(p.rootCtx, job.Trace, sp.ID()))
 		inflight.Dec()
+		sp.SetAttr("mode", OutcomeMode(out))
+		sp.SetErr(out.Err)
+		sp.End()
+		out.TraceID = job.Trace.TraceID()
 		if p.cfg.Quarantine != nil && Poisonous(out) {
 			p.quarantine(job, &out)
 		}
 		p.finish(out)
+		// Tail capture: keep the trace when the client sampled it, the job
+		// failed or was quarantined, or it blew the slowness threshold.
+		force := out.Err != nil || out.JobState == report.JobQuarantined ||
+			(p.cfg.TraceSlow > 0 && time.Since(qj.enqueued) > p.cfg.TraceSlow)
+		job.Trace.Commit(force)
 	}
 }
 
@@ -279,8 +323,9 @@ func (p *Pool) quarantine(job Job, out *report.Outcome) {
 	out.JobState = report.JobQuarantined
 	if p.cfg.Journal != nil {
 		jerr := p.cfg.Journal.Append(quarantineEntryType, QuarantineEntry{
-			Name:   out.Name,
-			Reason: out.Err.Error(),
+			Name:    out.Name,
+			Reason:  out.Err.Error(),
+			TraceID: out.TraceID,
 		})
 		if jerr == nil {
 			jerr = p.cfg.Journal.Sync()
@@ -324,6 +369,7 @@ func (p *Pool) finish(out report.Outcome) {
 			Name:     out.Name,
 			Mode:     OutcomeMode(out),
 			Attempts: out.Attempts,
+			TraceID:  out.TraceID,
 		}
 		if out.Result != nil {
 			je.Races = len(out.Result.Races)
@@ -353,6 +399,9 @@ func (p *Pool) finish(out report.Outcome) {
 		}
 		if seq > 0 {
 			attrs = append(attrs, "journal_seq", seq)
+		}
+		if out.TraceID != "" {
+			attrs = append(attrs, "trace_id", out.TraceID)
 		}
 		if out.Err != nil {
 			attrs = append(attrs, "err", out.Err.Error())
@@ -430,12 +479,14 @@ func (p *Pool) Shutdown(ctx context.Context) []report.Outcome {
 }
 
 // runJob supervises one job execution: breaker short-circuit, bounded
-// retries with backoff, budget composition, and panic isolation.
-func (p *Pool) runJob(job Job) report.Outcome {
+// retries with backoff, budget composition, and panic isolation. ctx is
+// the pool's root context, optionally carrying the job's trace recorder
+// (see worker) so analysis phases become child spans.
+func (p *Pool) runJob(job Job, ctx context.Context) report.Outcome {
 	out := report.Outcome{Name: job.Name}
 	key := job.key()
 	if reason, open := p.brk.OpenFor(key); open {
-		return p.degrade(job, out, reason)
+		return p.degrade(ctx, job, out, reason)
 	}
 	retry := p.cfg.Retry.withDefaults()
 	var lastErr error
@@ -448,7 +499,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 			out.Err = &budget.Error{Stage: "jobs", Resource: budget.ResourceContext, Cause: err}
 			return out
 		}
-		res, err := p.runAttempt(job)
+		res, err := p.runAttempt(job, ctx)
 		if err == nil {
 			p.brk.Success(key)
 			out.Result = res
@@ -465,7 +516,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 		if opened := p.brk.Failure(key, err); opened {
 			// The breaker opened on this failure; stop burning attempts
 			// on an input that keeps killing the full pipeline.
-			return p.degrade(job, out, err)
+			return p.degrade(ctx, job, out, err)
 		}
 		if !retry.Retryable(err) {
 			break
@@ -478,7 +529,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 		}
 	}
 	if reason, open := p.brk.OpenFor(key); open {
-		return p.degrade(job, out, reason)
+		return p.degrade(ctx, job, out, reason)
 	}
 	out.Err = lastErr
 	return out
@@ -486,8 +537,7 @@ func (p *Pool) runJob(job Job) report.Outcome {
 
 // runAttempt executes one attempt under the pool budget, isolating
 // panics that escape the job's own boundaries.
-func (p *Pool) runAttempt(job Job) (res *core.Result, err error) {
-	ctx := p.rootCtx
+func (p *Pool) runAttempt(job Job, ctx context.Context) (res *core.Result, err error) {
 	if p.cfg.Budget.Wall > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.cfg.Budget.Wall)
@@ -504,12 +554,12 @@ func (p *Pool) runAttempt(job Job) (res *core.Result, err error) {
 }
 
 // degrade runs the job's fallback (if any) because the breaker is open.
-func (p *Pool) degrade(job Job, out report.Outcome, reason error) report.Outcome {
+func (p *Pool) degrade(ctx context.Context, job Job, out report.Outcome, reason error) report.Outcome {
 	if job.Fallback == nil {
 		out.Err = fmt.Errorf("jobs: breaker open for %s: %w", job.key(), reason)
 		return out
 	}
-	res, err := job.Fallback(p.rootCtx, reason)
+	res, err := job.Fallback(ctx, reason)
 	out.Result, out.Err = res, err
 	return out
 }
@@ -524,6 +574,11 @@ type JobEntry struct {
 	Attempts int    `json:"attempts,omitempty"`
 	Races    int    `json:"races,omitempty"`
 	Digest   string `json:"digest,omitempty"`
+	// TraceID is the distributed trace that analyzed this input, so an
+	// operator can go from a journal record (or a duplicate submission
+	// replayed from it) back to the exact admission, queue wait, and
+	// per-phase spans that produced the result.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // OutcomeMode renders the outcome's analysis disposition for journaling:
@@ -624,7 +679,11 @@ func TraceJob(name, path string, opts core.Options) Job {
 		Key:  path,
 		Path: path,
 		Run: func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
+			t0 := time.Now()
 			tr, err := parseSpoolFile(path)
+			if rec, parent := obs.TraceFromContext(ctx); rec != nil {
+				rec.AddSpan("phase.parse", parent, t0, time.Since(t0))
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -29,9 +29,13 @@ type Quarantine struct {
 const quarantineEntryType = "quarantine"
 
 // QuarantineEntry is the journal payload recorded per dead-lettered job.
+// TraceID correlates the dead-letter record with the committed trace of
+// the analysis that proved the input poisonous (quarantined jobs always
+// tail-capture).
 type QuarantineEntry struct {
-	Name   string `json:"name"`
-	Reason string `json:"reason"`
+	Name    string `json:"name"`
+	Reason  string `json:"reason"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Absorb moves the input file at path into the quarantine directory and

@@ -5,6 +5,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -38,4 +39,84 @@ func NewEventLog(w io.Writer, runID string) *slog.Logger {
 // unconditionally.
 func Nop() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// DefaultEventsMaxBytes caps an event-log file before rotation when the
+// daemon does not override it: 64 MiB, weeks of events at fleet rates.
+const DefaultEventsMaxBytes = 64 << 20
+
+// eventRotationsTotal counts event-log rotations across the process.
+var eventRotationsTotal = Default().Counter("droidracer_events_rotations_total",
+	"Event-log files rotated out after reaching -events-max-bytes.")
+
+// RotatingFile is a size-capped append-only log sink: when a write
+// would push the file past max bytes, the current file is renamed to
+// <path>.1 (replacing any previous .1) and a fresh file is started. A
+// long-running daemon therefore holds at most 2×max bytes of events on
+// disk — the bound matters more than deep history; the journal, not
+// the event log, is the durable record.
+type RotatingFile struct {
+	mu   sync.Mutex
+	path string
+	max  int64
+	f    *os.File
+	size int64
+}
+
+// OpenRotatingFile opens (appending) path as a rotating event sink.
+// maxBytes <= 0 selects DefaultEventsMaxBytes.
+func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultEventsMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingFile{path: path, max: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first if the file would exceed the cap. A
+// single record larger than the cap is still written whole — events
+// are JSONL and must never be split across files.
+func (w *RotatingFile) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.size > 0 && w.size+int64(len(p)) > w.max {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate is called with the lock held.
+func (w *RotatingFile) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	eventRotationsTotal.Inc()
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *RotatingFile) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
 }

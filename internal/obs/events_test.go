@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRotatingFile checks the size-capped event sink: rotation renames
+// the live file to .1 (replacing the previous .1), no record is ever
+// split across files, the on-disk footprint stays bounded, and the
+// rotation counter moves.
+func TestRotatingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	before := eventRotationsTotal.Value()
+
+	w, err := OpenRotatingFile(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	record := strings.Repeat("x", 39) + "\n" // 40 bytes: 2 fit under the cap, the 3rd rotates
+	for i := 0; i < 7; i++ {
+		if n, err := w.Write([]byte(record)); err != nil || n != len(record) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("no rotated .1 file: %v", err)
+	}
+	if len(live)+len(old) > 2*100+len(record) {
+		t.Fatalf("disk footprint %d+%d exceeds the 2×max bound", len(live), len(old))
+	}
+	for name, data := range map[string][]byte{"live": live, ".1": old} {
+		for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+			if line != strings.Repeat("x", 39) {
+				t.Fatalf("%s file holds a torn record %q", name, line)
+			}
+		}
+	}
+	if got := eventRotationsTotal.Value() - before; got < 2 {
+		t.Fatalf("rotation counter moved %d, want >= 2", got)
+	}
+
+	// A single oversized record is written whole, not split or refused.
+	big := strings.Repeat("y", 150) + "\n"
+	if _, err := w.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), big) {
+		t.Fatal("oversized record not written whole")
+	}
+
+	// Reopening resumes from the existing size: the next write past the
+	// cap rotates instead of growing forever.
+	w2, err := OpenRotatingFile(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := w2.Write([]byte(record)); err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rotated), "y") {
+		t.Fatal("reopen did not account for the existing file size")
+	}
+}

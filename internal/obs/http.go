@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 )
 
@@ -17,6 +19,8 @@ var expvarOnce sync.Once
 //	/metrics          Prometheus text exposition
 //	/debug/vars       expvar (process stats + a registry snapshot)
 //	/debug/pprof/...  runtime profiling (net/http/pprof)
+//	/debug/traces     committed traces in the span store (list)
+//	/debug/traces/ID  one trace's spans as JSON
 //
 // The handlers are registered on a private mux, not
 // http.DefaultServeMux, so importing this package never adds routes to
@@ -39,7 +43,35 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", serveTraceList)
+	mux.HandleFunc("/debug/traces/", serveTraceByID)
 	return mux
+}
+
+// serveTraceList lists the span store's committed traces, newest first.
+// ?id=TRACEID is accepted as an alternative to the path form.
+func serveTraceList(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		writeTrace(w, id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"traces": Traces().Summaries()})
+}
+
+// serveTraceByID serves /debug/traces/<trace-id>.
+func serveTraceByID(w http.ResponseWriter, r *http.Request) {
+	writeTrace(w, strings.TrimPrefix(r.URL.Path, "/debug/traces/"))
+}
+
+func writeTrace(w http.ResponseWriter, id string) {
+	spans := Traces().Trace(id)
+	if spans == nil {
+		http.Error(w, "unknown trace", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"trace_id": id, "spans": spans})
 }
 
 // ServeDebug binds addr and serves DebugMux(reg) in the background,

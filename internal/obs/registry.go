@@ -124,6 +124,42 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank, the same estimator Prometheus's histogram_quantile
+// uses: the first bucket interpolates from zero, and ranks landing in
+// the +Inf bucket clamp to the highest finite bound (the estimator
+// cannot see past it). Returns 0 when nothing has been observed.
+//
+// Reads are atomic per bucket but not mutually consistent with
+// concurrent Observes; for a monitoring estimate that skew is noise.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DurationBuckets returns the default latency bucket bounds, in
 // seconds: 5µs to ~10s, roughly trebling — wide enough for both an
 // fsync and a whole-trace closure.
@@ -274,6 +310,11 @@ func (r *Registry) Snapshot() map[string]any {
 			case s.hist != nil:
 				out[key+"_count"] = s.hist.Count()
 				out[key+"_sum"] = s.hist.Sum()
+				if s.hist.Count() > 0 {
+					out[key+"_p50"] = s.hist.Quantile(0.50)
+					out[key+"_p90"] = s.hist.Quantile(0.90)
+					out[key+"_p99"] = s.hist.Quantile(0.99)
+				}
 			}
 		}
 	}

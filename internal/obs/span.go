@@ -23,6 +23,8 @@ type Phases struct {
 	mu      sync.Mutex
 	timings []PhaseTiming
 	reg     *Registry
+	rec     *TraceRec
+	parent  string
 }
 
 // NewPhases returns a collector publishing into the default registry.
@@ -34,6 +36,18 @@ func NewPhases() *Phases {
 
 // NewPhasesIn returns a collector publishing into reg (tests).
 func NewPhasesIn(reg *Registry) *Phases { return &Phases{reg: reg} }
+
+// AttachTrace mirrors each subsequent phase timing into rec as a
+// "phase.<name>" trace span hanging under parent, so one measurement
+// feeds both the histogram and the distributed trace.
+func (p *Phases) AttachTrace(rec *TraceRec, parent string) {
+	if p == nil || rec == nil {
+		return
+	}
+	p.mu.Lock()
+	p.rec, p.parent = rec, parent
+	p.mu.Unlock()
+}
 
 // Span is one in-flight phase measurement; End stops the clock.
 type Span struct {
@@ -70,8 +84,11 @@ func (p *Phases) add(phase string, d time.Duration) {
 	}
 	p.mu.Lock()
 	p.timings = append(p.timings, PhaseTiming{Phase: phase, Duration: d})
-	reg := p.reg
+	reg, rec, parent := p.reg, p.rec, p.parent
 	p.mu.Unlock()
+	if rec != nil {
+		rec.AddSpan("phase."+phase, parent, time.Now().Add(-d), d)
+	}
 	// The default-registry mirror is only worth paying for when someone
 	// can read it; the timings slice itself (what -phase-timings and
 	// Result.Phases consume) is always recorded. Explicit registries
@@ -100,6 +117,19 @@ func phaseHistogram(reg *Registry, phase string) *Histogram {
 		phaseHists.Store(phase, h)
 	}
 	return h
+}
+
+// PhaseQuantiles reads the process-wide phase-duration histogram for
+// one phase and estimates its p50/p90/p99. ok is false when the phase
+// has no observations — e.g. no metrics consumer ever attached, so the
+// default-registry mirror never ran.
+func PhaseQuantiles(phase string) (p50, p90, p99 time.Duration, ok bool) {
+	h := phaseHistogram(Default(), phase)
+	if h.Count() == 0 {
+		return 0, 0, 0, false
+	}
+	toDur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return toDur(h.Quantile(0.50)), toDur(h.Quantile(0.90)), toDur(h.Quantile(0.99)), true
 }
 
 // Record appends an externally measured timing (e.g. a parse done

@@ -1,0 +1,464 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Distributed tracing, zero-dependency. A submission mints (or inherits
+// via the W3C traceparent header) a 16-byte trace ID; every process it
+// crosses buffers spans into a per-request TraceRec and decides at the
+// end whether the trace is worth keeping (tail capture): client-sampled
+// traces always commit, unsampled ones commit only when the request was
+// slow, failed, or quarantined. Committed traces land in a bounded ring
+// (SpanStore) served by /debug/traces on the DebugMux; `racedet -trace`
+// stitches the per-process fragments into one waterfall.
+
+// TraceparentHeader is the W3C propagation header name.
+const TraceparentHeader = "traceparent"
+
+// SpanContext identifies a position in a trace: the trace and the span
+// under which remote work should hang. IDs are lowercase hex (32 and 16
+// digits), exactly as they appear on the wire.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Traceparent renders the context in W3C form:
+// "00-<trace-id>-<parent-id>-01" (version 00, sampled flag set —
+// a caller that sends the header wants the trace kept).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version byte (per spec, unknown versions are parsed as 00) and
+// rejects all-zero IDs, which the spec defines as invalid.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	tid, sid := h[3:35], h[36:52]
+	if !validHex(tid) || !validHex(sid) || allZero(tid) || allZero(sid) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: sid}, true
+}
+
+func validHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// spanSeq feeds span-ID generation: a random per-process base (so IDs
+// from different fleet processes merge without collision) advanced by
+// an atomic counter (so minting a span never takes a lock or a read
+// from the kernel's entropy pool).
+var spanSeq atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		spanSeq.Store(binary.BigEndian.Uint64(b[:]))
+	} else {
+		spanSeq.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewTraceID mints a random 32-hex-digit trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:8], spanSeq.Add(1))
+		binary.BigEndian.PutUint64(b[8:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a 16-hex-digit span ID unique across the fleet.
+func NewSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], spanSeq.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
+// TraceSpan is one finished span as stored and served by /debug/traces.
+type TraceSpan struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	Parent   string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Service  string            `json:"service,omitempty"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Err      string            `json:"err,omitempty"`
+}
+
+// serviceName labels every span this process emits ("racedetd",
+// "racedetgw", "racedet"); the stitched waterfall's first column.
+var serviceName atomic.Value // string
+
+// SetServiceName records the process's service label for spans.
+func SetServiceName(name string) { serviceName.Store(name) }
+
+// ServiceName returns the configured service label, or "".
+func ServiceName() string {
+	if v := serviceName.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Trace metrics, pre-registered so scrapes see the family from start.
+var (
+	traceSpansTotal = Default().Counter("droidracer_trace_spans_total",
+		"Spans recorded into trace buffers (committed or not).")
+	traceCommitsTotal = Default().Counter("droidracer_trace_commits_total",
+		"Traces committed to the in-process span store (tail capture hits).")
+	traceDiscardsTotal = Default().Counter("droidracer_trace_discards_total",
+		"Unsampled traces discarded at commit time (fast, healthy requests).")
+	traceEvictionsTotal = Default().Counter("droidracer_trace_store_evictions_total",
+		"Committed traces evicted from the bounded span store ring.")
+	traceStored = Default().Gauge("droidracer_trace_store_traces",
+		"Committed traces currently held in the span store ring.")
+)
+
+// maxSpansPerTrace bounds one trace's buffer: a pathological retry loop
+// must not turn a recorder into an unbounded allocation.
+const maxSpansPerTrace = 256
+
+// storedTrace is one committed trace in the ring.
+type storedTrace struct {
+	id    string
+	spans []TraceSpan
+}
+
+// SpanStore is a bounded ring of committed traces. Commits past the
+// capacity evict the oldest trace; lookups and listings copy out under
+// the lock so scrapes never observe a trace mid-eviction.
+type SpanStore struct {
+	mu   sync.Mutex
+	cap  int
+	ring []storedTrace
+	next int            // ring index the next commit overwrites
+	byID map[string]int // trace id -> ring index
+}
+
+// DefaultSpanStoreCapacity is the per-process trace retention when the
+// daemon does not override it: enough history to chase a p99 exemplar
+// minutes later without holding more than a few MB of spans.
+const DefaultSpanStoreCapacity = 512
+
+// NewSpanStore returns a ring holding up to capacity committed traces.
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity < 1 {
+		capacity = DefaultSpanStoreCapacity
+	}
+	return &SpanStore{cap: capacity, ring: make([]storedTrace, capacity), byID: make(map[string]int)}
+}
+
+var defaultSpanStore = NewSpanStore(DefaultSpanStoreCapacity)
+
+// Traces returns the process-wide span store that daemons commit into
+// and /debug/traces serves.
+func Traces() *SpanStore { return defaultSpanStore }
+
+// put commits one trace's spans, evicting the oldest if full. A second
+// commit for the same trace ID (e.g. a duplicate submission coalescing
+// against a pending job) appends to the existing entry rather than
+// splitting the trace across ring slots.
+func (st *SpanStore) put(id string, spans []TraceSpan) {
+	if st == nil || len(spans) == 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i, ok := st.byID[id]; ok {
+		if len(st.ring[i].spans)+len(spans) <= maxSpansPerTrace {
+			st.ring[i].spans = append(st.ring[i].spans, spans...)
+		}
+		return
+	}
+	if evicted := st.ring[st.next]; evicted.id != "" {
+		delete(st.byID, evicted.id)
+		traceEvictionsTotal.Inc()
+	}
+	st.ring[st.next] = storedTrace{id: id, spans: spans}
+	st.byID[id] = st.next
+	st.next = (st.next + 1) % st.cap
+	traceStored.Set(int64(len(st.byID)))
+}
+
+// Trace returns the committed spans of one trace ID, or nil.
+func (st *SpanStore) Trace(id string) []TraceSpan {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i, ok := st.byID[id]
+	if !ok {
+		return nil
+	}
+	return append([]TraceSpan(nil), st.ring[i].spans...)
+}
+
+// TraceSummary is one row of the /debug/traces listing.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Root     string        `json:"root"`
+	Service  string        `json:"service,omitempty"`
+	Spans    int           `json:"spans"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Summaries lists the stored traces, most recently committed first.
+// The root span is the first span without a locally known parent; its
+// name, start, and duration summarize the trace.
+func (st *SpanStore) Summaries() []TraceSummary {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TraceSummary, 0, len(st.byID))
+	// Walk the ring newest-first: next-1 backwards.
+	for k := 0; k < st.cap; k++ {
+		i := (st.next - 1 - k + 2*st.cap) % st.cap
+		tr := st.ring[i]
+		if tr.id == "" {
+			continue
+		}
+		out = append(out, summarize(tr))
+		if len(out) == len(st.byID) {
+			break
+		}
+	}
+	return out
+}
+
+func summarize(tr storedTrace) TraceSummary {
+	s := TraceSummary{TraceID: tr.id, Spans: len(tr.spans)}
+	local := make(map[string]bool, len(tr.spans))
+	for _, sp := range tr.spans {
+		local[sp.SpanID] = true
+	}
+	for _, sp := range tr.spans {
+		if sp.Parent == "" || !local[sp.Parent] {
+			s.Root, s.Service = sp.Name, sp.Service
+			s.Start, s.Duration = sp.Start, sp.Duration
+			break
+		}
+	}
+	for _, sp := range tr.spans {
+		if sp.Err != "" {
+			s.Err = sp.Err
+			break
+		}
+	}
+	return s
+}
+
+// TraceRec buffers one request's spans until the commit decision. A nil
+// *TraceRec is a valid no-op recorder: every method checks, so
+// instrumented code never branches on whether tracing is on.
+type TraceRec struct {
+	store   *SpanStore
+	traceID string
+	sampled bool
+
+	mu        sync.Mutex
+	spans     []TraceSpan
+	committed bool
+}
+
+// Begin starts recording a trace into the store. sampled marks traces
+// the client asked to keep (it sent a traceparent); unsampled traces
+// only survive a forced commit (slow / failed / quarantined).
+func (st *SpanStore) Begin(traceID string, sampled bool) *TraceRec {
+	if st == nil || traceID == "" {
+		return nil
+	}
+	return &TraceRec{store: st, traceID: traceID, sampled: sampled}
+}
+
+// TraceID returns the trace being recorded, or "" on a nil recorder.
+func (r *TraceRec) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.traceID
+}
+
+// Sampled reports whether the client asked for this trace to be kept.
+func (r *TraceRec) Sampled() bool { return r != nil && r.sampled }
+
+// AddSpan records an already-measured span (e.g. a phase timing whose
+// clock ran before the recorder was consulted).
+func (r *TraceRec) AddSpan(name, parent string, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.append(TraceSpan{
+		TraceID: r.traceID, SpanID: NewSpanID(), Parent: parent,
+		Name: name, Service: ServiceName(), Start: start, Duration: d,
+	})
+}
+
+func (r *TraceRec) append(sp TraceSpan) {
+	r.mu.Lock()
+	if len(r.spans) < maxSpansPerTrace {
+		r.spans = append(r.spans, sp)
+	}
+	r.mu.Unlock()
+	traceSpansTotal.Inc()
+}
+
+// TSpan is one in-flight trace span; End records it on the recorder.
+type TSpan struct {
+	rec   *TraceRec
+	span  TraceSpan
+	ended atomic.Bool
+}
+
+// StartSpan opens a span under parent (a span ID, or "" for a root).
+// Safe on a nil recorder — returns a no-op span whose ID is "".
+func (r *TraceRec) StartSpan(name, parent string) *TSpan {
+	if r == nil {
+		return nil
+	}
+	return &TSpan{rec: r, span: TraceSpan{
+		TraceID: r.traceID, SpanID: NewSpanID(), Parent: parent,
+		Name: name, Service: ServiceName(), Start: time.Now(),
+	}}
+}
+
+// ID returns the span's ID ("" on a no-op span), for parenting
+// children or rendering a traceparent to send downstream.
+func (s *TSpan) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.span.SpanID
+}
+
+// Context returns the SpanContext addressing this span.
+func (s *TSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.span.TraceID, SpanID: s.span.SpanID}
+}
+
+// SetAttr attaches a key=value attribute. Not safe for concurrent use
+// with End on the same span (spans are single-owner by design).
+func (s *TSpan) SetAttr(k, v string) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[k] = v
+}
+
+// SetErr marks the span failed.
+func (s *TSpan) SetErr(err error) {
+	if s == nil || err == nil || s.ended.Load() {
+		return
+	}
+	s.span.Err = err.Error()
+}
+
+// End stops the clock and records the span; a second End is a no-op.
+func (s *TSpan) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	s.rec.append(s.span)
+}
+
+// Commit decides the trace's fate: keep when the client sampled it or
+// the process observed something worth keeping (force: slow, failed,
+// quarantined), discard otherwise. Idempotent; spans recorded by a
+// later commit of the same ID append to the stored trace.
+func (r *TraceRec) Commit(force bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.committed {
+		r.mu.Unlock()
+		return
+	}
+	r.committed = true
+	spans := r.spans
+	r.spans = nil
+	r.mu.Unlock()
+	if !r.sampled && !force {
+		traceDiscardsTotal.Inc()
+		return
+	}
+	if len(spans) == 0 {
+		return
+	}
+	traceCommitsTotal.Inc()
+	r.store.put(r.traceID, spans)
+}
+
+// traceCtxKey carries a traceCtx through context.Context.
+type traceCtxKey struct{}
+
+type traceCtx struct {
+	rec    *TraceRec
+	parent string
+}
+
+// ContextWithTrace returns ctx carrying the recorder and the span ID
+// new child spans should hang under.
+func ContextWithTrace(ctx context.Context, rec *TraceRec, parent string) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, traceCtx{rec: rec, parent: parent})
+}
+
+// TraceFromContext extracts the recorder and parent span ID, or
+// (nil, "") when the request is untraced.
+func TraceFromContext(ctx context.Context) (*TraceRec, string) {
+	if ctx == nil {
+		return nil, ""
+	}
+	if tc, ok := ctx.Value(traceCtxKey{}).(traceCtx); ok {
+		return tc.rec, tc.parent
+	}
+	return nil, ""
+}
+
+// String implements fmt.Stringer for debugging.
+func (sc SpanContext) String() string { return fmt.Sprintf("%s/%s", sc.TraceID, sc.SpanID) }

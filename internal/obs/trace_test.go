@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParseTraceparent checks the W3C header parser against valid,
+// malformed, and spec-invalid (all-zero) inputs.
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, ok := ParseTraceparent(valid)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", valid)
+	}
+	if sc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || sc.SpanID != "00f067aa0ba902b7" {
+		t.Fatalf("parsed %+v", sc)
+	}
+	if sc.Traceparent() != valid {
+		t.Fatalf("round trip: got %q want %q", sc.Traceparent(), valid)
+	}
+	// Unknown versions parse (the spec forward-compat rule).
+	if _, ok := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); !ok {
+		t.Error("unknown version rejected")
+	}
+	bad := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // too short
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // wrong separator
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // bad hex
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a bad header", h)
+		}
+	}
+}
+
+// TestSpanIDsUnique checks the collision-free generator contract the
+// stitcher relies on when merging fragments from many processes.
+func TestSpanIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("span id %q duplicate or malformed", id)
+		}
+		seen[id] = true
+	}
+	if tid := NewTraceID(); len(tid) != 32 {
+		t.Fatalf("trace id %q malformed", tid)
+	}
+}
+
+func testSpan(traceID, name string) TraceSpan {
+	return TraceSpan{TraceID: traceID, SpanID: NewSpanID(), Name: name, Start: time.Now(), Duration: time.Millisecond}
+}
+
+// TestSpanStoreRing checks the bounded ring: eviction of the oldest
+// trace past capacity, append-on-duplicate-ID (duplicate submissions
+// coalescing onto one trace), and newest-first summaries.
+func TestSpanStoreRing(t *testing.T) {
+	st := NewSpanStore(2)
+	ids := []string{NewTraceID(), NewTraceID(), NewTraceID()}
+	for _, id := range ids {
+		st.put(id, []TraceSpan{testSpan(id, "root")})
+	}
+	if got := st.Trace(ids[0]); got != nil {
+		t.Errorf("oldest trace not evicted: %v", got)
+	}
+	if got := st.Trace(ids[2]); len(got) != 1 {
+		t.Fatalf("newest trace lost: %v", got)
+	}
+	// A second commit for a stored ID appends instead of splitting.
+	st.put(ids[2], []TraceSpan{testSpan(ids[2], "duplicate")})
+	if got := st.Trace(ids[2]); len(got) != 2 {
+		t.Fatalf("duplicate commit did not append: %d spans", len(got))
+	}
+	sums := st.Summaries()
+	if len(sums) != 2 || sums[0].TraceID != ids[2] || sums[1].TraceID != ids[1] {
+		t.Fatalf("summaries not newest-first: %+v", sums)
+	}
+	if sums[0].Root != "root" || sums[0].Spans != 2 {
+		t.Fatalf("summary root wrong: %+v", sums[0])
+	}
+}
+
+// TestTraceRecTailCapture checks the commit decision: client-sampled
+// traces always keep, unsampled traces keep only when forced (slow,
+// failed, quarantined), and commit is idempotent.
+func TestTraceRecTailCapture(t *testing.T) {
+	st := NewSpanStore(8)
+
+	sampled := st.Begin(NewTraceID(), true)
+	sp := sampled.StartSpan("server.submit", "")
+	sp.SetAttr("job", "j1")
+	sp.End()
+	sampled.Commit(false)
+	if got := st.Trace(sampled.TraceID()); len(got) != 1 || got[0].Attrs["job"] != "j1" {
+		t.Fatalf("sampled trace not committed: %v", got)
+	}
+
+	fast := st.Begin(NewTraceID(), false)
+	fast.StartSpan("job.run", "").End()
+	fast.Commit(false)
+	if got := st.Trace(fast.TraceID()); got != nil {
+		t.Fatalf("unsampled unforced trace committed: %v", got)
+	}
+
+	slow := st.Begin(NewTraceID(), false)
+	slow.StartSpan("job.run", "").End()
+	slow.Commit(true)
+	if got := st.Trace(slow.TraceID()); len(got) != 1 {
+		t.Fatalf("forced trace not committed: %v", got)
+	}
+
+	// A second commit after the decision must not resurrect or duplicate.
+	slow.AddSpan("late", "", time.Now(), time.Millisecond)
+	slow.Commit(true)
+	if got := st.Trace(slow.TraceID()); len(got) != 1 {
+		t.Fatalf("idempotent commit violated: %d spans", len(got))
+	}
+
+	// Nil recorder and nil span are no-ops end to end.
+	var nilRec *TraceRec
+	nsp := nilRec.StartSpan("x", "")
+	nsp.SetAttr("k", "v")
+	nsp.SetErr(fmt.Errorf("boom"))
+	nsp.End()
+	nilRec.AddSpan("y", "", time.Now(), 0)
+	nilRec.Commit(true)
+	if nilRec.TraceID() != "" || nsp.ID() != "" {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+// TestDebugTracesEndpoint checks /debug/traces list and by-ID forms
+// against the process-wide store.
+func TestDebugTracesEndpoint(t *testing.T) {
+	id := NewTraceID()
+	rec := Traces().Begin(id, true)
+	sp := rec.StartSpan("server.submit", "")
+	sp.End()
+	rec.Commit(false)
+
+	mux := DebugMux(Default())
+
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces/"+id, nil))
+	if rw.Code != 200 {
+		t.Fatalf("by-id: HTTP %d", rw.Code)
+	}
+	var doc struct {
+		TraceID string      `json:"trace_id"`
+		Spans   []TraceSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != id || len(doc.Spans) != 1 || doc.Spans[0].Name != "server.submit" {
+		t.Fatalf("by-id body: %+v", doc)
+	}
+
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rw.Code != 200 {
+		t.Fatalf("list: HTTP %d", rw.Code)
+	}
+	var list struct {
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range list.Traces {
+		if s.TraceID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("list missing trace %s: %+v", id, list.Traces)
+	}
+
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces/ffffffffffffffffffffffffffffffff", nil))
+	if rw.Code != 404 {
+		t.Fatalf("unknown trace: HTTP %d", rw.Code)
+	}
+}
+
+// TestSpanStoreConcurrent hammers one store with concurrent commits,
+// duplicate-ID appends, and scrapes; run under -race it proves the
+// store and recorder are safe against a scrape mid-eviction.
+func TestSpanStoreConcurrent(t *testing.T) {
+	st := NewSpanStore(16)
+	shared := NewTraceID() // every writer also appends to this ID
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec := st.Begin(NewTraceID(), true)
+				sp := rec.StartSpan("job.run", "")
+				sp.SetAttr("i", "x")
+				sp.End()
+				rec.Commit(false)
+				st.put(shared, []TraceSpan{testSpan(shared, "dup")})
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, s := range st.Summaries() {
+					st.Trace(s.TraceID)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(st.Summaries()) == 0 {
+		t.Fatal("no traces survived the hammer")
+	}
+}
+
+// TestHistogramQuantile pins the interpolation estimator against known
+// samples: bounds {1,2,4}, 100 observations spread 50/30/20 across the
+// buckets. The estimator interpolates within the bucket holding the
+// target rank, first bucket from zero, +Inf ranks clamp to the last
+// finite bound — the same answers Prometheus's histogram_quantile
+// gives for this distribution.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_quantile_seconds", "t", []float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5) // first bucket (≤1)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5) // second bucket (≤2)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(3) // third bucket (≤4)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 1.0}, // rank 50 closes the first bucket: 0 + 1*(50/50)
+		{0.25, 0.5}, // rank 25 mid-first-bucket: 0 + 1*(25/50)
+		{0.80, 2.0}, // rank 80 closes the second bucket: 1 + 1*(30/30)
+		{0.90, 3.0}, // rank 90 halfway through the third: 2 + 2*(10/20)
+		{0.99, 3.9}, // rank 99: 2 + 2*(19/20)
+		{1.00, 4.0}, // top of the last finite bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Rank past every finite bucket clamps to the last finite bound.
+	h2 := r.Histogram("test_quantile_inf_seconds", "t", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf rank: Quantile(0.99) = %v, want 2", got)
+	}
+	// Empty histogram answers 0.
+	h3 := r.Histogram("test_quantile_empty_seconds", "t", []float64{1})
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Errorf("empty: Quantile(0.5) = %v, want 0", got)
+	}
+}

@@ -41,6 +41,11 @@ type Outcome struct {
 	// Resumed marks a job whose result includes work recovered from a
 	// checkpoint journal rather than recomputed.
 	Resumed bool
+	// TraceID is the distributed trace the job's spans were recorded
+	// under (see obs.TraceRec); it flows into journal records and
+	// duplicate-submission replies so results stay correlated with the
+	// trace that produced them. Empty for unsupervised analyses.
+	TraceID string
 }
 
 // Supervisor job states rendered in the Mode column. JobQuarantined is
@@ -147,6 +152,37 @@ func PhaseTable(timings []obs.PhaseTiming) string {
 		t.addRow(pt.Phase, formatDuration(pt.Duration))
 	}
 	t.addRow("total", formatDuration(obs.Total(timings)))
+	return t.String()
+}
+
+// PhaseTableQuantiles renders PhaseTable with three extra columns —
+// p50/p90/p99 of the process-wide phase-duration histogram, as supplied
+// by the quantiles callback (obs.PhaseQuantiles in the CLIs) — for
+// phases with observations. When no phase has histogram data the plain
+// PhaseTable renders instead, so reports without a metrics consumer are
+// byte-identical to before.
+func PhaseTableQuantiles(timings []obs.PhaseTiming, quantiles func(phase string) (p50, p90, p99 time.Duration, ok bool)) string {
+	any := false
+	if quantiles != nil {
+		for _, pt := range timings {
+			if _, _, _, ok := quantiles(pt.Phase); ok {
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return PhaseTable(timings)
+	}
+	t := &table{header: []string{"Phase", "Time", "p50", "p90", "p99"}}
+	for _, pt := range timings {
+		row := []string{pt.Phase, formatDuration(pt.Duration), "-", "-", "-"}
+		if p50, p90, p99, ok := quantiles(pt.Phase); ok {
+			row[2], row[3], row[4] = formatDuration(p50), formatDuration(p90), formatDuration(p99)
+		}
+		t.addRow(row...)
+	}
+	t.addRow("total", formatDuration(obs.Total(timings)), "-", "-", "-")
 	return t.String()
 }
 

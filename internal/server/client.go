@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"droidracer/internal/obs"
 )
 
 // Client submits traces to a racedetd ingestion endpoint, retrying
@@ -43,6 +45,11 @@ type Client struct {
 	RetryableStatus func(code int) bool
 	// Sleep replaces the interruptible backoff pause in tests.
 	Sleep func(time.Duration)
+	// Traceparent, when set, is sent as the W3C traceparent header on
+	// every attempt, marking the submission's distributed trace sampled
+	// (kept by every process it crosses). Mint one with
+	// obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}.
+	Traceparent string
 }
 
 // Attempt records one submission attempt for diagnostics: the status
@@ -96,6 +103,9 @@ func (c *Client) Submit(ctx context.Context, body []byte) (*SubmitResponse, []At
 		}
 		if c.ClientID != "" {
 			req.Header.Set("X-Client-ID", c.ClientID)
+		}
+		if c.Traceparent != "" {
+			req.Header.Set(obs.TraceparentHeader, c.Traceparent)
 		}
 		resp, code, retryAfter, err := doSubmit(hc, req)
 		at := Attempt{Code: code, Err: err}

@@ -84,6 +84,12 @@ type SubmitResponse struct {
 	// Cached marks a replay served from the gateway's result cache
 	// without touching any backend.
 	Cached bool `json:"cached,omitempty"`
+	// TraceID is the distributed trace under which this job was (or is
+	// being) analyzed. Replays — from the index, the journal, or the
+	// gateway's result cache — report the original analyzing trace, not
+	// the replaying request's, so a cached answer still points at the
+	// spans that did the work.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ReconcileRequest is the body of POST /v1/reconcile: the gateway's
@@ -169,9 +175,10 @@ type Config struct {
 
 // jobState is one entry of the idempotency index.
 type jobState struct {
-	status string // StatusPending, StatusDone, StatusQuarantined
-	entry  jobs.JobEntry
-	reason string
+	status  string // StatusPending, StatusDone, StatusQuarantined
+	entry   jobs.JobEntry
+	reason  string
+	traceID string // the analyzing trace (entry.TraceID once done)
 }
 
 // Server is the HTTP ingestion and admission layer over a job pool.
@@ -186,11 +193,11 @@ type Server struct {
 	// the spool with a tiny durable write, and submissions still attempt
 	// their spool write — either success clears the flag.
 	spoolFailing atomic.Bool
-	boot       time.Time
-	sem        chan struct{}
-	buckets    *buckets
-	est        *estimator
-	keys       KeyedMutex
+	boot         time.Time
+	sem          chan struct{}
+	buckets      *buckets
+	est          *estimator
+	keys         KeyedMutex
 
 	mu    sync.Mutex
 	state map[string]*jobState
@@ -345,7 +352,7 @@ func (s *Server) JobFinished(out report.Outcome) {
 		if out.Err != nil {
 			reason = out.Err.Error()
 		}
-		s.state[name] = &jobState{status: StatusQuarantined, reason: reason}
+		s.state[name] = &jobState{status: StatusQuarantined, reason: reason, traceID: out.TraceID}
 	case out.JobState == report.JobDrained:
 		// Checkpointed for the next incarnation: still pending.
 	case out.JobState != "":
@@ -353,7 +360,7 @@ func (s *Server) JobFinished(out report.Outcome) {
 	default:
 		mode := jobs.OutcomeMode(out)
 		if mode == "full" || mode == "degraded" {
-			je := jobs.JobEntry{Name: name, Mode: mode, Attempts: out.Attempts}
+			je := jobs.JobEntry{Name: name, Mode: mode, Attempts: out.Attempts, TraceID: out.TraceID}
 			if out.Result != nil {
 				je.Races = len(out.Result.Races)
 				je.Digest = jobs.ResultDigest(out.Result)
@@ -381,12 +388,13 @@ func (s *Server) lookup(name string) (*SubmitResponse, int, bool) {
 		return &SubmitResponse{
 			Job: id, Status: StatusDone,
 			Mode: st.entry.Mode, Races: st.entry.Races, Digest: st.entry.Digest,
+			TraceID: st.entry.TraceID,
 		}, http.StatusOK, true
 	case StatusQuarantined:
-		return &SubmitResponse{Job: id, Status: StatusQuarantined, Reason: st.reason},
+		return &SubmitResponse{Job: id, Status: StatusQuarantined, Reason: st.reason, TraceID: st.traceID},
 			http.StatusUnprocessableEntity, true
 	default:
-		return &SubmitResponse{Job: id, Status: StatusPending, Coalesced: true},
+		return &SubmitResponse{Job: id, Status: StatusPending, Coalesced: true, TraceID: st.traceID},
 			http.StatusAccepted, true
 	}
 }
@@ -487,11 +495,38 @@ func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
 	return opts, nil
 }
 
-// handleSubmit is POST /v1/jobs: the full admission pipeline.
+// handleSubmit is POST /v1/jobs: the trace shell around the admission
+// pipeline. Every submission runs under a "server.submit" span — under
+// the client's traceparent when it sent one (sampled: the trace will be
+// kept), under a fresh unsampled trace otherwise (kept only if the job
+// turns out slow, failed, or quarantined; see jobs.Config.TraceSlow).
+// When the job is handed to the pool the recorder travels with it and
+// the pool makes the commit decision at finish; otherwise (reject,
+// replay) the request is the whole trace and the decision happens here.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sc, sampled := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	traceID := sc.TraceID
+	if !sampled {
+		traceID = obs.NewTraceID()
+	}
+	rec := obs.Traces().Begin(traceID, sampled)
+	sp := rec.StartSpan("server.submit", sc.SpanID)
+	cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+	handed := s.admitSubmit(cw, r, rec, sp)
+	sp.SetAttr("http_status", strconv.Itoa(cw.code))
+	sp.End()
+	if !handed {
+		rec.Commit(false)
+	}
+}
+
+// admitSubmit is the admission pipeline proper. It reports whether the
+// trace recorder was handed to the pool (accepted work: the job commits
+// the trace when it finishes).
+func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.TraceRec, sp *obs.TSpan) bool {
 	if s.draining.Load() {
 		s.reject(w, http.StatusServiceUnavailable, RejectShuttingDown, s.cfg.DrainRetryAfter)
-		return
+		return false
 	}
 	if err := s.storageErr(); err != nil {
 		// The journal can no longer record completions durably, so a
@@ -499,18 +534,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// In-flight work still finishes in memory and /v1/jobs/{id}
 		// still answers; only new acceptances stop.
 		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded, s.cfg.StorageRetryAfter)
-		return
+		return false
 	}
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
 		s.reject(w, http.StatusTooManyRequests, RejectInflight, time.Second)
-		return
+		return false
 	}
 	if wait, ok := s.buckets.take(clientID(r)); !ok {
 		s.reject(w, http.StatusTooManyRequests, RejectRateLimited, wait)
-		return
+		return false
 	}
 	body, err := readBody(w, r, s.cfg.MaxBody)
 	if err != nil {
@@ -520,15 +555,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.reject(w, http.StatusBadRequest, RejectEmptyBody, 0)
 		}
-		return
+		return false
 	}
 	id := IdempotencyKey(body)
+	sp.SetAttr("job", id)
 	if key := r.Header.Get("Idempotency-Key"); key != "" && key != id {
 		// The client hashed different bytes than we received: transit
 		// corruption. Refusing (instead of analyzing under our hash)
 		// lets the retrying client resubmit the intact body.
 		s.reject(w, http.StatusBadRequest, RejectKeyMismatch, 0)
-		return
+		return false
 	}
 	name := jobName(id)
 
@@ -537,7 +573,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if resp, code, ok := s.lookup(name); ok {
 		s.countReplay(resp)
 		respond(w, code, resp)
-		return
+		return false
 	}
 
 	// Admission critical section per idempotency key: two concurrent
@@ -546,7 +582,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if resp, code, ok := s.lookup(name); ok {
 		s.countReplay(resp)
 		respond(w, code, resp)
-		return
+		return false
 	}
 
 	path := filepath.Join(s.cfg.Spool, name)
@@ -555,12 +591,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// fidelity service for this input is gone until a restart, so
 		// refuse instead of burning a worker on the degraded fallback.
 		s.reject(w, http.StatusServiceUnavailable, RejectBreakerOpen, s.cfg.BreakerRetryAfter)
-		return
+		return false
 	}
 	opts, err := s.requestOptions(r)
 	if err != nil {
 		s.reject(w, http.StatusBadRequest, RejectEmptyBody, 0)
-		return
+		return false
 	}
 
 	// Durability point: body fsync'd, then the spool directory. Only
@@ -577,7 +613,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cfg.Events.Warn("request.spool-failed", "job", id, "err", err.Error())
 		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded, s.cfg.StorageRetryAfter)
-		return
+		return false
 	}
 	if s.spoolFailing.CompareAndSwap(true, false) {
 		s.cfg.Events.Info("server.storage-recovered", "op", "spool.write")
@@ -595,9 +631,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.est.observe(time.Since(t0))
 		return res, rerr
 	}
+	// The admission span ends at the hand-off: the recorder travels with
+	// the job, whose queue-wait and analysis spans hang under it, and the
+	// pool commits (or discards) the whole trace when the job finishes.
+	sp.End()
+	job.Trace = rec
+	job.TraceParent = sp.ID()
 
 	s.mu.Lock()
-	s.state[name] = &jobState{status: StatusPending}
+	s.state[name] = &jobState{status: StatusPending, traceID: rec.TraceID()}
 	s.mu.Unlock()
 	if err := s.cfg.Pool.Submit(job); err != nil {
 		s.Release(name)
@@ -605,14 +647,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var rej *jobs.RejectionError
 		if errors.As(err, &rej) && rej.Reason == jobs.ReasonShuttingDown {
 			s.reject(w, http.StatusServiceUnavailable, RejectShuttingDown, s.cfg.DrainRetryAfter)
-			return
+			return false
 		}
 		retry := s.est.queueWait(queueDepth(err), s.cfg.Workers, s.cfg.MaxRetryAfter)
 		s.reject(w, http.StatusTooManyRequests, RejectQueueFull, retry)
-		return
+		return false
 	}
-	s.cfg.Events.Info("request.accept", "job", id, "bytes", len(body))
-	respond(w, http.StatusAccepted, &SubmitResponse{Job: id, Status: StatusAccepted})
+	s.cfg.Events.Info("request.accept", "job", id, "bytes", len(body), "trace_id", rec.TraceID())
+	respond(w, http.StatusAccepted, &SubmitResponse{Job: id, Status: StatusAccepted, TraceID: rec.TraceID()})
+	return true
 }
 
 // countReplay bumps the idempotent-replay counter for an index answer.

@@ -32,6 +32,7 @@ import (
 	"droidracer/internal/paper"
 	"droidracer/internal/race"
 	"droidracer/internal/semantics"
+	"droidracer/internal/sentinel"
 	"droidracer/internal/trace"
 )
 
@@ -232,6 +233,39 @@ func BenchmarkParallelDetect(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSentinelOverhead pins what the resource-governance layer
+// costs when it is DISABLED — the default standalone-daemon
+// configuration, and the price every job pays for the sentinel merely
+// existing. The governed variant runs the closure-heaviest workload
+// (BenchmarkParallelHB's K-9 Mail build) plus the exact disabled-path
+// checks the server performs per job: the nil-receiver brownout probes
+// and the zero-ceiling class check. Its budget is within 5% of baseline;
+// the benchtables regression gate holds it there against the committed
+// BENCH_baseline.json.
+func BenchmarkSentinelOverhead(b *testing.B) {
+	info := analyzeInfo(b, representative(b, "K-9 Mail").Trace)
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hb.Build(info, hb.DefaultConfig())
+		}
+	})
+	b.Run("governed", func(b *testing.B) {
+		var snt *sentinel.Sentinel
+		var lim sentinel.CostLimits
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if lim.Enabled() || snt != nil {
+				b.Fatal("governance unexpectedly enabled")
+			}
+			if snt.Brownout() {
+				b.Fatal("nil sentinel browned out")
+			}
+			_ = snt.RetryAfter()
+			hb.Build(info, hb.DefaultConfig())
+		}
+	})
 }
 
 // workerLabel names the sub-benchmark for a worker count. The = form

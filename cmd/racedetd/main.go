@@ -12,6 +12,20 @@
 //	         [-drain-timeout 30s] [-metrics-addr HOST:PORT]
 //	         [-events PATH] [-listen HOST:PORT] [-max-body BYTES]
 //	         [-rate N] [-burst N] [-max-inflight N] [-max-deadline 2m]
+//	         [-mem-watermark BYTES] [-cost-soft BYTES] [-cost-hard BYTES]
+//	         [-worker-mem BYTES] [-worker-wall 2m] [-isolate]
+//
+// Resource governance (see internal/sentinel and DESIGN.md §16):
+// -cost-hard refuses submissions whose estimated analysis footprint no
+// ceiling allows (413 cost-exceeded, estimate in the body); -cost-soft
+// flags them heavy, and with -isolate (the default) heavy inputs run in
+// a re-exec'd `racedetd -worker` subprocess under -worker-mem
+// (GOMEMLIMIT + RLIMIT_AS) and the -worker-wall watchdog, so a memory
+// bomb costs one quarantine record instead of the daemon.
+// -mem-watermark arms the brownout sentinel: above that heap level the
+// daemon degrades non-heavy work to the pure-MT baseline, refuses heavy
+// work 503 resource-degraded, and reports "resource" on /readyz so
+// gateway probers route around it until it recovers.
 //
 // -metrics-addr starts the debug HTTP listener: Prometheus-text
 // /metrics, expvar /debug/vars, and net/http/pprof under /debug/pprof/.
@@ -61,6 +75,7 @@ import (
 	"droidracer/internal/journal"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
+	"droidracer/internal/sentinel"
 	"droidracer/internal/server"
 	"droidracer/internal/storage"
 )
@@ -72,6 +87,13 @@ const journalName = "daemon.journal"
 const quarantineDir = "quarantine"
 
 func main() {
+	// The -worker subcommand is the sandboxed analysis child the sentinel
+	// isolator re-execs for heavy inputs. It must run before flag.Parse:
+	// the worker's contract is the DROIDRACER_WORKER spec, not the
+	// daemon's flag set.
+	if len(os.Args) > 1 && os.Args[1] == "-worker" {
+		os.Exit(sentinel.WorkerMain())
+	}
 	spool := flag.String("spool", "", "directory of trace files to analyze")
 	state := flag.String("state", "", "state directory for the completed-work journal")
 	workers := flag.Int("workers", 2, "concurrent analysis workers")
@@ -95,6 +117,12 @@ func main() {
 	maxRetryAfter := flag.Duration("max-retry-after", 5*time.Minute, "ceiling on queue-derived Retry-After hints")
 	sweepGrace := flag.Duration("sweep-grace", 0, "hold the restart spool sweep until a gateway reconcile arrives or this grace expires (0 = sweep immediately)")
 	traceSlow := flag.Duration("trace-slow", time.Second, "tail-capture threshold: unsampled jobs slower than this keep their trace in /debug/traces (0 = only failures)")
+	memWatermark := flag.Int64("mem-watermark", 0, "heap bytes that flip the daemon into memory brownout (0 = off)")
+	costSoft := flag.Int64("cost-soft", 0, "estimated analysis bytes above which a submission runs isolated (0 = off)")
+	costHard := flag.Int64("cost-hard", 0, "estimated analysis bytes above which a submission is refused 413 (0 = off)")
+	workerMem := flag.Int64("worker-mem", 512<<20, "memory budget per isolated worker subprocess (GOMEMLIMIT + RLIMIT_AS)")
+	workerWall := flag.Duration("worker-wall", 2*time.Minute, "wall-clock watchdog per isolated worker subprocess")
+	isolate := flag.Bool("isolate", true, "run heavy submissions in a sandboxed -worker subprocess")
 	eventsMaxBytes := flag.Int64("events-max-bytes", obs.DefaultEventsMaxBytes, "rotate the -events file after this many bytes (kept as <file>.1)")
 	flag.Parse()
 	obs.SetServiceName("racedetd")
@@ -195,6 +223,26 @@ func main() {
 	// the machine.
 	aopts := core.DefaultOptions()
 	aopts.Parallelism = pool.JobParallelism()
+	// Resource governance: the brownout sentinel samples the daemon's own
+	// heap, and the isolator re-execs this binary as `racedetd -worker`
+	// for heavy inputs so a memory bomb dies in a subprocess.
+	snt := sentinel.New(sentinel.Config{Watermark: *memWatermark, Events: events})
+	snt.Start()
+	defer snt.Stop()
+	var iso jobs.Runner
+	if *isolate {
+		if exe, err := os.Executable(); err == nil {
+			iso = &sentinel.Isolator{
+				Exe:      exe,
+				Args:     []string{"-worker"},
+				MemLimit: *workerMem,
+				Wall:     *workerWall,
+				Events:   events,
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "racedetd: isolation disabled, cannot resolve own executable: %v\n", err)
+		}
+	}
 	srv = server.New(server.Config{
 		Pool:          pool,
 		Spool:         *spool,
@@ -215,6 +263,9 @@ func main() {
 		// refused 503 storage-degraded until a restart re-proves what is
 		// actually on disk.
 		StorageErr: w.Err,
+		Sentinel:   snt,
+		Cost:       sentinel.CostLimits{Soft: *costSoft, Hard: *costHard},
+		Isolator:   iso,
 	})
 	var ingestSrv interface{ Close() error }
 	if *listen != "" {
@@ -242,7 +293,7 @@ func main() {
 		// handshake (or the grace deadline): spooled orphans the fleet
 		// completed elsewhere must be reclaimed, not re-analyzed.
 		if srv.SweepReady() {
-			if err := sweep(pool, srv, *spool, aopts); err != nil {
+			if err := sweep(pool, srv, *spool); err != nil {
 				fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
 			}
 		}
@@ -283,7 +334,7 @@ func main() {
 // retries it — the producer-side reaction to backpressure. Dotfiles are
 // skipped: the ingestion layer stages bodies as hidden temp files
 // before the durable rename.
-func sweep(pool *jobs.Pool, srv *server.Server, spool string, opts core.Options) error {
+func sweep(pool *jobs.Pool, srv *server.Server, spool string) error {
 	ents, err := os.ReadDir(spool)
 	if err != nil {
 		return err
@@ -299,7 +350,10 @@ func sweep(pool *jobs.Pool, srv *server.Server, spool string, opts core.Options)
 		if !srv.Claim(name) {
 			continue
 		}
-		job := jobs.TraceJob(name, filepath.Join(spool, name), opts)
+		// SpoolJob applies the same resource governance as HTTP admission:
+		// a swept file that estimates heavy runs in the isolation sandbox
+		// instead of on the daemon's heap.
+		job := srv.SpoolJob(name, filepath.Join(spool, name))
 		if err := pool.Submit(job); err != nil {
 			srv.Release(name)
 			fmt.Fprintf(os.Stderr, "racedetd: %s: %v\n", name, err)

@@ -39,6 +39,13 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if r.Retryable == nil {
 		r.Retryable = func(err error) bool {
+			// Deterministic failures — a resource sandbox the input just
+			// exhausted, say — die the same way on every attempt; burning
+			// retries on them only multiplies dead subprocesses.
+			var det interface{ Deterministic() bool }
+			if errors.As(err, &det) && det.Deterministic() {
+				return false
+			}
 			be, ok := budget.AsError(err)
 			return !ok || !be.Canceled()
 		}

@@ -1,0 +1,154 @@
+package sentinel
+
+import (
+	"bytes"
+
+	"droidracer/internal/trace"
+)
+
+// Estimate is the admission-time cost prediction for one submitted
+// trace body, derived from a single cheap line scan — no parse, no
+// allocation proportional to the input. It is returned in the body of a
+// 413 cost-exceeded rejection so the client learns why.
+type Estimate struct {
+	// Ops counts operation lines; Threads the distinct thread IDs seen;
+	// Posts the post/postf/postd lines (each is a cross-thread edge the
+	// closure must propagate).
+	Ops     int `json:"ops"`
+	Threads int `json:"threads"`
+	Posts   int `json:"posts"`
+	// Nodes over-approximates the happens-before graph size after §6
+	// node merging: every non-access op is its own node, and a run of
+	// consecutive same-thread accesses collapses to one. The real merge
+	// is at least this aggressive (it also merges across our run
+	// breaks), so Nodes ≥ the graph the engine will build.
+	Nodes int `json:"nodes"`
+	// MemBytes predicts the analysis footprint, dominated by the two
+	// O(nodes²) reachability bitset matrices (st and mt: nodes rows of
+	// ceil(nodes/64) words each).
+	MemBytes int64 `json:"mem_bytes"`
+}
+
+// CostLimits are the admission ceilings over Estimate.MemBytes.
+type CostLimits struct {
+	// Soft flags submissions heavy: they run isolated in a worker
+	// subprocess instead of on the daemon's heap. 0 disables.
+	Soft int64
+	// Hard rejects submissions outright with 413 cost-exceeded. 0
+	// disables.
+	Hard int64
+}
+
+// Enabled reports whether any ceiling is configured.
+func (c CostLimits) Enabled() bool { return c.Soft > 0 || c.Hard > 0 }
+
+// Cost classes an Estimate falls into under CostLimits.
+const (
+	ClassNormal   = "normal"
+	ClassHeavy    = "heavy"
+	ClassRejected = "rejected"
+)
+
+// Classify buckets the estimate: rejected above Hard, heavy above Soft,
+// normal otherwise.
+func (e Estimate) Classify(lim CostLimits) string {
+	switch {
+	case lim.Hard > 0 && e.MemBytes > lim.Hard:
+		estimateCounters[ClassRejected].Inc()
+		return ClassRejected
+	case lim.Soft > 0 && e.MemBytes > lim.Soft:
+		estimateCounters[ClassHeavy].Inc()
+		return ClassHeavy
+	default:
+		estimateCounters[ClassNormal].Inc()
+		return ClassNormal
+	}
+}
+
+// EstimateBytes predicts the analysis cost of a textual trace body. It
+// first validates any declared-size directive (trace.DeclaredOps) — a
+// declared count the bytes cannot back is a memory bomb aimed at the
+// parser's preallocation, surfaced as the *trace.SizeError the server
+// maps to 422 — then scans line by line, tracking access runs per the
+// node-merging rule so Nodes over-approximates the real graph.
+func EstimateBytes(body []byte) (Estimate, error) {
+	if _, err := trace.DeclaredOps(body); err != nil {
+		return Estimate{}, err
+	}
+	var est Estimate
+	threads := make(map[int]struct{}, 8)
+	lastAccessThread := -1 // thread of an open access run, -1 = none
+	rest := body
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		line := rest
+		if nl >= 0 {
+			line = rest[:nl]
+			rest = rest[nl+1:]
+		} else {
+			rest = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		est.Ops++
+		access := bytes.HasPrefix(line, []byte("read(")) || bytes.HasPrefix(line, []byte("write("))
+		if bytes.HasPrefix(line, []byte("post")) {
+			est.Posts++
+		}
+		thr := lineThread(line)
+		if thr >= 0 {
+			threads[thr] = struct{}{}
+		}
+		if access {
+			if thr != lastAccessThread || thr < 0 {
+				est.Nodes++ // a new access run opens a new merged node
+			}
+			lastAccessThread = thr
+		} else {
+			est.Nodes++
+			lastAccessThread = -1
+		}
+	}
+	est.Threads = len(threads)
+	est.MemBytes = closureBytes(est.Nodes, est.Ops)
+	return est, nil
+}
+
+// closureBytes models the footprint of a full-fidelity analysis over n
+// graph nodes and total ops: two n×n reachability bitset matrices (the
+// st and mt relations, 8-byte words, 64 bits each) plus linear node and
+// op bookkeeping.
+func closureBytes(nodes, ops int) int64 {
+	n := int64(nodes)
+	words := (n + 63) / 64
+	const relations = 2 // st and mt
+	return relations*n*words*8 + n*128 + int64(ops)*96
+}
+
+// lineThread extracts the first thread ID of an op line — the digits
+// after "(t" — without allocating. Returns -1 when the line does not
+// carry one (malformed lines are the parser's problem, not the
+// estimator's).
+func lineThread(line []byte) int {
+	open := bytes.IndexByte(line, '(')
+	if open < 0 || open+2 >= len(line) || line[open+1] != 't' {
+		return -1
+	}
+	n := 0
+	digits := 0
+	for _, c := range line[open+2:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+		if digits++; digits > 9 {
+			return -1
+		}
+	}
+	if digits == 0 {
+		return -1
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"droidracer/internal/trace"
+)
+
+func TestEstimateBytesShape(t *testing.T) {
+	body := strings.Join([]string{
+		"# a comment line",
+		"",
+		"threadinit(t1)",
+		"attachQ(t1)",
+		"post(t0,A,t1)",
+		"begin(t1,A)",
+		"write(t1,x)", // opens an access run on t1 ...
+		"read(t1,x)",  // ... merged into the same node
+		"write(t1,y)", // still the same run: same thread, no break
+		"write(t2,x)", // thread change breaks the run
+		"end(t1,A)",
+	}, "\n")
+	est, err := EstimateBytes([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ops != 9 {
+		t.Errorf("Ops = %d, want 9 (comments and blanks don't count)", est.Ops)
+	}
+	if est.Posts != 1 {
+		t.Errorf("Posts = %d, want 1", est.Posts)
+	}
+	if est.Threads != 3 { // t0, t1, t2
+		t.Errorf("Threads = %d, want 3", est.Threads)
+	}
+	// Nodes: threadinit, attachQ, post, begin, [write+read+write run],
+	// write(t2), end = 7. The three t1 accesses merged into one.
+	if est.Nodes != 7 {
+		t.Errorf("Nodes = %d, want 7 (access-run merging)", est.Nodes)
+	}
+	if est.MemBytes <= 0 {
+		t.Errorf("MemBytes = %d, want positive", est.MemBytes)
+	}
+}
+
+func TestEstimateOverApproximatesNodes(t *testing.T) {
+	// Alternating threads defeat node merging: every access is its own
+	// node, so MemBytes grows quadratically — the memory-bomb shape the
+	// soft ceiling must catch while the body itself stays small.
+	const n = 20000
+	var sb strings.Builder
+	sb.WriteString("threadinit(t1)\nthreadinit(t2)\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "write(t%d,x)\n", 1+i%2)
+	}
+	bomb, err := EstimateBytes([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same ops on one thread merge into a single node.
+	sb.Reset()
+	sb.WriteString("threadinit(t1)\n")
+	for i := 0; i < n; i++ {
+		sb.WriteString("write(t1,x)\n")
+	}
+	tame, err := EstimateBytes([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bomb.Nodes < n || tame.Nodes > 5 {
+		t.Fatalf("nodes: bomb=%d tame=%d; merging not modeled", bomb.Nodes, tame.Nodes)
+	}
+	if bomb.MemBytes < 20*tame.MemBytes {
+		t.Fatalf("mem: bomb=%d tame=%d; quadratic growth not modeled", bomb.MemBytes, tame.MemBytes)
+	}
+}
+
+func TestEstimatePropagatesSizeError(t *testing.T) {
+	var se *trace.SizeError
+	_, err := EstimateBytes([]byte("#! ops=999999999\nthreadinit(t1)\n"))
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want *trace.SizeError", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	lim := CostLimits{Soft: 100, Hard: 1000}
+	if !lim.Enabled() {
+		t.Fatal("limits not enabled")
+	}
+	if (CostLimits{}).Enabled() {
+		t.Fatal("zero limits enabled")
+	}
+	for _, tc := range []struct {
+		mem  int64
+		want string
+	}{
+		{50, ClassNormal},
+		{100, ClassNormal}, // ceilings are exclusive
+		{101, ClassHeavy},
+		{1000, ClassHeavy},
+		{1001, ClassRejected},
+	} {
+		if got := (Estimate{MemBytes: tc.mem}).Classify(lim); got != tc.want {
+			t.Errorf("Classify(%d) = %s, want %s", tc.mem, got, tc.want)
+		}
+	}
+	// Soft-only: nothing is ever rejected.
+	if got := (Estimate{MemBytes: 1 << 40}).Classify(CostLimits{Soft: 100}); got != ClassHeavy {
+		t.Errorf("soft-only Classify = %s, want heavy", got)
+	}
+	// Disabled: everything is normal.
+	if got := (Estimate{MemBytes: 1 << 40}).Classify(CostLimits{}); got != ClassNormal {
+		t.Errorf("disabled Classify = %s, want normal", got)
+	}
+}

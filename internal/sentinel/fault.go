@@ -1,0 +1,84 @@
+package sentinel
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// EnvSentinelFault arms deterministic resource faults for chaos tests,
+// a comma-separated clause list:
+//
+//	brownout[:N[-M]]   force the sampler's reading above the watermark
+//	                   on hits N through M (default 1-1), driving a
+//	                   deterministic brownout crossing and recovery
+//	child-oom          the isolated worker allocates unboundedly after
+//	                   parsing, dying against its rlimit for real
+//	child-hang         the isolated worker stalls forever, exercising
+//	                   the parent's wall watchdog
+//	child-panic        the isolated worker panics mid-analysis
+//
+// e.g. DROIDRACER_SENTINEL_FAULT=brownout:2-6 forces samples 2..6 high.
+// Production pays one environment lookup per sample / worker start when
+// the variable is unset.
+const EnvSentinelFault = "DROIDRACER_SENTINEL_FAULT"
+
+var (
+	faultMu   sync.Mutex
+	faultHits = map[string]int{}
+)
+
+// forcedBrownout reports whether this sampler hit falls inside an armed
+// brownout window. It consumes one hit.
+func forcedBrownout() bool {
+	spec := os.Getenv(EnvSentinelFault)
+	if spec == "" {
+		return false
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		name, window, _ := strings.Cut(clause, ":")
+		if name != "brownout" {
+			continue
+		}
+		first, last := 1, 1
+		if window != "" {
+			lo, hi, ranged := strings.Cut(window, "-")
+			if n, err := strconv.Atoi(lo); err == nil && n > 0 {
+				first, last = n, n
+			}
+			if ranged {
+				if m, err := strconv.Atoi(hi); err == nil && m >= first {
+					last = m
+				}
+			}
+		}
+		faultMu.Lock()
+		faultHits["brownout"]++
+		hit := faultHits["brownout"]
+		faultMu.Unlock()
+		return hit >= first && hit <= last
+	}
+	return false
+}
+
+// childFault returns the armed worker-side fault ("oom", "hang",
+// "panic"), or "" when none is.
+func childFault() string {
+	spec := os.Getenv(EnvSentinelFault)
+	if spec == "" {
+		return ""
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(clause) {
+		case "child-oom":
+			return "oom"
+		case "child-hang":
+			return "hang"
+		case "child-panic":
+			return "panic"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,40 @@
+package sentinel
+
+import "droidracer/internal/obs"
+
+// Sentinel metrics. Estimate classes and isolation outcomes are
+// pre-registered per label value so a scrape sees the complete series
+// set (at zero) from process start.
+var (
+	memGauge = obs.Default().Gauge("droidracer_sentinel_mem_bytes",
+		"Last heap-in-use sample taken by the resource sentinel.")
+	brownoutGauge = obs.Default().Gauge("droidracer_sentinel_brownout",
+		"1 while the daemon is above its memory watermark, 0 otherwise.")
+	brownoutsTotal = obs.Default().Counter("droidracer_sentinel_brownouts_total",
+		"Brownout crossings: samples that flipped the daemon above its watermark.")
+	estimateCounters = map[string]*obs.Counter{}
+	isolatedCounters = map[string]*obs.Counter{}
+	isolatedPeak     = obs.Default().Gauge("droidracer_sentinel_isolated_peak_bytes",
+		"Peak RSS reported by the most recent isolated worker.")
+)
+
+func init() {
+	for _, class := range []string{ClassNormal, ClassHeavy, ClassRejected} {
+		estimateCounters[class] = obs.Default().Counter("droidracer_sentinel_estimates_total",
+			"Admission cost estimates, by ceiling class.", "class", class)
+	}
+	for _, outcome := range []string{
+		"ok", ClassOOMKill, ClassMemLimit, ClassDeadline, ClassPanic, ClassCrash,
+	} {
+		isolatedCounters[outcome] = obs.Default().Counter("droidracer_sentinel_isolated_total",
+			"Isolated worker executions, by outcome.", "outcome", outcome)
+	}
+}
+
+// countIsolated bumps the per-outcome isolation counter, tolerating
+// outcomes outside the pre-registered set.
+func countIsolated(outcome string) {
+	if c, ok := isolatedCounters[outcome]; ok {
+		c.Inc()
+	}
+}

@@ -1,0 +1,121 @@
+package sentinel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewDisabled(t *testing.T) {
+	if s := New(Config{}); s != nil {
+		t.Fatal("zero watermark must return the nil sentinel")
+	}
+	// The nil receiver is the "governance off" representation; every
+	// method must be callable on it.
+	var s *Sentinel
+	s.Start()
+	s.Stop()
+	s.Sample()
+	if s.Brownout() {
+		t.Fatal("nil sentinel reports brownout")
+	}
+	if s.RetryAfter() != 0 {
+		t.Fatal("nil sentinel reports a retry hint")
+	}
+}
+
+func TestBrownoutTransitions(t *testing.T) {
+	mem := int64(0)
+	s := New(Config{Watermark: 1000, MemFn: func() int64 { return mem }})
+	if s == nil {
+		t.Fatal("sentinel disabled")
+	}
+
+	mem = 500
+	s.Sample()
+	if s.Brownout() {
+		t.Fatal("browned out below the watermark")
+	}
+	if s.RetryAfter() != 0 {
+		t.Fatal("retry hint while healthy")
+	}
+
+	mem = 1200
+	s.Sample()
+	if !s.Brownout() {
+		t.Fatal("not browned out above the watermark")
+	}
+	if ra := s.RetryAfter(); ra < time.Second {
+		t.Fatalf("first-brownout RetryAfter = %v, want the conservative default window", ra)
+	}
+
+	// Hysteresis: between the recovery level (default 80% = 800) and the
+	// watermark, the state must hold — no flapping at the boundary.
+	mem = 900
+	s.Sample()
+	if !s.Brownout() {
+		t.Fatal("recovered inside the hysteresis band")
+	}
+
+	mem = 400
+	s.Sample()
+	if s.Brownout() {
+		t.Fatal("still browned out below the recovery level")
+	}
+	if s.RetryAfter() != 0 {
+		t.Fatal("retry hint after recovery")
+	}
+}
+
+func TestRetryAfterTracksRecoveryHistory(t *testing.T) {
+	mem := int64(0)
+	s := New(Config{Watermark: 1000, MemFn: func() int64 { return mem }})
+
+	// One full brownout teaches the EWMA its duration.
+	mem = 2000
+	s.Sample()
+	s.mu.Lock()
+	s.since = time.Now().Add(-4 * time.Second) // pretend it ran 4s
+	s.mu.Unlock()
+	mem = 100
+	s.Sample()
+	s.mu.Lock()
+	ewma := s.recoverEWMA
+	s.mu.Unlock()
+	if ewma < 3*time.Second || ewma > 5*time.Second {
+		t.Fatalf("recovery EWMA = %v, want ~4s", ewma)
+	}
+
+	// The next brownout's hint is the learned duration minus elapsed,
+	// floored at 1s — an honest estimate, not a constant.
+	mem = 2000
+	s.Sample()
+	ra := s.RetryAfter()
+	if ra < time.Second || ra > ewma {
+		t.Fatalf("RetryAfter = %v, want within (1s, %v]", ra, ewma)
+	}
+}
+
+func resetFaultHits() {
+	faultMu.Lock()
+	faultHits = map[string]int{}
+	faultMu.Unlock()
+}
+
+func TestForcedBrownoutFault(t *testing.T) {
+	t.Setenv(EnvSentinelFault, "brownout:1-2")
+	resetFaultHits()
+	mem := int64(0) // far below the watermark; only the fault flips it
+	s := New(Config{Watermark: 1000, MemFn: func() int64 { return mem }})
+	s.Sample()
+	if !s.Brownout() {
+		t.Fatal("fault window hit 1: want forced brownout")
+	}
+	s.Sample()
+	if !s.Brownout() {
+		t.Fatal("fault window hit 2: want forced brownout")
+	}
+	s.Sample() // hit 3 is outside the window; mem is below recovery
+	if s.Brownout() {
+		t.Fatal("outside the fault window: want recovery")
+	}
+}

@@ -43,6 +43,18 @@ const (
 	// stack cannot deliver durability: a poisoned journal writer or a
 	// failing spool. A 202 would promise what storage cannot keep.
 	RejectStorageDegraded = "storage-degraded"
+	// RejectCostExceeded refuses submissions whose estimated analysis
+	// footprint exceeds the hard cost ceiling — the 413 carries the
+	// estimate so the client learns why.
+	RejectCostExceeded = "cost-exceeded"
+	// RejectResourceDegraded refuses heavy submissions while the daemon
+	// is in memory brownout; Retry-After is sourced from the sentinel's
+	// recovery signal.
+	RejectResourceDegraded = "resource-degraded"
+	// RejectMalformedTrace refuses bodies whose size directive the input
+	// cannot back (trace.SizeError) — a memory bomb aimed at parser
+	// preallocation, caught before the body is spooled.
+	RejectMalformedTrace = "malformed-trace"
 )
 
 func init() {
@@ -53,7 +65,8 @@ func init() {
 	for _, reason := range []string{
 		RejectBodyTooLarge, RejectEmptyBody, RejectKeyMismatch, RejectRateLimited,
 		RejectInflight, RejectQueueFull, RejectShuttingDown, RejectBreakerOpen,
-		RejectStorageDegraded,
+		RejectStorageDegraded, RejectCostExceeded, RejectResourceDegraded,
+		RejectMalformedTrace,
 	} {
 		rejectsTotal[reason] = obs.Default().Counter("droidracer_server_admission_rejected_total",
 			"Submissions refused at admission, by reason.", "reason", reason)

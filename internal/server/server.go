@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +51,7 @@ import (
 	"droidracer/internal/journal"
 	"droidracer/internal/obs"
 	"droidracer/internal/report"
+	"droidracer/internal/sentinel"
 	"droidracer/internal/storage"
 )
 
@@ -90,6 +92,10 @@ type SubmitResponse struct {
 	// the replaying request's, so a cached answer still points at the
 	// spans that did the work.
 	TraceID string `json:"trace_id,omitempty"`
+	// Estimate carries the admission cost estimate on 413 cost-exceeded
+	// rejections: the client learns which trace shape put it over the
+	// ceiling.
+	Estimate *sentinel.Estimate `json:"estimate,omitempty"`
 }
 
 // ReconcileRequest is the body of POST /v1/reconcile: the gateway's
@@ -171,6 +177,23 @@ type Config struct {
 	// to restart the backend, short enough that clients re-probe a
 	// recovered one.
 	StorageRetryAfter time.Duration
+	// Sentinel, when set, reports the daemon's memory-brownout state:
+	// while browned out, heavy submissions are refused 503
+	// resource-degraded (Retry-After sourced from the sentinel's
+	// recovery signal), non-heavy ones degrade to the pure-MT baseline,
+	// and /readyz answers 503 "resource" so gateway probers route
+	// around this backend until it recovers. Nil disables.
+	Sentinel *sentinel.Sentinel
+	// Cost are the admission cost ceilings over the per-submission
+	// estimate (sentinel.EstimateBytes): above Hard, refuse 413
+	// cost-exceeded; above Soft, flag heavy. The zero value disables
+	// cost governance (but not the size-directive validation, which is
+	// free).
+	Cost sentinel.CostLimits
+	// Isolator, when set, runs heavy submissions in a sandboxed worker
+	// subprocess (rlimit + watchdog) instead of on the daemon's heap.
+	// Nil analyzes heavy work in-process like any other.
+	Isolator jobs.Runner
 }
 
 // jobState is one entry of the idempotency index.
@@ -533,7 +556,8 @@ func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.Tr
 		// 202 here would promise durability the backend cannot deliver.
 		// In-flight work still finishes in memory and /v1/jobs/{id}
 		// still answers; only new acceptances stop.
-		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded, s.cfg.StorageRetryAfter)
+		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded,
+			clampRetry(s.cfg.StorageRetryAfter, s.cfg.MaxRetryAfter))
 		return false
 	}
 	select {
@@ -599,6 +623,16 @@ func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.Tr
 		return false
 	}
 
+	// Resource governance: a cheap line scan predicts the analysis
+	// footprint before the body costs anything durable. The scan also
+	// validates any declared-size directive — a count the bytes cannot
+	// back is refused here, before the parser would have trusted it into
+	// an allocation.
+	est, heavy, ok := s.admitCost(w, sp, body)
+	if !ok {
+		return false
+	}
+
 	// Durability point: body fsync'd, then the spool directory. Only
 	// after this may the job be acknowledged — a crash later never loses
 	// it, because the restart sweep re-ingests the spool.
@@ -612,7 +646,8 @@ func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.Tr
 			s.cfg.Events.Error("server.storage-degraded", "op", "spool.write", "err", err.Error())
 		}
 		s.cfg.Events.Warn("request.spool-failed", "job", id, "err", err.Error())
-		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded, s.cfg.StorageRetryAfter)
+		s.reject(w, http.StatusServiceUnavailable, RejectStorageDegraded,
+			clampRetry(s.cfg.StorageRetryAfter, s.cfg.MaxRetryAfter))
 		return false
 	}
 	if s.spoolFailing.CompareAndSwap(true, false) {
@@ -623,14 +658,7 @@ func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.Tr
 	// restart sweep and client retry must converge over.
 	faultinject.Crash("server.accept")
 
-	job := jobs.TraceJob(name, path, opts)
-	run := job.Run
-	job.Run = func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
-		t0 := time.Now()
-		res, rerr := run(ctx, lim)
-		s.est.observe(time.Since(t0))
-		return res, rerr
-	}
+	job := s.buildJob(name, path, opts, est, heavy)
 	// The admission span ends at the hand-off: the recorder travels with
 	// the job, whose queue-wait and analysis spans hang under it, and the
 	// pool commits (or discards) the whole trace when the job finishes.
@@ -656,6 +684,145 @@ func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.Tr
 	s.cfg.Events.Info("request.accept", "job", id, "bytes", len(body), "trace_id", rec.TraceID())
 	respond(w, http.StatusAccepted, &SubmitResponse{Job: id, Status: StatusAccepted, TraceID: rec.TraceID()})
 	return true
+}
+
+// governed reports whether resource governance is configured at all.
+func (s *Server) governed() bool {
+	return s.cfg.Cost.Enabled() || s.cfg.Sentinel != nil
+}
+
+// admitCost is the resource-governance stage of admission: estimate the
+// analysis footprint from the body's shape, refuse what no ceiling
+// allows, and — during brownout — refuse heavy work with an honest
+// recovery hint. Reports (estimate, heavy, admitted).
+func (s *Server) admitCost(w http.ResponseWriter, sp *obs.TSpan, body []byte) (sentinel.Estimate, bool, bool) {
+	if !s.governed() {
+		return sentinel.Estimate{}, false, true
+	}
+	est, err := sentinel.EstimateBytes(body)
+	if err != nil {
+		// A size directive the bytes cannot back: the parse would be
+		// refused anyway, so say so now — before the body is spooled.
+		s.reject(w, http.StatusUnprocessableEntity, RejectMalformedTrace, 0)
+		return est, false, false
+	}
+	sp.SetAttr("est_bytes", strconv.FormatInt(est.MemBytes, 10))
+	sp.SetAttr("est_nodes", strconv.Itoa(est.Nodes))
+	class := est.Classify(s.cfg.Cost)
+	if class == sentinel.ClassRejected {
+		if c, ok := rejectsTotal[RejectCostExceeded]; ok {
+			c.Inc()
+		}
+		e := est
+		s.cfg.Events.Info("request.reject", "reason", RejectCostExceeded, "code",
+			http.StatusRequestEntityTooLarge, "est_bytes", est.MemBytes, "est_nodes", est.Nodes)
+		respond(w, http.StatusRequestEntityTooLarge,
+			&SubmitResponse{Status: StatusRejected, Reason: RejectCostExceeded, Estimate: &e})
+		return est, false, false
+	}
+	heavy := class == sentinel.ClassHeavy
+	if heavy && s.cfg.Sentinel.Brownout() {
+		// Browned out: the daemon is fighting for its own heap. Heavy
+		// work is refused outright; the hint is the sentinel's expected
+		// recovery, not the queue-derived estimate, which knows nothing
+		// about memory pressure.
+		s.reject(w, http.StatusServiceUnavailable, RejectResourceDegraded, s.brownoutRetryAfter())
+		return est, heavy, false
+	}
+	return est, heavy, true
+}
+
+// brownoutRetryAfter sources the resource-degraded hint from the
+// sentinel's recovery signal, clamped to [1s, MaxRetryAfter] like every
+// other degraded-state hint.
+func (s *Server) brownoutRetryAfter() time.Duration {
+	hint := s.cfg.Sentinel.RetryAfter()
+	if hint <= 0 {
+		hint = s.cfg.StorageRetryAfter
+	}
+	return clampRetry(hint, s.cfg.MaxRetryAfter)
+}
+
+// clampRetry bounds a degraded-state Retry-After hint to [1s, max]: a
+// sub-second hint invites hammering and an unclamped one (a sentinel
+// that has watched one pathological ten-minute brownout) turns clients
+// away for longer than a restart would take.
+func clampRetry(d, max time.Duration) time.Duration {
+	if d < time.Second {
+		d = time.Second
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// buildJob constructs the pool job for an admitted submission under the
+// current resource regime: heavy work runs in the isolation sandbox,
+// non-heavy work during brownout degrades to the pure-MT baseline, and
+// everything else takes the full in-process pipeline. The wrapper feeds
+// the service-time EWMA and — when governance is on — emits a job.cost
+// event pairing the admission estimate with the observed allocation.
+func (s *Server) buildJob(name, path string, opts core.Options, est sentinel.Estimate, heavy bool) jobs.Job {
+	var job jobs.Job
+	mode := "full"
+	switch {
+	case heavy && s.cfg.Isolator != nil:
+		job = jobs.IsolatedTraceJob(name, path, opts, s.cfg.Isolator)
+		mode = "isolated"
+	case !heavy && s.cfg.Sentinel.Brownout():
+		job = jobs.BaselineTraceJob(name, path, opts, sentinel.ErrBrownout)
+		mode = "baseline"
+	default:
+		job = jobs.TraceJob(name, path, opts)
+	}
+	run := job.Run
+	governed := s.governed()
+	job.Run = func(ctx context.Context, lim budget.Limits) (*core.Result, error) {
+		t0 := time.Now()
+		var before runtime.MemStats
+		if governed {
+			runtime.ReadMemStats(&before)
+		}
+		res, rerr := run(ctx, lim)
+		s.est.observe(time.Since(t0))
+		if governed {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			// TotalAlloc delta: this process's allocation churn across the
+			// job — the in-process "actual" against the admission estimate
+			// (isolated jobs report their child's peak separately in
+			// sentinel.isolated events).
+			s.cfg.Events.Info("job.cost", "job", strings.TrimSuffix(name, ".trace"),
+				"path", mode, "est_bytes", est.MemBytes, "est_nodes", est.Nodes,
+				"actual_alloc_bytes", int64(after.TotalAlloc-before.TotalAlloc),
+				"elapsed", time.Since(t0).String())
+		}
+		return res, rerr
+	}
+	return job
+}
+
+// SpoolJob builds the job for a swept spool file under the same
+// resource governance as HTTP admission. The file is already durable,
+// so nothing is refused here: anything at or above the soft ceiling —
+// including what admission would have called cost-exceeded — runs in
+// the isolation sandbox, where the worst it can do is die alone. An
+// unreadable file falls through to the in-process path, whose
+// per-attempt read reports the failure with proper classification.
+func (s *Server) SpoolJob(name, path string) jobs.Job {
+	opts := s.cfg.Analyze
+	var est sentinel.Estimate
+	heavy := false
+	if s.governed() {
+		if body, err := os.ReadFile(path); err == nil {
+			if e, eerr := sentinel.EstimateBytes(body); eerr == nil {
+				est = e
+				heavy = est.Classify(s.cfg.Cost) != sentinel.ClassNormal
+			}
+		}
+	}
+	return s.buildJob(name, path, opts, est, heavy)
 }
 
 // countReplay bumps the idempotent-replay counter for an index answer.
@@ -850,6 +1017,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		if s.spoolFailing.CompareAndSwap(true, false) {
 			s.cfg.Events.Info("server.storage-recovered", "op", "spool.probe")
 		}
+	}
+	if s.cfg.Sentinel.Brownout() {
+		// Memory brownout: still alive (healthz answers 200, in-flight
+		// work finishes degraded) but new routing should go elsewhere
+		// until the heap recedes below the recovery level.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "resource")
+		return
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ready")

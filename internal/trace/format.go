@@ -39,8 +39,11 @@ func Format(w io.Writer, tr *Trace) error {
 // long-running daemon can parse multi-gigabyte spooled traces without
 // first loading them into memory.
 func Parse(r io.Reader) (*Trace, error) {
+	return parseInto(&Trace{}, r)
+}
+
+func parseInto(tr *Trace, r io.Reader) (*Trace, error) {
 	sp := time.Now()
-	tr := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineno := 0
@@ -72,11 +75,94 @@ func Parse(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
+// SizeError reports a declared-size directive that the input cannot
+// possibly back: the declared operation count, times the smallest
+// encodable operation line, exceeds the bytes actually present. It is
+// the typed signal the admission layer turns into a 422 — the declared
+// size must never be trusted into an allocation first.
+type SizeError struct {
+	// Declared is the operation count the directive claimed.
+	Declared int
+	// InputBytes is the size of the input carrying the claim.
+	InputBytes int
+	// Max is the largest operation count InputBytes could encode.
+	Max int
+}
+
+// Error implements error.
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("trace: directive declares %d ops but %d input bytes can hold at most %d",
+		e.Declared, e.InputBytes, e.Max)
+}
+
+// minOpBytes is the smallest textual encoding of one operation plus its
+// newline — shorter than any real op line ("read(t0,x)\n" is 11 bytes) —
+// used to bound what a declared operation count may claim.
+const minOpBytes = 8
+
+// DeclaredOps extracts the optional size directive from the head of a
+// textual trace: a first non-blank line of the form
+//
+//	#! ops=N
+//
+// declaring the operation count so parsers can preallocate. The line
+// starts with '#', so parsers without directive support skip it as a
+// comment. The declared count is validated against the input length
+// before anyone allocates from it: a count the remaining bytes cannot
+// possibly encode returns a *SizeError, and a directive that fails to
+// parse returns a plain error — both refuse the input instead of
+// trusting it into gigabytes of Op slots. Returns 0 with no error when
+// no directive is present.
+func DeclaredOps(data []byte) (int, error) {
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		line := rest
+		if nl >= 0 {
+			line = rest[:nl]
+			rest = rest[nl+1:]
+		} else {
+			rest = nil
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		if !bytes.HasPrefix(trimmed, []byte("#!")) {
+			return 0, nil // first real line is not a directive
+		}
+		for _, field := range strings.Fields(string(trimmed[2:])) {
+			val, ok := strings.CutPrefix(field, "ops=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("trace: bad size directive %q", clip(string(trimmed)))
+			}
+			if max := len(data) / minOpBytes; n > max {
+				return 0, &SizeError{Declared: n, InputBytes: len(data), Max: max}
+			}
+			return n, nil
+		}
+		return 0, nil // a #! line without ops= declares nothing
+	}
+	return 0, nil
+}
+
 // ParseBytes parses an in-memory trace — a thin wrapper over the
 // streaming Parse for callers that already hold the bytes (fuzzers,
-// tests, corruption operators).
+// tests, corruption operators). A declared-size directive (see
+// DeclaredOps) is validated against the input length and then drives
+// preallocation; a count the bytes cannot back is refused with a
+// *SizeError before any allocation happens.
 func ParseBytes(data []byte) (*Trace, error) {
-	return Parse(bytes.NewReader(data))
+	n, err := DeclaredOps(data)
+	if err != nil {
+		parseErrors.Inc()
+		return nil, err
+	}
+	return parseInto(New(n), bytes.NewReader(data))
 }
 
 // ParseFile opens and parses the trace at path, streaming it through

@@ -268,6 +268,44 @@ func BenchmarkSentinelOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamEngine pins the graph↔stream crossover: both engines
+// analyze the closure-heaviest Table 2 trace (K-9 Mail), and the
+// streaming engine alone analyzes a generated million-op
+// alternating-thread trace whose graph closure is out of admission
+// range under any cost ceiling (hostileTrace, the memory-chaos bomb
+// shape). `benchtables -crossover` renders the table appended to the
+// bench artifact from these series; the regression gate holds both
+// engines to the committed baseline.
+func BenchmarkStreamEngine(b *testing.B) {
+	run := func(b *testing.B, tr *trace.Trace, engine string) {
+		opts := droidracer.DefaultOptions()
+		opts.Engine = engine
+		// Engine cost only: the semantics replay is engine-independent.
+		opts.Validate = false
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := droidracer.Analyze(tr, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(res.Races)), "races")
+		}
+	}
+	b.Run("K-9 Mail", func(b *testing.B) {
+		tr := representative(b, "K-9 Mail").Trace
+		b.Run("graph", func(b *testing.B) { run(b, tr, droidracer.EngineGraph) })
+		b.Run("stream", func(b *testing.B) { run(b, tr, droidracer.EngineStream) })
+	})
+	b.Run("bomb-1M", func(b *testing.B) {
+		tr := hostileTrace(b, 1_000_000)
+		// No graph column: admission rejects this shape under the graph
+		// cost model (TestStreamAdmitsHostileTrace), so the stream series
+		// is the whole point.
+		b.Run("stream", func(b *testing.B) { run(b, tr, droidracer.EngineStream) })
+	})
+}
+
 // workerLabel names the sub-benchmark for a worker count. The = form
 // (not workers-N) keeps the trailing digits distinguishable from the
 // -GOMAXPROCS suffix `go test` appends on multi-core machines, which

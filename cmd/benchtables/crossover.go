@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Graph-versus-stream crossover table (-crossover): reduce the
+// BenchmarkStreamEngine series of a `go test -json -bench` output to
+// median ns/op per workload and engine and render the comparison CI
+// appends to the bench artifact. The table keeps the crossover guidance
+// in DESIGN.md §17 tied to measured numbers: a workload with no graph
+// column is one the admission cost model rejects outright under the
+// graph engine (the memory-bomb shape), so the stream column is the
+// only way to analyze it at all.
+
+// streamEnginePrefix is the benchmark family the crossover table reads;
+// sub-benchmarks are named <workload>/<engine>.
+const streamEnginePrefix = "BenchmarkStreamEngine/"
+
+// runCrossover parses the bench output at path and writes the crossover
+// table to w. Missing engine columns render as dashes rather than
+// erroring — the bomb workload never has a graph series.
+func runCrossover(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := parseBench(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	med := median(samples)
+
+	byWorkload := make(map[string]map[string]float64)
+	var workloads []string
+	for name, ns := range med {
+		rest, ok := strings.CutPrefix(name, streamEnginePrefix)
+		if !ok {
+			continue
+		}
+		slash := strings.LastIndexByte(rest, '/')
+		if slash < 0 {
+			continue
+		}
+		workload, engine := rest[:slash], rest[slash+1:]
+		if byWorkload[workload] == nil {
+			byWorkload[workload] = make(map[string]float64)
+			workloads = append(workloads, workload)
+		}
+		byWorkload[workload][engine] = ns
+	}
+	if len(workloads) == 0 {
+		return fmt.Errorf("%s: no %s results", path, strings.TrimSuffix(streamEnginePrefix, "/"))
+	}
+	sort.Strings(workloads)
+
+	fmt.Fprintln(w, "Graph-vs-stream crossover (median ns/op)")
+	fmt.Fprintf(w, "%-24s %14s %14s %14s\n", "workload", "graph", "stream", "graph/stream")
+	cell := func(ns float64, ok bool) string {
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", ns)
+	}
+	for _, workload := range workloads {
+		g, gok := byWorkload[workload]["graph"]
+		s, sok := byWorkload[workload]["stream"]
+		ratio := "-"
+		if gok && sok && s > 0 {
+			ratio = fmt.Sprintf("%.1fx", g/s)
+		}
+		fmt.Fprintf(w, "%-24s %14s %14s %14s\n", workload, cell(g, gok), cell(s, sok), ratio)
+	}
+	fmt.Fprintln(w, "\nWorkloads without a graph column are rejected at admission under the")
+	fmt.Fprintln(w, "graph engine's quadratic cost model; the stream engine's linear model")
+	fmt.Fprintln(w, "admits them (see DESIGN.md §17 for when to pick which engine).")
+	return nil
+}

@@ -8,6 +8,7 @@
 //
 //	benchtables [-table 2|3|perf|overhead|baselines|triage|all] [-apps name,name]
 //	benchtables -compare BENCH_5.json [-baseline BENCH_baseline.json] [-regress 20]
+//	benchtables -crossover BENCH_5.json
 //
 // The second form is the CI benchmark-regression gate: it parses two
 // `go test -json -bench` outputs, reduces each benchmark to its median
@@ -33,9 +34,17 @@ func main() {
 	tableFlag := flag.String("table", "all", "which table to regenerate: 2, 3, perf, overhead, baselines, triage, all")
 	appsFlag := flag.String("apps", "", "comma-separated app names (default: all Table 2 apps)")
 	compareFlag := flag.String("compare", "", "regression gate: compare this 'go test -json -bench' output against -baseline and exit")
+	crossoverFlag := flag.String("crossover", "", "render the graph-vs-stream crossover table from this 'go test -json -bench' output and exit")
 	baselineFlag := flag.String("baseline", "BENCH_baseline.json", "baseline benchmark output for -compare")
 	regressFlag := flag.Float64("regress", 20, "tolerated geomean slowdown in percent for -compare")
 	flag.Parse()
+
+	if *crossoverFlag != "" {
+		if err := runCrossover(os.Stdout, *crossoverFlag); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *compareFlag != "" {
 		ok, err := runBenchCmp(os.Stdout, *baselineFlag, *compareFlag, *regressFlag)

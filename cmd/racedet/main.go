@@ -80,6 +80,7 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", "", "analysis engine: graph (default; supports -dot/-explain/-minimize) or stream (vector-clock replay, no graph, linear memory); with -submit, forwarded as X-Analysis-Engine")
 	all := flag.Bool("all", false, "report every racing pair instead of one per location and category")
 	stats := flag.Bool("stats", false, "print trace statistics and graph size")
 	naive := flag.Bool("naive", false, "use the naive combination of multithreaded and event rules (ablation)")
@@ -132,7 +133,7 @@ func main() {
 		return
 	}
 	if *submitURL != "" {
-		runSubmit(*submitURL, *clientID, *traceOut, *deadline)
+		runSubmit(*submitURL, *clientID, *traceOut, *engine, *deadline)
 		return
 	}
 	if *floodURL != "" {
@@ -157,6 +158,7 @@ func main() {
 	parseDur := time.Since(parseStart)
 
 	opts := droidracer.DefaultOptions()
+	opts.Engine = *engine
 	opts.Dedup = !*all
 	opts.Validate = !*noValidate
 	opts.HB.Naive = *naive
@@ -193,7 +195,7 @@ func main() {
 	}
 	if *dotFile != "" {
 		if res.Graph == nil {
-			fatal(fmt.Errorf("-dot: no happens-before graph in a degraded result"))
+			fatal(fmt.Errorf("-dot: no happens-before graph (degraded result or -engine=stream)"))
 		}
 		f, err := os.Create(*dotFile)
 		if err != nil {
@@ -225,6 +227,9 @@ func main() {
 		return
 	}
 	fmt.Printf("%d race report(s)\n", len(res.Races))
+	if *minimizeFlag && res.Graph == nil {
+		fmt.Fprintln(os.Stderr, "racedet: -minimize needs the happens-before graph; rerun with -engine=graph")
+	}
 	if *minimizeFlag && res.Graph != nil {
 		min, err := droidracer.Minimize(res.Trace, res.Races[0], opts.HB)
 		if err != nil {
@@ -253,7 +258,7 @@ func main() {
 // traceparent header, which makes the fleet keep the distributed trace
 // (client-sampled traces always commit); the trace ID prints to stderr
 // so the operator can stitch it later with `racedet -trace`.
-func runSubmit(url, clientID, traceOut string, deadline time.Duration) {
+func runSubmit(url, clientID, traceOut, engine string, deadline time.Duration) {
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -272,6 +277,7 @@ func runSubmit(url, clientID, traceOut string, deadline time.Duration) {
 		BaseURL:     strings.TrimSuffix(url, "/"),
 		Deadline:    deadline,
 		ClientID:    clientID,
+		Engine:      engine,
 		Seed:        time.Now().UnixNano(),
 		Traceparent: sc.Traceparent(),
 	}

@@ -99,6 +99,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent analysis workers")
 	parallelism := flag.Int("parallelism", 0, "per-job worker goroutines for the closure and race scan (0 = GOMAXPROCS/workers, 1 = serial)")
 	queue := flag.Int("queue", 16, "admission queue depth; a full queue sheds new work")
+	engine := flag.String("engine", "", "default analysis engine: graph (default) or stream; a request's X-Analysis-Engine overrides per submission")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget per analysis attempt (0 = unlimited)")
 	retries := flag.Int("retries", 1, "extra attempts per job after a transient failure")
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "base backoff between attempts")
@@ -223,6 +224,12 @@ func main() {
 	// the machine.
 	aopts := core.DefaultOptions()
 	aopts.Parallelism = pool.JobParallelism()
+	eng, err := core.NormalizeEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racedetd: %v\n", err)
+		os.Exit(2)
+	}
+	aopts.Engine = eng
 	// Resource governance: the brownout sentinel samples the daemon's own
 	// heap, and the isolator re-execs this binary as `racedetd -worker`
 	// for heavy inputs so a memory bomb dies in a subprocess.

@@ -161,6 +161,15 @@ type (
 	Verification = explorer.Verification
 )
 
+// Analysis engine selectors for Options.Engine. Both engines report
+// identical race sets; EngineGraph materializes the happens-before
+// graph (required by Explain, Minimize, and DOT export), EngineStream
+// replays the trace once with vector clocks in linear memory.
+const (
+	EngineGraph  = core.EngineGraph
+	EngineStream = core.EngineStream
+)
+
 // DefaultOptions returns the analysis configuration DroidRacer uses: the
 // full happens-before relation, semantic validation, cancellation
 // pruning, and per-(location, category) deduplication.

@@ -1,0 +1,59 @@
+package droidracer_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"droidracer"
+	"droidracer/internal/paper"
+	"droidracer/internal/trace"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzStreamVsGraph")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	sampler := []trace.Op{
+		trace.ThreadInit(0),
+		trace.ThreadInit(1), trace.AttachQ(1), trace.LoopOnQ(1),
+		trace.Fork(0, 2), trace.ThreadInit(2),
+		trace.Post(0, "A", 1),
+		trace.PostDelayed(0, "B", 1, 10),
+		trace.PostFront(2, "C", 1),
+		trace.Begin(1, "A"), trace.Write(1, "x"), trace.Read(1, "y"), trace.End(1, "A"),
+		trace.Begin(1, "C"),
+		trace.Acquire(1, "m"), trace.Write(1, "y"), trace.Release(1, "m"),
+		trace.End(1, "C"),
+		trace.Begin(1, "B"), trace.Write(1, "x"), trace.End(1, "B"),
+		trace.Acquire(2, "m"), trace.Write(2, "y"), trace.Release(2, "m"),
+		trace.Write(2, "x"),
+		trace.Join(0, 2),
+	}
+	seeds := map[string]*droidracer.Trace{
+		"figure3":            paper.Figure3(),
+		"figure4":            paper.Figure4(),
+		"async-rule-sampler": trace.FromOps(sampler),
+	}
+	for name, tr := range seeds {
+		var sb strings.Builder
+		if err := droidracer.FormatTrace(&sb, tr); err != nil {
+			t.Fatal(err)
+		}
+		graph, stream, diverged := diffEngines(t, tr)
+		t.Logf("%s: graph=%v stream=%v", name, graph, stream)
+		if diverged {
+			t.Fatalf("%s diverges before check-in", name)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", sb.String())
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"droidracer/internal/baseline"
@@ -21,8 +22,36 @@ import (
 	"droidracer/internal/obs"
 	"droidracer/internal/race"
 	"droidracer/internal/semantics"
+	"droidracer/internal/stream"
 	"droidracer/internal/trace"
 )
+
+// Analysis engine selectors for Options.Engine.
+const (
+	// EngineGraph is the paper's engine: materialize the happens-before
+	// graph, close it transitively, scan access pairs. Memory is
+	// O(nodes²); required for -dot, -explain, and trace minimization,
+	// which need the graph object.
+	EngineGraph = "graph"
+	// EngineStream replays the trace once with per-context vector
+	// clocks and per-location shadow state — no graph, no closure.
+	// Memory is O(ops + contexts²-free clock width); race sets are
+	// identical to EngineGraph (CI diffs the two continuously).
+	EngineStream = "stream"
+)
+
+// NormalizeEngine canonicalizes an engine selector: the empty string
+// means EngineGraph. Unknown names are an error listing the choices.
+func NormalizeEngine(engine string) (string, error) {
+	switch engine {
+	case "", EngineGraph:
+		return EngineGraph, nil
+	case EngineStream:
+		return EngineStream, nil
+	default:
+		return "", fmt.Errorf("unknown analysis engine %q (choices: %s, %s)", engine, EngineGraph, EngineStream)
+	}
+}
 
 // Budget bounds one analysis: wall-clock deadline, happens-before graph
 // size, closure work, and explorer sequences. The zero value means
@@ -34,6 +63,12 @@ type Options struct {
 	// HB selects the happens-before rule set; DefaultOptions uses the
 	// paper's full relation.
 	HB hb.Config
+	// Engine selects the analysis backend: EngineGraph (the default;
+	// also selected by "") or EngineStream. Both report identical race
+	// sets; they trade differently — the graph engine supports -dot/
+	// -explain/minimization and the STOnly ablation, the streaming
+	// engine analyzes traces whose closure would not fit in memory.
+	Engine string
 	// Dedup reports one race per (location, category), the paper's
 	// reporting granularity. When false, every racing pair is reported.
 	Dedup bool
@@ -94,11 +129,15 @@ type Result struct {
 	// for full results.
 	DegradedReason error
 	// Phases are the per-phase wall-clock timings of this analysis
-	// (validate, annotate, happens-before, race-scan, and degrade when
-	// the fallback ran), in completion order. racedet -phase-timings
-	// renders them; they are also mirrored into the process-wide
-	// droidracer_phase_duration_seconds histogram.
+	// (validate, annotate, happens-before, race-scan — or stream-replay
+	// — and degrade when the fallback ran), in completion order.
+	// racedet -phase-timings renders them; they are also mirrored into
+	// the process-wide droidracer_phase_duration_seconds histogram.
 	Phases []obs.PhaseTiming
+	// Engine is the backend that produced Races: EngineGraph or
+	// EngineStream (degraded results keep the engine that was asked
+	// for; the baseline fallback is reported via Degraded).
+	Engine string
 }
 
 // Analyze runs the full pipeline on tr without a deadline. See
@@ -144,11 +183,18 @@ func analyze(ctx context.Context, tr *trace.Trace, opts Options) (*Result, error
 	res, err := analyzePhased(ctx, tr, opts, ph)
 	if res != nil {
 		res.Phases = ph.Timings()
+		// Record which backend the caller asked for, even on degraded or
+		// partial results; an unknown selector never reaches here.
+		res.Engine, _ = NormalizeEngine(opts.Engine)
 	}
 	return res, err
 }
 
 func analyzePhased(ctx context.Context, tr *trace.Trace, opts Options, ph *obs.Phases) (*Result, error) {
+	eng, err := NormalizeEngine(opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	ck := budget.NewChecker(ctx, opts.Budget)
 	if opts.DropCancelled {
 		tr = tr.WithoutCancelled()
@@ -171,6 +217,9 @@ func analyzePhased(ctx context.Context, tr *trace.Trace, opts Options, ph *obs.P
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if eng == EngineStream {
+		return analyzeStream(tr, info, opts, ck, ph)
 	}
 	ck.SetStage("happens-before")
 	sp = ph.Start("happens-before")
@@ -203,6 +252,31 @@ func analyzePhased(ctx context.Context, tr *trace.Trace, opts Options, ph *obs.P
 		Stats: trace.ComputeStats(tr, nil),
 	}
 	if err != nil {
+		return degradeOrErr(tr, res, opts, ck, ph, err)
+	}
+	return res, nil
+}
+
+// analyzeStream is the EngineStream pipeline tail: one budgeted clock
+// replay instead of graph construction plus the quadratic pair scan.
+// Result.Graph stays nil — graph-only features (-dot, -explain, trace
+// minimization) require EngineGraph and report that themselves. The
+// STOnly ablation has no streaming equivalent (its truncated relation
+// is not transitive, and a vector clock is inherently transitive), so
+// that configuration is a hard error rather than a budget degrade.
+func analyzeStream(tr *trace.Trace, info *trace.Info, opts Options, ck *budget.Checker, ph *obs.Phases) (*Result, error) {
+	ck.SetStage("stream-replay")
+	sp := ph.Start("stream-replay")
+	out, err := stream.Run(info, stream.Options{HB: opts.HB, Dedup: opts.Dedup}, ck)
+	sp.End()
+	res := &Result{Trace: tr, Info: info, Stats: trace.ComputeStats(tr, nil)}
+	if out != nil {
+		res.Races = out.Races
+	}
+	if err != nil {
+		if errors.Is(err, stream.ErrSTOnly) {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		return degradeOrErr(tr, res, opts, ck, ph, err)
 	}
 	return res, nil

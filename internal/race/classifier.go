@@ -1,0 +1,77 @@
+package race
+
+import "droidracer/internal/trace"
+
+// Classifier categorizes races per §4.3 over any happens-before
+// backend. The graph engine answers the one cross-operation ordering
+// query the criteria need (βi ≼ βj between event posts) from its
+// reachability bitsets; the streaming engine answers it from retained
+// post-clock snapshots. Everything else the classifier reads — threads,
+// post chains, delayed/front flags, enable indices — comes from the
+// trace annotations both engines share.
+type Classifier struct {
+	info *trace.Info
+	// orderedLE reports αi ≼ αj with ≼ reflexive.
+	orderedLE func(i, j int) bool
+}
+
+// NewClassifier returns a classifier over the given annotations and
+// ordering oracle.
+func NewClassifier(info *trace.Info, orderedLE func(i, j int) bool) *Classifier {
+	return &Classifier{info: info, orderedLE: orderedLE}
+}
+
+// Classify categorizes the race between the operations at trace indices
+// a and b (a < b) per §4.3. The criteria are checked in the paper's
+// order: multithreaded, co-enabled, delayed, cross-posted, unknown.
+func (c *Classifier) Classify(a, b int) Category {
+	tr := c.info.Trace()
+	if tr.Op(a).Thread != tr.Op(b).Thread {
+		return Multithreaded
+	}
+	chainA := c.info.PostChain(a)
+	chainB := c.info.PostChain(b)
+
+	// Co-enabled: βi, βj are the most recent posts for environmental
+	// events — posts of tasks the environment explicitly enabled. The race
+	// is co-enabled when both exist and βi ⋠ βj.
+	ea := c.lastMatching(chainA, c.isEventPost)
+	eb := c.lastMatching(chainB, c.isEventPost)
+	if ea >= 0 && eb >= 0 && !c.orderedLE(ea, eb) {
+		return CoEnabled
+	}
+
+	// Delayed: βi, βj are the most recent delayed posts. The race is
+	// delayed when only one is defined, or both are and they differ.
+	da := c.lastMatching(chainA, func(i int) bool { return tr.Op(i).Delayed })
+	db := c.lastMatching(chainB, func(i int) bool { return tr.Op(i).Delayed })
+	if oneSidedOrDistinct(da, db) {
+		return Delayed
+	}
+
+	// Cross-posted: βi, βj are the most recent posts executing on a thread
+	// other than the racing access's thread.
+	xa := c.lastMatching(chainA, func(i int) bool { return tr.Op(i).Thread != tr.Op(a).Thread })
+	xb := c.lastMatching(chainB, func(i int) bool { return tr.Op(i).Thread != tr.Op(b).Thread })
+	if oneSidedOrDistinct(xa, xb) {
+		return CrossPosted
+	}
+
+	return Unknown
+}
+
+// lastMatching returns the last post index in chain satisfying pred, or -1.
+func (c *Classifier) lastMatching(chain []int, pred func(int) bool) int {
+	for k := len(chain) - 1; k >= 0; k-- {
+		if pred(chain[k]) {
+			return chain[k]
+		}
+	}
+	return -1
+}
+
+// isEventPost reports whether the post at trace index i posts an
+// environment-enabled task (a UI event handler or lifecycle callback).
+func (c *Classifier) isEventPost(i int) bool {
+	return c.info.EnableIdx(c.info.Trace().Op(i).Task) >= 0
+}

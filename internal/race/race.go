@@ -77,6 +77,7 @@ func (r Race) String() string {
 type Detector struct {
 	g    *hb.Graph
 	info *trace.Info
+	cl   *Classifier
 
 	// Parallelism is the number of worker goroutines the per-location
 	// conflict scan is sharded across; values ≤ 1 scan serially. The
@@ -89,7 +90,7 @@ type Detector struct {
 
 // NewDetector returns a detector for the given graph.
 func NewDetector(g *hb.Graph) *Detector {
-	return &Detector{g: g, info: g.Info()}
+	return &Detector{g: g, info: g.Info(), cl: NewClassifier(g.Info(), g.OrderedLE)}
 }
 
 // Detect returns every race witnessed in the trace, in order of (First,
@@ -290,58 +291,11 @@ func (d *Detector) DetectDedupedBudgeted(ck *budget.Checker) ([]Race, error) {
 }
 
 // Classify categorizes the race between the operations at trace indices a
-// and b (a < b) per §4.3. The criteria are checked in the paper's order:
-// multithreaded, co-enabled, delayed, cross-posted, unknown.
+// and b (a < b) per §4.3. It delegates to the shared Classifier with the
+// graph's reachability as the ordering oracle; the streaming engine runs
+// the same Classifier over its clock snapshots.
 func (d *Detector) Classify(a, b int) Category {
-	tr := d.info.Trace()
-	if tr.Op(a).Thread != tr.Op(b).Thread {
-		return Multithreaded
-	}
-	chainA := d.info.PostChain(a)
-	chainB := d.info.PostChain(b)
-
-	// Co-enabled: βi, βj are the most recent posts for environmental
-	// events — posts of tasks the environment explicitly enabled. The race
-	// is co-enabled when both exist and βi ⋠ βj.
-	ea := d.lastMatching(chainA, d.isEventPost)
-	eb := d.lastMatching(chainB, d.isEventPost)
-	if ea >= 0 && eb >= 0 && !d.g.OrderedLE(ea, eb) {
-		return CoEnabled
-	}
-
-	// Delayed: βi, βj are the most recent delayed posts. The race is
-	// delayed when only one is defined, or both are and they differ.
-	da := d.lastMatching(chainA, func(i int) bool { return tr.Op(i).Delayed })
-	db := d.lastMatching(chainB, func(i int) bool { return tr.Op(i).Delayed })
-	if oneSidedOrDistinct(da, db) {
-		return Delayed
-	}
-
-	// Cross-posted: βi, βj are the most recent posts executing on a thread
-	// other than the racing access's thread.
-	xa := d.lastMatching(chainA, func(i int) bool { return tr.Op(i).Thread != tr.Op(a).Thread })
-	xb := d.lastMatching(chainB, func(i int) bool { return tr.Op(i).Thread != tr.Op(b).Thread })
-	if oneSidedOrDistinct(xa, xb) {
-		return CrossPosted
-	}
-
-	return Unknown
-}
-
-// lastMatching returns the last post index in chain satisfying pred, or -1.
-func (d *Detector) lastMatching(chain []int, pred func(int) bool) int {
-	for k := len(chain) - 1; k >= 0; k-- {
-		if pred(chain[k]) {
-			return chain[k]
-		}
-	}
-	return -1
-}
-
-// isEventPost reports whether the post at trace index i posts an
-// environment-enabled task (a UI event handler or lifecycle callback).
-func (d *Detector) isEventPost(i int) bool {
-	return d.info.EnableIdx(d.info.Trace().Op(i).Task) >= 0
+	return d.cl.Classify(a, b)
 }
 
 // oneSidedOrDistinct implements the "only one of them is defined, or they

@@ -27,6 +27,13 @@ type Estimate struct {
 	// O(nodes²) reachability bitset matrices (st and mt: nodes rows of
 	// ceil(nodes/64) words each).
 	MemBytes int64 `json:"mem_bytes"`
+	// StreamBytes predicts the same trace's footprint under the
+	// streaming engine, which keeps no graph: per-op shadow-state
+	// entries plus per-thread clock contexts, linear in the trace. A
+	// trace whose closure no ceiling admits can still be cheap here —
+	// the hostile alternating-thread shape that maximizes graph nodes
+	// is exactly the shape the streaming engine handles in O(ops).
+	StreamBytes int64 `json:"stream_bytes"`
 }
 
 // CostLimits are the admission ceilings over Estimate.MemBytes.
@@ -49,14 +56,31 @@ const (
 	ClassRejected = "rejected"
 )
 
-// Classify buckets the estimate: rejected above Hard, heavy above Soft,
-// normal otherwise.
+// Classify buckets the estimate under the graph engine's quadratic
+// cost model: rejected above Hard, heavy above Soft, normal otherwise.
 func (e Estimate) Classify(lim CostLimits) string {
+	return e.classify(lim, e.MemBytes)
+}
+
+// ClassifyEngine buckets the estimate under the cost model of the
+// engine that will actually run: the linear StreamBytes when stream is
+// true, the quadratic closure model otherwise. The ceilings are the
+// same — what changes per engine is the predicted footprint, so a
+// submission the graph engine would 413 can admit as normal work when
+// the request selects the streaming engine.
+func (e Estimate) ClassifyEngine(lim CostLimits, stream bool) string {
+	if stream {
+		return e.classify(lim, e.StreamBytes)
+	}
+	return e.classify(lim, e.MemBytes)
+}
+
+func (e Estimate) classify(lim CostLimits, cost int64) string {
 	switch {
-	case lim.Hard > 0 && e.MemBytes > lim.Hard:
+	case lim.Hard > 0 && cost > lim.Hard:
 		estimateCounters[ClassRejected].Inc()
 		return ClassRejected
-	case lim.Soft > 0 && e.MemBytes > lim.Soft:
+	case lim.Soft > 0 && cost > lim.Soft:
 		estimateCounters[ClassHeavy].Inc()
 		return ClassHeavy
 	default:
@@ -113,6 +137,7 @@ func EstimateBytes(body []byte) (Estimate, error) {
 	}
 	est.Threads = len(threads)
 	est.MemBytes = closureBytes(est.Nodes, est.Ops)
+	est.StreamBytes = streamBytes(est.Ops, est.Threads)
 	return est, nil
 }
 
@@ -125,6 +150,21 @@ func closureBytes(nodes, ops int) int64 {
 	words := (n + 63) / 64
 	const relations = 2 // st and mt
 	return relations*n*words*8 + n*128 + int64(ops)*96
+}
+
+// streamBytes models the streaming engine's footprint: one parsed op
+// plus at most one shadow-state entry per trace line (epoch, index,
+// per-location bookkeeping), and per-thread clock contexts whose width
+// is bounded by the live context count, not the trace length. The
+// model is linear by construction — the engine materializes no
+// relation — so it has no term that grows with nodes².
+func streamBytes(ops, threads int) int64 {
+	const (
+		perOp     = 160      // parsed op + shadow entry + summary-clock share
+		perThread = 16 << 10 // root/task contexts and their clock maps
+		fixed     = 1 << 20  // engine bookkeeping floor
+	)
+	return int64(ops)*perOp + int64(threads)*perThread + fixed
 }
 
 // lineThread extracts the first thread ID of an op line — the digits

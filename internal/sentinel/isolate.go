@@ -79,6 +79,7 @@ type workerSpec struct {
 	DropCancelled   bool   `json:"drop_cancelled,omitempty"`
 	DegradeOnBudget bool   `json:"degrade_on_budget,omitempty"`
 	WallMS          int64  `json:"wall_ms,omitempty"`
+	Engine          string `json:"engine,omitempty"`
 }
 
 // workerResult is what a surviving worker writes to the Out file:
@@ -178,6 +179,7 @@ func (i *Isolator) Run(ctx context.Context, path string, opts core.Options) (*co
 		DropCancelled:   opts.DropCancelled,
 		DegradeOnBudget: opts.DegradeOnBudget,
 		WallMS:          int64(opts.Budget.Wall / time.Millisecond),
+		Engine:          opts.Engine,
 	}
 	specJSON, err := json.Marshal(spec)
 	if err != nil {

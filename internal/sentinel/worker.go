@@ -92,6 +92,7 @@ func WorkerMain() int {
 
 	opts := core.Options{
 		HB:              hb.DefaultConfig(),
+		Engine:          spec.Engine,
 		Dedup:           spec.Dedup,
 		Validate:        spec.Validate,
 		DropCancelled:   spec.DropCancelled,

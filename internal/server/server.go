@@ -497,8 +497,13 @@ func clientID(r *http.Request) string {
 // capped by Config.MaxDeadline.
 const DeadlineHeader = "X-Analysis-Deadline"
 
+// EngineHeader selects the analysis backend for one submission
+// ("graph" or "stream"); absent, the server's configured engine runs.
+// The choice also selects the admission cost model — see admitCost.
+const EngineHeader = "X-Analysis-Engine"
+
 // requestOptions derives the analysis options for one submission from
-// the base options and the deadline header.
+// the base options and the deadline and engine headers.
 func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
 	opts := s.cfg.Analyze
 	req := time.Duration(0)
@@ -514,6 +519,13 @@ func (s *Server) requestOptions(r *http.Request) (core.Options, error) {
 	}
 	if req > 0 && (opts.Budget.Wall == 0 || req < opts.Budget.Wall) {
 		opts.Budget.Wall = req
+	}
+	if h := r.Header.Get(EngineHeader); h != "" {
+		eng, err := core.NormalizeEngine(h)
+		if err != nil {
+			return opts, fmt.Errorf("bad %s: %w", EngineHeader, err)
+		}
+		opts.Engine = eng
 	}
 	return opts, nil
 }
@@ -628,7 +640,7 @@ func (s *Server) admitSubmit(w http.ResponseWriter, r *http.Request, rec *obs.Tr
 	// validates any declared-size directive — a count the bytes cannot
 	// back is refused here, before the parser would have trusted it into
 	// an allocation.
-	est, heavy, ok := s.admitCost(w, sp, body)
+	est, heavy, ok := s.admitCost(w, sp, body, opts.Engine)
 	if !ok {
 		return false
 	}
@@ -692,10 +704,14 @@ func (s *Server) governed() bool {
 }
 
 // admitCost is the resource-governance stage of admission: estimate the
-// analysis footprint from the body's shape, refuse what no ceiling
-// allows, and — during brownout — refuse heavy work with an honest
-// recovery hint. Reports (estimate, heavy, admitted).
-func (s *Server) admitCost(w http.ResponseWriter, sp *obs.TSpan, body []byte) (sentinel.Estimate, bool, bool) {
+// analysis footprint from the body's shape under the engine that will
+// run it, refuse what no ceiling allows, and — during brownout — refuse
+// heavy work with an honest recovery hint. Reports (estimate, heavy,
+// admitted). The engine matters: a trace shaped to maximize the graph
+// closure (the alternating-thread bomb) costs O(nodes²) there but only
+// O(ops) under the streaming engine, so the same body can be a 413 for
+// one engine and normal work for the other.
+func (s *Server) admitCost(w http.ResponseWriter, sp *obs.TSpan, body []byte, engine string) (sentinel.Estimate, bool, bool) {
 	if !s.governed() {
 		return sentinel.Estimate{}, false, true
 	}
@@ -706,9 +722,13 @@ func (s *Server) admitCost(w http.ResponseWriter, sp *obs.TSpan, body []byte) (s
 		s.reject(w, http.StatusUnprocessableEntity, RejectMalformedTrace, 0)
 		return est, false, false
 	}
+	stream := engine == core.EngineStream
 	sp.SetAttr("est_bytes", strconv.FormatInt(est.MemBytes, 10))
 	sp.SetAttr("est_nodes", strconv.Itoa(est.Nodes))
-	class := est.Classify(s.cfg.Cost)
+	if stream {
+		sp.SetAttr("est_stream_bytes", strconv.FormatInt(est.StreamBytes, 10))
+	}
+	class := est.ClassifyEngine(s.cfg.Cost, stream)
 	if class == sentinel.ClassRejected {
 		if c, ok := rejectsTotal[RejectCostExceeded]; ok {
 			c.Inc()
@@ -818,7 +838,7 @@ func (s *Server) SpoolJob(name, path string) jobs.Job {
 		if body, err := os.ReadFile(path); err == nil {
 			if e, eerr := sentinel.EstimateBytes(body); eerr == nil {
 				est = e
-				heavy = est.Classify(s.cfg.Cost) != sentinel.ClassNormal
+				heavy = est.ClassifyEngine(s.cfg.Cost, opts.Engine == core.EngineStream) != sentinel.ClassNormal
 			}
 		}
 	}
